@@ -1,0 +1,74 @@
+//===- bench/BenchCommon.h - Shared experiment plumbing ---------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the table/figure reproduction binaries: each bench
+/// builds the five paper workloads, runs the full compaction pipeline once
+/// and prints its table through TablePrinter so outputs are uniform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_BENCH_BENCHCOMMON_H
+#define TWPP_BENCH_BENCHCOMMON_H
+
+#include "support/Stats.h"
+#include "support/TablePrinter.h"
+#include "support/Timer.h"
+#include "workloads/Workload.h"
+#include "wpp/Sizes.h"
+#include "wpp/Twpp.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace twpp::bench {
+
+/// Everything a table needs about one benchmark run.
+struct ProfileData {
+  WorkloadProfile Profile;
+  SyntheticProgram Program;
+  RawTrace Trace;
+  PartitionedWpp Partitioned;
+  DbbWpp Dbb;
+  TwppWpp Twpp;
+  OwppSizes Owpp;
+  StageSizes Stages;
+};
+
+inline ProfileData buildProfileData(const WorkloadProfile &Profile) {
+  ProfileData Data;
+  Data.Profile = Profile;
+  Data.Program = generateProgram(Profile);
+  CollectingSink Sink(Profile.FunctionCount);
+  runSyntheticProgram(Data.Program, Sink);
+  Data.Trace = Sink.take();
+  Data.Partitioned = partitionWpp(Data.Trace);
+  Data.Dbb = applyDbbCompaction(Data.Partitioned);
+  Data.Twpp = convertToTwpp(Data.Dbb);
+  Data.Owpp = measureOwpp(Data.Partitioned);
+  Data.Stages = measureStages(Data.Partitioned, Data.Dbb, Data.Twpp);
+  return Data;
+}
+
+/// Builds all five paper profiles, printing progress to stderr.
+inline std::vector<ProfileData> buildAllProfiles() {
+  std::vector<ProfileData> All;
+  for (const WorkloadProfile &Profile : paperProfiles()) {
+    std::fprintf(stderr, "[bench] building %s...\n", Profile.Name.c_str());
+    All.push_back(buildProfileData(Profile));
+  }
+  return All;
+}
+
+/// KB with one decimal, the granularity the paper's MB columns imply.
+inline std::string kb(uint64_t Bytes) {
+  return formatDouble(Bytes / 1024.0, 1);
+}
+
+} // namespace twpp::bench
+
+#endif // TWPP_BENCH_BENCHCOMMON_H

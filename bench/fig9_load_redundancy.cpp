@@ -1,0 +1,70 @@
+//===- bench/fig9_load_redundancy.cpp - Paper Figure 9 ---------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+// Figure 9: profile-guided optimization — detecting dynamic load
+// redundancy with demand-driven query propagation over the timestamp
+// annotated dynamic CFG. The loop runs 100 iterations; 1_Load executes
+// 100 times, 6_Store 40 times, 4_Load 60 times. Edge frequencies alone
+// cannot tell how often 4_Load is redundant; timestamp propagation shows
+// it is redundant on every execution (count 60, degree 100%) using only
+// a handful of queries (the paper reports 6).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/AnnotatedCfg.h"
+#include "dataflow/Query.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace twpp;
+
+int main() {
+  // (1.2.3.4.5)^30 (1.2.7.4.5)^30 (1.6.7.5)^40, matching the stated
+  // frequencies (the figure's own exponents are inconsistent with them).
+  std::vector<BlockId> Sequence;
+  for (int I = 0; I < 30; ++I)
+    for (BlockId B : {1, 2, 3, 4, 5})
+      Sequence.push_back(B);
+  for (int I = 0; I < 30; ++I)
+    for (BlockId B : {1, 2, 7, 4, 5})
+      Sequence.push_back(B);
+  for (int I = 0; I < 40; ++I)
+    for (BlockId B : {1, 6, 7, 5})
+      Sequence.push_back(B);
+
+  auto Effect = [](BlockId Block) {
+    if (Block == 1)
+      return BlockEffect::Gen; // 1_Load
+    if (Block == 6)
+      return BlockEffect::Kill; // 6_Store
+    return BlockEffect::Transparent;
+  };
+
+  AnnotatedDynamicCfg Cfg = buildAnnotatedCfgFromSequence(Sequence);
+
+  TablePrinter Annot("Figure 9: timestamp annotations (compacted)");
+  Annot.addRow({"Block", "Timestamps", "Executions"});
+  for (const AnnotatedNode &Node : Cfg.Nodes) {
+    std::string Series;
+    for (int64_t V : Node.Times.encodeSigned())
+      Series += (Series.empty() ? "" : " ") + std::to_string(V);
+    Annot.addRow({std::to_string(Node.Head), Series,
+                  std::to_string(Node.Times.count())});
+  }
+  Annot.print();
+
+  FactFrequency Freq = factFrequency(Cfg, 4, Effect);
+  TablePrinter Result("Figure 9: dynamic load redundancy of 4_Load");
+  Result.addRow({"Metric", "Value", "Paper"});
+  Result.addRow({"4_Load executions", std::to_string(Freq.Total), "60"});
+  Result.addRow({"Redundant executions", std::to_string(Freq.Holds), "60"});
+  Result.addRow({"Degree of redundancy",
+                 std::to_string(static_cast<int>(100 * Freq.ratio())) + "%",
+                 "100%"});
+  Result.addRow({"Queries generated",
+                 std::to_string(Freq.QueriesGenerated), "6"});
+  Result.print();
+  return 0;
+}

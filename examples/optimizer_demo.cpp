@@ -1,0 +1,109 @@
+//===- examples/optimizer_demo.cpp - Profile-guided optimization -----------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+// The paper's Section 4.3.1 application, driven end to end from source:
+// a loop repeatedly reads a value (the "load"), occasionally overwrites
+// it (the "store"), and re-reads it at a hot point. Edge profiles alone
+// cannot say how often the re-read is redundant; profile-limited
+// analysis over the timestamped WPP computes the exact degree of
+// redundancy, which an optimizer would use to decide whether cloning or
+// code motion pays off.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/AnnotatedCfg.h"
+#include "dataflow/IrFacts.h"
+#include "dataflow/Query.h"
+#include "lang/Lower.h"
+#include "runtime/Interpreter.h"
+#include "trace/UncompactedFile.h"
+#include "wpp/Twpp.h"
+
+#include <cstdio>
+
+using namespace twpp;
+
+int main() {
+  // kernel(): per iteration, block structure mirrors the paper's Fig. 9 —
+  // the loop body always "loads" v (uses it), sometimes "stores" it
+  // (reassigns), and on a subset of iterations reaches a second use.
+  const char *Source = R"(
+    fn kernel(n) {
+      v = 100;          // initial load of the cached value
+      i = 0;
+      s = 0;
+      while (i < n) {
+        s = s + v;      // 1_Load: v is used every iteration
+        if (i % 5 == 4) {
+          v = v + i;    // 6_Store: kills the cached value
+        } else {
+          if (i % 2 == 0) {
+            s = s - v;  // 4_Load: the candidate redundant use
+          }
+        }
+        i = i + 1;
+      }
+      return s;
+    }
+    fn main() {
+      r = call kernel(200);
+      print r;
+    }
+  )";
+
+  Module M;
+  std::string Error;
+  if (!compileProgram(Source, M, Error)) {
+    std::fprintf(stderr, "compile error: %s\n", Error.c_str());
+    return 1;
+  }
+  const Function *Kernel = M.findFunction("kernel");
+
+  ExecutionResult Result;
+  RawTrace Trace = traceExecution(M, {}, Result);
+  if (!Result.Completed) {
+    std::fprintf(stderr, "execution failed: %s\n", Result.Error.c_str());
+    return 1;
+  }
+
+  // Classify the lowered CFG automatically: availability of v's value —
+  // blocks reading v generate it (the load leaves it in a register),
+  // blocks writing v kill it.
+  VarId V = M.internVar("v");
+  BlockFactSpec Spec = availabilityFact(*Kernel, V);
+  std::printf("kernel CFG: %u blocks; gen blocks:", Kernel->blockCount());
+  for (BlockId B : Spec.GenBlocks)
+    std::printf(" %u", B);
+  std::printf("; kill blocks:");
+  for (BlockId B : Spec.KillBlocks)
+    std::printf(" %u", B);
+  std::printf("\n");
+
+  EffectFn Effect = Spec.asEffectFn();
+
+  // Profile-limited analysis runs per unique path trace of the function.
+  std::vector<std::vector<BlockId>> Traces;
+  extractFunctionTraces(Trace, Kernel->Id, Traces);
+  std::printf("kernel was called %zu time(s)\n", Traces.size());
+
+  // The query point: the second-use block (the one that reads v inside
+  // the inner else-arm). It is the last gen block in block order.
+  BlockId QueryBlock = Spec.GenBlocks.back();
+  for (const auto &Path : Traces) {
+    AnnotatedDynamicCfg Cfg = buildAnnotatedCfgFromSequence(Path);
+    FactFrequency Freq = factFrequency(Cfg, QueryBlock, Effect);
+    std::printf("block %u executed %llu times; value already available "
+                "%llu times (%.0f%% redundant) [%llu queries]\n",
+                QueryBlock, (unsigned long long)Freq.Total,
+                (unsigned long long)Freq.Holds, 100.0 * Freq.ratio(),
+                (unsigned long long)Freq.QueriesGenerated);
+    if (Freq.ratio() > 0.9)
+      std::printf("=> optimizer verdict: keep the value in a register / "
+                  "specialize this path\n");
+    else
+      std::printf("=> optimizer verdict: redundancy too low to pay for "
+                  "specialization\n");
+  }
+  return 0;
+}

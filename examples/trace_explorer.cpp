@@ -1,0 +1,95 @@
+//===- examples/trace_explorer.cpp - CLI over a TWPP archive ---------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+// Command-line explorer for compacted TWPP archives. With no arguments
+// it builds the 130.li-like synthetic workload, writes its archive, and
+// summarizes it; given an archive path it summarizes that file; given a
+// path and a function id it extracts only that function's traces (the
+// paper's headline query) and reports how long the indexed access took.
+//
+//   trace_explorer [archive.twpp] [function-id]
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+#include "support/Timer.h"
+#include "workloads/Workload.h"
+#include "wpp/Archive.h"
+#include "wpp/HotPaths.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace twpp;
+
+int main(int Argc, char **Argv) {
+  std::string Path;
+  if (Argc > 1) {
+    Path = Argv[1];
+  } else {
+    Path = "/tmp/twpp_explorer_demo.twpp";
+    std::printf("no archive given; generating the 130.li-like workload "
+                "into %s\n",
+                Path.c_str());
+    WorkloadProfile Profile = paperProfiles()[2];
+    RawTrace Trace = generateWorkloadTrace(Profile);
+    if (!writeArchiveFile(Path, compactWpp(Trace))) {
+      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+      return 1;
+    }
+  }
+
+  ArchiveReader Reader;
+  Stopwatch OpenTimer;
+  if (!Reader.open(Path)) {
+    std::fprintf(stderr, "cannot open archive %s\n", Path.c_str());
+    return 1;
+  }
+  double OpenMs = OpenTimer.elapsedMs();
+
+  if (Argc > 2) {
+    FunctionId F = static_cast<FunctionId>(std::atoi(Argv[2]));
+    Stopwatch ExtractTimer;
+    TwppFunctionTable Table;
+    if (!Reader.extractFunction(F, Table)) {
+      std::fprintf(stderr, "no such function %u\n", F);
+      return 1;
+    }
+    double ExtractMs = ExtractTimer.elapsedMs();
+    // Hottest paths first (paper: the pre-TWPP trace form identifies hot
+    // paths; here reconstructed from the timestamped archive block).
+    std::vector<HotPath> Paths = hotPathsOf(Table, 8);
+    std::printf("function %u: %llu calls, %zu unique path traces "
+                "(open %.3f ms, extract %.3f ms)\n",
+                F, (unsigned long long)Table.CallCount, Table.Traces.size(),
+                OpenMs, ExtractMs);
+    for (const HotPath &Path : Paths) {
+      std::printf("  path #%u (x%llu, %zu blocks): ", Path.TraceIndex,
+                  (unsigned long long)Path.UseCount, Path.Blocks.size());
+      for (size_t B = 0; B < Path.Blocks.size() && B < 24; ++B)
+        std::printf("%u.", Path.Blocks[B]);
+      if (Path.Blocks.size() > 24)
+        std::printf("..");
+      std::printf("\n");
+    }
+    if (Table.Traces.size() > Paths.size())
+      std::printf("  ... %zu more\n", Table.Traces.size() - Paths.size());
+    return 0;
+  }
+
+  std::printf("archive %s: %u functions (opened in %.3f ms)\n",
+              Path.c_str(), Reader.functionCount(), OpenMs);
+  std::printf("%-10s %-12s %s\n", "function", "calls", "");
+  uint64_t Shown = 0;
+  for (FunctionId F = 0; F < Reader.functionCount() && Shown < 20; ++F) {
+    if (Reader.callCount(F) == 0)
+      continue;
+    std::printf("%-10u %-12llu\n", F,
+                (unsigned long long)Reader.callCount(F));
+    ++Shown;
+  }
+  std::printf("(pass a function id to extract its path traces)\n");
+  return 0;
+}

@@ -1,0 +1,222 @@
+//===- examples/twpp_tool.cpp - Command-line driver -------------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+// The whole system as one command-line tool:
+//
+//   twpp_tool trace <program.mini> <archive.twpp> [input...]
+//       Compile a mini-language program, run it with the given integer
+//       inputs while compacting the WPP online, and write the archive.
+//   twpp_tool stats <archive.twpp>
+//       Per-function summary of an archive.
+//   twpp_tool query <archive.twpp> <function-id>
+//       Extract one function's path traces (the paper's headline query).
+//   twpp_tool dot-dcg <archive.twpp>
+//       Graphviz rendering of the dynamic call graph.
+//   twpp_tool dot-trace <archive.twpp> <function-id> <trace-index>
+//       Graphviz rendering of one annotated dynamic CFG.
+//   twpp_tool reconstruct <archive.twpp> <out.owpp>
+//       Expand the archive back to the uncompacted linear WPP.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Dump.h"
+#include "lang/Lower.h"
+#include "runtime/Interpreter.h"
+#include "support/FileIO.h"
+#include "trace/UncompactedFile.h"
+#include "wpp/Archive.h"
+#include "wpp/HotPaths.h"
+#include "wpp/Streaming.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace twpp;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: twpp_tool trace <program.mini> <archive.twpp> [input...]\n"
+      "       twpp_tool stats <archive.twpp>\n"
+      "       twpp_tool query <archive.twpp> <function-id>\n"
+      "       twpp_tool dot-dcg <archive.twpp>\n"
+      "       twpp_tool dot-trace <archive.twpp> <function-id> <trace-#>\n"
+      "       twpp_tool reconstruct <archive.twpp> <out.owpp>\n");
+  return 2;
+}
+
+bool readTextFile(const std::string &Path, std::string &Text) {
+  std::vector<uint8_t> Bytes;
+  if (!readFileBytes(Path, Bytes))
+    return false;
+  Text.assign(Bytes.begin(), Bytes.end());
+  return true;
+}
+
+int cmdTrace(int Argc, char **Argv) {
+  if (Argc < 4)
+    return usage();
+  std::string Source;
+  if (!readTextFile(Argv[2], Source)) {
+    std::fprintf(stderr, "cannot read %s\n", Argv[2]);
+    return 1;
+  }
+  Module M;
+  std::string Error;
+  if (!compileProgram(Source, M, Error)) {
+    std::fprintf(stderr, "%s: %s\n", Argv[2], Error.c_str());
+    return 1;
+  }
+  std::vector<int64_t> Inputs;
+  for (int I = 4; I < Argc; ++I)
+    Inputs.push_back(std::atoll(Argv[I]));
+
+  // Online compaction: the raw event stream never exists.
+  StreamingCompactor Sink(static_cast<uint32_t>(M.Functions.size()));
+  Interpreter Interp(M, Sink);
+  ExecutionResult Result = Interp.run(Inputs);
+  if (!Result.Completed) {
+    std::fprintf(stderr, "execution aborted: %s\n", Result.Error.c_str());
+    return 1;
+  }
+  for (int64_t Value : Result.Output)
+    std::printf("%lld\n", static_cast<long long>(Value));
+
+  TwppWpp Compacted = Sink.takeCompacted();
+  if (!writeArchiveFile(Argv[3], Compacted)) {
+    std::fprintf(stderr, "cannot write %s\n", Argv[3]);
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s (%llu blocks executed, %zu functions)\n",
+               Argv[3], (unsigned long long)Result.BlocksExecuted,
+               M.Functions.size());
+  return 0;
+}
+
+bool openArchive(const char *Path, ArchiveReader &Reader) {
+  if (Reader.open(Path))
+    return true;
+  std::fprintf(stderr, "cannot open archive %s\n", Path);
+  return false;
+}
+
+int cmdStats(int Argc, char **Argv) {
+  if (Argc != 3)
+    return usage();
+  ArchiveReader Reader;
+  if (!openArchive(Argv[2], Reader))
+    return 1;
+  TwppWpp Wpp;
+  if (!Reader.readAll(Wpp)) {
+    std::fprintf(stderr, "corrupt archive\n");
+    return 1;
+  }
+  std::fputs(dumpSummary(Wpp).c_str(), stdout);
+  return 0;
+}
+
+int cmdQuery(int Argc, char **Argv) {
+  if (Argc != 4)
+    return usage();
+  ArchiveReader Reader;
+  if (!openArchive(Argv[2], Reader))
+    return 1;
+  FunctionId F = static_cast<FunctionId>(std::atoi(Argv[3]));
+  TwppFunctionTable Table;
+  if (!Reader.extractFunction(F, Table)) {
+    std::fprintf(stderr, "no function %u\n", F);
+    return 1;
+  }
+  for (const HotPath &Path : hotPathsOf(Table)) {
+    std::printf("x%llu:", (unsigned long long)Path.UseCount);
+    for (BlockId B : Path.Blocks)
+      std::printf(" %u", B);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmdDotDcg(int Argc, char **Argv) {
+  if (Argc != 3)
+    return usage();
+  ArchiveReader Reader;
+  if (!openArchive(Argv[2], Reader))
+    return 1;
+  DynamicCallGraph Dcg;
+  if (!Reader.readDcg(Dcg)) {
+    std::fprintf(stderr, "corrupt DCG\n");
+    return 1;
+  }
+  std::fputs(dumpDcgDot(Dcg).c_str(), stdout);
+  return 0;
+}
+
+int cmdDotTrace(int Argc, char **Argv) {
+  if (Argc != 5)
+    return usage();
+  ArchiveReader Reader;
+  if (!openArchive(Argv[2], Reader))
+    return 1;
+  FunctionId F = static_cast<FunctionId>(std::atoi(Argv[3]));
+  size_t TraceIndex = static_cast<size_t>(std::atoi(Argv[4]));
+  TwppFunctionTable Table;
+  if (!Reader.extractFunction(F, Table) ||
+      TraceIndex >= Table.Traces.size()) {
+    std::fprintf(stderr, "no such function/trace\n");
+    return 1;
+  }
+  auto [StringIdx, DictIdx] = Table.Traces[TraceIndex];
+  AnnotatedDynamicCfg Cfg = buildAnnotatedCfg(
+      Table.TraceStrings[StringIdx], Table.Dictionaries[DictIdx]);
+  std::fputs(dumpAnnotatedCfgDot(Cfg, "f" + std::to_string(F) + "_t" +
+                                          std::to_string(TraceIndex))
+                 .c_str(),
+             stdout);
+  return 0;
+}
+
+int cmdReconstruct(int Argc, char **Argv) {
+  if (Argc != 4)
+    return usage();
+  ArchiveReader Reader;
+  if (!openArchive(Argv[2], Reader))
+    return 1;
+  TwppWpp Wpp;
+  if (!Reader.readAll(Wpp)) {
+    std::fprintf(stderr, "corrupt archive\n");
+    return 1;
+  }
+  RawTrace Trace = reconstructRawTrace(Wpp);
+  if (!writeUncompactedTraceFile(Argv[3], Trace)) {
+    std::fprintf(stderr, "cannot write %s\n", Argv[3]);
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s (%zu events)\n", Argv[3],
+               Trace.Events.size());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  if (std::strcmp(Argv[1], "trace") == 0)
+    return cmdTrace(Argc, Argv);
+  if (std::strcmp(Argv[1], "stats") == 0)
+    return cmdStats(Argc, Argv);
+  if (std::strcmp(Argv[1], "query") == 0)
+    return cmdQuery(Argc, Argv);
+  if (std::strcmp(Argv[1], "dot-dcg") == 0)
+    return cmdDotDcg(Argc, Argv);
+  if (std::strcmp(Argv[1], "dot-trace") == 0)
+    return cmdDotTrace(Argc, Argv);
+  if (std::strcmp(Argv[1], "reconstruct") == 0)
+    return cmdReconstruct(Argc, Argv);
+  return usage();
+}

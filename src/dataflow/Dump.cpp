@@ -1,0 +1,101 @@
+//===- dataflow/Dump.cpp - Human-readable / graphviz dumps ---------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Dump.h"
+
+#include "wpp/Sizes.h"
+
+#include <string>
+
+using namespace twpp;
+
+namespace {
+
+std::string seriesText(const TimestampSet &Set) {
+  std::string Out;
+  for (const SeriesRun &Run : Set.runs()) {
+    if (!Out.empty())
+      Out += ",";
+    if (Run.Lo == Run.Hi) {
+      Out += std::to_string(Run.Lo);
+    } else {
+      Out += std::to_string(Run.Lo) + ":" + std::to_string(Run.Hi);
+      if (Run.Step != 1)
+        Out += ":" + std::to_string(Run.Step);
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string twpp::dumpDcgDot(const DynamicCallGraph &Dcg, size_t MaxNodes) {
+  std::string Out = "digraph dcg {\n  node [shape=box];\n";
+  size_t Limit = std::min(MaxNodes, Dcg.Nodes.size());
+  for (size_t N = 0; N < Limit; ++N) {
+    const DcgNode &Node = Dcg.Nodes[N];
+    Out += "  n" + std::to_string(N) + " [label=\"f" +
+           std::to_string(Node.Function) + " t" +
+           std::to_string(Node.TraceIndex) + "\"];\n";
+    for (size_t C = 0; C < Node.Children.size(); ++C) {
+      uint32_t Child = Node.Children[C];
+      if (Child >= Limit) {
+        Out += "  n" + std::to_string(N) + " -> elided;\n";
+        continue;
+      }
+      Out += "  n" + std::to_string(N) + " -> n" + std::to_string(Child) +
+             " [label=\"@" + std::to_string(Node.Anchors[C]) + "\"];\n";
+    }
+  }
+  if (Dcg.Nodes.size() > Limit)
+    Out += "  elided [label=\"+" +
+           std::to_string(Dcg.Nodes.size() - Limit) + " more\"];\n";
+  for (uint32_t Root : Dcg.Roots)
+    if (Root < Limit)
+      Out += "  root -> n" + std::to_string(Root) + ";\n";
+  Out += "}\n";
+  return Out;
+}
+
+std::string twpp::dumpAnnotatedCfgDot(const AnnotatedDynamicCfg &Cfg,
+                                      const std::string &Title) {
+  std::string Out = "digraph \"" + Title + "\" {\n  node [shape=record];\n";
+  for (size_t N = 0; N < Cfg.Nodes.size(); ++N) {
+    const AnnotatedNode &Node = Cfg.Nodes[N];
+    std::string Blocks;
+    for (BlockId B : Node.StaticBlocks)
+      Blocks += (Blocks.empty() ? "" : ".") + std::to_string(B);
+    Out += "  n" + std::to_string(N) + " [label=\"{" + Blocks + "|T=" +
+           seriesText(Node.Times) + "}\"];\n";
+    for (uint32_t Succ : Node.Succs)
+      Out += "  n" + std::to_string(N) + " -> n" + std::to_string(Succ) +
+             ";\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string twpp::dumpSummary(const TwppWpp &Wpp) {
+  std::string Out;
+  Out += "functions: " + std::to_string(Wpp.Functions.size()) +
+         ", dcg nodes: " + std::to_string(Wpp.Dcg.Nodes.size()) +
+         ", roots: " + std::to_string(Wpp.Dcg.Roots.size()) + "\n";
+  for (size_t F = 0; F < Wpp.Functions.size(); ++F) {
+    const TwppFunctionTable &Table = Wpp.Functions[F];
+    if (Table.CallCount == 0)
+      continue;
+    uint64_t TraceBytes = 0;
+    for (const TwppTrace &Trace : Table.TraceStrings)
+      TraceBytes += twppTraceBytes(Trace);
+    Out += "  f" + std::to_string(F) + ": " +
+           std::to_string(Table.CallCount) + " calls, " +
+           std::to_string(Table.Traces.size()) + " unique traces (" +
+           std::to_string(Table.TraceStrings.size()) + " strings, " +
+           std::to_string(Table.Dictionaries.size()) + " dicts, " +
+           std::to_string(TraceBytes) + " B)\n";
+  }
+  return Out;
+}

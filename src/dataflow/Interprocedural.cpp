@@ -1,0 +1,195 @@
+//===- dataflow/Interprocedural.cpp - Call-aware GEN-KILL effects ---------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Interprocedural.h"
+
+#include <cassert>
+#include <map>
+#include <unordered_map>
+
+using namespace twpp;
+
+CallEffectOracle::CallEffectOracle(const TwppWpp &Wpp, ModuleEffectFn Fn)
+    : Effect(std::move(Fn)) {
+  const DynamicCallGraph &Dcg = Wpp.Dcg;
+  Effects.assign(Dcg.Nodes.size(), BlockEffect::Transparent);
+
+  // Expanded unique traces, cached per (function, unique trace index).
+  std::unordered_map<uint64_t, PathTrace> TraceCache;
+  auto ExpandedTrace = [&](FunctionId F, uint32_t TraceIndex) -> const PathTrace & {
+    uint64_t Key = (static_cast<uint64_t>(F) << 32) | TraceIndex;
+    auto It = TraceCache.find(Key);
+    if (It != TraceCache.end())
+      return It->second;
+    const TwppFunctionTable &Table = Wpp.Functions[F];
+    auto [StringIdx, DictIdx] = Table.Traces[TraceIndex];
+    std::vector<BlockId> Sequence;
+    bool Ok = blockSequenceFromTwpp(Table.TraceStrings[StringIdx], Sequence);
+    assert(Ok && "inconsistent TWPP trace");
+    (void)Ok;
+    PathTrace Expanded;
+    for (BlockId Head : Sequence)
+      appendExpansion(Table.Dictionaries[DictIdx], Head, Expanded);
+    return TraceCache.emplace(Key, std::move(Expanded)).first->second;
+  };
+
+  // Children always have larger indices than their parent (DCG nodes are
+  // created in call order), so a reverse sweep folds bottom-up.
+  for (size_t N = Dcg.Nodes.size(); N-- > 0;) {
+    const DcgNode &Node = Dcg.Nodes[N];
+    const PathTrace &Blocks = ExpandedTrace(Node.Function, Node.TraceIndex);
+
+    BlockEffect Last = BlockEffect::Transparent;
+    size_t Child = 0;
+    auto FoldCallsAt = [&](uint32_t Position) {
+      while (Child < Node.Children.size() &&
+             Node.Anchors[Child] == Position) {
+        BlockEffect E = Effects[Node.Children[Child++]];
+        if (E != BlockEffect::Transparent)
+          Last = E;
+      }
+    };
+    FoldCallsAt(0);
+    for (uint32_t K = 0; K < Blocks.size(); ++K) {
+      // Convention: a block's own statements act before the calls it
+      // makes (the granularity of the trace cannot order them finer).
+      BlockEffect E = Effect(Node.Function, Blocks[K]);
+      if (E != BlockEffect::Transparent)
+        Last = E;
+      FoldCallsAt(K + 1);
+    }
+    Effects[N] = Last;
+  }
+}
+
+CallInstanceView twpp::buildCallInstanceView(const TwppWpp &Wpp,
+                                             uint32_t NodeIndex) {
+  CallInstanceView View;
+  const DcgNode &Node = Wpp.Dcg.Nodes[NodeIndex];
+  const TwppFunctionTable &Table = Wpp.Functions[Node.Function];
+  auto [StringIdx, DictIdx] = Table.Traces[Node.TraceIndex];
+  std::vector<BlockId> Sequence;
+  bool Ok = blockSequenceFromTwpp(Table.TraceStrings[StringIdx], Sequence);
+  assert(Ok && "inconsistent TWPP trace");
+  (void)Ok;
+  PathTrace Expanded;
+  for (BlockId Head : Sequence)
+    appendExpansion(Table.Dictionaries[DictIdx], Head, Expanded);
+
+  View.Cfg = buildAnnotatedCfgFromSequence(Expanded);
+  // CallsAt[0] holds calls made before any block event; CallsAt[t] the
+  // calls made during block event t.
+  View.CallsAt.assign(Expanded.size() + 1, {});
+  for (size_t C = 0; C < Node.Children.size(); ++C)
+    View.CallsAt[Node.Anchors[C]].push_back(Node.Children[C]);
+  return View;
+}
+
+QueryResult twpp::propagateBackwardInterprocedural(
+    const CallInstanceView &View, const CallEffectOracle &Oracle,
+    FunctionId Function, size_t NodeIndex, const TimestampSet &Times) {
+  QueryResult Result;
+  if (Times.empty())
+    return Result;
+  const AnnotatedDynamicCfg &Cfg = View.Cfg;
+  assert(NodeIndex < Cfg.Nodes.size() && "query node out of range");
+
+  /// Effect of block event \p T (block's own statements, then the calls
+  /// anchored there; the last non-transparent action wins backwards).
+  auto InstanceEffect = [&](BlockId Block, Timestamp T) {
+    BlockEffect Last = Oracle.moduleEffect()(Function, Block);
+    for (uint32_t Call : View.CallsAt[T]) {
+      BlockEffect E = Oracle.callEffect(Call);
+      if (E != BlockEffect::Transparent)
+        Last = E;
+    }
+    return Last;
+  };
+
+  struct PendingKey {
+    size_t Node;
+    uint32_t Depth;
+    bool operator<(const PendingKey &Other) const {
+      return Depth != Other.Depth ? Depth < Other.Depth : Node < Other.Node;
+    }
+  };
+  std::map<PendingKey, TimestampSet> Pending;
+  Pending[{NodeIndex, 0}] = Times;
+  Result.QueriesGenerated = 1;
+  const TimestampSet One = TimestampSet::fromRun(1, 1, 1);
+
+  while (!Pending.empty()) {
+    auto It = Pending.begin();
+    auto [Node, Depth] = It->first;
+    TimestampSet Current = std::move(It->second);
+    Pending.erase(It);
+
+    TimestampSet Dropped = Current.intersect(One);
+    if (!Dropped.empty()) {
+      // Calls anchored before the first block act at the entry boundary.
+      TimestampSet EntryGen, EntryKill, EntryOpen;
+      BlockEffect Last = BlockEffect::Transparent;
+      for (uint32_t Call : View.CallsAt[0]) {
+        BlockEffect E = Oracle.callEffect(Call);
+        if (E != BlockEffect::Transparent)
+          Last = E;
+      }
+      TimestampSet Origin = Dropped.shifted(Depth);
+      switch (Last) {
+      case BlockEffect::Gen:
+        Result.True = Result.True.unite(Origin);
+        break;
+      case BlockEffect::Kill:
+        Result.False = Result.False.unite(Origin);
+        break;
+      case BlockEffect::Transparent:
+        Result.AtEntry = Result.AtEntry.unite(Origin);
+        break;
+      }
+    }
+
+    TimestampSet Previous = Current.shifted(-1);
+    if (Previous.empty())
+      continue;
+
+    for (uint32_t PredIndex : Cfg.Nodes[Node].Preds) {
+      const AnnotatedNode &Pred = Cfg.Nodes[PredIndex];
+      TimestampSet AtPred = Previous.intersect(Pred.Times);
+      if (AtPred.empty())
+        continue;
+      // Per-instance resolution: instances of the same block can have
+      // different effects depending on the calls they made.
+      std::vector<Timestamp> GenT, KillT, OpenT;
+      for (Timestamp T : AtPred.toVector()) {
+        switch (InstanceEffect(Pred.Head, T)) {
+        case BlockEffect::Gen:
+          GenT.push_back(T);
+          break;
+        case BlockEffect::Kill:
+          KillT.push_back(T);
+          break;
+        case BlockEffect::Transparent:
+          OpenT.push_back(T);
+          break;
+        }
+      }
+      if (!GenT.empty())
+        Result.True = Result.True.unite(
+            TimestampSet::fromSorted(GenT).shifted(
+                static_cast<int64_t>(Depth) + 1));
+      if (!KillT.empty())
+        Result.False = Result.False.unite(
+            TimestampSet::fromSorted(KillT).shifted(
+                static_cast<int64_t>(Depth) + 1));
+      if (!OpenT.empty()) {
+        TimestampSet &Slot = Pending[{PredIndex, Depth + 1}];
+        Slot = Slot.unite(TimestampSet::fromSorted(OpenT));
+        ++Result.QueriesGenerated;
+      }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,84 @@
+//===- dataflow/Interprocedural.h - Call-aware GEN-KILL effects -*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interprocedural side of profile-limited GEN-KILL analysis (paper
+/// Section 4.2): when node n contains a call, its dynamic effect on a
+/// fact comes from the callee's path trace for that *specific* call —
+/// the paper's GEN_f(T(n)) and KILL_f(T(n)) sets. This module computes
+/// the net effect of every call in the dynamic call graph bottom-up
+/// (each node's effect folds its own blocks with its children's effects
+/// in execution order, using the per-call anchors), and runs backward
+/// query propagation over one invocation of a function where blocks
+/// that made calls resolve per instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_DATAFLOW_INTERPROCEDURAL_H
+#define TWPP_DATAFLOW_INTERPROCEDURAL_H
+
+#include "dataflow/Query.h"
+#include "wpp/Twpp.h"
+
+#include <functional>
+#include <vector>
+
+namespace twpp {
+
+/// Per-function, per-block static effect (the intraprocedural EffectFn
+/// with the function made explicit).
+using ModuleEffectFn = std::function<BlockEffect(FunctionId, BlockId)>;
+
+/// Net effects of whole call subtrees, one per DCG node: what one
+/// complete execution of that call did to the fact (last non-transparent
+/// action wins, nested calls included).
+class CallEffectOracle {
+public:
+  /// Folds the whole DCG bottom-up. O(total path trace length) once.
+  CallEffectOracle(const TwppWpp &Wpp, ModuleEffectFn Effect);
+
+  /// Effect of the complete execution of DCG node \p NodeIndex.
+  BlockEffect callEffect(uint32_t NodeIndex) const {
+    return Effects[NodeIndex];
+  }
+
+  const ModuleEffectFn &moduleEffect() const { return Effect; }
+
+private:
+  ModuleEffectFn Effect;
+  std::vector<BlockEffect> Effects;
+};
+
+/// One invocation of a function, prepared for interprocedural queries:
+/// the statement-level annotated dynamic CFG of its path trace plus, for
+/// every trace position, the calls anchored there.
+struct CallInstanceView {
+  AnnotatedDynamicCfg Cfg;
+  /// CallsAt[t-1] lists the DCG node indices of calls made *during* the
+  /// t-th block event of this invocation, in call order.
+  std::vector<std::vector<uint32_t>> CallsAt;
+};
+
+/// Builds the view for DCG node \p NodeIndex. The annotated CFG is built
+/// at raw block granularity (no DBB collapsing) so anchors align with
+/// timestamps.
+CallInstanceView buildCallInstanceView(const TwppWpp &Wpp,
+                                       uint32_t NodeIndex);
+
+/// Backward query <Times, node> over one invocation, resolving blocks
+/// through both their own static effect and the net effects of the calls
+/// they made (the call acts after the block's own statements began, so
+/// the *last* action in execution order wins: calls anchored at a block
+/// override the block's static effect).
+QueryResult propagateBackwardInterprocedural(const CallInstanceView &View,
+                                             const CallEffectOracle &Oracle,
+                                             FunctionId Function,
+                                             size_t NodeIndex,
+                                             const TimestampSet &Times);
+
+} // namespace twpp
+
+#endif // TWPP_DATAFLOW_INTERPROCEDURAL_H

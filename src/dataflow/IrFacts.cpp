@@ -1,0 +1,72 @@
+//===- dataflow/IrFacts.cpp - GEN/KILL facts from the mini IR -------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/IrFacts.h"
+
+#include <algorithm>
+
+using namespace twpp;
+
+BlockEffect BlockFactSpec::effectOf(BlockId Block) const {
+  if (std::binary_search(KillBlocks.begin(), KillBlocks.end(), Block))
+    return BlockEffect::Kill;
+  if (std::binary_search(GenBlocks.begin(), GenBlocks.end(), Block))
+    return BlockEffect::Gen;
+  return BlockEffect::Transparent;
+}
+
+EffectFn BlockFactSpec::asEffectFn() const {
+  // Copy the sets into the closure so the spec may go out of scope.
+  return [Spec = *this](BlockId Block) { return Spec.effectOf(Block); };
+}
+
+namespace {
+
+/// Whether \p Block reads / writes \p Var (terminator condition and
+/// return value count as reads).
+void classifyBlock(const Function &F, const BasicBlock &Block, VarId Var,
+                   bool &Reads, bool &Writes) {
+  Reads = false;
+  Writes = false;
+  for (const Stmt &S : Block.Stmts) {
+    for (VarId Use : stmtUses(F, S))
+      Reads |= Use == Var;
+    Writes |= S.Target == Var;
+  }
+  std::vector<VarId> TermUses;
+  if (Block.Term == BasicBlock::Terminator::Branch)
+    collectExprUses(F, Block.CondExpr, TermUses);
+  if (Block.Term == BasicBlock::Terminator::Return && Block.HasRetValue)
+    collectExprUses(F, Block.RetExpr, TermUses);
+  for (VarId Use : TermUses)
+    Reads |= Use == Var;
+}
+
+} // namespace
+
+BlockFactSpec twpp::availabilityFact(const Function &F, VarId Var) {
+  BlockFactSpec Spec;
+  for (BlockId Id = 1; Id <= F.blockCount(); ++Id) {
+    bool Reads, Writes;
+    classifyBlock(F, F.block(Id), Var, Reads, Writes);
+    if (Writes)
+      Spec.KillBlocks.push_back(Id);
+    else if (Reads)
+      Spec.GenBlocks.push_back(Id);
+  }
+  return Spec;
+}
+
+BlockFactSpec twpp::definedFact(const Function &F, VarId Var) {
+  BlockFactSpec Spec;
+  for (BlockId Id = 1; Id <= F.blockCount(); ++Id) {
+    bool Reads, Writes;
+    classifyBlock(F, F.block(Id), Var, Reads, Writes);
+    if (Writes)
+      Spec.GenBlocks.push_back(Id);
+  }
+  return Spec;
+}

@@ -1,0 +1,105 @@
+//===- dataflow/Query.cpp - Demand-driven GEN-KILL queries ----------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Query.h"
+
+#include <cassert>
+#include <deque>
+#include <map>
+
+using namespace twpp;
+
+BlockEffect twpp::chainEffect(const std::vector<BlockId> &StaticBlocks,
+                              const EffectFn &Effect) {
+  // A backward query sees the chain's members in reverse: the last
+  // non-transparent member decides.
+  for (auto It = StaticBlocks.rbegin(); It != StaticBlocks.rend(); ++It) {
+    BlockEffect E = Effect(*It);
+    if (E != BlockEffect::Transparent)
+      return E;
+  }
+  return BlockEffect::Transparent;
+}
+
+QueryResult twpp::propagateBackward(const AnnotatedDynamicCfg &Cfg,
+                                    size_t NodeIndex,
+                                    const TimestampSet &Times,
+                                    const EffectFn &Effect) {
+  QueryResult Result;
+  if (Times.empty())
+    return Result;
+  assert(NodeIndex < Cfg.Nodes.size() && "query node out of range");
+
+  // Pending queries keyed by (node, backward depth). All timestamps in one
+  // entry moved the same distance, so original = current + depth.
+  struct PendingKey {
+    size_t Node;
+    uint32_t Depth;
+    bool operator<(const PendingKey &Other) const {
+      return Depth != Other.Depth ? Depth < Other.Depth : Node < Other.Node;
+    }
+  };
+  std::map<PendingKey, TimestampSet> Pending;
+  Pending[{NodeIndex, 0}] = Times;
+  Result.QueriesGenerated = 1;
+
+  const TimestampSet One = TimestampSet::fromRun(1, 1, 1);
+
+  while (!Pending.empty()) {
+    auto It = Pending.begin();
+    auto [Node, Depth] = It->first;
+    TimestampSet Current = std::move(It->second);
+    Pending.erase(It);
+
+    // Instances whose previous point falls before the trace start reached
+    // the function entry unresolved.
+    TimestampSet Dropped = Current.intersect(One);
+    if (!Dropped.empty())
+      Result.AtEntry = Result.AtEntry.unite(Dropped.shifted(Depth));
+
+    TimestampSet Previous = Current.shifted(-1);
+    if (Previous.empty())
+      continue;
+
+    for (uint32_t PredIndex : Cfg.Nodes[Node].Preds) {
+      const AnnotatedNode &Pred = Cfg.Nodes[PredIndex];
+      TimestampSet AtPred = Previous.intersect(Pred.Times);
+      if (AtPred.empty())
+        continue;
+      // Report resolutions in the original query's timestamp coordinates.
+      TimestampSet Origin = AtPred.shifted(static_cast<int64_t>(Depth) + 1);
+      switch (chainEffect(Pred.StaticBlocks, Effect)) {
+      case BlockEffect::Gen:
+        Result.True = Result.True.unite(Origin);
+        break;
+      case BlockEffect::Kill:
+        Result.False = Result.False.unite(Origin);
+        break;
+      case BlockEffect::Transparent: {
+        TimestampSet &Slot = Pending[{PredIndex, Depth + 1}];
+        Slot = Slot.unite(AtPred);
+        ++Result.QueriesGenerated;
+        break;
+      }
+      }
+    }
+  }
+  return Result;
+}
+
+FactFrequency twpp::factFrequency(const AnnotatedDynamicCfg &Cfg,
+                                  BlockId Node, const EffectFn &Effect) {
+  FactFrequency Freq;
+  size_t Index = Cfg.nodeIndexOf(Node);
+  if (Index == AnnotatedDynamicCfg::npos)
+    return Freq;
+  const TimestampSet &Times = Cfg.Nodes[Index].Times;
+  QueryResult Result = propagateBackward(Cfg, Index, Times, Effect);
+  Freq.Holds = Result.True.count();
+  Freq.Total = Times.count();
+  Freq.QueriesGenerated = Result.QueriesGenerated;
+  return Freq;
+}

@@ -1,0 +1,135 @@
+//===- ir/Ir.cpp - Mini CFG-based intermediate representation -------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ir.h"
+
+#include <algorithm>
+
+using namespace twpp;
+
+VarId Module::internVar(const std::string &Name) {
+  for (VarId V = 0; V < VarNames.size(); ++V)
+    if (VarNames[V] == Name)
+      return V;
+  VarNames.push_back(Name);
+  return static_cast<VarId>(VarNames.size() - 1);
+}
+
+const Function *Module::findFunction(const std::string &Name) const {
+  for (const Function &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+std::string Module::varName(VarId Var) const {
+  if (Var < VarNames.size())
+    return VarNames[Var];
+  return "v" + std::to_string(Var);
+}
+
+void twpp::collectExprUses(const Function &F, uint32_t ExprIndex,
+                           std::vector<VarId> &Uses) {
+  const Expr &E = F.Exprs[ExprIndex];
+  switch (E.Kind) {
+  case ExprKind::Const:
+    return;
+  case ExprKind::Var:
+    Uses.push_back(E.Var);
+    return;
+  case ExprKind::Not:
+  case ExprKind::Neg:
+    collectExprUses(F, E.Lhs, Uses);
+    return;
+  default:
+    collectExprUses(F, E.Lhs, Uses);
+    collectExprUses(F, E.Rhs, Uses);
+    return;
+  }
+}
+
+std::vector<VarId> twpp::stmtUses(const Function &F, const Stmt &S) {
+  std::vector<VarId> Uses;
+  switch (S.StmtKind) {
+  case Stmt::Kind::Assign:
+  case Stmt::Kind::Print:
+    collectExprUses(F, S.ExprIndex, Uses);
+    break;
+  case Stmt::Kind::Read:
+    break;
+  case Stmt::Kind::Call:
+    for (uint32_t Arg : S.Args)
+      collectExprUses(F, Arg, Uses);
+    break;
+  }
+  std::sort(Uses.begin(), Uses.end());
+  Uses.erase(std::unique(Uses.begin(), Uses.end()), Uses.end());
+  return Uses;
+}
+
+CfgStats twpp::staticCfgStats(const Function &F) {
+  CfgStats Stats;
+  Stats.Nodes = F.Blocks.size();
+  for (const BasicBlock &Block : F.Blocks)
+    Stats.Edges += Block.successors().size();
+  return Stats;
+}
+
+bool twpp::verifyFunction(const Function &F, const Module &M) {
+  if (F.Blocks.empty())
+    return false;
+  auto ExprOk = [&F](uint32_t Index) { return Index < F.Exprs.size(); };
+  for (const Expr &E : F.Exprs) {
+    bool Binary = E.Kind != ExprKind::Const && E.Kind != ExprKind::Var &&
+                  E.Kind != ExprKind::Not && E.Kind != ExprKind::Neg;
+    bool Unary = E.Kind == ExprKind::Not || E.Kind == ExprKind::Neg;
+    if ((Binary || Unary) && !ExprOk(E.Lhs))
+      return false;
+    if (Binary && !ExprOk(E.Rhs))
+      return false;
+  }
+  for (const BasicBlock &Block : F.Blocks) {
+    for (const Stmt &S : Block.Stmts) {
+      switch (S.StmtKind) {
+      case Stmt::Kind::Assign:
+      case Stmt::Kind::Print:
+        if (!ExprOk(S.ExprIndex))
+          return false;
+        break;
+      case Stmt::Kind::Read:
+        break;
+      case Stmt::Kind::Call:
+        if (S.Callee >= M.Functions.size())
+          return false;
+        for (uint32_t Arg : S.Args)
+          if (!ExprOk(Arg))
+            return false;
+        break;
+      }
+    }
+    for (BlockId Succ : Block.successors())
+      if (Succ == 0 || Succ > F.Blocks.size())
+        return false;
+    if (Block.Term == BasicBlock::Terminator::Branch && !ExprOk(Block.CondExpr))
+      return false;
+    if (Block.Term == BasicBlock::Terminator::Return && Block.HasRetValue &&
+        !ExprOk(Block.RetExpr))
+      return false;
+  }
+  return true;
+}
+
+bool twpp::verifyModule(const Module &M) {
+  if (M.Functions.empty() || M.MainId >= M.Functions.size())
+    return false;
+  for (size_t I = 0; I < M.Functions.size(); ++I) {
+    if (M.Functions[I].Id != I)
+      return false;
+    if (!verifyFunction(M.Functions[I], M))
+      return false;
+  }
+  return true;
+}

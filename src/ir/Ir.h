@@ -1,0 +1,166 @@
+//===- ir/Ir.h - Mini CFG-based intermediate representation -----*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small CFG-based IR standing in for the paper's Trimaran substrate:
+/// functions of numbered basic blocks (1-based, matching the paper's
+/// examples), straight-line statements, and two-way terminators. The
+/// tracing interpreter (runtime/) executes it and emits WPP events; the
+/// profile-limited analyses (dataflow/, slicing/) consume its static
+/// structure (use/def sets, control dependences, GEN/KILL facts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_IR_IR_H
+#define TWPP_IR_IR_H
+
+#include "trace/Events.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace twpp {
+
+/// Identifies a variable; names are interned module-wide.
+using VarId = uint32_t;
+
+/// Sentinel for "no variable".
+inline constexpr VarId NoVar = static_cast<VarId>(-1);
+
+/// Expression tree node kinds.
+enum class ExprKind : uint8_t {
+  Const, ///< Integer literal.
+  Var,   ///< Variable read.
+  Add,
+  Sub,
+  Mul,
+  Div, ///< Division by zero evaluates to 0 (keeps workloads total).
+  Mod, ///< Modulo by zero evaluates to 0.
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  And, ///< Logical (non-short-circuit; operands are already evaluated).
+  Or,
+  Not, ///< Unary; uses Lhs only.
+  Neg, ///< Unary minus; uses Lhs only.
+};
+
+/// One node of a function's expression pool. Interior nodes reference
+/// children by pool index, keeping the IR trivially copyable.
+struct Expr {
+  ExprKind Kind = ExprKind::Const;
+  int64_t Value = 0; ///< Literal payload for Const.
+  VarId Var = NoVar; ///< Variable for Var.
+  uint32_t Lhs = 0;  ///< Left child index (unary: only child).
+  uint32_t Rhs = 0;  ///< Right child index.
+};
+
+/// A straight-line statement.
+struct Stmt {
+  enum class Kind : uint8_t {
+    Assign, ///< Target = Expr.
+    Read,   ///< Target = next program input.
+    Print,  ///< Emit Expr to the program output.
+    Call,   ///< [Target =] Callee(Args...).
+  };
+
+  Kind StmtKind = Kind::Assign;
+  VarId Target = NoVar;       ///< Defined variable (NoVar for Print / void
+                              ///< calls).
+  uint32_t ExprIndex = 0;     ///< Assign / Print operand.
+  FunctionId Callee = 0;      ///< Call target.
+  std::vector<uint32_t> Args; ///< Call argument expressions.
+};
+
+/// A basic block: statements plus one terminator. Block ids are 1-based
+/// indices into Function::Blocks, as in the paper's figures.
+struct BasicBlock {
+  std::vector<Stmt> Stmts;
+
+  enum class Terminator : uint8_t {
+    Jump,   ///< Unconditional; TrueSucc.
+    Branch, ///< Conditional on CondExpr; TrueSucc / FalseSucc.
+    Return, ///< Function exit; RetExpr when HasRetValue.
+  };
+  Terminator Term = Terminator::Return;
+  uint32_t CondExpr = 0;
+  BlockId TrueSucc = 0;
+  BlockId FalseSucc = 0;
+  bool HasRetValue = false;
+  uint32_t RetExpr = 0;
+
+  /// Successor list (0, 1 or 2 entries).
+  std::vector<BlockId> successors() const {
+    switch (Term) {
+    case Terminator::Jump:
+      return {TrueSucc};
+    case Terminator::Branch:
+      return TrueSucc == FalseSucc ? std::vector<BlockId>{TrueSucc}
+                                   : std::vector<BlockId>{TrueSucc, FalseSucc};
+    case Terminator::Return:
+      return {};
+    }
+    return {};
+  }
+};
+
+/// A function: parameters, an expression pool, and 1-based blocks with
+/// Blocks.front() as the entry.
+struct Function {
+  std::string Name;
+  FunctionId Id = 0;
+  std::vector<VarId> Params;
+  std::vector<Expr> Exprs;
+  std::vector<BasicBlock> Blocks;
+
+  const BasicBlock &block(BlockId Id) const { return Blocks[Id - 1]; }
+  BasicBlock &block(BlockId Id) { return Blocks[Id - 1]; }
+  uint32_t blockCount() const { return static_cast<uint32_t>(Blocks.size()); }
+};
+
+/// A whole program.
+struct Module {
+  std::vector<Function> Functions;
+  std::vector<std::string> VarNames;
+  FunctionId MainId = 0;
+
+  /// Interns \p Name, returning its VarId.
+  VarId internVar(const std::string &Name);
+
+  /// Looks up a function by name; returns nullptr when absent.
+  const Function *findFunction(const std::string &Name) const;
+
+  /// Name of \p Var ("vN" fallback for unnamed temporaries).
+  std::string varName(VarId Var) const;
+};
+
+/// Variables read by the expression rooted at \p ExprIndex (appended,
+/// deduplicated by the caller if needed).
+void collectExprUses(const Function &F, uint32_t ExprIndex,
+                     std::vector<VarId> &Uses);
+
+/// Variables read by \p S (arguments included for calls).
+std::vector<VarId> stmtUses(const Function &F, const Stmt &S);
+
+/// Node/edge counts of a function's static CFG (Table 6's StaticFG).
+struct CfgStats {
+  uint64_t Nodes = 0;
+  uint64_t Edges = 0;
+};
+CfgStats staticCfgStats(const Function &F);
+
+/// Validates structural invariants (successor ids in range, expression
+/// indices in range, entry exists). \returns false on violation.
+bool verifyFunction(const Function &F, const Module &M);
+bool verifyModule(const Module &M);
+
+} // namespace twpp
+
+#endif // TWPP_IR_IR_H

@@ -1,0 +1,167 @@
+//===- ir/IrBuilder.h - Convenience builders for the mini IR ----*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic construction helpers for ir::Module, used by tests, the
+/// worked paper examples (Figures 9, 10, 12), and the lang frontend's
+/// lowering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_IR_IRBUILDER_H
+#define TWPP_IR_IRBUILDER_H
+
+#include "ir/Ir.h"
+
+#include <cassert>
+#include <string>
+
+namespace twpp {
+
+/// Builds one function inside a module. Blocks are created with newBlock()
+/// (1-based ids, creation order) and filled through the statement helpers.
+class FunctionBuilder {
+public:
+  FunctionBuilder(Module &M, std::string Name) : M(M) {
+    FunctionIndex = static_cast<FunctionId>(M.Functions.size());
+    M.Functions.emplace_back();
+    function().Name = std::move(Name);
+    function().Id = FunctionIndex;
+  }
+
+  FunctionId id() const { return FunctionIndex; }
+
+  /// Declares a parameter (evaluated left to right at call sites).
+  VarId param(const std::string &Name) {
+    VarId Var = M.internVar(Name);
+    function().Params.push_back(Var);
+    return Var;
+  }
+
+  /// Interns a variable name.
+  VarId var(const std::string &Name) { return M.internVar(Name); }
+
+  /// Creates a new empty block and returns its 1-based id.
+  BlockId newBlock() {
+    function().Blocks.emplace_back();
+    return static_cast<BlockId>(function().Blocks.size());
+  }
+
+  // --- Expression pool -----------------------------------------------
+
+  uint32_t constant(int64_t Value) {
+    Expr E;
+    E.Kind = ExprKind::Const;
+    E.Value = Value;
+    return addExpr(E);
+  }
+
+  uint32_t varRef(VarId Var) {
+    Expr E;
+    E.Kind = ExprKind::Var;
+    E.Var = Var;
+    return addExpr(E);
+  }
+
+  uint32_t binary(ExprKind Kind, uint32_t Lhs, uint32_t Rhs) {
+    assert(Kind != ExprKind::Const && Kind != ExprKind::Var &&
+           Kind != ExprKind::Not && Kind != ExprKind::Neg &&
+           "binary() requires a binary operator");
+    Expr E;
+    E.Kind = Kind;
+    E.Lhs = Lhs;
+    E.Rhs = Rhs;
+    return addExpr(E);
+  }
+
+  uint32_t unary(ExprKind Kind, uint32_t Operand) {
+    assert((Kind == ExprKind::Not || Kind == ExprKind::Neg) &&
+           "unary() requires a unary operator");
+    Expr E;
+    E.Kind = Kind;
+    E.Lhs = Operand;
+    return addExpr(E);
+  }
+
+  // --- Statements ------------------------------------------------------
+
+  void assign(BlockId Block, VarId Target, uint32_t ExprIndex) {
+    Stmt S;
+    S.StmtKind = Stmt::Kind::Assign;
+    S.Target = Target;
+    S.ExprIndex = ExprIndex;
+    function().block(Block).Stmts.push_back(std::move(S));
+  }
+
+  void read(BlockId Block, VarId Target) {
+    Stmt S;
+    S.StmtKind = Stmt::Kind::Read;
+    S.Target = Target;
+    function().block(Block).Stmts.push_back(std::move(S));
+  }
+
+  void print(BlockId Block, uint32_t ExprIndex) {
+    Stmt S;
+    S.StmtKind = Stmt::Kind::Print;
+    S.ExprIndex = ExprIndex;
+    function().block(Block).Stmts.push_back(std::move(S));
+  }
+
+  void call(BlockId Block, FunctionId Callee, std::vector<uint32_t> Args,
+            VarId Target = NoVar) {
+    Stmt S;
+    S.StmtKind = Stmt::Kind::Call;
+    S.Callee = Callee;
+    S.Args = std::move(Args);
+    S.Target = Target;
+    function().block(Block).Stmts.push_back(std::move(S));
+  }
+
+  // --- Terminators ------------------------------------------------------
+
+  void jump(BlockId From, BlockId To) {
+    BasicBlock &B = function().block(From);
+    B.Term = BasicBlock::Terminator::Jump;
+    B.TrueSucc = To;
+  }
+
+  void branch(BlockId From, uint32_t CondExpr, BlockId TrueTo,
+              BlockId FalseTo) {
+    BasicBlock &B = function().block(From);
+    B.Term = BasicBlock::Terminator::Branch;
+    B.CondExpr = CondExpr;
+    B.TrueSucc = TrueTo;
+    B.FalseSucc = FalseTo;
+  }
+
+  void ret(BlockId From) {
+    BasicBlock &B = function().block(From);
+    B.Term = BasicBlock::Terminator::Return;
+    B.HasRetValue = false;
+  }
+
+  void retValue(BlockId From, uint32_t ExprIndex) {
+    BasicBlock &B = function().block(From);
+    B.Term = BasicBlock::Terminator::Return;
+    B.HasRetValue = true;
+    B.RetExpr = ExprIndex;
+  }
+
+  Function &function() { return M.Functions[FunctionIndex]; }
+
+private:
+  uint32_t addExpr(const Expr &E) {
+    function().Exprs.push_back(E);
+    return static_cast<uint32_t>(function().Exprs.size() - 1);
+  }
+
+  Module &M;
+  FunctionId FunctionIndex;
+};
+
+} // namespace twpp
+
+#endif // TWPP_IR_IRBUILDER_H

@@ -1,0 +1,85 @@
+//===- ir/Liveness.cpp - Block-level live variable analysis ---------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Liveness.h"
+
+#include <algorithm>
+
+using namespace twpp;
+
+namespace {
+
+bool containsVar(const std::vector<VarId> &Sorted, VarId Var) {
+  return std::binary_search(Sorted.begin(), Sorted.end(), Var);
+}
+
+void insertVar(std::vector<VarId> &Sorted, VarId Var) {
+  auto It = std::lower_bound(Sorted.begin(), Sorted.end(), Var);
+  if (It == Sorted.end() || *It != Var)
+    Sorted.insert(It, Var);
+}
+
+} // namespace
+
+bool LivenessInfo::isLiveIn(BlockId Block, VarId Var) const {
+  return containsVar(LiveIn[Block - 1], Var);
+}
+
+bool LivenessInfo::isLiveOut(BlockId Block, VarId Var) const {
+  return containsVar(LiveOut[Block - 1], Var);
+}
+
+LivenessInfo twpp::computeLiveness(const Function &F) {
+  uint32_t N = F.blockCount();
+
+  // Per-block UEVar (used before any local def) and VarKill (defined).
+  std::vector<std::vector<VarId>> Upward(N), Kill(N);
+  for (BlockId Block = 1; Block <= N; ++Block) {
+    const BasicBlock &B = F.block(Block);
+    std::vector<VarId> &Up = Upward[Block - 1];
+    std::vector<VarId> &Killed = Kill[Block - 1];
+    for (const Stmt &S : B.Stmts) {
+      for (VarId Use : stmtUses(F, S))
+        if (!containsVar(Killed, Use))
+          insertVar(Up, Use);
+      if (S.Target != NoVar)
+        insertVar(Killed, S.Target);
+    }
+    std::vector<VarId> TermUses;
+    if (B.Term == BasicBlock::Terminator::Branch)
+      collectExprUses(F, B.CondExpr, TermUses);
+    if (B.Term == BasicBlock::Terminator::Return && B.HasRetValue)
+      collectExprUses(F, B.RetExpr, TermUses);
+    for (VarId Use : TermUses)
+      if (!containsVar(Killed, Use))
+        insertVar(Up, Use);
+  }
+
+  LivenessInfo Info;
+  Info.LiveIn.assign(N, {});
+  Info.LiveOut.assign(N, {});
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId Block = N; Block >= 1; --Block) {
+      std::vector<VarId> Out;
+      for (BlockId Succ : F.block(Block).successors())
+        for (VarId Var : Info.LiveIn[Succ - 1])
+          insertVar(Out, Var);
+      // In = Upward + (Out - Kill).
+      std::vector<VarId> In = Upward[Block - 1];
+      for (VarId Var : Out)
+        if (!containsVar(Kill[Block - 1], Var))
+          insertVar(In, Var);
+      if (Out != Info.LiveOut[Block - 1] || In != Info.LiveIn[Block - 1]) {
+        Info.LiveOut[Block - 1] = std::move(Out);
+        Info.LiveIn[Block - 1] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+  return Info;
+}

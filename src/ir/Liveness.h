@@ -1,0 +1,40 @@
+//===- ir/Liveness.h - Block-level live variable analysis -------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward live-variable analysis over the mini IR, at basic
+/// block granularity. Used by the assignment-sinking (PDE-style)
+/// transformation that sets up the paper's dynamic currency scenario.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_IR_LIVENESS_H
+#define TWPP_IR_LIVENESS_H
+
+#include "ir/Ir.h"
+
+#include <vector>
+
+namespace twpp {
+
+/// Live-in/live-out variable sets per block (sorted VarId vectors,
+/// indexed by block id - 1).
+struct LivenessInfo {
+  std::vector<std::vector<VarId>> LiveIn;
+  std::vector<std::vector<VarId>> LiveOut;
+
+  bool isLiveIn(BlockId Block, VarId Var) const;
+  bool isLiveOut(BlockId Block, VarId Var) const;
+};
+
+/// Computes liveness for \p F. Call arguments count as uses; call
+/// results and read targets as defs; branch conditions and return values
+/// as block-level uses.
+LivenessInfo computeLiveness(const Function &F);
+
+} // namespace twpp
+
+#endif // TWPP_IR_LIVENESS_H

@@ -1,0 +1,94 @@
+//===- ir/SinkAssignments.cpp - PDE-style assignment sinking --------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/SinkAssignments.h"
+
+#include "ir/Liveness.h"
+
+#include <algorithm>
+
+using namespace twpp;
+
+namespace {
+
+/// Predecessor counts per block.
+std::vector<uint32_t> predecessorCounts(const Function &F) {
+  std::vector<uint32_t> Counts(F.blockCount(), 0);
+  for (BlockId Block = 1; Block <= F.blockCount(); ++Block)
+    for (BlockId Succ : F.block(Block).successors())
+      ++Counts[Succ - 1];
+  return Counts;
+}
+
+bool usesVar(const Function &F, uint32_t ExprIndex, VarId Var) {
+  std::vector<VarId> Uses;
+  collectExprUses(F, ExprIndex, Uses);
+  return std::find(Uses.begin(), Uses.end(), Var) != Uses.end();
+}
+
+} // namespace
+
+SinkResult twpp::sinkPartiallyDeadAssignments(const Function &F) {
+  SinkResult Result;
+  Result.Optimized = F;
+  Function &Fn = Result.Optimized;
+
+  // Origins[b][i] = (original block, original ordinal) of the statement
+  // now at Fn.block(b).Stmts[i]; used by currencyProblemFor.
+  std::vector<std::vector<std::pair<BlockId, uint32_t>>> Origins(
+      Fn.blockCount());
+  for (BlockId Block = 1; Block <= Fn.blockCount(); ++Block)
+    for (uint32_t I = 0; I < Fn.block(Block).Stmts.size(); ++I)
+      Origins[Block - 1].emplace_back(Block, I);
+
+  std::vector<uint32_t> Preds = predecessorCounts(Fn);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    LivenessInfo Live = computeLiveness(Fn);
+    for (BlockId Block = 1; Block <= Fn.blockCount(); ++Block) {
+      BasicBlock &B = Fn.block(Block);
+      if (B.Term != BasicBlock::Terminator::Branch ||
+          B.TrueSucc == B.FalseSucc || B.Stmts.empty())
+        continue;
+      const Stmt &Last = B.Stmts.back();
+      if (Last.StmtKind != Stmt::Kind::Assign || Last.Target == NoVar)
+        continue;
+      VarId X = Last.Target;
+      if (usesVar(Fn, B.CondExpr, X))
+        continue;
+      bool LiveTrue = Live.isLiveIn(B.TrueSucc, X);
+      bool LiveFalse = Live.isLiveIn(B.FalseSucc, X);
+      if (LiveTrue == LiveFalse)
+        continue; // fully live (can't sink) or fully dead (DCE territory)
+      BlockId Target = LiveTrue ? B.TrueSucc : B.FalseSucc;
+      if (Preds[Target - 1] != 1)
+        continue;
+
+      // Move: pop from B, prepend to Target. Expression indices are
+      // function-wide, so the statement moves verbatim.
+      MovedAssignment Move;
+      Move.Var = X;
+      Move.FromBlock = Block;
+      Move.FromOrdinal = static_cast<uint32_t>(B.Stmts.size() - 1);
+      Move.ToBlock = Target;
+      Result.Moves.push_back(Move);
+
+      Stmt Moved = std::move(B.Stmts.back());
+      std::pair<BlockId, uint32_t> Origin = Origins[Block - 1].back();
+      B.Stmts.pop_back();
+      Origins[Block - 1].pop_back();
+      BasicBlock &T = Fn.block(Target);
+      T.Stmts.insert(T.Stmts.begin(), std::move(Moved));
+      Origins[Target - 1].insert(Origins[Target - 1].begin(), Origin);
+      Changed = true;
+    }
+  }
+
+  Result.Origins = std::move(Origins);
+  return Result;
+}

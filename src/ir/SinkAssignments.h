@@ -1,0 +1,60 @@
+//===- ir/SinkAssignments.h - PDE-style assignment sinking ------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Partial dead code elimination in the form the paper's Figure 12 uses
+/// to motivate dynamic currency determination: a trailing assignment
+/// whose value is only needed on one arm of the following branch is sunk
+/// into that arm, so executions taking the other arm skip it. The
+/// transformation records every move so a debugger can build the
+/// CurrencyProblem (original vs optimized definition placement) for any
+/// affected variable.
+///
+/// Sinking conditions for a trailing `x = e` in block B ending in a
+/// two-way branch with arms S1/S2:
+///   * x is not read later in B (branch condition included);
+///   * x is live into exactly one arm and dead into the other;
+///   * the receiving arm has B as its only predecessor;
+///   * e is pure (all mini-IR expressions are) — trailing position means
+///     nothing re-defines e's operands before the arm's entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_IR_SINKASSIGNMENTS_H
+#define TWPP_IR_SINKASSIGNMENTS_H
+
+#include "ir/Ir.h"
+
+#include <vector>
+
+namespace twpp {
+
+/// One assignment relocated by the pass. Ordinals are statement indices
+/// within their block at the time of the move.
+struct MovedAssignment {
+  VarId Var = NoVar;
+  BlockId FromBlock = 0;
+  uint32_t FromOrdinal = 0;
+  BlockId ToBlock = 0; ///< Moved to the front of this block.
+};
+
+/// Result of the pass: the transformed function, the move log, and the
+/// origin of every surviving statement (original block/ordinal), which
+/// lets tools map optimized definitions back to source positions.
+struct SinkResult {
+  Function Optimized;
+  std::vector<MovedAssignment> Moves;
+  /// Origins[b][i] = original (block, ordinal) of Optimized block b+1's
+  /// i-th statement.
+  std::vector<std::vector<std::pair<BlockId, uint32_t>>> Origins;
+};
+
+/// Applies assignment sinking to a copy of \p F.
+SinkResult sinkPartiallyDeadAssignments(const Function &F);
+
+} // namespace twpp
+
+#endif // TWPP_IR_SINKASSIGNMENTS_H

@@ -1,0 +1,72 @@
+//===- lang/Ast.h - Abstract syntax tree of the mini language ---*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST produced by the parser and consumed by the lowering pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_LANG_AST_H
+#define TWPP_LANG_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace twpp {
+
+/// Expression node.
+struct AstExpr {
+  enum class Kind : uint8_t { Integer, Var, Unary, Binary };
+  /// Operator spelling for Unary ("-", "!") and Binary ("+", "<=", ...).
+  Kind NodeKind = Kind::Integer;
+  int64_t IntValue = 0;
+  std::string Name;
+  std::string Op;
+  std::unique_ptr<AstExpr> Lhs;
+  std::unique_ptr<AstExpr> Rhs;
+};
+
+struct AstStmt;
+using AstBlock = std::vector<std::unique_ptr<AstStmt>>;
+
+/// Statement node.
+struct AstStmt {
+  enum class Kind : uint8_t {
+    Assign, Call, Read, Print, If, While, Return, Break, Continue
+  };
+  Kind NodeKind = Kind::Assign;
+  uint32_t Line = 0;
+
+  // Assign: Target = Value. Call: [Target =] call Callee(Args).
+  std::string Target;
+  std::unique_ptr<AstExpr> Value; ///< Assign value / Print operand /
+                                  ///< Return value / If-While condition.
+  std::string Callee;
+  std::vector<std::unique_ptr<AstExpr>> Args;
+  bool HasValue = false; ///< Return carries a value; Call assigns Target.
+
+  AstBlock Then; ///< If-then / While body.
+  AstBlock Else; ///< If-else.
+};
+
+/// Function definition.
+struct AstFunction {
+  std::string Name;
+  std::vector<std::string> Params;
+  AstBlock Body;
+  uint32_t Line = 0;
+};
+
+/// A whole source file.
+struct AstProgram {
+  std::vector<AstFunction> Functions;
+};
+
+} // namespace twpp
+
+#endif // TWPP_LANG_AST_H

@@ -1,0 +1,221 @@
+//===- lang/Lexer.cpp - Tokenizer for the mini language -------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+
+using namespace twpp;
+
+namespace {
+
+TokenKind keywordKind(const std::string &Text) {
+  if (Text == "fn")
+    return TokenKind::KwFn;
+  if (Text == "let")
+    return TokenKind::KwLet;
+  if (Text == "if")
+    return TokenKind::KwIf;
+  if (Text == "else")
+    return TokenKind::KwElse;
+  if (Text == "while")
+    return TokenKind::KwWhile;
+  if (Text == "return")
+    return TokenKind::KwReturn;
+  if (Text == "call")
+    return TokenKind::KwCall;
+  if (Text == "read")
+    return TokenKind::KwRead;
+  if (Text == "print")
+    return TokenKind::KwPrint;
+  if (Text == "break")
+    return TokenKind::KwBreak;
+  if (Text == "continue")
+    return TokenKind::KwContinue;
+  return TokenKind::Ident;
+}
+
+} // namespace
+
+bool twpp::tokenize(const std::string &Source, std::vector<Token> &Tokens,
+                    std::string &Error) {
+  Tokens.clear();
+  Error.clear();
+  size_t Pos = 0, N = Source.size();
+  uint32_t Line = 1, Column = 1;
+
+  auto Advance = [&](size_t Count = 1) {
+    for (size_t I = 0; I < Count && Pos < N; ++I) {
+      if (Source[Pos] == '\n') {
+        ++Line;
+        Column = 1;
+      } else {
+        ++Column;
+      }
+      ++Pos;
+    }
+  };
+  auto Peek = [&](size_t Ahead = 0) -> char {
+    return Pos + Ahead < N ? Source[Pos + Ahead] : '\0';
+  };
+  auto Fail = [&](const std::string &Message) {
+    Error = std::to_string(Line) + ":" + std::to_string(Column) + ": " +
+            Message;
+    return false;
+  };
+  auto Emit = [&](TokenKind Kind, std::string Text, uint32_t TokLine,
+                  uint32_t TokColumn) {
+    Token T;
+    T.Kind = Kind;
+    T.Text = std::move(Text);
+    T.Line = TokLine;
+    T.Column = TokColumn;
+    Tokens.push_back(std::move(T));
+  };
+
+  while (Pos < N) {
+    char C = Peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance();
+      continue;
+    }
+    // Comments: '//' to end of line.
+    if (C == '/' && Peek(1) == '/') {
+      while (Pos < N && Peek() != '\n')
+        Advance();
+      continue;
+    }
+    uint32_t TokLine = Line, TokColumn = Column;
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text;
+      while (Pos < N && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                         Peek() == '_')) {
+        Text += Peek();
+        Advance();
+      }
+      TokenKind Kind = keywordKind(Text);
+      Emit(Kind, std::move(Text), TokLine, TokColumn);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::string Text;
+      bool Overflow = false;
+      int64_t Value = 0;
+      while (Pos < N && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        int Digit = Peek() - '0';
+        if (Value > (INT64_MAX - Digit) / 10)
+          Overflow = true;
+        else
+          Value = Value * 10 + Digit;
+        Text += Peek();
+        Advance();
+      }
+      if (Overflow)
+        return Fail("integer literal '" + Text + "' overflows");
+      Token T;
+      T.Kind = TokenKind::Integer;
+      T.Text = std::move(Text);
+      T.IntValue = Value;
+      T.Line = TokLine;
+      T.Column = TokColumn;
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+    auto Two = [&](char Second, TokenKind Kind) {
+      if (Peek(1) != Second)
+        return false;
+      Emit(Kind, std::string{C, Second}, TokLine, TokColumn);
+      Advance(2);
+      return true;
+    };
+    switch (C) {
+    case '(':
+      Emit(TokenKind::LParen, "(", TokLine, TokColumn);
+      Advance();
+      continue;
+    case ')':
+      Emit(TokenKind::RParen, ")", TokLine, TokColumn);
+      Advance();
+      continue;
+    case '{':
+      Emit(TokenKind::LBrace, "{", TokLine, TokColumn);
+      Advance();
+      continue;
+    case '}':
+      Emit(TokenKind::RBrace, "}", TokLine, TokColumn);
+      Advance();
+      continue;
+    case ',':
+      Emit(TokenKind::Comma, ",", TokLine, TokColumn);
+      Advance();
+      continue;
+    case ';':
+      Emit(TokenKind::Semi, ";", TokLine, TokColumn);
+      Advance();
+      continue;
+    case '+':
+      Emit(TokenKind::Plus, "+", TokLine, TokColumn);
+      Advance();
+      continue;
+    case '-':
+      Emit(TokenKind::Minus, "-", TokLine, TokColumn);
+      Advance();
+      continue;
+    case '*':
+      Emit(TokenKind::Star, "*", TokLine, TokColumn);
+      Advance();
+      continue;
+    case '/':
+      Emit(TokenKind::Slash, "/", TokLine, TokColumn);
+      Advance();
+      continue;
+    case '%':
+      Emit(TokenKind::Percent, "%", TokLine, TokColumn);
+      Advance();
+      continue;
+    case '<':
+      if (Two('=', TokenKind::Le))
+        continue;
+      Emit(TokenKind::Lt, "<", TokLine, TokColumn);
+      Advance();
+      continue;
+    case '>':
+      if (Two('=', TokenKind::Ge))
+        continue;
+      Emit(TokenKind::Gt, ">", TokLine, TokColumn);
+      Advance();
+      continue;
+    case '=':
+      if (Two('=', TokenKind::EqEq))
+        continue;
+      Emit(TokenKind::Assign, "=", TokLine, TokColumn);
+      Advance();
+      continue;
+    case '!':
+      if (Two('=', TokenKind::NotEq))
+        continue;
+      Emit(TokenKind::Not, "!", TokLine, TokColumn);
+      Advance();
+      continue;
+    case '&':
+      if (Two('&', TokenKind::AndAnd))
+        continue;
+      return Fail("expected '&&'");
+    case '|':
+      if (Two('|', TokenKind::OrOr))
+        continue;
+      return Fail("expected '||'");
+    default:
+      return Fail(std::string("unexpected character '") + C + "'");
+    }
+  }
+  Token Eof;
+  Eof.Kind = TokenKind::Eof;
+  Eof.Line = Line;
+  Eof.Column = Column;
+  Tokens.push_back(std::move(Eof));
+  return true;
+}

@@ -1,0 +1,80 @@
+//===- lang/Lexer.h - Tokenizer for the mini language -----------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the mini imperative language used to author traced
+/// programs (the substitute for the paper's SPECint95 + Trimaran inputs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_LANG_LEXER_H
+#define TWPP_LANG_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace twpp {
+
+/// Token kinds of the mini language.
+enum class TokenKind : uint8_t {
+  Eof,
+  Ident,
+  Integer,
+  // Keywords.
+  KwFn,
+  KwLet,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwCall,
+  KwRead,
+  KwPrint,
+  KwBreak,
+  KwContinue,
+  // Punctuation / operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Comma,
+  Semi,
+  Assign,  // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  AndAnd,
+  OrOr,
+  Not,
+};
+
+/// One token with its source location (1-based line/column).
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  int64_t IntValue = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+/// Tokenizes \p Source. On success returns true and fills \p Tokens
+/// (terminated by an Eof token); on failure fills \p Error with a
+/// "line:col: message" diagnostic.
+bool tokenize(const std::string &Source, std::vector<Token> &Tokens,
+              std::string &Error);
+
+} // namespace twpp
+
+#endif // TWPP_LANG_LEXER_H

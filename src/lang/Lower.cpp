@@ -1,0 +1,279 @@
+//===- lang/Lower.cpp - AST to IR lowering ---------------------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lower.h"
+
+#include "ir/IrBuilder.h"
+#include "lang/Parser.h"
+
+#include <unordered_map>
+
+using namespace twpp;
+
+namespace {
+
+/// Lowers one function body; shared lookup tables live in ProgramLowering.
+class FunctionLowering {
+public:
+  FunctionLowering(FunctionBuilder &Builder,
+                   const std::unordered_map<std::string, FunctionId> &FnIds,
+                   const std::unordered_map<std::string, size_t> &FnArity,
+                   std::string &Error)
+      : Builder(Builder), FnIds(FnIds), FnArity(FnArity), Error(Error) {}
+
+  bool run(const AstFunction &Fn) {
+    for (const std::string &Param : Fn.Params)
+      Builder.param(Param);
+    BlockId Entry = Builder.newBlock();
+    BlockId End = 0;
+    if (!lowerBlock(Fn.Body, Entry, End))
+      return false;
+    if (End != 0)
+      Builder.ret(End);
+    return true;
+  }
+
+private:
+  bool fail(uint32_t Line, const std::string &Message) {
+    Error = "line " + std::to_string(Line) + ": " + Message;
+    return false;
+  }
+
+  bool lowerExpr(const AstExpr &E, uint32_t &Out, uint32_t Line) {
+    switch (E.NodeKind) {
+    case AstExpr::Kind::Integer:
+      Out = Builder.constant(E.IntValue);
+      return true;
+    case AstExpr::Kind::Var:
+      Out = Builder.varRef(Builder.var(E.Name));
+      return true;
+    case AstExpr::Kind::Unary: {
+      uint32_t Operand;
+      if (!lowerExpr(*E.Lhs, Operand, Line))
+        return false;
+      Out = Builder.unary(E.Op == "!" ? ExprKind::Not : ExprKind::Neg,
+                          Operand);
+      return true;
+    }
+    case AstExpr::Kind::Binary: {
+      uint32_t Lhs, Rhs;
+      if (!lowerExpr(*E.Lhs, Lhs, Line) || !lowerExpr(*E.Rhs, Rhs, Line))
+        return false;
+      ExprKind Kind;
+      if (E.Op == "+")
+        Kind = ExprKind::Add;
+      else if (E.Op == "-")
+        Kind = ExprKind::Sub;
+      else if (E.Op == "*")
+        Kind = ExprKind::Mul;
+      else if (E.Op == "/")
+        Kind = ExprKind::Div;
+      else if (E.Op == "%")
+        Kind = ExprKind::Mod;
+      else if (E.Op == "<")
+        Kind = ExprKind::Lt;
+      else if (E.Op == "<=")
+        Kind = ExprKind::Le;
+      else if (E.Op == ">")
+        Kind = ExprKind::Gt;
+      else if (E.Op == ">=")
+        Kind = ExprKind::Ge;
+      else if (E.Op == "==")
+        Kind = ExprKind::Eq;
+      else if (E.Op == "!=")
+        Kind = ExprKind::Ne;
+      else if (E.Op == "&&")
+        Kind = ExprKind::And;
+      else if (E.Op == "||")
+        Kind = ExprKind::Or;
+      else
+        return fail(Line, "unknown operator '" + E.Op + "'");
+      Out = Builder.binary(Kind, Lhs, Rhs);
+      return true;
+    }
+    }
+    return fail(Line, "malformed expression");
+  }
+
+  /// Lowers \p Block starting in \p Current. \p End receives the block
+  /// where control continues, or 0 when every path returned.
+  bool lowerBlock(const AstBlock &Block, BlockId Current, BlockId &End) {
+    for (const auto &StmtPtr : Block) {
+      const AstStmt &S = *StmtPtr;
+      if (Current == 0)
+        return fail(S.Line, "unreachable statement after 'return'");
+      switch (S.NodeKind) {
+      case AstStmt::Kind::Assign: {
+        uint32_t Value;
+        if (!lowerExpr(*S.Value, Value, S.Line))
+          return false;
+        Builder.assign(Current, Builder.var(S.Target), Value);
+        break;
+      }
+      case AstStmt::Kind::Read:
+        Builder.read(Current, Builder.var(S.Target));
+        break;
+      case AstStmt::Kind::Print: {
+        uint32_t Value;
+        if (!lowerExpr(*S.Value, Value, S.Line))
+          return false;
+        Builder.print(Current, Value);
+        break;
+      }
+      case AstStmt::Kind::Call: {
+        auto IdIt = FnIds.find(S.Callee);
+        if (IdIt == FnIds.end())
+          return fail(S.Line, "call to undefined function '" + S.Callee + "'");
+        if (FnArity.at(S.Callee) != S.Args.size())
+          return fail(S.Line, "wrong argument count for '" + S.Callee + "'");
+        std::vector<uint32_t> Args;
+        for (const auto &Arg : S.Args) {
+          uint32_t Value;
+          if (!lowerExpr(*Arg, Value, S.Line))
+            return false;
+          Args.push_back(Value);
+        }
+        VarId Target = S.HasValue ? Builder.var(S.Target) : NoVar;
+        Builder.call(Current, IdIt->second, std::move(Args), Target);
+        break;
+      }
+      case AstStmt::Kind::If: {
+        uint32_t Cond;
+        if (!lowerExpr(*S.Value, Cond, S.Line))
+          return false;
+        BlockId ThenEntry = Builder.newBlock();
+        BlockId ThenEnd = 0;
+        if (!lowerBlock(S.Then, ThenEntry, ThenEnd))
+          return false;
+        BlockId ElseEntry = 0, ElseEnd = 0;
+        if (!S.Else.empty()) {
+          ElseEntry = Builder.newBlock();
+          if (!lowerBlock(S.Else, ElseEntry, ElseEnd))
+            return false;
+        }
+        if (ThenEnd == 0 && !S.Else.empty() && ElseEnd == 0) {
+          // Both arms return; no join block.
+          Builder.branch(Current, Cond, ThenEntry, ElseEntry);
+          Current = 0;
+          break;
+        }
+        BlockId Join = Builder.newBlock();
+        Builder.branch(Current, Cond, ThenEntry,
+                       ElseEntry != 0 ? ElseEntry : Join);
+        if (ThenEnd != 0)
+          Builder.jump(ThenEnd, Join);
+        if (ElseEnd != 0)
+          Builder.jump(ElseEnd, Join);
+        Current = Join;
+        break;
+      }
+      case AstStmt::Kind::While: {
+        BlockId Header = Builder.newBlock();
+        Builder.jump(Current, Header);
+        uint32_t Cond;
+        if (!lowerExpr(*S.Value, Cond, S.Line))
+          return false;
+        // The exit block is created before the body so break statements
+        // inside the body have a target.
+        BlockId Body = Builder.newBlock();
+        BlockId Exit = Builder.newBlock();
+        Builder.branch(Header, Cond, Body, Exit);
+        Loops.push_back({Header, Exit});
+        BlockId BodyEnd = 0;
+        bool Ok = lowerBlock(S.Then, Body, BodyEnd);
+        Loops.pop_back();
+        if (!Ok)
+          return false;
+        if (BodyEnd != 0)
+          Builder.jump(BodyEnd, Header);
+        Current = Exit;
+        break;
+      }
+      case AstStmt::Kind::Break: {
+        if (Loops.empty())
+          return fail(S.Line, "'break' outside of a loop");
+        Builder.jump(Current, Loops.back().Exit);
+        Current = 0;
+        break;
+      }
+      case AstStmt::Kind::Continue: {
+        if (Loops.empty())
+          return fail(S.Line, "'continue' outside of a loop");
+        Builder.jump(Current, Loops.back().Header);
+        Current = 0;
+        break;
+      }
+      case AstStmt::Kind::Return: {
+        if (S.HasValue) {
+          uint32_t Value;
+          if (!lowerExpr(*S.Value, Value, S.Line))
+            return false;
+          Builder.retValue(Current, Value);
+        } else {
+          Builder.ret(Current);
+        }
+        Current = 0;
+        break;
+      }
+      }
+    }
+    End = Current;
+    return true;
+  }
+
+  /// Enclosing loops, innermost last (targets for break/continue).
+  struct LoopContext {
+    BlockId Header;
+    BlockId Exit;
+  };
+
+  FunctionBuilder &Builder;
+  const std::unordered_map<std::string, FunctionId> &FnIds;
+  const std::unordered_map<std::string, size_t> &FnArity;
+  std::string &Error;
+  std::vector<LoopContext> Loops;
+};
+
+} // namespace
+
+bool twpp::lowerProgram(const AstProgram &Program, Module &M,
+                        std::string &Error) {
+  M = Module();
+  std::unordered_map<std::string, FunctionId> FnIds;
+  std::unordered_map<std::string, size_t> FnArity;
+  for (const AstFunction &Fn : Program.Functions) {
+    if (FnIds.count(Fn.Name)) {
+      Error = "line " + std::to_string(Fn.Line) + ": duplicate function '" +
+              Fn.Name + "'";
+      return false;
+    }
+    FnIds.emplace(Fn.Name, static_cast<FunctionId>(FnIds.size()));
+    FnArity.emplace(Fn.Name, Fn.Params.size());
+  }
+
+  for (const AstFunction &Fn : Program.Functions) {
+    FunctionBuilder Builder(M, Fn.Name);
+    FunctionLowering Lowering(Builder, FnIds, FnArity, Error);
+    if (!Lowering.run(Fn))
+      return false;
+  }
+
+  auto MainIt = FnIds.find("main");
+  M.MainId = MainIt != FnIds.end() ? MainIt->second : 0;
+  if (!verifyModule(M)) {
+    Error = "internal error: lowered module failed verification";
+    return false;
+  }
+  return true;
+}
+
+bool twpp::compileProgram(const std::string &Source, Module &M,
+                          std::string &Error) {
+  AstProgram Program;
+  if (!parseProgram(Source, Program, Error))
+    return false;
+  return lowerProgram(Program, M, Error);
+}

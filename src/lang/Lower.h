@@ -1,0 +1,35 @@
+//===- lang/Lower.h - AST to IR lowering ------------------------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the mini language AST into the CFG-based IR. Structured control
+/// flow becomes explicit blocks: `if` produces then/else/join blocks,
+/// `while` produces header/body/exit blocks (the loop shapes that give the
+/// compaction pipeline its DBB chains and arithmetic timestamp series).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_LANG_LOWER_H
+#define TWPP_LANG_LOWER_H
+
+#include "ir/Ir.h"
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace twpp {
+
+/// Lowers \p Program into \p M. The entry point is the function named
+/// "main" (or the first function when no "main" exists). On failure
+/// returns false and fills \p Error.
+bool lowerProgram(const AstProgram &Program, Module &M, std::string &Error);
+
+/// Convenience: parse + lower in one step.
+bool compileProgram(const std::string &Source, Module &M, std::string &Error);
+
+} // namespace twpp
+
+#endif // TWPP_LANG_LOWER_H

@@ -1,0 +1,322 @@
+//===- lang/Parser.cpp - Recursive-descent parser --------------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+
+using namespace twpp;
+
+namespace {
+
+/// Recursive-descent parser with single-token lookahead.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, std::string &Error)
+      : Tokens(std::move(Tokens)), Error(Error) {}
+
+  bool run(AstProgram &Program) {
+    while (!at(TokenKind::Eof)) {
+      AstFunction Fn;
+      if (!parseFunction(Fn))
+        return false;
+      Program.Functions.push_back(std::move(Fn));
+    }
+    if (Program.Functions.empty())
+      return fail("empty program: expected at least one 'fn'");
+    return true;
+  }
+
+private:
+  const Token &peek() const { return Tokens[Pos]; }
+  bool at(TokenKind Kind) const { return peek().Kind == Kind; }
+
+  const Token &advance() { return Tokens[Pos++]; }
+
+  bool fail(const std::string &Message) {
+    Error = std::to_string(peek().Line) + ":" + std::to_string(peek().Column) +
+            ": " + Message;
+    return false;
+  }
+
+  bool expect(TokenKind Kind, const char *What) {
+    if (!at(Kind))
+      return fail(std::string("expected ") + What);
+    advance();
+    return true;
+  }
+
+  bool parseFunction(AstFunction &Fn) {
+    Fn.Line = peek().Line;
+    if (!expect(TokenKind::KwFn, "'fn'"))
+      return false;
+    if (!at(TokenKind::Ident))
+      return fail("expected function name");
+    Fn.Name = advance().Text;
+    if (!expect(TokenKind::LParen, "'('"))
+      return false;
+    if (!at(TokenKind::RParen)) {
+      while (true) {
+        if (!at(TokenKind::Ident))
+          return fail("expected parameter name");
+        Fn.Params.push_back(advance().Text);
+        if (at(TokenKind::Comma)) {
+          advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!expect(TokenKind::RParen, "')'"))
+      return false;
+    return parseBlock(Fn.Body);
+  }
+
+  bool parseBlock(AstBlock &Block) {
+    if (!expect(TokenKind::LBrace, "'{'"))
+      return false;
+    while (!at(TokenKind::RBrace)) {
+      if (at(TokenKind::Eof))
+        return fail("unexpected end of input inside block");
+      auto Stmt = std::make_unique<AstStmt>();
+      if (!parseStmt(*Stmt))
+        return false;
+      Block.push_back(std::move(Stmt));
+    }
+    advance(); // consume '}'
+    return true;
+  }
+
+  bool parseCallTail(AstStmt &S) {
+    if (!at(TokenKind::Ident))
+      return fail("expected callee name after 'call'");
+    S.Callee = advance().Text;
+    if (!expect(TokenKind::LParen, "'('"))
+      return false;
+    if (!at(TokenKind::RParen)) {
+      while (true) {
+        std::unique_ptr<AstExpr> Arg;
+        if (!parseExpr(Arg))
+          return false;
+        S.Args.push_back(std::move(Arg));
+        if (at(TokenKind::Comma)) {
+          advance();
+          continue;
+        }
+        break;
+      }
+    }
+    return expect(TokenKind::RParen, "')'");
+  }
+
+  bool parseStmt(AstStmt &S) {
+    S.Line = peek().Line;
+    switch (peek().Kind) {
+    case TokenKind::KwLet:
+    case TokenKind::Ident: {
+      if (at(TokenKind::KwLet))
+        advance();
+      if (!at(TokenKind::Ident))
+        return fail("expected variable name");
+      S.Target = advance().Text;
+      if (!expect(TokenKind::Assign, "'='"))
+        return false;
+      if (at(TokenKind::KwCall)) {
+        advance();
+        S.NodeKind = AstStmt::Kind::Call;
+        S.HasValue = true;
+        if (!parseCallTail(S))
+          return false;
+      } else {
+        S.NodeKind = AstStmt::Kind::Assign;
+        if (!parseExpr(S.Value))
+          return false;
+      }
+      return expect(TokenKind::Semi, "';'");
+    }
+    case TokenKind::KwCall: {
+      advance();
+      S.NodeKind = AstStmt::Kind::Call;
+      if (!parseCallTail(S))
+        return false;
+      return expect(TokenKind::Semi, "';'");
+    }
+    case TokenKind::KwRead: {
+      advance();
+      S.NodeKind = AstStmt::Kind::Read;
+      if (!at(TokenKind::Ident))
+        return fail("expected variable after 'read'");
+      S.Target = advance().Text;
+      return expect(TokenKind::Semi, "';'");
+    }
+    case TokenKind::KwPrint: {
+      advance();
+      S.NodeKind = AstStmt::Kind::Print;
+      if (!parseExpr(S.Value))
+        return false;
+      return expect(TokenKind::Semi, "';'");
+    }
+    case TokenKind::KwIf: {
+      advance();
+      S.NodeKind = AstStmt::Kind::If;
+      if (!expect(TokenKind::LParen, "'('"))
+        return false;
+      if (!parseExpr(S.Value))
+        return false;
+      if (!expect(TokenKind::RParen, "')'"))
+        return false;
+      if (!parseBlock(S.Then))
+        return false;
+      if (at(TokenKind::KwElse)) {
+        advance();
+        if (!parseBlock(S.Else))
+          return false;
+      }
+      return true;
+    }
+    case TokenKind::KwWhile: {
+      advance();
+      S.NodeKind = AstStmt::Kind::While;
+      if (!expect(TokenKind::LParen, "'('"))
+        return false;
+      if (!parseExpr(S.Value))
+        return false;
+      if (!expect(TokenKind::RParen, "')'"))
+        return false;
+      return parseBlock(S.Then);
+    }
+    case TokenKind::KwBreak: {
+      advance();
+      S.NodeKind = AstStmt::Kind::Break;
+      return expect(TokenKind::Semi, "';'");
+    }
+    case TokenKind::KwContinue: {
+      advance();
+      S.NodeKind = AstStmt::Kind::Continue;
+      return expect(TokenKind::Semi, "';'");
+    }
+    case TokenKind::KwReturn: {
+      advance();
+      S.NodeKind = AstStmt::Kind::Return;
+      if (!at(TokenKind::Semi)) {
+        S.HasValue = true;
+        if (!parseExpr(S.Value))
+          return false;
+      }
+      return expect(TokenKind::Semi, "';'");
+    }
+    default:
+      return fail("expected statement");
+    }
+  }
+
+  /// Binding power of a binary operator token; 0 when not binary.
+  static int precedenceOf(TokenKind Kind) {
+    switch (Kind) {
+    case TokenKind::OrOr:
+      return 1;
+    case TokenKind::AndAnd:
+      return 2;
+    case TokenKind::EqEq:
+    case TokenKind::NotEq:
+      return 3;
+    case TokenKind::Lt:
+    case TokenKind::Le:
+    case TokenKind::Gt:
+    case TokenKind::Ge:
+      return 4;
+    case TokenKind::Plus:
+    case TokenKind::Minus:
+      return 5;
+    case TokenKind::Star:
+    case TokenKind::Slash:
+    case TokenKind::Percent:
+      return 6;
+    default:
+      return 0;
+    }
+  }
+
+  bool parseExpr(std::unique_ptr<AstExpr> &Out) {
+    return parseBinary(Out, 1);
+  }
+
+  bool parseBinary(std::unique_ptr<AstExpr> &Out, int MinPrec) {
+    if (!parseUnary(Out))
+      return false;
+    while (true) {
+      int Prec = precedenceOf(peek().Kind);
+      if (Prec < MinPrec || Prec == 0)
+        return true;
+      std::string Op = advance().Text;
+      std::unique_ptr<AstExpr> Rhs;
+      if (!parseBinary(Rhs, Prec + 1))
+        return false;
+      auto Node = std::make_unique<AstExpr>();
+      Node->NodeKind = AstExpr::Kind::Binary;
+      Node->Op = std::move(Op);
+      Node->Lhs = std::move(Out);
+      Node->Rhs = std::move(Rhs);
+      Out = std::move(Node);
+    }
+  }
+
+  bool parseUnary(std::unique_ptr<AstExpr> &Out) {
+    if (at(TokenKind::Not) || at(TokenKind::Minus)) {
+      std::string Op = advance().Text;
+      std::unique_ptr<AstExpr> Operand;
+      if (!parseUnary(Operand))
+        return false;
+      auto Node = std::make_unique<AstExpr>();
+      Node->NodeKind = AstExpr::Kind::Unary;
+      Node->Op = std::move(Op);
+      Node->Lhs = std::move(Operand);
+      Out = std::move(Node);
+      return true;
+    }
+    return parsePrimary(Out);
+  }
+
+  bool parsePrimary(std::unique_ptr<AstExpr> &Out) {
+    if (at(TokenKind::Integer)) {
+      auto Node = std::make_unique<AstExpr>();
+      Node->NodeKind = AstExpr::Kind::Integer;
+      Node->IntValue = advance().IntValue;
+      Out = std::move(Node);
+      return true;
+    }
+    if (at(TokenKind::Ident)) {
+      auto Node = std::make_unique<AstExpr>();
+      Node->NodeKind = AstExpr::Kind::Var;
+      Node->Name = advance().Text;
+      Out = std::move(Node);
+      return true;
+    }
+    if (at(TokenKind::LParen)) {
+      advance();
+      if (!parseExpr(Out))
+        return false;
+      return expect(TokenKind::RParen, "')'");
+    }
+    return fail("expected expression");
+  }
+
+  std::vector<Token> Tokens;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool twpp::parseProgram(const std::string &Source, AstProgram &Program,
+                        std::string &Error) {
+  Program = AstProgram();
+  std::vector<Token> Tokens;
+  if (!tokenize(Source, Tokens, Error))
+    return false;
+  Parser P(std::move(Tokens), Error);
+  return P.run(Program);
+}

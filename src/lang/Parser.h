@@ -1,0 +1,41 @@
+//===- lang/Parser.h - Recursive-descent parser ------------------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the mini language. Grammar (EBNF):
+///
+///   program := fndef*
+///   fndef   := 'fn' IDENT '(' [IDENT {',' IDENT}] ')' block
+///   block   := '{' stmt* '}'
+///   stmt    := ['let'] IDENT '=' ('call' IDENT '(' args ')' | expr) ';'
+///            | 'call' IDENT '(' args ')' ';'
+///            | 'read' IDENT ';'
+///            | 'print' expr ';'
+///            | 'if' '(' expr ')' block ['else' block]
+///            | 'while' '(' expr ')' block
+///            | 'return' [expr] ';'
+///   expr    := precedence-climbing over || && == != < <= > >= + - * / %
+///              with unary ! and -.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_LANG_PARSER_H
+#define TWPP_LANG_PARSER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace twpp {
+
+/// Parses \p Source into \p Program. On failure returns false and fills
+/// \p Error with a "line:col: message" diagnostic.
+bool parseProgram(const std::string &Source, AstProgram &Program,
+                  std::string &Error);
+
+} // namespace twpp
+
+#endif // TWPP_LANG_PARSER_H

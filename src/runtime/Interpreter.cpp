@@ -1,0 +1,170 @@
+//===- runtime/Interpreter.cpp - Tracing IR interpreter --------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interpreter.h"
+
+#include <unordered_map>
+
+using namespace twpp;
+
+struct Interpreter::Frame {
+  std::unordered_map<VarId, int64_t> Vars;
+
+  int64_t get(VarId Var) const {
+    auto It = Vars.find(Var);
+    return It == Vars.end() ? 0 : It->second;
+  }
+  void set(VarId Var, int64_t Value) { Vars[Var] = Value; }
+};
+
+int64_t Interpreter::evalExpr(const Function &F, const Frame &Env,
+                              uint32_t ExprIndex) {
+  const Expr &E = F.Exprs[ExprIndex];
+  switch (E.Kind) {
+  case ExprKind::Const:
+    return E.Value;
+  case ExprKind::Var:
+    return Env.get(E.Var);
+  case ExprKind::Not:
+    return evalExpr(F, Env, E.Lhs) == 0 ? 1 : 0;
+  case ExprKind::Neg:
+    return -evalExpr(F, Env, E.Lhs);
+  default:
+    break;
+  }
+  int64_t L = evalExpr(F, Env, E.Lhs);
+  int64_t R = evalExpr(F, Env, E.Rhs);
+  switch (E.Kind) {
+  case ExprKind::Add:
+    return static_cast<int64_t>(static_cast<uint64_t>(L) +
+                                static_cast<uint64_t>(R));
+  case ExprKind::Sub:
+    return static_cast<int64_t>(static_cast<uint64_t>(L) -
+                                static_cast<uint64_t>(R));
+  case ExprKind::Mul:
+    return static_cast<int64_t>(static_cast<uint64_t>(L) *
+                                static_cast<uint64_t>(R));
+  case ExprKind::Div:
+    return R == 0 ? 0 : L / R;
+  case ExprKind::Mod:
+    return R == 0 ? 0 : L % R;
+  case ExprKind::Lt:
+    return L < R;
+  case ExprKind::Le:
+    return L <= R;
+  case ExprKind::Gt:
+    return L > R;
+  case ExprKind::Ge:
+    return L >= R;
+  case ExprKind::Eq:
+    return L == R;
+  case ExprKind::Ne:
+    return L != R;
+  case ExprKind::And:
+    return (L != 0 && R != 0) ? 1 : 0;
+  case ExprKind::Or:
+    return (L != 0 || R != 0) ? 1 : 0;
+  default:
+    return 0;
+  }
+}
+
+bool Interpreter::runFunction(const Function &F,
+                              const std::vector<int64_t> &Args,
+                              uint32_t Depth, int64_t &ReturnValue,
+                              ExecutionResult &Result) {
+  if (Depth > DepthLimit) {
+    Result.Error = "call depth limit exceeded in '" + F.Name + "'";
+    return false;
+  }
+  // Every early exit below must balance this with onExit so that even an
+  // aborted run yields a well-formed (reconstructible) trace.
+  Sink.onEnter(F.Id);
+  Frame Env;
+  for (size_t I = 0; I < F.Params.size(); ++I)
+    Env.set(F.Params[I], I < Args.size() ? Args[I] : 0);
+
+  BlockId Current = 1;
+  while (true) {
+    if (++StepsUsed > StepLimit) {
+      Result.Error = "step limit exceeded in '" + F.Name + "'";
+      Sink.onExit();
+      return false;
+    }
+    Sink.onBlock(Current);
+    ++Result.BlocksExecuted;
+    const BasicBlock &Block = F.block(Current);
+
+    for (const Stmt &S : Block.Stmts) {
+      switch (S.StmtKind) {
+      case Stmt::Kind::Assign:
+        Env.set(S.Target, evalExpr(F, Env, S.ExprIndex));
+        break;
+      case Stmt::Kind::Read: {
+        int64_t Value = 0;
+        if (Inputs && InputCursor < Inputs->size())
+          Value = (*Inputs)[InputCursor++];
+        Env.set(S.Target, Value);
+        break;
+      }
+      case Stmt::Kind::Print:
+        Result.Output.push_back(evalExpr(F, Env, S.ExprIndex));
+        break;
+      case Stmt::Kind::Call: {
+        std::vector<int64_t> CallArgs;
+        CallArgs.reserve(S.Args.size());
+        for (uint32_t Arg : S.Args)
+          CallArgs.push_back(evalExpr(F, Env, Arg));
+        int64_t Value = 0;
+        if (!runFunction(M.Functions[S.Callee], CallArgs, Depth + 1, Value,
+                         Result)) {
+          Sink.onExit();
+          return false;
+        }
+        if (S.Target != NoVar)
+          Env.set(S.Target, Value);
+        break;
+      }
+      }
+    }
+
+    switch (Block.Term) {
+    case BasicBlock::Terminator::Jump:
+      Current = Block.TrueSucc;
+      break;
+    case BasicBlock::Terminator::Branch:
+      Current = evalExpr(F, Env, Block.CondExpr) != 0 ? Block.TrueSucc
+                                                      : Block.FalseSucc;
+      break;
+    case BasicBlock::Terminator::Return:
+      ReturnValue =
+          Block.HasRetValue ? evalExpr(F, Env, Block.RetExpr) : 0;
+      Sink.onExit();
+      return true;
+    }
+  }
+}
+
+ExecutionResult Interpreter::run(const std::vector<int64_t> &RunInputs) {
+  ExecutionResult Result;
+  Inputs = &RunInputs;
+  InputCursor = 0;
+  StepsUsed = 0;
+  int64_t ReturnValue = 0;
+  Result.Completed = runFunction(M.Functions[M.MainId], {}, 0, ReturnValue,
+                                 Result);
+  Inputs = nullptr;
+  return Result;
+}
+
+RawTrace twpp::traceExecution(const Module &M,
+                              const std::vector<int64_t> &Inputs,
+                              ExecutionResult &Result) {
+  CollectingSink Sink(static_cast<uint32_t>(M.Functions.size()));
+  Interpreter Interp(M, Sink);
+  Result = Interp.run(Inputs);
+  return Sink.take();
+}

@@ -1,0 +1,77 @@
+//===- runtime/Interpreter.h - Tracing IR interpreter -----------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes an ir::Module and emits the whole program path through a
+/// TraceSink — the stand-in for the paper's Trimaran-instrumented binaries:
+/// every function entry, basic block execution, and function exit becomes a
+/// trace event.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_RUNTIME_INTERPRETER_H
+#define TWPP_RUNTIME_INTERPRETER_H
+
+#include "ir/Ir.h"
+#include "trace/Events.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace twpp {
+
+/// Outcome of one traced execution.
+struct ExecutionResult {
+  bool Completed = false;       ///< False on step/depth limit or error.
+  std::string Error;            ///< Diagnostic when !Completed.
+  std::vector<int64_t> Output;  ///< Values produced by 'print'.
+  uint64_t BlocksExecuted = 0;  ///< Dynamic block count.
+};
+
+/// Tracing interpreter. Integer-only semantics; division and modulo by
+/// zero yield 0 so synthetic workloads cannot fault.
+class Interpreter {
+public:
+  /// \p Sink receives the WPP events of each run.
+  Interpreter(const Module &M, TraceSink &Sink) : M(M), Sink(Sink) {}
+
+  /// Caps on runaway programs (defaults generous for the workloads).
+  void setStepLimit(uint64_t Limit) { StepLimit = Limit; }
+  void setDepthLimit(uint32_t Limit) { DepthLimit = Limit; }
+
+  /// Runs main with \p Inputs feeding 'read' statements (exhausted reads
+  /// yield 0).
+  ExecutionResult run(const std::vector<int64_t> &Inputs);
+
+private:
+  struct Frame;
+
+  /// Executes one call; returns false when a limit was hit (result error
+  /// already set).
+  bool runFunction(const Function &F, const std::vector<int64_t> &Args,
+                   uint32_t Depth, int64_t &ReturnValue,
+                   ExecutionResult &Result);
+
+  int64_t evalExpr(const Function &F, const Frame &Env, uint32_t ExprIndex);
+
+  const Module &M;
+  TraceSink &Sink;
+  uint64_t StepLimit = 50'000'000;
+  uint32_t DepthLimit = 200;
+  uint64_t StepsUsed = 0;
+  size_t InputCursor = 0;
+  const std::vector<int64_t> *Inputs = nullptr;
+};
+
+/// Convenience: compile-free helper that runs \p M and collects the raw
+/// WPP in one call.
+RawTrace traceExecution(const Module &M, const std::vector<int64_t> &Inputs,
+                        ExecutionResult &Result);
+
+} // namespace twpp
+
+#endif // TWPP_RUNTIME_INTERPRETER_H

@@ -1,0 +1,133 @@
+//===- sequitur/FlatGrammar.cpp - Serialized Sequitur grammars ------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sequitur/FlatGrammar.h"
+
+#include "support/ByteStream.h"
+#include "support/FileIO.h"
+
+using namespace twpp;
+
+std::vector<uint64_t> FlatGrammar::expand() const {
+  std::vector<uint64_t> Out;
+  GrammarCursor Cursor(*this);
+  uint64_t Terminal;
+  while (Cursor.next(Terminal))
+    Out.push_back(Terminal);
+  return Out;
+}
+
+uint64_t FlatGrammar::symbolCount() const {
+  uint64_t Count = 0;
+  for (const auto &Body : Rules)
+    Count += Body.size();
+  return Count;
+}
+
+std::vector<uint8_t> twpp::encodeGrammar(const FlatGrammar &Grammar) {
+  ByteWriter Writer;
+  Writer.writeVarUint(Grammar.Rules.size());
+  for (const auto &Body : Grammar.Rules) {
+    Writer.writeVarUint(Body.size());
+    for (const FlatSymbol &Symbol : Body)
+      Writer.writeVarUint((Symbol.Value << 1) | (Symbol.IsRule ? 1 : 0));
+  }
+  return Writer.take();
+}
+
+bool twpp::decodeGrammar(const std::vector<uint8_t> &Bytes,
+                         FlatGrammar &Grammar) {
+  Grammar = FlatGrammar();
+  ByteReader Reader(Bytes);
+  uint64_t RuleCount = Reader.readVarUint();
+  if (Reader.hasError() || RuleCount > Bytes.size() + 1)
+    return false;
+  Grammar.Rules.resize(RuleCount);
+  for (auto &Body : Grammar.Rules) {
+    uint64_t Length = Reader.readVarUint();
+    if (Reader.hasError() || Length > Reader.remaining() + 1)
+      return false;
+    Body.resize(Length);
+    for (FlatSymbol &Symbol : Body) {
+      uint64_t Packed = Reader.readVarUint();
+      Symbol.IsRule = Packed & 1;
+      Symbol.Value = Packed >> 1;
+      if (Symbol.IsRule && Symbol.Value >= RuleCount)
+        return false;
+    }
+  }
+  return Reader.valid() && Reader.atEnd();
+}
+
+GrammarCursor::GrammarCursor(const FlatGrammar &Grammar) : Grammar(Grammar) {
+  if (!Grammar.Rules.empty())
+    Stack.emplace_back(0, 0);
+}
+
+bool GrammarCursor::next(uint64_t &Terminal) {
+  while (!Stack.empty()) {
+    auto &[Rule, Pos] = Stack.back();
+    const auto &Body = Grammar.Rules[Rule];
+    if (Pos >= Body.size()) {
+      Stack.pop_back();
+      continue;
+    }
+    const FlatSymbol &Symbol = Body[Pos++];
+    if (Symbol.IsRule) {
+      Stack.emplace_back(static_cast<uint32_t>(Symbol.Value), 0);
+      continue;
+    }
+    Terminal = Symbol.Value;
+    return true;
+  }
+  return false;
+}
+
+void twpp::extractFunctionTracesFromGrammar(
+    const FlatGrammar &Grammar, FunctionId Function,
+    std::vector<std::vector<BlockId>> &Traces) {
+  Traces.clear();
+  struct Frame {
+    bool IsTarget;
+    size_t TraceIndex;
+  };
+  std::vector<Frame> Stack;
+  GrammarCursor Cursor(Grammar);
+  uint64_t Terminal;
+  while (Cursor.next(Terminal)) {
+    TraceEvent Event = tokenToEvent(Terminal);
+    switch (Event.EventKind) {
+    case TraceEvent::Kind::Enter:
+      if (Event.Id == Function) {
+        Stack.push_back({true, Traces.size()});
+        Traces.emplace_back();
+      } else {
+        Stack.push_back({false, 0});
+      }
+      break;
+    case TraceEvent::Kind::Block:
+      if (!Stack.empty() && Stack.back().IsTarget)
+        Traces[Stack.back().TraceIndex].push_back(Event.Id);
+      break;
+    case TraceEvent::Kind::Exit:
+      if (!Stack.empty())
+        Stack.pop_back();
+      break;
+    }
+  }
+}
+
+bool twpp::writeGrammarFile(const std::string &Path,
+                            const FlatGrammar &Grammar) {
+  return writeFileBytes(Path, encodeGrammar(Grammar));
+}
+
+bool twpp::readGrammarFile(const std::string &Path, FlatGrammar &Grammar) {
+  std::vector<uint8_t> Bytes;
+  if (!readFileBytes(Path, Bytes))
+    return false;
+  return decodeGrammar(Bytes, Grammar);
+}

@@ -1,0 +1,97 @@
+//===- sequitur/FlatGrammar.h - Serialized Sequitur grammars ----*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The frozen form of a Sequitur grammar: rule 0 is the start rule; each
+/// rule body is a sequence of symbols that are either terminals (trace
+/// event tokens) or references to other rules. This is the representation
+/// Larus's compressed WPP is stored in, what Table 5 sizes, and what the
+/// "read + process" extraction path walks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_SEQUITUR_FLATGRAMMAR_H
+#define TWPP_SEQUITUR_FLATGRAMMAR_H
+
+#include "trace/Events.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace twpp {
+
+/// A grammar symbol: a terminal token or a rule reference.
+struct FlatSymbol {
+  uint64_t Value;  ///< Terminal token, or rule index when IsRule.
+  bool IsRule;
+
+  bool operator==(const FlatSymbol &Other) const = default;
+};
+
+/// An immutable context-free grammar generating exactly one string.
+struct FlatGrammar {
+  /// Rule bodies; Rules[0] is the start rule.
+  std::vector<std::vector<FlatSymbol>> Rules;
+
+  bool operator==(const FlatGrammar &Other) const = default;
+
+  /// Expands the start rule into the full terminal string.
+  std::vector<uint64_t> expand() const;
+
+  /// Total number of symbols over all rule bodies (the grammar size
+  /// measure used when comparing with TWPP).
+  uint64_t symbolCount() const;
+};
+
+/// Serializes the grammar (varint symbol stream).
+std::vector<uint8_t> encodeGrammar(const FlatGrammar &Grammar);
+
+/// Inverse of encodeGrammar. \returns false on malformed bytes.
+bool decodeGrammar(const std::vector<uint8_t> &Bytes, FlatGrammar &Grammar);
+
+/// Packs a trace event into the terminal alphabet Sequitur consumes, and
+/// back. Larus's WPP feeds the full event stream — call boundaries
+/// included — into the grammar.
+inline uint64_t eventToToken(const TraceEvent &Event) {
+  return (static_cast<uint64_t>(Event.Id) << 2) |
+         static_cast<uint64_t>(Event.EventKind);
+}
+inline TraceEvent tokenToEvent(uint64_t Token) {
+  return {static_cast<TraceEvent::Kind>(Token & 3),
+          static_cast<uint32_t>(Token >> 2)};
+}
+
+/// Streaming cursor over the grammar's expansion; visits terminals one at
+/// a time without materializing the whole string.
+class GrammarCursor {
+public:
+  explicit GrammarCursor(const FlatGrammar &Grammar);
+
+  /// Advances to the next terminal. \returns false at end of string.
+  bool next(uint64_t &Terminal);
+
+private:
+  const FlatGrammar &Grammar;
+  /// (rule, position) expansion stack.
+  std::vector<std::pair<uint32_t, uint32_t>> Stack;
+};
+
+/// The Larus-side answer to the per-function query: walk the whole
+/// expansion, tracking the call stack, and collect every path trace of
+/// \p Function. Requires processing the entire grammar — the cost the
+/// paper's Table 5 measures against TWPP's indexed access.
+void extractFunctionTracesFromGrammar(
+    const FlatGrammar &Grammar, FunctionId Function,
+    std::vector<std::vector<BlockId>> &Traces);
+
+/// Writes/reads the serialized grammar to/from disk.
+bool writeGrammarFile(const std::string &Path, const FlatGrammar &Grammar);
+bool readGrammarFile(const std::string &Path, FlatGrammar &Grammar);
+
+} // namespace twpp
+
+#endif // TWPP_SEQUITUR_FLATGRAMMAR_H

@@ -1,0 +1,151 @@
+//===- sequitur/Sequitur.h - Online Sequitur grammar inference --*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sequitur (Nevill-Manning & Witten): linear-time online inference of a
+/// context-free grammar that generates exactly the input string, with the
+/// two invariants *digram uniqueness* (no pair of adjacent symbols occurs
+/// more than once in the grammar) and *rule utility* (every rule is used
+/// more than once). Larus's whole program path compression (PLDI 1999)
+/// feeds the control flow trace through this algorithm; the resulting
+/// grammar is the baseline representation the paper compares TWPP against
+/// in Table 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_SEQUITUR_SEQUITUR_H
+#define TWPP_SEQUITUR_SEQUITUR_H
+
+#include "sequitur/FlatGrammar.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace twpp {
+
+/// Incremental Sequitur grammar builder. Feed terminals with append();
+/// freeze() snapshots the grammar in flat form.
+class SequiturBuilder {
+public:
+  SequiturBuilder();
+  ~SequiturBuilder();
+
+  SequiturBuilder(const SequiturBuilder &) = delete;
+  SequiturBuilder &operator=(const SequiturBuilder &) = delete;
+
+  /// Appends one terminal to the input string, restoring both invariants.
+  void append(uint64_t Terminal);
+
+  /// Snapshots the current grammar; rule 0 is the start rule.
+  FlatGrammar freeze() const;
+
+  /// Number of live rules (including the start rule).
+  size_t ruleCount() const { return LiveRules.size() + 1; }
+
+  /// Invariant audit for the property tests. Rule utility and refcount
+  /// consistency are strict. Digram uniqueness is reported as a count:
+  /// like the reference implementation, two rare paths leave residual
+  /// duplicates (equal-symbol runs shadow an occurrence from the index;
+  /// rule expansion re-registers its boundary digram unconditionally).
+  /// Both cost a little compression and never correctness.
+  struct InvariantReport {
+    uint64_t UtilityViolations = 0;  ///< Rules used < 2 times or refcount
+                                     ///< mismatches. Must be 0.
+    uint64_t DuplicateDigrams = 0;   ///< Non-overlapping repeated digrams.
+    uint64_t TotalDigrams = 0;
+  };
+  InvariantReport auditInvariants() const;
+
+  /// True when utility is intact and duplicate digrams are within the
+  /// expected residue (< 2% of digrams).
+  bool checkInvariants() const {
+    InvariantReport Report = auditInvariants();
+    return Report.UtilityViolations == 0 &&
+           Report.DuplicateDigrams * 50 <= Report.TotalDigrams;
+  }
+
+private:
+  struct Rule;
+
+  struct Sym {
+    Sym *Prev = nullptr;
+    Sym *Next = nullptr;
+    uint64_t Value = 0;     ///< Terminal payload (unused for guards/rules).
+    Rule *RuleRef = nullptr; ///< Rule this nonterminal references.
+    bool IsGuard = false;
+  };
+
+  struct Rule {
+    Sym *Guard;         ///< Sentinel: Guard->Next = first, Guard->Prev = last.
+    uint32_t RefCount = 0;
+    uint32_t Id = 0;    ///< Stable id for digram keys.
+  };
+
+  /// Exact digram identity: the two symbol handles. Kept exact (not a
+  /// folded hash) — a collision here would merge distinct digrams and
+  /// corrupt the grammar.
+  using DigramKey = std::pair<uint64_t, uint64_t>;
+
+  struct DigramKeyHash {
+    size_t operator()(const DigramKey &Key) const {
+      uint64_t H = Key.first * 0x9E3779B97F4A7C15ULL;
+      H ^= Key.second + 0x9E3779B97F4A7C15ULL + (H << 6) + (H >> 2);
+      return static_cast<size_t>(H);
+    }
+  };
+
+  /// Stable handle of a symbol for digram keys (terminal value or rule id,
+  /// tagged).
+  static uint64_t handleOf(const Sym *S) {
+    return S->RuleRef ? ((static_cast<uint64_t>(S->RuleRef->Id) << 1) | 1)
+                      : (S->Value << 1);
+  }
+  static DigramKey keyOf(const Sym *A, const Sym *B) {
+    return {handleOf(A), handleOf(B)};
+  }
+
+  Rule *newRule();
+  void freeRule(Rule *R);
+  Sym *newSymbol(uint64_t Terminal);
+  Sym *newNonterminal(Rule *R);
+
+  /// Links \p Left and \p Right, retiring Left's old outgoing digram.
+  void join(Sym *Left, Sym *Right);
+  /// Inserts \p S immediately after \p Pos.
+  void insertAfter(Sym *Pos, Sym *S);
+  /// Removes the table entry for (\p S, S->Next) if \p S is registered.
+  void deleteDigram(Sym *S);
+  /// Unlinks and frees \p S, maintaining the digram table and refcounts.
+  void removeSymbol(Sym *S);
+  /// Checks the digram (\p S, S->Next); enforces uniqueness.
+  /// \returns true when a substitution occurred.
+  bool check(Sym *S);
+  /// Both occurrences of a repeated digram become uses of one rule.
+  void match(Sym *New, Sym *Found);
+  /// Replaces the digram starting at \p S with a use of \p R.
+  void substitute(Sym *S, Rule *R);
+  /// Inlines the single remaining use \p S of its rule (rule utility).
+  void expand(Sym *S);
+
+  /// Looks a rule up by its stable id; nullptr when it has been inlined.
+  /// Nested substitution cascades can free a rule while an outer match
+  /// still references it, so matches re-resolve through this instead of
+  /// holding Rule pointers across substitutions.
+  Rule *findRule(uint32_t Id);
+
+  Rule *Start;
+  std::unordered_map<DigramKey, Sym *, DigramKeyHash> Digrams;
+  std::unordered_map<uint32_t, Rule *> LiveRules; ///< By id, except Start.
+  uint32_t NextRuleId = 1;
+};
+
+/// Convenience: runs Sequitur over a whole trace's event tokens.
+FlatGrammar buildSequiturGrammar(const RawTrace &Trace);
+
+} // namespace twpp
+
+#endif // TWPP_SEQUITUR_SEQUITUR_H

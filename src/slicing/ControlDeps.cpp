@@ -1,0 +1,121 @@
+//===- slicing/ControlDeps.cpp - Control dependence computation -----------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slicing/ControlDeps.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace twpp;
+
+namespace {
+
+/// Postdominator *sets* for every statement, over the CFG extended with a
+/// virtual exit that every return-like statement reaches. Index 0 of the
+/// returned vector is unused (ids are 1-based); the virtual exit is
+/// implicit (every set conceptually contains it).
+std::vector<std::set<BlockId>> postDominatorSets(const SliceProgram &P) {
+  uint32_t N = P.stmtCount();
+  std::set<BlockId> All;
+  for (uint32_t S = 1; S <= N; ++S)
+    All.insert(S);
+
+  // pdom(n) = {n} for exit-reaching nodes, else {n} + meet over succs.
+  std::vector<std::set<BlockId>> Pdom(N + 1, All);
+  for (uint32_t S = 1; S <= N; ++S)
+    if (P.Succs[S - 1].empty())
+      Pdom[S] = {S};
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t S = 1; S <= N; ++S) {
+      if (P.Succs[S - 1].empty())
+        continue;
+      std::set<BlockId> Meet = Pdom[P.Succs[S - 1].front()];
+      for (size_t I = 1; I < P.Succs[S - 1].size(); ++I) {
+        const std::set<BlockId> &Other = Pdom[P.Succs[S - 1][I]];
+        std::set<BlockId> Intersection;
+        std::set_intersection(Meet.begin(), Meet.end(), Other.begin(),
+                              Other.end(),
+                              std::inserter(Intersection,
+                                            Intersection.begin()));
+        Meet = std::move(Intersection);
+      }
+      Meet.insert(S);
+      if (Meet != Pdom[S]) {
+        Pdom[S] = std::move(Meet);
+        Changed = true;
+      }
+    }
+  }
+  return Pdom;
+}
+
+} // namespace
+
+std::vector<BlockId>
+twpp::computePostDominators(const SliceProgram &Program) {
+  uint32_t N = Program.stmtCount();
+  std::vector<std::set<BlockId>> Pdom = postDominatorSets(Program);
+  std::vector<BlockId> Ipdom(N + 1, 0);
+  for (uint32_t S = 1; S <= N; ++S) {
+    // The immediate postdominator is the strict postdominator whose own
+    // set covers all the others: |pdom(d)| == |pdom(s)| - 1.
+    for (BlockId D : Pdom[S]) {
+      if (D == S)
+        continue;
+      if (Pdom[D].size() == Pdom[S].size() - 1) {
+        Ipdom[S] = D;
+        break;
+      }
+    }
+  }
+  return Ipdom;
+}
+
+std::vector<BlockId>
+twpp::computeControlDeps(const SliceProgram &Program) {
+  uint32_t N = Program.stmtCount();
+  std::vector<std::set<BlockId>> Pdom = postDominatorSets(Program);
+
+  // Ferrante-Ottenstein-Warren: s is control dependent on p iff some
+  // successor t of p has s in pdom(t) and s is not a strict
+  // postdominator of p. Self-dependences (loop headers controlling
+  // themselves) are dropped — the slicers treat control parents as
+  // strictly enclosing.
+  std::vector<BlockId> Deps(N + 1, 0);
+  std::vector<size_t> DepPdomSize(N + 1, 0);
+  for (uint32_t Pred = 1; Pred <= N; ++Pred) {
+    if (Program.Succs[Pred - 1].size() < 2)
+      continue;
+    for (BlockId T : Program.Succs[Pred - 1]) {
+      for (BlockId S : Pdom[T]) {
+        if (S == Pred)
+          continue;
+        if (Pdom[Pred].count(S))
+          continue; // strictly postdominates the predicate
+        // Nearest predicate wins: deeper predicates are postdominated by
+        // more statements, so prefer the larger pdom set (ties by id).
+        size_t Size = Pdom[Pred].size();
+        if (Deps[S] == 0 || Size > DepPdomSize[S] ||
+            (Size == DepPdomSize[S] && Pred > Deps[S])) {
+          Deps[S] = Pred;
+          DepPdomSize[S] = Size;
+        }
+      }
+    }
+  }
+  return Deps;
+}
+
+void twpp::annotateControlDeps(SliceProgram &Program) {
+  std::vector<BlockId> Deps = computeControlDeps(Program);
+  for (uint32_t S = 1; S <= Program.stmtCount(); ++S) {
+    Program.Stmts[S - 1].ControlDep = Deps[S];
+    Program.Stmts[S - 1].IsPredicate = Program.Succs[S - 1].size() >= 2;
+  }
+}

@@ -1,0 +1,43 @@
+//===- slicing/ControlDeps.h - Control dependence computation ---*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Standard control dependence (Ferrante-Ottenstein-Warren): statement s
+/// is control dependent on predicate p iff p has successors of which one
+/// always leads to s (s postdominates it) and one may avoid s (s does not
+/// postdominate p). Computed from the statement-level static CFG via an
+/// iterative postdominator solver, so SliceProgram inputs need not list
+/// their control dependences by hand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_SLICING_CONTROLDEPS_H
+#define TWPP_SLICING_CONTROLDEPS_H
+
+#include "slicing/SliceProgram.h"
+
+#include <vector>
+
+namespace twpp {
+
+/// Immediate postdominator of every statement (0 for the virtual exit's
+/// children / unreachable nodes). Statements with no successors
+/// postdominate into a shared virtual exit.
+std::vector<BlockId> computePostDominators(const SliceProgram &Program);
+
+/// The controlling predicate of each statement (0 = none), derived from
+/// the postdominance frontier. When a statement is control dependent on
+/// several predicates (unstructured flow), the nearest one is kept —
+/// SliceStmt::ControlDep models single-parent (structured) control
+/// dependence.
+std::vector<BlockId> computeControlDeps(const SliceProgram &Program);
+
+/// Fills Program.Stmts[*].ControlDep and IsPredicate from the CFG.
+void annotateControlDeps(SliceProgram &Program);
+
+} // namespace twpp
+
+#endif // TWPP_SLICING_CONTROLDEPS_H

@@ -1,0 +1,90 @@
+//===- slicing/Currency.cpp - Dynamic currency determination --------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slicing/Currency.h"
+
+using namespace twpp;
+
+namespace {
+
+/// Reaching definition under one placement: the DefId of the last def
+/// encountered along the executed path strictly before \p BreakTime.
+/// Returns false when no def executed.
+bool reachingDef(const AnnotatedDynamicCfg &Cfg, Timestamp BreakTime,
+                 const std::vector<DefSite> &Defs, uint32_t &DefId) {
+  for (Timestamp T = BreakTime; T > 1;) {
+    --T;
+    size_t Node = Cfg.nodeAt(T);
+    if (Node == AnnotatedDynamicCfg::npos)
+      return false;
+    BlockId Block = Cfg.Nodes[Node].Head;
+    // Last def within the block (highest ordinal) wins.
+    bool Found = false;
+    uint32_t BestOrdinal = 0;
+    for (const DefSite &Def : Defs) {
+      if (Def.Block != Block)
+        continue;
+      if (!Found || Def.Ordinal > BestOrdinal) {
+        Found = true;
+        BestOrdinal = Def.Ordinal;
+        DefId = Def.DefId;
+      }
+    }
+    if (Found)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+Currency twpp::checkCurrency(const AnnotatedDynamicCfg &Cfg,
+                             Timestamp BreakTime,
+                             const CurrencyProblem &Problem) {
+  uint32_t OriginalDef = 0, OptimizedDef = 0;
+  bool HasOriginal =
+      reachingDef(Cfg, BreakTime, Problem.OriginalDefs, OriginalDef);
+  bool HasOptimized =
+      reachingDef(Cfg, BreakTime, Problem.OptimizedDefs, OptimizedDef);
+  if (HasOriginal != HasOptimized)
+    return Currency::NonCurrent;
+  if (!HasOriginal)
+    return Currency::Current; // Neither version defined it yet.
+  return OriginalDef == OptimizedDef ? Currency::Current
+                                     : Currency::NonCurrent;
+}
+
+CurrencyProblem twpp::currencyProblemFor(const Function &Original,
+                                         const SinkResult &Sunk,
+                                         VarId Var) {
+  CurrencyProblem Problem;
+  // DefIds follow the original (block, ordinal) order.
+  uint32_t NextId = 1;
+  std::vector<std::pair<std::pair<BlockId, uint32_t>, uint32_t>> IdOf;
+  for (BlockId Block = 1; Block <= Original.blockCount(); ++Block) {
+    const BasicBlock &B = Original.block(Block);
+    for (uint32_t I = 0; I < B.Stmts.size(); ++I) {
+      if (B.Stmts[I].Target != Var)
+        continue;
+      Problem.OriginalDefs.push_back({NextId, Block, I});
+      IdOf.push_back({{Block, I}, NextId});
+      ++NextId;
+    }
+  }
+  // Optimized placement via the origin map.
+  for (BlockId Block = 1; Block <= Sunk.Optimized.blockCount(); ++Block) {
+    const BasicBlock &B = Sunk.Optimized.block(Block);
+    for (uint32_t I = 0; I < B.Stmts.size(); ++I) {
+      if (B.Stmts[I].Target != Var)
+        continue;
+      std::pair<BlockId, uint32_t> Origin = Sunk.Origins[Block - 1][I];
+      for (const auto &[Key, Id] : IdOf)
+        if (Key == Origin)
+          Problem.OptimizedDefs.push_back({Id, Block, I});
+    }
+  }
+  return Problem;
+}

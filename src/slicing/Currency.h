@@ -1,0 +1,70 @@
+//===- slicing/Currency.h - Dynamic currency determination ------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamic currency determination for debugging optimized code (paper
+/// Section 4.3.2, Figure 12). Code motion (e.g. partial dead code
+/// elimination) relocates assignments; at a breakpoint the debugger must
+/// decide whether a variable's value in the optimized execution is the
+/// value the unoptimized program would have had ("current"). Timestamped
+/// block executions make this decidable: replay the executed path prefix
+/// up to the breakpoint, find the reaching definition under the original
+/// and the optimized placements, and compare.
+///
+/// Assumption (holds for assignment motion like PDE): the optimization
+/// moves assignments between blocks but leaves the CFG shape — and hence
+/// the executed block path — unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_SLICING_CURRENCY_H
+#define TWPP_SLICING_CURRENCY_H
+
+#include "dataflow/AnnotatedCfg.h"
+#include "ir/Ir.h"
+#include "ir/SinkAssignments.h"
+
+#include <vector>
+
+namespace twpp {
+
+/// One definition of the inspected variable; the same DefId appears in
+/// both placements.
+struct DefSite {
+  uint32_t DefId;    ///< Stable identity of the assignment.
+  BlockId Block;     ///< Block holding it under this placement.
+  uint32_t Ordinal;  ///< Intra-block position (for multiple defs per
+                     ///< block).
+};
+
+/// A currency question: where the defs of one variable live before and
+/// after optimization.
+struct CurrencyProblem {
+  std::vector<DefSite> OriginalDefs;
+  std::vector<DefSite> OptimizedDefs;
+};
+
+/// Verdict for a variable at a breakpoint.
+enum class Currency {
+  Current,    ///< Optimized value == unoptimized value provenance.
+  NonCurrent, ///< A different definition provides the value.
+};
+
+/// Decides currency at the instance of the breakpoint block executing at
+/// timestamp \p BreakTime, given the executed path recorded in \p Cfg
+/// (statement/block-level annotated dynamic CFG).
+Currency checkCurrency(const AnnotatedDynamicCfg &Cfg, Timestamp BreakTime,
+                       const CurrencyProblem &Problem);
+
+/// Builds the currency question for \p Var from an assignment-sinking
+/// run: original definition sites from \p Original, optimized sites
+/// recovered through the pass's origin map.
+CurrencyProblem currencyProblemFor(const Function &Original,
+                                   const SinkResult &Sunk, VarId Var);
+
+} // namespace twpp
+
+#endif // TWPP_SLICING_CURRENCY_H

@@ -1,0 +1,254 @@
+//===- slicing/DynamicSlicer.cpp - Agrawal–Horgan slicing on TWPP ---------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slicing/DynamicSlicer.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+using namespace twpp;
+
+bool SliceResult::contains(BlockId Stmt) const {
+  return std::binary_search(Stmts.begin(), Stmts.end(), Stmt);
+}
+
+bool twpp::findLastDefInstance(const SliceProgram &Program,
+                               const AnnotatedDynamicCfg &Cfg, VarId Var,
+                               Timestamp Time, BlockId &DefStmt,
+                               Timestamp &DefTime) {
+  // (t, n) -> (t-1, m): walk the trace backwards via the timestamp
+  // annotations until a defining statement's instance is met.
+  for (Timestamp T = Time; T > 1;) {
+    --T;
+    size_t Node = Cfg.nodeAt(T);
+    if (Node == AnnotatedDynamicCfg::npos)
+      return false;
+    BlockId Stmt = Cfg.Nodes[Node].Head;
+    if (Program.stmt(Stmt).Def == Var) {
+      DefStmt = Stmt;
+      DefTime = T;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool twpp::findLastInstanceOf(const AnnotatedDynamicCfg &Cfg, BlockId Stmt,
+                              Timestamp Time, Timestamp &InstanceTime) {
+  size_t Node = Cfg.nodeIndexOf(Stmt);
+  if (Node == AnnotatedDynamicCfg::npos || Time <= 1)
+    return false;
+  const TimestampSet &Times = Cfg.Nodes[Node].Times;
+  // Largest timestamp < Time.
+  bool Found = false;
+  for (const SeriesRun &Run : Times.runs()) {
+    if (Run.Lo >= Time)
+      break;
+    Timestamp Candidate;
+    if (Run.Hi < Time)
+      Candidate = Run.Hi;
+    else
+      Candidate = Run.Lo + ((Time - 1 - Run.Lo) / Run.Step) * Run.Step;
+    InstanceTime = Candidate;
+    Found = true;
+  }
+  return Found;
+}
+
+namespace {
+
+/// Whether \p Stmt executed at all in the trace.
+bool executed(const AnnotatedDynamicCfg &Cfg, BlockId Stmt) {
+  size_t Node = Cfg.nodeIndexOf(Stmt);
+  return Node != AnnotatedDynamicCfg::npos &&
+         !Cfg.Nodes[Node].Times.empty();
+}
+
+SliceResult finalize(const std::set<BlockId> &Stmts, uint64_t Queries) {
+  SliceResult Result;
+  Result.Stmts.assign(Stmts.begin(), Stmts.end());
+  Result.QueriesGenerated = Queries;
+  return Result;
+}
+
+} // namespace
+
+SliceResult twpp::sliceApproach1(const SliceProgram &Program,
+                                 const AnnotatedDynamicCfg &Cfg,
+                                 BlockId Criterion, VarId Var) {
+  // Static PDG traversal, restricted to executed (marked) nodes.
+  std::vector<DataDepEdge> DataDeps = computeStaticDataDeps(Program);
+
+  std::set<BlockId> Slice;
+  std::set<std::pair<BlockId, VarId>> VisitedQueries;
+  std::deque<std::pair<BlockId, VarId>> Work;
+  std::deque<BlockId> NewStmts;
+  uint64_t Queries = 0;
+
+  auto Enqueue = [&](BlockId Stmt, VarId V) {
+    if (VisitedQueries.insert({Stmt, V}).second) {
+      Work.push_back({Stmt, V});
+      ++Queries;
+    }
+  };
+  auto AddStmt = [&](BlockId Stmt) {
+    if (Slice.insert(Stmt).second)
+      NewStmts.push_back(Stmt);
+  };
+
+  Slice.insert(Criterion);
+  Enqueue(Criterion, Var);
+  if (BlockId Ctrl = Program.stmt(Criterion).ControlDep;
+      Ctrl != 0 && executed(Cfg, Ctrl))
+    AddStmt(Ctrl);
+
+  while (!Work.empty() || !NewStmts.empty()) {
+    while (!NewStmts.empty()) {
+      BlockId Stmt = NewStmts.front();
+      NewStmts.pop_front();
+      for (VarId Use : Program.stmt(Stmt).Uses)
+        Enqueue(Stmt, Use);
+      if (BlockId Ctrl = Program.stmt(Stmt).ControlDep;
+          Ctrl != 0 && executed(Cfg, Ctrl))
+        AddStmt(Ctrl);
+    }
+    if (Work.empty())
+      break;
+    auto [Stmt, V] = Work.front();
+    Work.pop_front();
+    for (const DataDepEdge &Edge : DataDeps)
+      if (Edge.Use == Stmt && Edge.Var == V && executed(Cfg, Edge.Def))
+        AddStmt(Edge.Def);
+  }
+  return finalize(Slice, Queries);
+}
+
+SliceResult twpp::sliceApproach2(const SliceProgram &Program,
+                                 const AnnotatedDynamicCfg &Cfg,
+                                 BlockId Criterion, VarId Var) {
+  std::set<BlockId> Slice;
+  std::set<std::pair<BlockId, VarId>> VisitedQueries;
+  // A query carries every timestamp of its statement (node granularity).
+  std::deque<std::pair<BlockId, VarId>> Work;
+  uint64_t Queries = 0;
+
+  Slice.insert(Criterion);
+  auto Enqueue = [&](BlockId Stmt, VarId V) {
+    if (VisitedQueries.insert({Stmt, V}).second) {
+      Work.push_back({Stmt, V});
+      ++Queries;
+    }
+  };
+
+  // Adds \p Stmt to the slice; raises queries for its uses and resolves
+  // its (exercised) control dependence.
+  std::deque<BlockId> NewStmts;
+  auto AddStmt = [&](BlockId Stmt) {
+    if (Slice.insert(Stmt).second)
+      NewStmts.push_back(Stmt);
+  };
+
+  Enqueue(Criterion, Var);
+  {
+    BlockId Ctrl = Program.stmt(Criterion).ControlDep;
+    if (Ctrl != 0 && executed(Cfg, Ctrl))
+      AddStmt(Ctrl);
+  }
+
+  while (!Work.empty() || !NewStmts.empty()) {
+    while (!NewStmts.empty()) {
+      BlockId Stmt = NewStmts.front();
+      NewStmts.pop_front();
+      for (VarId Use : Program.stmt(Stmt).Uses)
+        Enqueue(Stmt, Use);
+      BlockId Ctrl = Program.stmt(Stmt).ControlDep;
+      if (Ctrl != 0 && executed(Cfg, Ctrl))
+        AddStmt(Ctrl);
+    }
+    if (Work.empty())
+      break;
+    auto [Stmt, V] = Work.front();
+    Work.pop_front();
+
+    // Find the defining statements exercised by *any* instance of Stmt.
+    size_t Node = Cfg.nodeIndexOf(Stmt);
+    if (Node == AnnotatedDynamicCfg::npos)
+      continue;
+    std::set<BlockId> Defs;
+    for (Timestamp T : Cfg.Nodes[Node].Times.toVector()) {
+      BlockId DefStmt;
+      Timestamp DefTime;
+      if (findLastDefInstance(Program, Cfg, V, T, DefStmt, DefTime))
+        Defs.insert(DefStmt);
+    }
+    for (BlockId Def : Defs)
+      AddStmt(Def);
+  }
+  return finalize(Slice, Queries);
+}
+
+SliceResult twpp::sliceApproach3(const SliceProgram &Program,
+                                 const AnnotatedDynamicCfg &Cfg,
+                                 BlockId Criterion, VarId Var,
+                                 Timestamp Time) {
+  std::set<BlockId> Slice;
+  std::set<std::pair<Timestamp, VarId>> VisitedQueries;
+  std::set<Timestamp> VisitedInstances;
+  // Instance-level queries: find the def of V before timestamp T.
+  std::deque<std::pair<Timestamp, VarId>> Work;
+  std::deque<Timestamp> NewInstances;
+  uint64_t Queries = 0;
+
+  Slice.insert(Criterion);
+  auto EnqueueQuery = [&](Timestamp T, VarId V) {
+    if (VisitedQueries.insert({T, V}).second) {
+      Work.push_back({T, V});
+      ++Queries;
+    }
+  };
+  /// Brings the instance (Stmt at T) into the slice and schedules its
+  /// dependences.
+  auto AddInstance = [&](BlockId Stmt, Timestamp T) {
+    Slice.insert(Stmt);
+    if (VisitedInstances.insert(T).second)
+      NewInstances.push_back(T);
+  };
+
+  EnqueueQuery(Time, Var);
+  {
+    BlockId Ctrl = Program.stmt(Criterion).ControlDep;
+    Timestamp CtrlTime;
+    if (Ctrl != 0 && findLastInstanceOf(Cfg, Ctrl, Time, CtrlTime))
+      AddInstance(Ctrl, CtrlTime);
+  }
+
+  while (!Work.empty() || !NewInstances.empty()) {
+    while (!NewInstances.empty()) {
+      Timestamp T = NewInstances.front();
+      NewInstances.pop_front();
+      size_t Node = Cfg.nodeAt(T);
+      if (Node == AnnotatedDynamicCfg::npos)
+        continue;
+      BlockId Stmt = Cfg.Nodes[Node].Head;
+      for (VarId Use : Program.stmt(Stmt).Uses)
+        EnqueueQuery(T, Use);
+      BlockId Ctrl = Program.stmt(Stmt).ControlDep;
+      Timestamp CtrlTime;
+      if (Ctrl != 0 && findLastInstanceOf(Cfg, Ctrl, T, CtrlTime))
+        AddInstance(Ctrl, CtrlTime);
+    }
+    if (Work.empty())
+      break;
+    auto [T, V] = Work.front();
+    Work.pop_front();
+    BlockId DefStmt;
+    Timestamp DefTime;
+    if (findLastDefInstance(Program, Cfg, V, T, DefStmt, DefTime))
+      AddInstance(DefStmt, DefTime);
+  }
+  return finalize(Slice, Queries);
+}

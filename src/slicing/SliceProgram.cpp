@@ -1,0 +1,120 @@
+//===- slicing/SliceProgram.cpp - Statement-level program model -----------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slicing/SliceProgram.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace twpp;
+
+std::vector<DataDepEdge>
+twpp::computeStaticDataDeps(const SliceProgram &Program) {
+  uint32_t N = Program.stmtCount();
+
+  // Reaching definitions as per-statement sets of defining statement ids.
+  // Programs here are example-scale, so plain sorted vectors suffice.
+  using DefSet = std::vector<BlockId>;
+  std::vector<DefSet> In(N), Out(N);
+  std::vector<std::vector<BlockId>> Preds(N);
+  for (uint32_t S = 0; S < N; ++S)
+    for (BlockId Succ : Program.Succs[S])
+      Preds[Succ - 1].push_back(S + 1);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t S = 0; S < N; ++S) {
+      DefSet NewIn;
+      for (BlockId Pred : Preds[S])
+        NewIn.insert(NewIn.end(), Out[Pred - 1].begin(),
+                     Out[Pred - 1].end());
+      std::sort(NewIn.begin(), NewIn.end());
+      NewIn.erase(std::unique(NewIn.begin(), NewIn.end()), NewIn.end());
+      if (NewIn != In[S]) {
+        In[S] = NewIn;
+        Changed = true;
+      }
+      // OUT = (IN - defs of same var) + {S} when S defines something.
+      DefSet NewOut;
+      VarId Defined = Program.Stmts[S].Def;
+      for (BlockId D : In[S])
+        if (Defined == NoVar || Program.stmt(D).Def != Defined)
+          NewOut.push_back(D);
+      if (Defined != NoVar) {
+        NewOut.push_back(S + 1);
+        std::sort(NewOut.begin(), NewOut.end());
+      }
+      if (NewOut != Out[S]) {
+        Out[S] = std::move(NewOut);
+        Changed = true;
+      }
+    }
+  }
+
+  std::vector<DataDepEdge> Edges;
+  for (uint32_t S = 0; S < N; ++S)
+    for (VarId Use : Program.Stmts[S].Uses)
+      for (BlockId D : In[S])
+        if (Program.stmt(D).Def == Use)
+          Edges.push_back({S + 1, D, Use});
+  return Edges;
+}
+
+Figure10Program twpp::buildFigure10Program() {
+  Figure10Program Fig;
+  Fig.VarN = 0;
+  Fig.VarI = 1;
+  Fig.VarJ = 2;
+  Fig.VarX = 3;
+  Fig.VarY = 4;
+  Fig.VarZ = 5;
+
+  auto &P = Fig.Program;
+  P.Stmts.resize(14);
+  P.Succs.resize(14);
+
+  auto Set = [&P](BlockId Id, std::string Label, VarId Def,
+                  std::vector<VarId> Uses, BlockId ControlDep,
+                  bool IsPredicate, std::vector<BlockId> Succs) {
+    SliceStmt &S = P.Stmts[Id - 1];
+    S.Label = std::move(Label);
+    S.Def = Def;
+    S.Uses = std::move(Uses);
+    S.ControlDep = ControlDep;
+    S.IsPredicate = IsPredicate;
+    P.Succs[Id - 1] = std::move(Succs);
+  };
+
+  // The paper's example (Figure 10), statements numbered 1..14. The loop
+  // body statements are control dependent on the while predicate (4); the
+  // two arms of the if are control dependent on 6.
+  Set(1, "read N", Fig.VarN, {}, 0, false, {2});
+  Set(2, "I = 1", Fig.VarI, {}, 0, false, {3});
+  Set(3, "J = 0", Fig.VarJ, {}, 0, false, {4});
+  Set(4, "while I <= N", NoVar, {Fig.VarI, Fig.VarN}, 0, true, {5, 13});
+  Set(5, "read X", Fig.VarX, {}, 4, false, {6});
+  Set(6, "if X < 0", NoVar, {Fig.VarX}, 4, true, {7, 8});
+  Set(7, "Y = f1(X)", Fig.VarY, {Fig.VarX}, 6, false, {9});
+  Set(8, "Y = f2(X)", Fig.VarY, {Fig.VarX}, 6, false, {9});
+  Set(9, "Z = f3(Y)", Fig.VarZ, {Fig.VarY}, 4, false, {10});
+  Set(10, "write Z", NoVar, {Fig.VarZ}, 4, false, {11});
+  Set(11, "J = I", Fig.VarJ, {Fig.VarI}, 4, false, {12});
+  Set(12, "I = I + 1", Fig.VarI, {Fig.VarI}, 4, false, {4});
+  Set(13, "Z = Z + J", Fig.VarZ, {Fig.VarZ, Fig.VarJ}, 0, false, {14});
+  Set(14, "breakpoint", NoVar, {Fig.VarZ}, 0, false, {});
+
+  // Input (N = 3, X = -4, 3, -2): iteration 1 takes the then-arm (7),
+  // iteration 2 the else-arm (8), iteration 3 the then-arm (7).
+  Fig.Trace = {1, 2, 3,
+               4, 5, 6, 7, 9, 10, 11, 12,
+               4, 5, 6, 8, 9, 10, 11, 12,
+               4, 5, 6, 7, 9, 10, 11, 12,
+               4, 13, 14};
+  assert(Fig.Trace.size() == 30 && "figure 10 trace is 30 steps");
+  Fig.Breakpoint = 14;
+  return Fig;
+}

@@ -1,0 +1,76 @@
+//===- slicing/SliceProgram.h - Statement-level program model ---*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The statement-level program model the dynamic slicing algorithms
+/// operate on (paper Section 4.3.2). Each statement is one CFG node — as
+/// in the paper's Figure 10 example — with its defined variable, used
+/// variables, and static control dependence. Static data dependences (for
+/// Agrawal–Horgan approach 1) come from a classic iterative
+/// reaching-definitions analysis over the static CFG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_SLICING_SLICEPROGRAM_H
+#define TWPP_SLICING_SLICEPROGRAM_H
+
+#include "ir/Ir.h"
+#include "trace/Events.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace twpp {
+
+/// One statement (= one CFG node; ids are 1-based).
+struct SliceStmt {
+  std::string Label;          ///< Human-readable text for demos.
+  VarId Def = NoVar;          ///< Variable defined (NoVar for none).
+  std::vector<VarId> Uses;    ///< Variables read.
+  BlockId ControlDep = 0;     ///< Predicate statement governing this one
+                              ///< (0 = none).
+  bool IsPredicate = false;
+};
+
+/// A statement-level program: statements plus the static CFG.
+struct SliceProgram {
+  std::vector<SliceStmt> Stmts;            ///< Stmts[i] has id i+1.
+  std::vector<std::vector<BlockId>> Succs; ///< Static successors, by id-1.
+
+  uint32_t stmtCount() const { return static_cast<uint32_t>(Stmts.size()); }
+  const SliceStmt &stmt(BlockId Id) const { return Stmts[Id - 1]; }
+};
+
+/// A static data dependence edge: \p Use reads a variable that \p Def may
+/// define on some static path.
+struct DataDepEdge {
+  BlockId Use;
+  BlockId Def;
+  VarId Var;
+
+  bool operator==(const DataDepEdge &Other) const = default;
+};
+
+/// Computes may reaching-definition data dependences over the static CFG
+/// (iterative bit-vector analysis).
+std::vector<DataDepEdge> computeStaticDataDeps(const SliceProgram &Program);
+
+/// Builds the paper's Figure 10 example program (14 statements; `read N`,
+/// the `while` loop with the `if`, `Z = Z + J`, breakpoint) along with the
+/// variable ids used. The execution for input N=3, X=(-4, 3, -2) produces
+/// the paper's 30-step statement trace.
+struct Figure10Program {
+  SliceProgram Program;
+  std::vector<BlockId> Trace;  ///< The 30-step executed statement sequence.
+  VarId VarN, VarI, VarJ, VarX, VarY, VarZ;
+  BlockId Breakpoint;          ///< Statement 14.
+};
+Figure10Program buildFigure10Program();
+
+} // namespace twpp
+
+#endif // TWPP_SLICING_SLICEPROGRAM_H

@@ -1,0 +1,199 @@
+//===- slicing/WholeProgramSlicer.cpp - Interprocedural slicing -----------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slicing/WholeProgramSlicer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <set>
+
+using namespace twpp;
+
+WholeProgramTrace WholeProgramTrace::build(const Module &M,
+                                           const RawTrace &Trace) {
+  WholeProgramTrace Out;
+  Out.Bridges.reserve(M.Functions.size());
+  for (const Function &F : M.Functions)
+    Out.Bridges.push_back(buildSliceProgram(F));
+
+  // Per open frame: its id plus the call instances of the current block
+  // still waiting for their Enter event (calls run in statement order).
+  struct OpenFrame {
+    uint32_t Id;
+    std::deque<size_t> PendingCalls;
+  };
+  std::vector<OpenFrame> Stack;
+
+  for (const TraceEvent &Event : Trace.Events) {
+    switch (Event.EventKind) {
+    case TraceEvent::Kind::Enter: {
+      uint32_t FrameId = static_cast<uint32_t>(Out.Frames.size());
+      FrameInfo Info;
+      Info.Function = Event.Id;
+      if (!Stack.empty() && !Stack.back().PendingCalls.empty()) {
+        size_t CallInstance = Stack.back().PendingCalls.front();
+        Stack.back().PendingCalls.pop_front();
+        Info.CallerInstance = static_cast<int64_t>(CallInstance);
+        Out.Instances[CallInstance].CalleeFrame = FrameId;
+      }
+      Out.Frames.push_back(Info);
+      Stack.push_back({FrameId, {}});
+      break;
+    }
+    case TraceEvent::Kind::Block: {
+      assert(!Stack.empty() && "block outside any call");
+      OpenFrame &Top = Stack.back();
+      FrameInfo &Frame = Out.Frames[Top.Id];
+      const IrSliceProgram &Bridge = Out.Bridges[Frame.Function];
+      // A new block begins: earlier pending calls (if any) belong to
+      // enters that never came — clear defensively.
+      Top.PendingCalls.clear();
+      for (BlockId Node : Bridge.NodesOfBlock[Event.Id - 1]) {
+        Instance Inst;
+        Inst.Frame = Top.Id;
+        Inst.Function = Frame.Function;
+        Inst.Node = Node;
+        size_t Index = Out.Instances.size();
+        Out.Instances.push_back(Inst);
+        if (Bridge.Kinds[Node - 1] == IrSliceProgram::NodeKind::Call)
+          Top.PendingCalls.push_back(Index);
+        if (Bridge.Kinds[Node - 1] == IrSliceProgram::NodeKind::Return)
+          Frame.ReturnInstance = static_cast<int64_t>(Index);
+      }
+      break;
+    }
+    case TraceEvent::Kind::Exit:
+      assert(!Stack.empty() && "exit outside any call");
+      Stack.pop_back();
+      break;
+    }
+  }
+  return Out;
+}
+
+int64_t WholeProgramTrace::lastInstanceOf(GlobalNode Target) const {
+  for (size_t I = Instances.size(); I-- > 0;)
+    if (Instances[I].Function == Target.Function &&
+        Instances[I].Node == Target.Node)
+      return static_cast<int64_t>(I);
+  return -1;
+}
+
+bool GlobalSliceResult::contains(GlobalNode Node) const {
+  return std::binary_search(Nodes.begin(), Nodes.end(), Node);
+}
+
+GlobalSliceResult twpp::sliceWholeProgram(const WholeProgramTrace &Trace,
+                                          const Module &M,
+                                          size_t InstanceIndex, VarId Var) {
+  const auto &Instances = Trace.instances();
+  const auto &Frames = Trace.frames();
+
+  GlobalSliceResult Result;
+  std::set<GlobalNode> Slice;
+  std::set<std::pair<size_t, VarId>> VisitedQueries;
+  std::set<size_t> VisitedInstances;
+  // A query searches for the definition of a variable reaching (strictly
+  // before) an instance, within that instance's frame.
+  std::deque<std::pair<size_t, VarId>> Queries;
+  std::deque<size_t> NewInstances;
+
+  auto EnqueueQuery = [&](size_t At, VarId V) {
+    if (VisitedQueries.insert({At, V}).second) {
+      Queries.push_back({At, V});
+      ++Result.QueriesGenerated;
+    }
+  };
+  /// Brings an executed instance into the slice; its own dependencies
+  /// are scheduled via NewInstances.
+  auto AddInstance = [&](size_t At) {
+    Slice.insert({Instances[At].Function, Instances[At].Node});
+    if (VisitedInstances.insert(At).second)
+      NewInstances.push_back(At);
+  };
+
+  /// Most recent instance of frame-local node \p Node before \p At
+  /// within the same frame, or -1.
+  auto LastFrameInstanceOf = [&](size_t At, BlockId Node) -> int64_t {
+    uint32_t Frame = Instances[At].Frame;
+    for (size_t J = At; J-- > 0;)
+      if (Instances[J].Frame == Frame && Instances[J].Node == Node)
+        return static_cast<int64_t>(J);
+    return -1;
+  };
+
+  assert(InstanceIndex < Instances.size() && "instance out of range");
+  Slice.insert({Instances[InstanceIndex].Function,
+                Instances[InstanceIndex].Node});
+  EnqueueQuery(InstanceIndex, Var);
+  {
+    const WholeProgramTrace::Instance &Inst = Instances[InstanceIndex];
+    const SliceProgram &P = Trace.bridgeOf(Inst.Function).Program;
+    if (BlockId Ctrl = P.stmt(Inst.Node).ControlDep; Ctrl != 0) {
+      int64_t CtrlAt = LastFrameInstanceOf(InstanceIndex, Ctrl);
+      if (CtrlAt >= 0)
+        AddInstance(static_cast<size_t>(CtrlAt));
+    }
+  }
+
+  while (!Queries.empty() || !NewInstances.empty()) {
+    while (!NewInstances.empty()) {
+      size_t At = NewInstances.front();
+      NewInstances.pop_front();
+      const WholeProgramTrace::Instance &Inst = Instances[At];
+      const IrSliceProgram &Bridge = Trace.bridgeOf(Inst.Function);
+      const SliceStmt &S = Bridge.Program.stmt(Inst.Node);
+      for (VarId Use : S.Uses)
+        EnqueueQuery(At, Use);
+      if (S.ControlDep != 0) {
+        int64_t CtrlAt = LastFrameInstanceOf(At, S.ControlDep);
+        if (CtrlAt >= 0)
+          AddInstance(static_cast<size_t>(CtrlAt));
+      }
+      // A call instance in the slice pulls in the callee's returned
+      // value provenance.
+      if (Bridge.Kinds[Inst.Node - 1] == IrSliceProgram::NodeKind::Call &&
+          S.Def != NoVar && Inst.CalleeFrame >= 0) {
+        int64_t Ret = Frames[Inst.CalleeFrame].ReturnInstance;
+        if (Ret >= 0)
+          AddInstance(static_cast<size_t>(Ret));
+      }
+    }
+    if (Queries.empty())
+      break;
+    auto [At, V] = Queries.front();
+    Queries.pop_front();
+
+    const WholeProgramTrace::Instance &Inst = Instances[At];
+    // Frame-local definition search.
+    int64_t Def = -1;
+    for (size_t J = At; J-- > 0;) {
+      if (Instances[J].Frame != Inst.Frame)
+        continue;
+      const SliceProgram &P = Trace.bridgeOf(Instances[J].Function).Program;
+      if (P.stmt(Instances[J].Node).Def == V) {
+        Def = static_cast<int64_t>(J);
+        break;
+      }
+    }
+    if (Def >= 0) {
+      AddInstance(static_cast<size_t>(Def));
+      continue;
+    }
+    // No local definition: a parameter's value flows from the caller's
+    // argument expression at the linked call instance.
+    const Function &F = M.Functions[Inst.Function];
+    bool IsParam =
+        std::find(F.Params.begin(), F.Params.end(), V) != F.Params.end();
+    int64_t Caller = Frames[Inst.Frame].CallerInstance;
+    if (IsParam && Caller >= 0)
+      AddInstance(static_cast<size_t>(Caller));
+  }
+
+  Result.Nodes.assign(Slice.begin(), Slice.end());
+  return Result;
+}

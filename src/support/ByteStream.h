@@ -1,0 +1,207 @@
+//===- support/ByteStream.h - Binary encode/decode helpers ------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Growable byte buffer writer and bounds-checked reader with LEB128-style
+/// variable-length integer and zigzag codecs. Every on-disk structure in the
+/// library (traces, archives, grammars) is built on these primitives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_SUPPORT_BYTESTREAM_H
+#define TWPP_SUPPORT_BYTESTREAM_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace twpp {
+
+/// Maps signed integers onto unsigned ones so small magnitudes stay small
+/// when varint-encoded (-1 -> 1, 1 -> 2, -2 -> 3, ...).
+inline uint64_t zigzagEncode(int64_t Value) {
+  return (static_cast<uint64_t>(Value) << 1) ^
+         static_cast<uint64_t>(Value >> 63);
+}
+
+/// Inverse of zigzagEncode.
+inline int64_t zigzagDecode(uint64_t Value) {
+  return static_cast<int64_t>(Value >> 1) ^ -static_cast<int64_t>(Value & 1);
+}
+
+/// Append-only binary writer over a growable byte vector.
+class ByteWriter {
+public:
+  /// Appends one raw byte.
+  void writeByte(uint8_t Byte) { Bytes.push_back(Byte); }
+
+  /// Appends \p Size raw bytes from \p Data.
+  void writeBytes(const void *Data, size_t Size) {
+    const uint8_t *Ptr = static_cast<const uint8_t *>(Data);
+    Bytes.insert(Bytes.end(), Ptr, Ptr + Size);
+  }
+
+  /// Appends an unsigned LEB128-encoded integer (1-10 bytes).
+  void writeVarUint(uint64_t Value) {
+    while (Value >= 0x80) {
+      Bytes.push_back(static_cast<uint8_t>(Value) | 0x80);
+      Value >>= 7;
+    }
+    Bytes.push_back(static_cast<uint8_t>(Value));
+  }
+
+  /// Appends a zigzag + LEB128 encoded signed integer.
+  void writeVarInt(int64_t Value) { writeVarUint(zigzagEncode(Value)); }
+
+  /// Appends a length-prefixed string.
+  void writeString(const std::string &Str) {
+    writeVarUint(Str.size());
+    writeBytes(Str.data(), Str.size());
+  }
+
+  /// Appends a fixed-width little-endian 32-bit value (used where a field
+  /// must be patched after the fact, e.g. archive offsets).
+  void writeFixed32(uint32_t Value) {
+    for (int I = 0; I < 4; ++I)
+      Bytes.push_back(static_cast<uint8_t>(Value >> (8 * I)));
+  }
+
+  /// Appends a fixed-width little-endian 64-bit value.
+  void writeFixed64(uint64_t Value) {
+    for (int I = 0; I < 8; ++I)
+      Bytes.push_back(static_cast<uint8_t>(Value >> (8 * I)));
+  }
+
+  /// Overwrites a previously written fixed-width 64-bit value at \p Offset.
+  void patchFixed64(size_t Offset, uint64_t Value) {
+    assert(Offset + 8 <= Bytes.size() && "patch out of range");
+    for (int I = 0; I < 8; ++I)
+      Bytes[Offset + I] = static_cast<uint8_t>(Value >> (8 * I));
+  }
+
+  size_t size() const { return Bytes.size(); }
+  bool empty() const { return Bytes.empty(); }
+  const std::vector<uint8_t> &bytes() const { return Bytes; }
+
+  /// Moves the accumulated buffer out of the writer.
+  std::vector<uint8_t> take() { return std::move(Bytes); }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+/// Bounds-checked reader over an immutable byte span. Out-of-range reads
+/// latch an error flag instead of invoking undefined behaviour; callers
+/// check hasError() (or valid()) once per logical structure.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+  explicit ByteReader(const std::vector<uint8_t> &Bytes)
+      : Data(Bytes.data()), Size(Bytes.size()) {}
+
+  /// Reads one raw byte; returns 0 and sets the error flag when exhausted.
+  uint8_t readByte() {
+    if (Pos >= Size) {
+      Error = true;
+      return 0;
+    }
+    return Data[Pos++];
+  }
+
+  /// Reads \p OutSize raw bytes into \p Out.
+  void readBytes(void *Out, size_t OutSize) {
+    if (Pos + OutSize > Size) {
+      Error = true;
+      std::memset(Out, 0, OutSize);
+      return;
+    }
+    std::memcpy(Out, Data + Pos, OutSize);
+    Pos += OutSize;
+  }
+
+  /// Reads an unsigned LEB128-encoded integer.
+  uint64_t readVarUint() {
+    uint64_t Result = 0;
+    unsigned Shift = 0;
+    while (true) {
+      if (Pos >= Size || Shift >= 64) {
+        Error = true;
+        return 0;
+      }
+      uint8_t Byte = Data[Pos++];
+      Result |= static_cast<uint64_t>(Byte & 0x7F) << Shift;
+      if (!(Byte & 0x80))
+        return Result;
+      Shift += 7;
+    }
+  }
+
+  /// Reads a zigzag + LEB128 encoded signed integer.
+  int64_t readVarInt() { return zigzagDecode(readVarUint()); }
+
+  /// Reads a length-prefixed string.
+  std::string readString() {
+    uint64_t Len = readVarUint();
+    if (Pos + Len > Size) {
+      Error = true;
+      return std::string();
+    }
+    std::string Result(reinterpret_cast<const char *>(Data + Pos), Len);
+    Pos += Len;
+    return Result;
+  }
+
+  /// Reads a fixed-width little-endian 32-bit value.
+  uint32_t readFixed32() {
+    uint32_t Result = 0;
+    if (Pos + 4 > Size) {
+      Error = true;
+      return 0;
+    }
+    for (int I = 0; I < 4; ++I)
+      Result |= static_cast<uint32_t>(Data[Pos++]) << (8 * I);
+    return Result;
+  }
+
+  /// Reads a fixed-width little-endian 64-bit value.
+  uint64_t readFixed64() {
+    uint64_t Result = 0;
+    if (Pos + 8 > Size) {
+      Error = true;
+      return 0;
+    }
+    for (int I = 0; I < 8; ++I)
+      Result |= static_cast<uint64_t>(Data[Pos++]) << (8 * I);
+    return Result;
+  }
+
+  /// Repositions the read cursor (used for index-directed seeks).
+  void seek(size_t NewPos) {
+    if (NewPos > Size) {
+      Error = true;
+      return;
+    }
+    Pos = NewPos;
+  }
+
+  size_t position() const { return Pos; }
+  size_t remaining() const { return Size - Pos; }
+  bool atEnd() const { return Pos >= Size; }
+  bool hasError() const { return Error; }
+  bool valid() const { return !Error; }
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Error = false;
+};
+
+} // namespace twpp
+
+#endif // TWPP_SUPPORT_BYTESTREAM_H

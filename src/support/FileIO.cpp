@@ -1,0 +1,71 @@
+//===- support/FileIO.cpp - Whole-file read/write helpers -----------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileIO.h"
+
+#include <cstdio>
+
+using namespace twpp;
+
+bool twpp::writeFileBytes(const std::string &Path,
+                          const std::vector<uint8_t> &Bytes) {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  size_t Written =
+      Bytes.empty() ? 0 : std::fwrite(Bytes.data(), 1, Bytes.size(), File);
+  bool Ok = Written == Bytes.size() && std::fclose(File) == 0;
+  if (Written != Bytes.size())
+    std::remove(Path.c_str());
+  return Ok;
+}
+
+bool twpp::readFileBytes(const std::string &Path,
+                         std::vector<uint8_t> &Bytes) {
+  Bytes.clear();
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  std::fseek(File, 0, SEEK_END);
+  long Size = std::ftell(File);
+  if (Size < 0) {
+    std::fclose(File);
+    return false;
+  }
+  std::fseek(File, 0, SEEK_SET);
+  Bytes.resize(static_cast<size_t>(Size));
+  size_t Read =
+      Bytes.empty() ? 0 : std::fread(Bytes.data(), 1, Bytes.size(), File);
+  std::fclose(File);
+  return Read == Bytes.size();
+}
+
+bool twpp::readFileSlice(const std::string &Path, uint64_t Offset,
+                         uint64_t Length, std::vector<uint8_t> &Bytes) {
+  Bytes.clear();
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  if (std::fseek(File, static_cast<long>(Offset), SEEK_SET) != 0) {
+    std::fclose(File);
+    return false;
+  }
+  Bytes.resize(static_cast<size_t>(Length));
+  size_t Read =
+      Bytes.empty() ? 0 : std::fread(Bytes.data(), 1, Bytes.size(), File);
+  std::fclose(File);
+  return Read == Bytes.size();
+}
+
+uint64_t twpp::fileSize(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return 0;
+  std::fseek(File, 0, SEEK_END);
+  long Size = std::ftell(File);
+  std::fclose(File);
+  return Size < 0 ? 0 : static_cast<uint64_t>(Size);
+}

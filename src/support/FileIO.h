@@ -1,0 +1,42 @@
+//===- support/FileIO.h - Whole-file read/write helpers ---------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-vector file IO used by the trace/archive formats and the access-time
+/// experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_SUPPORT_FILEIO_H
+#define TWPP_SUPPORT_FILEIO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace twpp {
+
+/// Writes \p Bytes to \p Path, replacing any existing file.
+/// \returns true on success.
+bool writeFileBytes(const std::string &Path,
+                    const std::vector<uint8_t> &Bytes);
+
+/// Reads the entire file at \p Path into \p Bytes.
+/// \returns true on success.
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Bytes);
+
+/// Reads \p Length bytes starting at \p Offset from the file at \p Path.
+/// Used by the indexed archive reader to pull a single function's block
+/// without touching the rest of the file. \returns true on success.
+bool readFileSlice(const std::string &Path, uint64_t Offset, uint64_t Length,
+                   std::vector<uint8_t> &Bytes);
+
+/// Returns the file size, or 0 when the file cannot be inspected.
+uint64_t fileSize(const std::string &Path);
+
+} // namespace twpp
+
+#endif // TWPP_SUPPORT_FILEIO_H

@@ -1,0 +1,147 @@
+//===- support/LZW.cpp - Welch's adaptive dictionary codec ----------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LZW.h"
+
+#include "support/ByteStream.h"
+
+#include <unordered_map>
+
+using namespace twpp;
+
+namespace {
+
+/// Encoder dictionary key: (prefix code, next byte) packed into 64 bits.
+uint64_t packKey(uint32_t PrefixCode, uint8_t Byte) {
+  return (static_cast<uint64_t>(PrefixCode) << 8) | Byte;
+}
+
+/// Decoder-side dictionary entry. Entries 0-255 are the implicit single
+/// byte roots; later entries chain back through Prefix.
+struct DecodeEntry {
+  uint32_t Prefix;   ///< Code of the string this entry extends.
+  uint8_t LastByte;  ///< Byte appended to the prefix string.
+  uint8_t FirstByte; ///< First byte of the full string (for KwKwK).
+  uint32_t Length;   ///< Full expanded length.
+};
+
+} // namespace
+
+std::vector<uint8_t> twpp::lzwCompress(const std::vector<uint8_t> &Input) {
+  ByteWriter Writer;
+  if (Input.empty())
+    return Writer.take();
+
+  // Codes 0-255 are the single-byte strings; new codes start at 256.
+  std::unordered_map<uint64_t, uint32_t> Dict;
+  Dict.reserve(1u << 16);
+  uint32_t NextCode = 256;
+
+  uint32_t Current = Input[0];
+  for (size_t I = 1, E = Input.size(); I != E; ++I) {
+    uint8_t Byte = Input[I];
+    auto It = Dict.find(packKey(Current, Byte));
+    if (It != Dict.end()) {
+      Current = It->second;
+      continue;
+    }
+    Writer.writeVarUint(Current);
+    if (NextCode < LZWMaxDictSize)
+      Dict.emplace(packKey(Current, Byte), NextCode++);
+    Current = Byte;
+  }
+  Writer.writeVarUint(Current);
+  return Writer.take();
+}
+
+bool twpp::lzwDecompress(const std::vector<uint8_t> &Input,
+                         std::vector<uint8_t> &Output) {
+  Output.clear();
+  if (Input.empty())
+    return true;
+
+  ByteReader Reader(Input);
+  std::vector<DecodeEntry> Dict;
+  Dict.reserve(1u << 16);
+
+  // Expands code \p Code to the end of Output. Returns false on a bad code.
+  auto Expand = [&Dict, &Output](uint32_t Code) -> bool {
+    if (Code < 256) {
+      Output.push_back(static_cast<uint8_t>(Code));
+      return true;
+    }
+    uint32_t Index = Code - 256;
+    if (Index >= Dict.size())
+      return false;
+    const DecodeEntry &Entry = Dict[Index];
+    size_t Start = Output.size();
+    Output.resize(Start + Entry.Length);
+    size_t Pos = Start + Entry.Length;
+    uint32_t Walk = Code;
+    while (Walk >= 256) {
+      const DecodeEntry &E = Dict[Walk - 256];
+      Output[--Pos] = E.LastByte;
+      Walk = E.Prefix;
+    }
+    Output[--Pos] = static_cast<uint8_t>(Walk);
+    return true;
+  };
+
+  auto FirstByteOf = [&Dict](uint32_t Code) -> uint8_t {
+    if (Code < 256)
+      return static_cast<uint8_t>(Code);
+    return Dict[Code - 256].FirstByte;
+  };
+
+  auto LengthOf = [&Dict](uint32_t Code) -> uint32_t {
+    if (Code < 256)
+      return 1;
+    return Dict[Code - 256].Length;
+  };
+
+  uint64_t First = Reader.readVarUint();
+  if (Reader.hasError() || First >= 256) {
+    Output.clear();
+    return false;
+  }
+  uint32_t Previous = static_cast<uint32_t>(First);
+  Output.push_back(static_cast<uint8_t>(Previous));
+
+  while (!Reader.atEnd()) {
+    uint64_t Raw = Reader.readVarUint();
+    if (Reader.hasError()) {
+      Output.clear();
+      return false;
+    }
+    uint32_t Code = static_cast<uint32_t>(Raw);
+    uint32_t NextCode = 256 + static_cast<uint32_t>(Dict.size());
+
+    if (Code == NextCode && NextCode < LZWMaxDictSize) {
+      // KwKwK: the code being defined right now. Its expansion is the
+      // previous string plus that string's first byte.
+      Dict.push_back({Previous, FirstByteOf(Previous), FirstByteOf(Previous),
+                      LengthOf(Previous) + 1});
+      if (!Expand(Code)) {
+        Output.clear();
+        return false;
+      }
+    } else {
+      if (Code >= 256 && Code - 256 >= Dict.size()) {
+        Output.clear();
+        return false;
+      }
+      if (NextCode < LZWMaxDictSize)
+        Dict.push_back({Previous, FirstByteOf(Code), FirstByteOf(Previous),
+                        LengthOf(Previous) + 1});
+      if (!Expand(Code)) {
+        Output.clear();
+        return false;
+      }
+    }
+    Previous = Code;
+  }
+  return true;
+}

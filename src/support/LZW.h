@@ -1,0 +1,41 @@
+//===- support/LZW.h - Welch's adaptive dictionary codec --------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LZW compression (Welch's variation of the Ziv-Lempel adaptive dictionary
+/// scheme). The paper compresses the serialized dynamic call graph with LZW
+/// (Section 2, "Compacting the DCG"); this is that codec.
+///
+/// Codes are emitted as LEB128 varints, so the code width grows organically
+/// with the dictionary instead of using a fixed bit width. The dictionary is
+/// capped at MaxDictSize entries and frozen thereafter, which bounds memory
+/// on adversarial inputs while staying deterministic between encode/decode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_SUPPORT_LZW_H
+#define TWPP_SUPPORT_LZW_H
+
+#include <cstdint>
+#include <vector>
+
+namespace twpp {
+
+/// Compresses \p Input with LZW; the result decompresses back byte-exact
+/// with lzwDecompress. Empty input yields empty output.
+std::vector<uint8_t> lzwCompress(const std::vector<uint8_t> &Input);
+
+/// Inverse of lzwCompress. Returns false (and clears \p Output) when the
+/// code stream is malformed.
+bool lzwDecompress(const std::vector<uint8_t> &Input,
+                   std::vector<uint8_t> &Output);
+
+/// Dictionary growth cap shared by the encoder and the decoder.
+inline constexpr uint32_t LZWMaxDictSize = 1u << 20;
+
+} // namespace twpp
+
+#endif // TWPP_SUPPORT_LZW_H

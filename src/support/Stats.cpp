@@ -1,0 +1,34 @@
+//===- support/Stats.cpp - Small numeric summaries ------------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <cstdio>
+
+using namespace twpp;
+
+std::string twpp::formatDouble(double Value, int Digits) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Digits, Value);
+  return Buffer;
+}
+
+std::string twpp::formatBytes(uint64_t Bytes) {
+  if (Bytes < 1024)
+    return std::to_string(Bytes) + " B";
+  double Value = static_cast<double>(Bytes);
+  const char *Units[] = {"KB", "MB", "GB"};
+  int Unit = -1;
+  while (Value >= 1024.0 && Unit < 2) {
+    Value /= 1024.0;
+    ++Unit;
+  }
+  return formatDouble(Value, Value < 10 ? 2 : 1) + " " + Units[Unit];
+}
+
+std::string twpp::formatFactor(double Factor) {
+  return "x" + formatDouble(Factor, 2);
+}

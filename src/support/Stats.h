@@ -1,0 +1,56 @@
+//===- support/Stats.h - Small numeric summaries ----------------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accumulators and formatting helpers shared by the experiment harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_SUPPORT_STATS_H
+#define TWPP_SUPPORT_STATS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace twpp {
+
+/// Streaming min/max/mean accumulator.
+class RunningStats {
+public:
+  /// Folds one sample into the summary.
+  void add(double Sample) {
+    ++Count;
+    Sum += Sample;
+    Min = Count == 1 ? Sample : std::min(Min, Sample);
+    Max = Count == 1 ? Sample : std::max(Max, Sample);
+  }
+
+  uint64_t count() const { return Count; }
+  double sum() const { return Sum; }
+  double mean() const { return Count == 0 ? 0.0 : Sum / Count; }
+  double min() const { return Min; }
+  double max() const { return Max; }
+
+private:
+  uint64_t Count = 0;
+  double Sum = 0;
+  double Min = 0;
+  double Max = 0;
+};
+
+/// Formats a byte count as a human-friendly string ("12.4 KB", "3.1 MB").
+std::string formatBytes(uint64_t Bytes);
+
+/// Formats a ratio as the paper prints compaction factors ("x6.30").
+std::string formatFactor(double Factor);
+
+/// Formats a double with \p Digits fractional digits.
+std::string formatDouble(double Value, int Digits);
+
+} // namespace twpp
+
+#endif // TWPP_SUPPORT_STATS_H

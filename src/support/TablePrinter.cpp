@@ -1,0 +1,52 @@
+//===- support/TablePrinter.cpp - Fixed-width console tables --------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace twpp;
+
+std::string TablePrinter::render() const {
+  std::string Out;
+  Out += "== " + Title + " ==\n";
+  if (Rows.empty())
+    return Out;
+
+  size_t Columns = 0;
+  for (const auto &Row : Rows)
+    Columns = std::max(Columns, Row.size());
+
+  std::vector<size_t> Widths(Columns, 0);
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto EmitRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C < Columns; ++C) {
+      const std::string Cell = C < Row.size() ? Row[C] : "";
+      Out += Cell;
+      if (C + 1 != Columns)
+        Out += std::string(Widths[C] - Cell.size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  EmitRow(Rows.front());
+  size_t RuleWidth = 0;
+  for (size_t C = 0; C < Columns; ++C)
+    RuleWidth += Widths[C] + (C + 1 != Columns ? 2 : 0);
+  Out += std::string(RuleWidth, '-') + "\n";
+  for (size_t R = 1; R < Rows.size(); ++R)
+    EmitRow(Rows[R]);
+  return Out;
+}
+
+void TablePrinter::print() const {
+  std::string Text = render();
+  std::fwrite(Text.data(), 1, Text.size(), stdout);
+}

@@ -1,0 +1,47 @@
+//===- support/TablePrinter.h - Fixed-width console tables ------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aligned console table output. Every bench binary prints its table/figure
+/// through this so the harness output is uniform and diffable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_SUPPORT_TABLEPRINTER_H
+#define TWPP_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace twpp {
+
+/// Collects rows of strings and prints them with per-column alignment.
+/// The first added row is the header; a rule is drawn beneath it.
+class TablePrinter {
+public:
+  /// Sets the table caption printed above the header.
+  explicit TablePrinter(std::string Title) : Title(std::move(Title)) {}
+
+  /// Appends one row. All rows should have the same arity as the header;
+  /// short rows are padded with empty cells.
+  void addRow(std::vector<std::string> Cells) {
+    Rows.push_back(std::move(Cells));
+  }
+
+  /// Renders the table to stdout.
+  void print() const;
+
+  /// Renders the table into a string (used by tests).
+  std::string render() const;
+
+private:
+  std::string Title;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace twpp
+
+#endif // TWPP_SUPPORT_TABLEPRINTER_H

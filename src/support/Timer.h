@@ -1,0 +1,46 @@
+//===- support/Timer.h - Wall-clock measurement helpers ---------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic stopwatch used by the access-time experiments (Tables 4 and 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_SUPPORT_TIMER_H
+#define TWPP_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace twpp {
+
+/// Stopwatch over the steady clock; starts on construction.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed time since construction/reset in milliseconds.
+  double elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+        .count();
+  }
+
+  /// Elapsed time since construction/reset in microseconds.
+  double elapsedUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - Start)
+        .count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace twpp
+
+#endif // TWPP_SUPPORT_TIMER_H

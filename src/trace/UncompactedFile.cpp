@@ -1,0 +1,113 @@
+//===- trace/UncompactedFile.cpp - Linear on-disk WPP (OWPP) --------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/UncompactedFile.h"
+
+#include "support/ByteStream.h"
+#include "support/FileIO.h"
+
+using namespace twpp;
+
+namespace {
+constexpr uint32_t OWPPMagic = 0x4F575050; // "OWPP"
+constexpr uint32_t OWPPVersion = 1;
+} // namespace
+
+std::vector<uint8_t> twpp::encodeUncompactedTrace(const RawTrace &Trace) {
+  ByteWriter Writer;
+  Writer.writeFixed32(OWPPMagic);
+  Writer.writeVarUint(OWPPVersion);
+  Writer.writeVarUint(Trace.FunctionCount);
+  Writer.writeVarUint(Trace.Events.size());
+  for (const TraceEvent &Event : Trace.Events)
+    Writer.writeVarUint((static_cast<uint64_t>(Event.Id) << 2) |
+                        static_cast<uint64_t>(Event.EventKind));
+  return Writer.take();
+}
+
+bool twpp::decodeUncompactedTrace(const std::vector<uint8_t> &Bytes,
+                                  RawTrace &Trace) {
+  Trace = RawTrace();
+  ByteReader Reader(Bytes);
+  if (Reader.readFixed32() != OWPPMagic)
+    return false;
+  if (Reader.readVarUint() != OWPPVersion)
+    return false;
+  Trace.FunctionCount = static_cast<uint32_t>(Reader.readVarUint());
+  uint64_t EventCount = Reader.readVarUint();
+  // Each event costs at least one byte; reject impossible counts before
+  // reserving.
+  if (Reader.hasError() || EventCount > Bytes.size())
+    return false;
+  Trace.Events.reserve(EventCount);
+  for (uint64_t I = 0; I != EventCount; ++I) {
+    uint64_t Packed = Reader.readVarUint();
+    if (Reader.hasError())
+      return false;
+    uint8_t KindBits = static_cast<uint8_t>(Packed & 3);
+    if (KindBits > 2)
+      return false;
+    Trace.Events.push_back({static_cast<TraceEvent::Kind>(KindBits),
+                            static_cast<uint32_t>(Packed >> 2)});
+  }
+  return Reader.valid();
+}
+
+bool twpp::writeUncompactedTraceFile(const std::string &Path,
+                                     const RawTrace &Trace) {
+  return writeFileBytes(Path, encodeUncompactedTrace(Trace));
+}
+
+bool twpp::readUncompactedTraceFile(const std::string &Path,
+                                    RawTrace &Trace) {
+  std::vector<uint8_t> Bytes;
+  if (!readFileBytes(Path, Bytes))
+    return false;
+  return decodeUncompactedTrace(Bytes, Trace);
+}
+
+void twpp::extractFunctionTraces(
+    const RawTrace &Trace, FunctionId Function,
+    std::vector<std::vector<BlockId>> &Traces) {
+  Traces.clear();
+  // Frames of the dynamic call stack; each frame remembers whether it is an
+  // invocation of the target and, if so, which output trace it fills.
+  struct Frame {
+    bool IsTarget;
+    size_t TraceIndex;
+  };
+  std::vector<Frame> Stack;
+  for (const TraceEvent &Event : Trace.Events) {
+    switch (Event.EventKind) {
+    case TraceEvent::Kind::Enter:
+      if (Event.Id == Function) {
+        Stack.push_back({true, Traces.size()});
+        Traces.emplace_back();
+      } else {
+        Stack.push_back({false, 0});
+      }
+      break;
+    case TraceEvent::Kind::Block:
+      if (!Stack.empty() && Stack.back().IsTarget)
+        Traces[Stack.back().TraceIndex].push_back(Event.Id);
+      break;
+    case TraceEvent::Kind::Exit:
+      if (!Stack.empty())
+        Stack.pop_back();
+      break;
+    }
+  }
+}
+
+bool twpp::extractFunctionTracesFromFile(
+    const std::string &Path, FunctionId Function,
+    std::vector<std::vector<BlockId>> &Traces) {
+  RawTrace Trace;
+  if (!readUncompactedTraceFile(Path, Trace))
+    return false;
+  extractFunctionTraces(Trace, Function, Traces);
+  return true;
+}

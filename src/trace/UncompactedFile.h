@@ -1,0 +1,57 @@
+//===- trace/UncompactedFile.h - Linear on-disk WPP (OWPP) ------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "original WPP" (OWPP) on-disk representation: the raw event stream
+/// stored linearly, exactly as the instrumented program emitted it. This is
+/// the baseline whose size appears in Table 1 and whose per-function
+/// extraction cost appears in column U of Table 4 — extracting one
+/// function's path traces requires scanning the entire file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_TRACE_UNCOMPACTEDFILE_H
+#define TWPP_TRACE_UNCOMPACTEDFILE_H
+
+#include "trace/Events.h"
+
+#include <string>
+#include <vector>
+
+namespace twpp {
+
+/// Serializes \p Trace into the OWPP byte format.
+std::vector<uint8_t> encodeUncompactedTrace(const RawTrace &Trace);
+
+/// Parses an OWPP byte buffer back into a RawTrace.
+/// \returns false when the buffer is malformed.
+bool decodeUncompactedTrace(const std::vector<uint8_t> &Bytes,
+                            RawTrace &Trace);
+
+/// Writes \p Trace to \p Path in OWPP format. \returns true on success.
+bool writeUncompactedTraceFile(const std::string &Path,
+                               const RawTrace &Trace);
+
+/// Reads an OWPP file back into \p Trace. \returns true on success.
+bool readUncompactedTraceFile(const std::string &Path, RawTrace &Trace);
+
+/// Extracts every path trace of \p Function from an OWPP file by scanning
+/// the whole event stream (there is no index — this is the point of the
+/// access-time comparison). A path trace is the sequence of basic blocks
+/// executed by one invocation, excluding blocks run by nested calls.
+/// \returns false on IO or format errors.
+bool extractFunctionTracesFromFile(const std::string &Path,
+                                   FunctionId Function,
+                                   std::vector<std::vector<BlockId>> &Traces);
+
+/// In-memory variant of extractFunctionTracesFromFile, shared by tests and
+/// by the file-based path.
+void extractFunctionTraces(const RawTrace &Trace, FunctionId Function,
+                           std::vector<std::vector<BlockId>> &Traces);
+
+} // namespace twpp
+
+#endif // TWPP_TRACE_UNCOMPACTEDFILE_H

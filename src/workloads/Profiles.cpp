@@ -1,0 +1,146 @@
+//===- workloads/Profiles.cpp - The five paper benchmark profiles ---------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+// Parameter choices mirror the qualitative shape of each SPECint95
+// benchmark as the paper's tables report it:
+//
+//   099.go    — large functions, many distinct paths per function (the
+//               flattest redundancy CDF of Figure 8), traces dominate.
+//   126.gcc   — the most functions; wide spread of unique-trace counts;
+//               largest overall WPP, sizeable DCG share.
+//   130.li    — interpreter: small functions, very high call counts, few
+//               unique paths each => DCG-heavy, strong redundancy removal.
+//   132.ijpeg — loop kernels: long, regular traces; tiny DCG share; best
+//               DBB/series compaction of the trace bytes.
+//   134.perl  — extremely regular: couple of hot paths per function =>
+//               extreme redundancy + series compaction (the paper's x85
+//               TWPP factor and x64 overall).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+using namespace twpp;
+
+std::vector<WorkloadProfile> twpp::paperProfiles() {
+  std::vector<WorkloadProfile> Profiles;
+
+  {
+    WorkloadProfile P;
+    P.Name = "099.go";
+    P.Seed = 0x60601;
+    P.FunctionCount = 60;
+    P.MinBlocks = 24;
+    P.MaxBlocks = 90;
+    P.LoopDensity = 0.25;
+    P.IfDensity = 0.5;
+    P.CallDensity = 0.22;
+    P.PathPoolMin = 16;
+    P.PathPoolMax = 420;
+    P.PoolSkew = 0.45;
+    P.BranchConsistency = 0.4;
+    P.LoopContinueProb = 0.62;
+    P.MaxPathLength = 700;
+    P.TargetCalls = 52000;
+    P.MainCallSites = 12;
+    Profiles.push_back(P);
+  }
+  {
+    WorkloadProfile P;
+    P.Name = "126.gcc";
+    P.Seed = 0x6CC02;
+    P.FunctionCount = 240;
+    P.MinBlocks = 12;
+    P.MaxBlocks = 70;
+    P.LoopDensity = 0.28;
+    P.IfDensity = 0.45;
+    P.CallDensity = 0.3;
+    P.PathPoolMin = 8;
+    P.PathPoolMax = 260;
+    P.PoolSkew = 0.35;
+    P.BranchConsistency = 0.75;
+    P.LoopContinueProb = 0.72;
+    P.MaxPathLength = 420;
+    P.TargetCalls = 130000;
+    P.MainCallSites = 16;
+    Profiles.push_back(P);
+  }
+  {
+    WorkloadProfile P;
+    P.Name = "130.li";
+    P.Seed = 0x11003;
+    P.FunctionCount = 80;
+    P.MinBlocks = 4;
+    P.MaxBlocks = 14;
+    P.LoopDensity = 0.12;
+    P.IfDensity = 0.5;
+    P.CallDensity = 0.4;
+    P.PathPoolMin = 1;
+    P.PathPoolMax = 6;
+    P.PoolSkew = 1.5;
+    P.BranchConsistency = 0.5;
+    P.LoopContinueProb = 0.5;
+    P.MaxPathLength = 200;
+    P.TargetCalls = 110000;
+    P.MainCallSites = 10;
+    Profiles.push_back(P);
+  }
+  {
+    WorkloadProfile P;
+    P.Name = "132.ijpeg";
+    P.Seed = 0x13404;
+    P.FunctionCount = 48;
+    P.MinBlocks = 16;
+    P.MaxBlocks = 60;
+    P.LoopDensity = 0.5;
+    P.IfDensity = 0.3;
+    P.CallDensity = 0.12;
+    P.PathPoolMin = 6;
+    P.PathPoolMax = 60;
+    P.PoolSkew = 0.8;
+    P.BranchConsistency = 0.85;
+    P.LoopContinueProb = 0.88;
+    P.LoopTripCap = 80;
+    P.MaxPathLength = 1500;
+    P.TargetCalls = 15000;
+    P.MainCallSites = 8;
+    Profiles.push_back(P);
+  }
+  {
+    WorkloadProfile P;
+    P.Name = "134.perl";
+    P.Seed = 0x9E105;
+    P.FunctionCount = 40;
+    P.MinBlocks = 6;
+    P.MaxBlocks = 20;
+    P.LoopDensity = 0.45;
+    P.IfDensity = 0.25;
+    P.CallDensity = 0.25;
+    P.PathPoolMin = 20;
+    P.PathPoolMax = 160;
+    P.PoolSkew = 0.1;
+    P.BranchConsistency = 0.97;
+    P.LoopContinueProb = 0.985;
+    P.LoopTripCap = 600;
+    P.MaxPathLength = 4000;
+    P.TargetCalls = 4200;
+    P.MainCallSites = 14;
+    Profiles.push_back(P);
+  }
+  return Profiles;
+}
+
+std::vector<WorkloadProfile> twpp::testProfiles() {
+  std::vector<WorkloadProfile> Profiles = paperProfiles();
+  for (WorkloadProfile &P : Profiles) {
+    // Scale calls and path pools together so the redundancy shape (calls
+    // per unique trace) survives the 20x size reduction.
+    P.TargetCalls /= 20;
+    P.PathPoolMin = std::max<uint32_t>(1, P.PathPoolMin / 8);
+    P.PathPoolMax = std::max<uint32_t>(P.PathPoolMin, P.PathPoolMax / 8);
+    P.MaxPathLength = std::min<uint32_t>(P.MaxPathLength, 400);
+    P.Name += "-test";
+  }
+  return Profiles;
+}

@@ -1,0 +1,292 @@
+//===- workloads/Workload.cpp - Synthetic SPEC-like workloads -------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace twpp;
+
+CfgStats SyntheticProgram::staticStats() const {
+  CfgStats Stats;
+  for (const SyntheticFunction &F : Functions) {
+    Stats.Nodes += F.Blocks.size();
+    for (const SyntheticBlock &B : F.Blocks)
+      Stats.Edges += B.Succs.size();
+  }
+  return Stats;
+}
+
+namespace {
+
+/// Builds one structured static CFG: a chain of segments, each a simple
+/// block, an if-diamond, or a while loop (recursively structured bodies).
+class CfgGenerator {
+public:
+  CfgGenerator(SyntheticFunction &F, Rng &R, const WorkloadProfile &P,
+               FunctionId Self)
+      : F(F), R(R), P(P), Self(Self) {}
+
+  void run() {
+    uint32_t Budget = static_cast<uint32_t>(
+        R.nextInRange(P.MinBlocks, P.MaxBlocks));
+    BlockId Entry = newBlock();
+    (void)Entry;
+    BlockId Tail = emitRegion(1, Budget, /*Depth=*/0);
+    // Terminal block: no successors (function return).
+    BlockId End = newBlock();
+    link(Tail, End);
+  }
+
+private:
+  BlockId newBlock() {
+    F.Blocks.emplace_back();
+    BlockId Id = static_cast<BlockId>(F.Blocks.size());
+    maybeMakeCallSite(Id);
+    return Id;
+  }
+
+  void maybeMakeCallSite(BlockId Id) {
+    // Callees always have a larger id than the caller, so the static call
+    // graph is acyclic and the call depth is naturally bounded.
+    uint32_t LeafStart =
+        P.FunctionCount - P.FunctionCount * P.LeafFractionPct / 100;
+    if (Self >= LeafStart || Self + 1 >= P.FunctionCount)
+      return;
+    if (!R.nextBool(P.CallDensity))
+      return;
+    SyntheticBlock &B = F.Blocks[Id - 1];
+    B.IsCallSite = true;
+    // Mildly skewed towards nearby functions: keeps call chains deep
+    // enough to exercise the DCG without exploding.
+    uint64_t Span = P.FunctionCount - Self - 1;
+    uint64_t Offset = 1 + R.nextBelow(std::max<uint64_t>(1, Span));
+    B.Callee = static_cast<FunctionId>(Self + Offset);
+  }
+
+  void link(BlockId From, BlockId To) {
+    F.Blocks[From - 1].Succs.push_back(To);
+  }
+
+  /// Emits a region after block \p Pred; returns the region's last block.
+  BlockId emitRegion(BlockId Pred, uint32_t Budget, uint32_t Depth) {
+    BlockId Current = Pred;
+    while (Budget > 0) {
+      double Roll = R.nextDouble();
+      if (Depth < 3 && Budget >= 4 && Roll < P.LoopDensity) {
+        // while loop: header branches to body-entry and to the block
+        // after the loop; body chains back to the header.
+        BlockId Header = newBlock();
+        link(Current, Header);
+        F.Blocks[Header - 1].IsLoopHeader = true;
+        BlockId BodyEntry = newBlock();
+        link(Header, BodyEntry);
+        uint32_t BodyBudget = std::min(Budget - 2, 2 + static_cast<uint32_t>(
+                                                           R.nextBelow(6)));
+        BlockId BodyEnd = emitRegion(BodyEntry, BodyBudget, Depth + 1);
+        link(BodyEnd, Header); // back edge
+        BlockId Exit = newBlock();
+        link(Header, Exit); // loop exit (second successor)
+        Current = Exit;
+        Budget -= std::min(Budget, BodyBudget + 3);
+      } else if (Depth < 4 && Budget >= 3 && Roll < P.LoopDensity + P.IfDensity) {
+        // if-diamond: condition branches to two arms joining after.
+        BlockId Cond = newBlock();
+        link(Current, Cond);
+        BlockId ThenEntry = newBlock();
+        link(Cond, ThenEntry);
+        uint32_t ArmBudget = std::min((Budget - 3) / 2,
+                                      static_cast<uint32_t>(R.nextBelow(4)));
+        BlockId ThenEnd = emitRegion(ThenEntry, ArmBudget, Depth + 1);
+        BlockId ElseEntry = newBlock();
+        link(Cond, ElseEntry);
+        BlockId ElseEnd = emitRegion(ElseEntry, ArmBudget, Depth + 1);
+        BlockId Join = newBlock();
+        link(ThenEnd, Join);
+        link(ElseEnd, Join);
+        Current = Join;
+        Budget -= std::min(Budget, 2 * ArmBudget + 4);
+      } else {
+        BlockId Next = newBlock();
+        link(Current, Next);
+        Current = Next;
+        Budget -= 1;
+      }
+    }
+    return Current;
+  }
+
+  SyntheticFunction &F;
+  Rng &R;
+  const WorkloadProfile &P;
+  FunctionId Self;
+};
+
+/// Walks the static CFG from the entry to a return block, choosing branch
+/// arms and loop trip counts from \p R. Produces one path-pool entry.
+std::vector<BlockId> walkPath(const SyntheticFunction &F, Rng &R,
+                              const WorkloadProfile &P) {
+  std::vector<BlockId> Path;
+  std::vector<uint32_t> Trips(F.Blocks.size(), 0);
+  // Per-path sticky branch decisions: 0 = undecided, 1/2 = fixed arm,
+  // 3 = re-roll on every visit.
+  std::vector<uint8_t> Sticky(F.Blocks.size(), 0);
+  BlockId Current = 1;
+  while (true) {
+    Path.push_back(Current);
+    const SyntheticBlock &B = F.Blocks[Current - 1];
+    if (B.Succs.empty())
+      break;
+    bool ForceExit = Path.size() >= P.MaxPathLength;
+    if (B.Succs.size() == 1) {
+      Current = B.Succs[0];
+      continue;
+    }
+    // Two-way: loop headers continue with LoopContinueProb (first
+    // successor is the body) up to the trip cap; plain diamonds pick
+    // uniformly.
+    if (B.IsLoopHeader) {
+      uint32_t &Trip = Trips[Current - 1];
+      bool Continue = !ForceExit && Trip < P.LoopTripCap &&
+                      R.nextBool(P.LoopContinueProb);
+      if (Continue) {
+        ++Trip;
+        Current = B.Succs[0];
+      } else {
+        Trip = 0;
+        Current = B.Succs[1];
+      }
+    } else {
+      uint8_t &Mode = Sticky[Current - 1];
+      if (Mode == 0)
+        Mode = R.nextBool(P.BranchConsistency)
+                   ? static_cast<uint8_t>(1 + R.nextBelow(2))
+                   : 3;
+      size_t Choice =
+          Mode == 3 ? R.nextBelow(B.Succs.size()) : Mode - 1;
+      Current = B.Succs[Choice];
+    }
+  }
+  return Path;
+}
+
+/// Builds main's dedicated CFG: an initialization block, a loop whose body
+/// is a chain of call-site blocks, and an exit block. The loop trip count
+/// is chosen by the driver at run time (the path pool holds one entry).
+void buildMain(SyntheticFunction &Main, Rng &R, const WorkloadProfile &P) {
+  uint32_t C = std::max<uint32_t>(1, P.MainCallSites);
+  // Block 1: entry. Block 2: header. Blocks 3..2+C: body. Block 3+C: exit.
+  Main.Blocks.resize(3 + C);
+  Main.Blocks[0].Succs = {2};
+  Main.Blocks[1].IsLoopHeader = true;
+  Main.Blocks[1].Succs = {3, static_cast<BlockId>(3 + C)};
+  for (uint32_t I = 0; I < C; ++I) {
+    SyntheticBlock &B = Main.Blocks[2 + I];
+    B.IsCallSite = true;
+    B.Callee = static_cast<FunctionId>(
+        1 + R.nextBelow(std::max<uint32_t>(1, P.FunctionCount - 1)));
+    B.Succs = {I + 1 == C ? static_cast<BlockId>(2)
+                          : static_cast<BlockId>(4 + I)};
+  }
+  // Exit block: no successors.
+
+  // Trip count: enough loop iterations to meet the call budget even if
+  // nested calls are rare; the driver stops calling once the budget is
+  // exhausted.
+  uint64_t Trips = std::max<uint64_t>(1, P.TargetCalls / C + 1);
+  std::vector<BlockId> Path;
+  Path.reserve(2 + Trips * (1 + C));
+  Path.push_back(1);
+  for (uint64_t T = 0; T < Trips; ++T) {
+    Path.push_back(2);
+    for (uint32_t I = 0; I < C; ++I)
+      Path.push_back(3 + I);
+  }
+  Path.push_back(2);
+  Path.push_back(3 + C);
+  Main.PathPool.push_back(std::move(Path));
+  Main.PathWeights.push_back(1.0);
+}
+
+} // namespace
+
+SyntheticProgram twpp::generateProgram(const WorkloadProfile &Profile) {
+  SyntheticProgram Program;
+  Program.Name = Profile.Name;
+  Program.Profile = Profile;
+  Program.Functions.resize(Profile.FunctionCount);
+
+  Rng R(Profile.Seed);
+  buildMain(Program.Functions[0], R, Profile);
+
+  for (FunctionId F = 1; F < Profile.FunctionCount; ++F) {
+    SyntheticFunction &Fn = Program.Functions[F];
+    CfgGenerator Gen(Fn, R, Profile, F);
+    Gen.run();
+
+    uint32_t PoolSize = static_cast<uint32_t>(
+        R.nextInRange(Profile.PathPoolMin, Profile.PathPoolMax));
+    Fn.PathPool.reserve(PoolSize);
+    Fn.PathWeights.reserve(PoolSize);
+    for (uint32_t I = 0; I < PoolSize; ++I) {
+      Fn.PathPool.push_back(walkPath(Fn, R, Profile));
+      // Zipf-like weights: entry i+1 is picked with weight 1/(i+1)^skew.
+      Fn.PathWeights.push_back(
+          1.0 / std::pow(static_cast<double>(I + 1), Profile.PoolSkew));
+    }
+  }
+  return Program;
+}
+
+namespace {
+
+struct DriveState {
+  Rng R;
+  uint64_t CallBudget;
+  explicit DriveState(uint64_t Seed, uint64_t Budget)
+      : R(Seed), CallBudget(Budget) {}
+};
+
+void driveCall(const SyntheticProgram &Program, FunctionId F, uint32_t Depth,
+               TraceSink &Sink, DriveState &State) {
+  const SyntheticFunction &Fn = Program.Functions[F];
+  Sink.onEnter(F);
+  size_t PathIndex =
+      Fn.PathPool.size() == 1 ? 0 : State.R.nextWeighted(Fn.PathWeights);
+  const std::vector<BlockId> &Path = Fn.PathPool[PathIndex];
+  for (BlockId Block : Path) {
+    Sink.onBlock(Block);
+    const SyntheticBlock &B = Fn.Blocks[Block - 1];
+    if (B.IsCallSite && Depth < Program.Profile.MaxDepth &&
+        State.CallBudget > 0) {
+      --State.CallBudget;
+      driveCall(Program, B.Callee, Depth + 1, Sink, State);
+    }
+  }
+  Sink.onExit();
+}
+
+} // namespace
+
+void twpp::runSyntheticProgram(const SyntheticProgram &Program,
+                               TraceSink &Sink) {
+  DriveState State(Program.Profile.Seed ^ 0xD1B54A32D192ED03ULL,
+                   Program.Profile.TargetCalls);
+  driveCall(Program, 0, 0, Sink, State);
+}
+
+RawTrace twpp::generateWorkloadTrace(const WorkloadProfile &Profile) {
+  SyntheticProgram Program = generateProgram(Profile);
+  CollectingSink Sink(Profile.FunctionCount);
+  runSyntheticProgram(Program, Sink);
+  RawTrace Trace = Sink.take();
+  assert(Trace.isWellFormed() && "workload produced a malformed trace");
+  return Trace;
+}

@@ -1,0 +1,118 @@
+//===- workloads/Workload.h - Synthetic SPEC-like workloads -----*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic benchmark programs standing in for the paper's Trimaran-
+/// instrumented SPECint95 runs (099.go, 126.gcc, 130.li, 132.ijpeg,
+/// 134.perl). Each profile generates, from a fixed seed:
+///
+///  * one static CFG per function (structured: sequences, if-diamonds,
+///    while loops — so DBB chains and arithmetic timestamp series arise
+///    naturally, as they do in compiled code);
+///  * a per-function *path pool*: pre-walked paths through the static CFG
+///    with baked loop trip counts. Pool size and pick skew control how
+///    many unique path traces a function exhibits — the knob behind the
+///    paper's Figure 8 redundancy distribution;
+///  * a call structure (call-site blocks with fixed callees, acyclic by
+///    construction) and an execution driver that emits the WPP event
+///    stream for one complete run.
+///
+/// Absolute sizes are scaled ~50-100x below the paper's (MB-scale traces
+/// rather than 100s of MB) while preserving the shape statistics the
+/// evaluation depends on: per-stage compaction ratios, trace redundancy
+/// CDF, DCG-vs-trace share, and loopiness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_WORKLOADS_WORKLOAD_H
+#define TWPP_WORKLOADS_WORKLOAD_H
+
+#include "ir/Ir.h"
+#include "trace/Events.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace twpp {
+
+/// Tunable parameters of one synthetic benchmark.
+struct WorkloadProfile {
+  std::string Name;
+  uint64_t Seed = 1;
+
+  // Static program shape.
+  uint32_t FunctionCount = 50;
+  uint32_t MinBlocks = 6;   ///< Structured-region budget per function.
+  uint32_t MaxBlocks = 40;
+  double LoopDensity = 0.3; ///< Probability a region segment is a loop.
+  double IfDensity = 0.4;   ///< Probability a region segment is a diamond.
+  double CallDensity = 0.2; ///< Fraction of simple blocks that call.
+  uint32_t LeafFractionPct = 30; ///< Last N% of functions make no calls.
+
+  // Dynamic behaviour.
+  uint32_t PathPoolMin = 1; ///< Unique-behaviour pool per function.
+  uint32_t PathPoolMax = 8;
+  double PoolSkew = 1.2;    ///< Zipf exponent for pool picks (higher =>
+                            ///< fewer distinct traces actually used).
+  double BranchConsistency = 0.5; ///< Probability an if-diamond takes the
+                                  ///< same arm every time within one path
+                                  ///< (hot loops repeat one body exactly,
+                                  ///< which is what produces the paper's
+                                  ///< DBB chains and arithmetic series).
+  double LoopContinueProb = 0.7; ///< Per-iteration continue probability.
+  uint32_t LoopTripCap = 40;
+  uint32_t MaxPathLength = 1500; ///< Cap on one pool path's block count.
+  uint32_t MaxDepth = 24;        ///< Call depth cap.
+  uint64_t TargetCalls = 20000;  ///< Approximate total calls per run.
+  uint32_t MainCallSites = 10;   ///< Call blocks in main's loop body.
+};
+
+/// One block of a synthetic function's static CFG.
+struct SyntheticBlock {
+  std::vector<BlockId> Succs; ///< 1-based successor ids.
+  bool IsLoopHeader = false;
+  bool IsCallSite = false;
+  FunctionId Callee = 0;
+};
+
+/// A synthetic function: static CFG plus its path pool.
+struct SyntheticFunction {
+  std::vector<SyntheticBlock> Blocks; ///< Blocks[i] has id i+1; entry = 1.
+  std::vector<std::vector<BlockId>> PathPool;
+  std::vector<double> PathWeights; ///< Zipf pick weights, parallel to pool.
+};
+
+/// A whole synthetic program (function 0 is main).
+struct SyntheticProgram {
+  std::string Name;
+  std::vector<SyntheticFunction> Functions;
+  WorkloadProfile Profile;
+
+  /// Cumulative static CFG size over all functions (Table 6's StaticFG).
+  CfgStats staticStats() const;
+};
+
+/// Generates the program for \p Profile (deterministic in Profile.Seed).
+SyntheticProgram generateProgram(const WorkloadProfile &Profile);
+
+/// Executes one run of \p Program, emitting the WPP into \p Sink.
+void runSyntheticProgram(const SyntheticProgram &Program, TraceSink &Sink);
+
+/// Convenience: generate + run + collect.
+RawTrace generateWorkloadTrace(const WorkloadProfile &Profile);
+
+/// The five profiles mirroring the paper's Table 1 benchmarks, in paper
+/// order: 099.go, 126.gcc, 130.li, 132.ijpeg, 134.perl.
+std::vector<WorkloadProfile> paperProfiles();
+
+/// A reduced-scale variant of paperProfiles() for unit tests (same shapes,
+/// ~10x fewer calls).
+std::vector<WorkloadProfile> testProfiles();
+
+} // namespace twpp
+
+#endif // TWPP_WORKLOADS_WORKLOAD_H

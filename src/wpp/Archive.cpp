@@ -1,0 +1,294 @@
+//===- wpp/Archive.cpp - Compacted TWPP on-disk archive -------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/Archive.h"
+
+#include "support/ByteStream.h"
+#include "support/FileIO.h"
+#include "support/LZW.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace twpp;
+
+namespace {
+
+constexpr uint32_t ArchiveMagic = 0x54575050; // "TWPP"
+constexpr uint32_t ArchiveVersion = 1;
+constexpr size_t PrefixSize = 12;       // magic + version + functionCount
+constexpr size_t DcgFieldsSize = 16;    // dcgOffset + dcgLength
+constexpr size_t IndexRowSize = 24;     // offset + length + callCount
+
+void encodeSeries(ByteWriter &Writer, const TimestampSet &Set) {
+  std::vector<int64_t> Values = Set.encodeSigned();
+  Writer.writeVarUint(Values.size());
+  for (int64_t Value : Values)
+    Writer.writeVarInt(Value);
+}
+
+bool decodeSeries(ByteReader &Reader, TimestampSet &Set) {
+  uint64_t Count = Reader.readVarUint();
+  if (Reader.hasError() || Count > Reader.remaining() * 10)
+    return false;
+  std::vector<int64_t> Values;
+  Values.reserve(Count);
+  for (uint64_t I = 0; I != Count; ++I)
+    Values.push_back(Reader.readVarInt());
+  if (Reader.hasError())
+    return false;
+  return TimestampSet::decodeSigned(Values, Set);
+}
+
+void encodeDictionary(ByteWriter &Writer, const DbbDictionary &Dict) {
+  Writer.writeVarUint(Dict.Chains.size());
+  for (const auto &Chain : Dict.Chains) {
+    Writer.writeVarUint(Chain.size());
+    for (BlockId Block : Chain)
+      Writer.writeVarUint(Block);
+  }
+}
+
+bool decodeDictionary(ByteReader &Reader, DbbDictionary &Dict) {
+  uint64_t ChainCount = Reader.readVarUint();
+  if (Reader.hasError() || ChainCount > Reader.remaining())
+    return false;
+  Dict.Chains.resize(ChainCount);
+  for (auto &Chain : Dict.Chains) {
+    uint64_t Length = Reader.readVarUint();
+    if (Reader.hasError() || Length < 2 || Length > Reader.remaining() + 2)
+      return false;
+    Chain.resize(Length);
+    for (BlockId &Block : Chain)
+      Block = static_cast<BlockId>(Reader.readVarUint());
+  }
+  return Reader.valid();
+}
+
+} // namespace
+
+std::vector<uint8_t>
+twpp::encodeTwppFunctionTable(const TwppFunctionTable &Table) {
+  ByteWriter Writer;
+  Writer.writeVarUint(Table.CallCount);
+
+  Writer.writeVarUint(Table.TraceStrings.size());
+  for (const TwppTrace &Trace : Table.TraceStrings) {
+    Writer.writeVarUint(Trace.Length);
+    Writer.writeVarUint(Trace.Blocks.size());
+    BlockId Prev = 0;
+    for (const auto &[Block, Set] : Trace.Blocks) {
+      Writer.writeVarUint(Block - Prev); // blocks sorted ascending
+      Prev = Block;
+      encodeSeries(Writer, Set);
+    }
+  }
+
+  Writer.writeVarUint(Table.Dictionaries.size());
+  for (const DbbDictionary &Dict : Table.Dictionaries)
+    encodeDictionary(Writer, Dict);
+
+  Writer.writeVarUint(Table.Traces.size());
+  for (size_t I = 0; I < Table.Traces.size(); ++I) {
+    Writer.writeVarUint(Table.Traces[I].first);
+    Writer.writeVarUint(Table.Traces[I].second);
+    Writer.writeVarUint(Table.UseCounts[I]);
+  }
+  return Writer.take();
+}
+
+bool twpp::decodeTwppFunctionTable(const std::vector<uint8_t> &Bytes,
+                                   TwppFunctionTable &Table) {
+  Table = TwppFunctionTable();
+  ByteReader Reader(Bytes);
+  Table.CallCount = Reader.readVarUint();
+
+  uint64_t StringCount = Reader.readVarUint();
+  if (Reader.hasError() || StringCount > Bytes.size())
+    return false;
+  Table.TraceStrings.resize(StringCount);
+  for (TwppTrace &Trace : Table.TraceStrings) {
+    Trace.Length = static_cast<uint32_t>(Reader.readVarUint());
+    uint64_t BlockCount = Reader.readVarUint();
+    if (Reader.hasError() || BlockCount > Trace.Length ||
+        BlockCount > Reader.remaining())
+      return false;
+    Trace.Blocks.resize(BlockCount);
+    BlockId Prev = 0;
+    uint64_t TotalTimestamps = 0;
+    for (auto &[Block, Set] : Trace.Blocks) {
+      Block = Prev + static_cast<BlockId>(Reader.readVarUint());
+      Prev = Block;
+      if (!decodeSeries(Reader, Set))
+        return false;
+      TotalTimestamps += Set.count();
+    }
+    // Every time step 1..Length belongs to exactly one block; reject
+    // traces whose declared length the series cannot account for, so
+    // later expansion never allocates for a phantom length.
+    if (TotalTimestamps != Trace.Length)
+      return false;
+  }
+
+  uint64_t DictCount = Reader.readVarUint();
+  if (Reader.hasError() || DictCount > Bytes.size())
+    return false;
+  Table.Dictionaries.resize(DictCount);
+  for (DbbDictionary &Dict : Table.Dictionaries)
+    if (!decodeDictionary(Reader, Dict))
+      return false;
+
+  uint64_t TraceCount = Reader.readVarUint();
+  if (Reader.hasError() || TraceCount > Bytes.size())
+    return false;
+  Table.Traces.resize(TraceCount);
+  Table.UseCounts.resize(TraceCount);
+  for (size_t I = 0; I < TraceCount; ++I) {
+    uint64_t StringIdx = Reader.readVarUint();
+    uint64_t DictIdx = Reader.readVarUint();
+    Table.UseCounts[I] = Reader.readVarUint();
+    if (StringIdx >= Table.TraceStrings.size() ||
+        DictIdx >= Table.Dictionaries.size())
+      return false;
+    Table.Traces[I] = {static_cast<uint32_t>(StringIdx),
+                       static_cast<uint32_t>(DictIdx)};
+  }
+  return Reader.valid();
+}
+
+std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp) {
+  uint32_t FunctionCount = static_cast<uint32_t>(Wpp.Functions.size());
+
+  // Most frequently called functions are stored first (paper Section 3).
+  std::vector<uint32_t> Order(FunctionCount);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::stable_sort(Order.begin(), Order.end(), [&Wpp](uint32_t A, uint32_t B) {
+    return Wpp.Functions[A].CallCount > Wpp.Functions[B].CallCount;
+  });
+
+  ByteWriter Writer;
+  Writer.writeFixed32(ArchiveMagic);
+  Writer.writeFixed32(ArchiveVersion);
+  Writer.writeFixed32(FunctionCount);
+  size_t DcgFieldsAt = Writer.size();
+  Writer.writeFixed64(0); // dcgOffset, patched below
+  Writer.writeFixed64(0); // dcgLength, patched below
+  size_t IndexAt = Writer.size();
+  for (uint32_t F = 0; F != FunctionCount; ++F) {
+    (void)F;
+    Writer.writeFixed64(0);
+    Writer.writeFixed64(0);
+    Writer.writeFixed64(0);
+  }
+
+  std::vector<std::pair<uint64_t, uint64_t>> Extents(FunctionCount);
+  for (uint32_t F : Order) {
+    std::vector<uint8_t> Block = encodeTwppFunctionTable(Wpp.Functions[F]);
+    Extents[F] = {Writer.size(), Block.size()};
+    Writer.writeBytes(Block.data(), Block.size());
+  }
+
+  std::vector<uint8_t> Dcg = lzwCompress(encodeDcg(Wpp.Dcg));
+  Writer.patchFixed64(DcgFieldsAt, Writer.size());
+  Writer.patchFixed64(DcgFieldsAt + 8, Dcg.size());
+  Writer.writeBytes(Dcg.data(), Dcg.size());
+
+  for (uint32_t F = 0; F != FunctionCount; ++F) {
+    size_t Row = IndexAt + static_cast<size_t>(F) * IndexRowSize;
+    Writer.patchFixed64(Row, Extents[F].first);
+    Writer.patchFixed64(Row + 8, Extents[F].second);
+    Writer.patchFixed64(Row + 16, Wpp.Functions[F].CallCount);
+  }
+  return Writer.take();
+}
+
+bool twpp::writeArchiveFile(const std::string &Path, const TwppWpp &Wpp) {
+  return writeFileBytes(Path, encodeArchive(Wpp));
+}
+
+bool ArchiveReader::open(const std::string &ArchivePath) {
+  Path = ArchivePath;
+  Index.clear();
+
+  std::vector<uint8_t> Prefix;
+  if (!readFileSlice(Path, 0, PrefixSize + DcgFieldsSize, Prefix))
+    return false;
+  ByteReader Reader(Prefix);
+  if (Reader.readFixed32() != ArchiveMagic)
+    return false;
+  if (Reader.readFixed32() != ArchiveVersion)
+    return false;
+  uint32_t FunctionCount = Reader.readFixed32();
+  DcgOffset = Reader.readFixed64();
+  DcgLength = Reader.readFixed64();
+  if (Reader.hasError())
+    return false;
+  // Validate every extent against the actual file size so corrupt
+  // headers cannot trigger absurd allocations later.
+  uint64_t Size = fileSize(Path);
+  if (DcgOffset > Size || DcgLength > Size - DcgOffset)
+    return false;
+  if (static_cast<uint64_t>(FunctionCount) * IndexRowSize >
+      Size - PrefixSize - DcgFieldsSize)
+    return false;
+
+  std::vector<uint8_t> IndexBytes;
+  if (!readFileSlice(Path, PrefixSize + DcgFieldsSize,
+                     static_cast<uint64_t>(FunctionCount) * IndexRowSize,
+                     IndexBytes))
+    return false;
+  ByteReader IndexReader(IndexBytes);
+  Index.resize(FunctionCount);
+  for (IndexEntry &Entry : Index) {
+    Entry.Offset = IndexReader.readFixed64();
+    Entry.Length = IndexReader.readFixed64();
+    Entry.CallCount = IndexReader.readFixed64();
+    if (Entry.Offset > Size || Entry.Length > Size - Entry.Offset)
+      return false;
+  }
+  return IndexReader.valid();
+}
+
+bool ArchiveReader::extractFunction(FunctionId Function,
+                                    TwppFunctionTable &Table) const {
+  if (Function >= Index.size())
+    return false;
+  std::vector<uint8_t> Block;
+  if (!readFileSlice(Path, Index[Function].Offset, Index[Function].Length,
+                     Block))
+    return false;
+  return decodeTwppFunctionTable(Block, Table);
+}
+
+bool ArchiveReader::extractFunctionPathTraces(FunctionId Function,
+                                              FunctionPathTraces &Out) const {
+  TwppFunctionTable Table;
+  if (!extractFunction(Function, Table))
+    return false;
+  Out = expandFunctionTraces(Table);
+  return true;
+}
+
+bool ArchiveReader::readDcg(DynamicCallGraph &Dcg) const {
+  std::vector<uint8_t> Compressed;
+  if (!readFileSlice(Path, DcgOffset, DcgLength, Compressed))
+    return false;
+  std::vector<uint8_t> Raw;
+  if (!lzwDecompress(Compressed, Raw))
+    return false;
+  return decodeDcg(Raw, Dcg);
+}
+
+bool ArchiveReader::readAll(TwppWpp &Wpp) const {
+  Wpp = TwppWpp();
+  if (!readDcg(Wpp.Dcg))
+    return false;
+  Wpp.Functions.resize(Index.size());
+  for (FunctionId F = 0; F != Index.size(); ++F)
+    if (!extractFunction(F, Wpp.Functions[F]))
+      return false;
+  return true;
+}

@@ -1,0 +1,94 @@
+//===- wpp/Archive.h - Compacted TWPP on-disk archive -----------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compacted TWPP file format. Per the paper's access-time design
+/// (Section 3): a fixed header records where each function's block lives;
+/// the path traces (with dictionaries) of the most frequently called
+/// function are stored first; the LZW-compressed dynamic call graph
+/// follows the function blocks. Extracting one function's traces costs two
+/// small reads (index row + block) regardless of archive size — this is
+/// what produces the >3 orders of magnitude speedup of Table 4.
+///
+/// Layout:
+///   [0)   magic (fixed32) | version (fixed32) | functionCount (fixed32)
+///   [12)  dcgOffset (fixed64) | dcgLength (fixed64)
+///   [28)  index: functionCount rows of offset/length/callCount (fixed64x3)
+///   [...] function blocks, sorted by call count descending
+///   [...] LZW-compressed DCG
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_WPP_ARCHIVE_H
+#define TWPP_WPP_ARCHIVE_H
+
+#include "wpp/Twpp.h"
+
+#include <string>
+#include <vector>
+
+namespace twpp {
+
+/// Serializes one function's TWPP tables (trace strings, dictionaries,
+/// (t, d) pairs, use counts).
+std::vector<uint8_t> encodeTwppFunctionTable(const TwppFunctionTable &Table);
+
+/// Inverse of encodeTwppFunctionTable. \returns false on malformed bytes.
+bool decodeTwppFunctionTable(const std::vector<uint8_t> &Bytes,
+                             TwppFunctionTable &Table);
+
+/// Serializes a whole compacted TWPP into the archive byte format.
+std::vector<uint8_t> encodeArchive(const TwppWpp &Wpp);
+
+/// Writes \p Wpp to \p Path in archive format. \returns true on success.
+bool writeArchiveFile(const std::string &Path, const TwppWpp &Wpp);
+
+/// Random-access reader over an archive file. open() reads only the fixed
+/// header and index; extractFunction() reads only that function's block.
+class ArchiveReader {
+public:
+  /// Opens \p Path and loads the header + index. \returns false on IO or
+  /// format errors.
+  bool open(const std::string &Path);
+
+  uint32_t functionCount() const {
+    return static_cast<uint32_t>(Index.size());
+  }
+
+  /// Number of calls to \p Function recorded in the archive.
+  uint64_t callCount(FunctionId Function) const {
+    return Index[Function].CallCount;
+  }
+
+  /// Reads and decodes the block of \p Function (one file slice).
+  /// \returns false on IO or format errors.
+  bool extractFunction(FunctionId Function, TwppFunctionTable &Table) const;
+
+  /// Expands \p Function's unique path traces to raw block sequences.
+  bool extractFunctionPathTraces(FunctionId Function,
+                                 FunctionPathTraces &Out) const;
+
+  /// Reads and LZW-decompresses the dynamic call graph.
+  bool readDcg(DynamicCallGraph &Dcg) const;
+
+  /// Loads the entire archive back into memory (DCG + every function).
+  bool readAll(TwppWpp &Wpp) const;
+
+private:
+  struct IndexEntry {
+    uint64_t Offset = 0;
+    uint64_t Length = 0;
+    uint64_t CallCount = 0;
+  };
+  std::string Path;
+  uint64_t DcgOffset = 0;
+  uint64_t DcgLength = 0;
+  std::vector<IndexEntry> Index;
+};
+
+} // namespace twpp
+
+#endif // TWPP_WPP_ARCHIVE_H

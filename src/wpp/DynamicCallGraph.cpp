@@ -1,0 +1,76 @@
+//===- wpp/DynamicCallGraph.cpp - DCG linking path traces -----------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/DynamicCallGraph.h"
+
+#include "support/ByteStream.h"
+
+using namespace twpp;
+
+std::vector<uint8_t> twpp::encodeDcg(const DynamicCallGraph &Dcg) {
+  ByteWriter Writer;
+  Writer.writeVarUint(Dcg.Nodes.size());
+  Writer.writeVarUint(Dcg.Roots.size());
+  for (uint32_t Root : Dcg.Roots)
+    Writer.writeVarUint(Root);
+  for (size_t I = 0, E = Dcg.Nodes.size(); I != E; ++I) {
+    const DcgNode &Node = Dcg.Nodes[I];
+    Writer.writeVarUint(Node.Function);
+    Writer.writeVarUint(Node.TraceIndex);
+    Writer.writeVarUint(Node.Children.size());
+    // Children always have larger indices than their parent (nodes are
+    // created in call order), so delta-code against the parent.
+    uint32_t PrevAnchor = 0;
+    for (size_t C = 0; C < Node.Children.size(); ++C) {
+      Writer.writeVarUint(Node.Children[C] - static_cast<uint32_t>(I));
+      Writer.writeVarUint(Node.Anchors[C] - PrevAnchor);
+      PrevAnchor = Node.Anchors[C];
+    }
+  }
+  return Writer.take();
+}
+
+bool twpp::decodeDcg(const std::vector<uint8_t> &Bytes,
+                     DynamicCallGraph &Dcg) {
+  Dcg = DynamicCallGraph();
+  ByteReader Reader(Bytes);
+  uint64_t NodeCount = Reader.readVarUint();
+  uint64_t RootCount = Reader.readVarUint();
+  // Every node costs at least three varint bytes; reject counts the
+  // buffer cannot possibly hold before allocating.
+  if (Reader.hasError() || NodeCount > Bytes.size() ||
+      RootCount > NodeCount)
+    return false;
+  Dcg.Roots.reserve(RootCount);
+  for (uint64_t I = 0; I != RootCount; ++I) {
+    uint64_t Root = Reader.readVarUint();
+    if (Root >= NodeCount)
+      return false;
+    Dcg.Roots.push_back(static_cast<uint32_t>(Root));
+  }
+  Dcg.Nodes.resize(NodeCount);
+  for (uint64_t I = 0; I != NodeCount; ++I) {
+    DcgNode &Node = Dcg.Nodes[I];
+    Node.Function = static_cast<FunctionId>(Reader.readVarUint());
+    Node.TraceIndex = static_cast<uint32_t>(Reader.readVarUint());
+    uint64_t ChildCount = Reader.readVarUint();
+    if (Reader.hasError() || ChildCount > NodeCount)
+      return false;
+    Node.Children.reserve(ChildCount);
+    Node.Anchors.reserve(ChildCount);
+    uint32_t PrevAnchor = 0;
+    for (uint64_t C = 0; C != ChildCount; ++C) {
+      uint64_t Delta = Reader.readVarUint();
+      uint64_t Child = I + Delta;
+      if (Child >= NodeCount || Child == I)
+        return false;
+      Node.Children.push_back(static_cast<uint32_t>(Child));
+      PrevAnchor += static_cast<uint32_t>(Reader.readVarUint());
+      Node.Anchors.push_back(PrevAnchor);
+    }
+  }
+  return Reader.valid() && Reader.atEnd();
+}

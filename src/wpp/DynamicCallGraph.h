@@ -1,0 +1,72 @@
+//===- wpp/DynamicCallGraph.h - DCG linking path traces ---------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic call graph (DCG): a tree with one node per function call,
+/// recording the callee, which unique path trace that call followed, the
+/// calls it made (in order), and where in the parent's path trace each call
+/// is anchored. Together with the per-function unique trace tables, the DCG
+/// preserves the ability to reconstruct the complete WPP (paper Section 2).
+///
+/// The paper compresses the serialized DCG with LZW; encodeDcg/decodeDcg
+/// plus support/LZW.h implement that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_WPP_DYNAMICCALLGRAPH_H
+#define TWPP_WPP_DYNAMICCALLGRAPH_H
+
+#include "trace/Events.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace twpp {
+
+/// One function call in the DCG.
+struct DcgNode {
+  /// The callee.
+  FunctionId Function = 0;
+  /// Index of this call's path trace in the callee's unique trace table.
+  uint32_t TraceIndex = 0;
+  /// Calls made by this invocation, in call order (node indices).
+  std::vector<uint32_t> Children;
+  /// For each child, the 1-based ordinal of the block event in this node's
+  /// (uncompacted) path trace during which the call happened. 0 means the
+  /// call occurred before any block executed. Non-decreasing.
+  std::vector<uint32_t> Anchors;
+
+  bool operator==(const DcgNode &Other) const = default;
+};
+
+/// The call tree of one execution. Normally a single root (main), but a
+/// forest is supported for robustness.
+struct DynamicCallGraph {
+  std::vector<DcgNode> Nodes;
+  std::vector<uint32_t> Roots;
+
+  bool operator==(const DynamicCallGraph &Other) const = default;
+
+  /// Number of calls to \p Function across the whole execution.
+  uint64_t callCountOf(FunctionId Function) const {
+    uint64_t Count = 0;
+    for (const DcgNode &Node : Nodes)
+      if (Node.Function == Function)
+        ++Count;
+    return Count;
+  }
+};
+
+/// Serializes the DCG (preorder, delta-coded varints). This is the payload
+/// the archive stores LZW-compressed.
+std::vector<uint8_t> encodeDcg(const DynamicCallGraph &Dcg);
+
+/// Inverse of encodeDcg. \returns false on malformed input.
+bool decodeDcg(const std::vector<uint8_t> &Bytes, DynamicCallGraph &Dcg);
+
+} // namespace twpp
+
+#endif // TWPP_WPP_DYNAMICCALLGRAPH_H

@@ -1,0 +1,67 @@
+//===- wpp/Partition.cpp - WPP partitioning + redundancy removal ----------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/Partition.h"
+
+#include "wpp/Streaming.h"
+
+#include <cassert>
+
+using namespace twpp;
+
+PartitionedWpp twpp::partitionWpp(const RawTrace &Trace) {
+  assert(Trace.isWellFormed() && "partitionWpp requires a well-formed WPP");
+  // One implementation for both modes: the offline path replays the
+  // event stream into the online compactor.
+  StreamingCompactor Sink(Trace.FunctionCount);
+  for (const TraceEvent &Event : Trace.Events) {
+    switch (Event.EventKind) {
+    case TraceEvent::Kind::Enter:
+      Sink.onEnter(Event.Id);
+      break;
+    case TraceEvent::Kind::Block:
+      Sink.onBlock(Event.Id);
+      break;
+    case TraceEvent::Kind::Exit:
+      Sink.onExit();
+      break;
+    }
+  }
+  return Sink.takePartitioned();
+}
+
+namespace {
+
+/// Replays one DCG node (and its subtree) into \p Events.
+void replayNode(const PartitionedWpp &Wpp, uint32_t NodeIndex,
+                std::vector<TraceEvent> &Events) {
+  const DcgNode &Node = Wpp.Dcg.Nodes[NodeIndex];
+  const PathTrace &Blocks =
+      Wpp.Functions[Node.Function].UniqueTraces[Node.TraceIndex];
+  Events.push_back(TraceEvent::enter(Node.Function));
+
+  size_t Child = 0;
+  // Calls anchored before any block event.
+  while (Child < Node.Children.size() && Node.Anchors[Child] == 0)
+    replayNode(Wpp, Node.Children[Child++], Events);
+  for (size_t B = 0; B < Blocks.size(); ++B) {
+    Events.push_back(TraceEvent::block(Blocks[B]));
+    while (Child < Node.Children.size() && Node.Anchors[Child] == B + 1)
+      replayNode(Wpp, Node.Children[Child++], Events);
+  }
+  assert(Child == Node.Children.size() && "call anchored past trace end");
+  Events.push_back(TraceEvent::exit());
+}
+
+} // namespace
+
+RawTrace twpp::reconstructRawTrace(const PartitionedWpp &Wpp) {
+  RawTrace Trace;
+  Trace.FunctionCount = static_cast<uint32_t>(Wpp.Functions.size());
+  for (uint32_t Root : Wpp.Dcg.Roots)
+    replayNode(Wpp, Root, Trace.Events);
+  return Trace;
+}

@@ -1,0 +1,66 @@
+//===- wpp/Partition.h - WPP partitioning + redundancy removal --*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage 1 and 2 of the compaction pipeline (paper Section 2):
+///
+///  * Partition the linear WPP into per-call path traces linked by the
+///    dynamic call graph, storing all traces of a function together.
+///  * Eliminate redundant path traces: different calls of the same function
+///    that followed the same path share one stored trace.
+///
+/// The result is lossless: reconstructRawTrace rebuilds the exact original
+/// event stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_WPP_PARTITION_H
+#define TWPP_WPP_PARTITION_H
+
+#include "wpp/DynamicCallGraph.h"
+#include "wpp/PathTrace.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace twpp {
+
+/// All unique path traces of one function, plus bookkeeping for the
+/// compaction statistics (Tables 1-3, Figure 8).
+struct FunctionTraceTable {
+  /// Unique path traces, in first-occurrence order.
+  std::vector<PathTrace> UniqueTraces;
+  /// Calls per unique trace, parallel to UniqueTraces.
+  std::vector<uint64_t> UseCounts;
+  /// Number of calls to this function in the execution.
+  uint64_t CallCount = 0;
+  /// Total block events over all calls (i.e. what storing every duplicate
+  /// would cost); used for the pre-dedup size accounting.
+  uint64_t TotalBlockEvents = 0;
+
+  bool operator==(const FunctionTraceTable &Other) const = default;
+};
+
+/// The WPP after partitioning and redundant path trace elimination.
+struct PartitionedWpp {
+  DynamicCallGraph Dcg;
+  std::vector<FunctionTraceTable> Functions;
+
+  bool operator==(const PartitionedWpp &Other) const = default;
+};
+
+/// Builds the partitioned, redundancy-eliminated representation from the
+/// raw event stream. \p Trace must be well formed (see
+/// RawTrace::isWellFormed).
+PartitionedWpp partitionWpp(const RawTrace &Trace);
+
+/// Inverse of partitionWpp: replays the DCG and path traces back into the
+/// original linear event stream.
+RawTrace reconstructRawTrace(const PartitionedWpp &Wpp);
+
+} // namespace twpp
+
+#endif // TWPP_WPP_PARTITION_H

@@ -1,0 +1,82 @@
+//===- wpp/Sizes.cpp - Size accounting for the compaction study -----------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/Sizes.h"
+
+#include "support/ByteStream.h"
+#include "support/LZW.h"
+
+using namespace twpp;
+
+uint64_t twpp::signedVarintSize(int64_t Value) {
+  return varintSize(zigzagEncode(Value));
+}
+
+uint64_t twpp::pathTraceBytes(const PathTrace &Trace) {
+  uint64_t Bytes = varintSize(Trace.size());
+  for (BlockId Block : Trace)
+    Bytes += varintSize(Block);
+  return Bytes;
+}
+
+uint64_t twpp::dictionaryBytes(const DbbDictionary &Dict) {
+  uint64_t Bytes = varintSize(Dict.Chains.size());
+  for (const auto &Chain : Dict.Chains) {
+    Bytes += varintSize(Chain.size());
+    for (BlockId Block : Chain)
+      Bytes += varintSize(Block);
+  }
+  return Bytes;
+}
+
+uint64_t twpp::twppTraceBytes(const TwppTrace &Trace) {
+  uint64_t Bytes = varintSize(Trace.Length) + varintSize(Trace.Blocks.size());
+  for (const auto &[Block, Set] : Trace.Blocks) {
+    Bytes += varintSize(Block);
+    std::vector<int64_t> Values = Set.encodeSigned();
+    Bytes += varintSize(Values.size());
+    for (int64_t Value : Values)
+      Bytes += signedVarintSize(Value);
+  }
+  return Bytes;
+}
+
+OwppSizes twpp::measureOwpp(const PartitionedWpp &Wpp) {
+  OwppSizes Sizes;
+  Sizes.DcgBytes = encodeDcg(Wpp.Dcg).size();
+  for (const FunctionTraceTable &Table : Wpp.Functions)
+    for (size_t T = 0; T < Table.UniqueTraces.size(); ++T)
+      Sizes.TraceBytes +=
+          pathTraceBytes(Table.UniqueTraces[T]) * Table.UseCounts[T];
+  return Sizes;
+}
+
+StageSizes twpp::measureStages(const PartitionedWpp &Partitioned,
+                               const DbbWpp &Dbb, const TwppWpp &Twpp) {
+  StageSizes Sizes;
+
+  for (const FunctionTraceTable &Table : Partitioned.Functions) {
+    for (size_t T = 0; T < Table.UniqueTraces.size(); ++T) {
+      uint64_t Bytes = pathTraceBytes(Table.UniqueTraces[T]);
+      Sizes.OwppTraceBytes += Bytes * Table.UseCounts[T];
+      Sizes.DedupedTraceBytes += Bytes;
+    }
+  }
+
+  for (const DbbFunctionTable &Table : Dbb.Functions) {
+    for (const auto &TraceString : Table.TraceStrings)
+      Sizes.DbbTraceBytes += pathTraceBytes(TraceString);
+    for (const DbbDictionary &Dict : Table.Dictionaries)
+      Sizes.DictionaryBytes += dictionaryBytes(Dict);
+  }
+
+  for (const TwppFunctionTable &Table : Twpp.Functions)
+    for (const TwppTrace &TraceString : Table.TraceStrings)
+      Sizes.TwppTraceBytes += twppTraceBytes(TraceString);
+
+  Sizes.CompactedDcgBytes = lzwCompress(encodeDcg(Twpp.Dcg)).size();
+  return Sizes;
+}

@@ -1,0 +1,105 @@
+//===- wpp/Streaming.cpp - Online WPP compaction ---------------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/Streaming.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace twpp;
+
+namespace {
+
+/// Dedupe helper shared conceptually with Partition.cpp: maps a path
+/// trace to its index in a function's unique trace table, bucketed by
+/// hash and verified by comparison.
+class TraceInterner {
+public:
+  uint32_t intern(FunctionTraceTable &Table, PathTrace &&Trace) {
+    uint64_t Hash = hashBlockSequence(Trace);
+    auto Range = Buckets.equal_range(Hash);
+    for (auto It = Range.first; It != Range.second; ++It)
+      if (Table.UniqueTraces[It->second] == Trace)
+        return It->second;
+    uint32_t Index = static_cast<uint32_t>(Table.UniqueTraces.size());
+    Table.UniqueTraces.push_back(std::move(Trace));
+    Table.UseCounts.push_back(0);
+    Buckets.emplace(Hash, Index);
+    return Index;
+  }
+
+private:
+  std::unordered_multimap<uint64_t, uint32_t> Buckets;
+};
+
+} // namespace
+
+struct StreamingCompactor::Impl {
+  PartitionedWpp Wpp;
+  std::vector<TraceInterner> Interners;
+
+  struct Frame {
+    uint32_t NodeIndex;
+    PathTrace Blocks;
+  };
+  std::vector<Frame> Stack;
+
+  explicit Impl(uint32_t FunctionCount) {
+    Wpp.Functions.resize(FunctionCount);
+    Interners.resize(FunctionCount);
+  }
+};
+
+StreamingCompactor::StreamingCompactor(uint32_t FunctionCount)
+    : P(std::make_unique<Impl>(FunctionCount)) {}
+
+StreamingCompactor::~StreamingCompactor() = default;
+
+void StreamingCompactor::onEnter(FunctionId F) {
+  assert(F < P->Wpp.Functions.size() && "function id out of range");
+  uint32_t NodeIndex = static_cast<uint32_t>(P->Wpp.Dcg.Nodes.size());
+  P->Wpp.Dcg.Nodes.push_back(DcgNode{F, 0, {}, {}});
+  if (P->Stack.empty()) {
+    P->Wpp.Dcg.Roots.push_back(NodeIndex);
+  } else {
+    Impl::Frame &Parent = P->Stack.back();
+    P->Wpp.Dcg.Nodes[Parent.NodeIndex].Children.push_back(NodeIndex);
+    P->Wpp.Dcg.Nodes[Parent.NodeIndex].Anchors.push_back(
+        static_cast<uint32_t>(Parent.Blocks.size()));
+  }
+  P->Stack.push_back(Impl::Frame{NodeIndex, {}});
+}
+
+void StreamingCompactor::onBlock(BlockId B) {
+  assert(!P->Stack.empty() && "block event outside any call");
+  P->Stack.back().Blocks.push_back(B);
+}
+
+void StreamingCompactor::onExit() {
+  assert(!P->Stack.empty() && "exit event outside any call");
+  Impl::Frame Top = std::move(P->Stack.back());
+  P->Stack.pop_back();
+  DcgNode &Node = P->Wpp.Dcg.Nodes[Top.NodeIndex];
+  FunctionTraceTable &Table = P->Wpp.Functions[Node.Function];
+  ++Table.CallCount;
+  Table.TotalBlockEvents += Top.Blocks.size();
+  Node.TraceIndex =
+      P->Interners[Node.Function].intern(Table, std::move(Top.Blocks));
+  ++Table.UseCounts[Node.TraceIndex];
+}
+
+size_t StreamingCompactor::openFrames() const { return P->Stack.size(); }
+
+PartitionedWpp StreamingCompactor::takePartitioned() {
+  assert(balanced() && "takePartitioned with open frames");
+  PartitionedWpp Out = std::move(P->Wpp);
+  P = std::make_unique<Impl>(static_cast<uint32_t>(Out.Functions.size()));
+  return Out;
+}
+
+TwppWpp StreamingCompactor::takeCompacted() {
+  return convertToTwpp(applyDbbCompaction(takePartitioned()));
+}

@@ -1,0 +1,62 @@
+//===- wpp/Streaming.h - Online WPP compaction ------------------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Online compaction: a TraceSink that performs partitioning and
+/// redundant path trace elimination *while the program runs*, so the
+/// instrumented process never materializes the raw event stream — the
+/// deployment mode the paper's numbers presume (the uncompacted WPPs are
+/// 100s of MB; what is written out is the compacted form). Memory is
+/// bounded by the unique traces plus the DCG plus one open frame per
+/// active call.
+///
+/// partitionWpp() is this sink fed from an in-memory trace, guaranteeing
+/// the two paths can never diverge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_WPP_STREAMING_H
+#define TWPP_WPP_STREAMING_H
+
+#include "wpp/Partition.h"
+#include "wpp/Twpp.h"
+
+#include <memory>
+
+namespace twpp {
+
+/// TraceSink that folds events straight into the partitioned,
+/// redundancy-eliminated representation.
+class StreamingCompactor final : public TraceSink {
+public:
+  explicit StreamingCompactor(uint32_t FunctionCount);
+  ~StreamingCompactor() override;
+
+  void onEnter(FunctionId F) override;
+  void onBlock(BlockId B) override;
+  void onExit() override;
+
+  /// Number of calls currently open (the live frame stack depth).
+  size_t openFrames() const;
+
+  /// True when every call has exited (the stream is balanced).
+  bool balanced() const { return openFrames() == 0; }
+
+  /// Moves the partitioned WPP out. The stream must be balanced.
+  PartitionedWpp takePartitioned();
+
+  /// Convenience: runs the remaining pipeline stages (DBB + TWPP) on the
+  /// partitioned result. The stream must be balanced.
+  TwppWpp takeCompacted();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+};
+
+} // namespace twpp
+
+#endif // TWPP_WPP_STREAMING_H

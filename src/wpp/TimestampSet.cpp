@@ -1,0 +1,214 @@
+//===- wpp/TimestampSet.cpp - Arithmetic-series timestamp sets ------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/TimestampSet.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace twpp;
+
+TimestampSet TimestampSet::fromSorted(const std::vector<Timestamp> &Sorted) {
+  TimestampSet Set;
+  size_t I = 0, N = Sorted.size();
+  while (I < N) {
+    assert(Sorted[I] > 0 && "timestamps must be positive");
+    assert((I == 0 || Sorted[I] > Sorted[I - 1]) &&
+           "timestamps must be strictly increasing");
+    if (I + 1 == N) {
+      Set.Runs.push_back({Sorted[I], Sorted[I], 1});
+      break;
+    }
+    uint32_t Step = Sorted[I + 1] - Sorted[I];
+    size_t J = I + 1;
+    while (J + 1 < N && Sorted[J + 1] - Sorted[J] == Step)
+      ++J;
+    size_t RunLength = J - I + 1;
+    if (RunLength == 2 && Step != 1) {
+      // Two singletons (2 encoded ints) beat an l:h:s entry (3 ints).
+      Set.Runs.push_back({Sorted[I], Sorted[I], 1});
+      I += 1;
+    } else {
+      Set.Runs.push_back({Sorted[I], Sorted[J], Step});
+      I = J + 1;
+    }
+  }
+  return Set;
+}
+
+TimestampSet TimestampSet::fromRun(Timestamp Lo, Timestamp Hi,
+                                   uint32_t Step) {
+  assert(Lo > 0 && Lo <= Hi && Step >= 1 && (Hi - Lo) % Step == 0 &&
+         "malformed run");
+  TimestampSet Set;
+  Set.Runs.push_back({Lo, Hi, Lo == Hi ? 1u : Step});
+  return Set;
+}
+
+uint64_t TimestampSet::count() const {
+  uint64_t Total = 0;
+  for (const SeriesRun &Run : Runs)
+    Total += Run.count();
+  return Total;
+}
+
+bool TimestampSet::contains(Timestamp T) const {
+  for (const SeriesRun &Run : Runs) {
+    if (Run.Lo > T)
+      return false;
+    if (Run.contains(T))
+      return true;
+  }
+  return false;
+}
+
+std::vector<Timestamp> TimestampSet::toVector() const {
+  std::vector<Timestamp> Out;
+  Out.reserve(count());
+  for (const SeriesRun &Run : Runs)
+    for (uint64_t T = Run.Lo; T <= Run.Hi; T += Run.Step)
+      Out.push_back(static_cast<Timestamp>(T));
+  return Out;
+}
+
+TimestampSet TimestampSet::shifted(int64_t Delta) const {
+  TimestampSet Out;
+  Out.Runs.reserve(Runs.size());
+  for (const SeriesRun &Run : Runs) {
+    int64_t Lo = static_cast<int64_t>(Run.Lo) + Delta;
+    int64_t Hi = static_cast<int64_t>(Run.Hi) + Delta;
+    if (Hi <= 0)
+      continue;
+    if (Lo <= 0) {
+      // Advance Lo to the first positive element of the run.
+      int64_t Skip = (1 - Lo + Run.Step - 1) / Run.Step;
+      Lo += Skip * Run.Step;
+      if (Lo > Hi)
+        continue;
+    }
+    Out.Runs.push_back({static_cast<Timestamp>(Lo),
+                        static_cast<Timestamp>(Hi),
+                        Lo == Hi ? 1u : Run.Step});
+  }
+  return Out;
+}
+
+TimestampSet TimestampSet::intersect(const TimestampSet &Other) const {
+  if (empty() || Other.empty())
+    return TimestampSet();
+  // Fast path: identical sets (common during query propagation when a
+  // whole timestamp vector survives a node).
+  if (*this == Other)
+    return *this;
+  // General path: merge the materialized element sequences. Runs keep the
+  // common case cheap; correctness beats micro-optimizing the rare
+  // misaligned-stride intersection.
+  std::vector<Timestamp> A = toVector();
+  std::vector<Timestamp> B = Other.toVector();
+  std::vector<Timestamp> Meet;
+  std::set_intersection(A.begin(), A.end(), B.begin(), B.end(),
+                        std::back_inserter(Meet));
+  return fromSorted(Meet);
+}
+
+TimestampSet TimestampSet::subtract(const TimestampSet &Other) const {
+  if (empty())
+    return TimestampSet();
+  if (Other.empty())
+    return *this;
+  if (*this == Other)
+    return TimestampSet();
+  std::vector<Timestamp> A = toVector();
+  std::vector<Timestamp> B = Other.toVector();
+  std::vector<Timestamp> Diff;
+  std::set_difference(A.begin(), A.end(), B.begin(), B.end(),
+                      std::back_inserter(Diff));
+  return fromSorted(Diff);
+}
+
+TimestampSet TimestampSet::unite(const TimestampSet &Other) const {
+  if (empty())
+    return Other;
+  if (Other.empty())
+    return *this;
+  std::vector<Timestamp> A = toVector();
+  std::vector<Timestamp> B = Other.toVector();
+  std::vector<Timestamp> Join;
+  std::set_union(A.begin(), A.end(), B.begin(), B.end(),
+                 std::back_inserter(Join));
+  return fromSorted(Join);
+}
+
+std::vector<int64_t> TimestampSet::encodeSigned() const {
+  std::vector<int64_t> Out;
+  Out.reserve(encodedValueCount());
+  for (const SeriesRun &Run : Runs) {
+    if (Run.Lo == Run.Hi) {
+      Out.push_back(-static_cast<int64_t>(Run.Lo));
+    } else if (Run.Step == 1) {
+      Out.push_back(static_cast<int64_t>(Run.Lo));
+      Out.push_back(-static_cast<int64_t>(Run.Hi));
+    } else {
+      Out.push_back(static_cast<int64_t>(Run.Lo));
+      Out.push_back(static_cast<int64_t>(Run.Hi));
+      Out.push_back(-static_cast<int64_t>(Run.Step));
+    }
+  }
+  return Out;
+}
+
+bool TimestampSet::decodeSigned(const std::vector<int64_t> &Encoded,
+                                TimestampSet &Out) {
+  Out = TimestampSet();
+  size_t I = 0, N = Encoded.size();
+  while (I < N) {
+    int64_t First = Encoded[I++];
+    if (First < 0) {
+      // Singleton entry.
+      Out.Runs.push_back(
+          {static_cast<Timestamp>(-First), static_cast<Timestamp>(-First), 1});
+      continue;
+    }
+    if (First == 0 || I >= N)
+      return false;
+    int64_t Second = Encoded[I++];
+    if (Second < 0) {
+      // l : h with step 1.
+      int64_t Hi = -Second;
+      if (Hi <= First)
+        return false;
+      Out.Runs.push_back({static_cast<Timestamp>(First),
+                          static_cast<Timestamp>(Hi), 1});
+      continue;
+    }
+    if (Second == 0 || I >= N)
+      return false;
+    int64_t Third = Encoded[I++];
+    if (Third >= 0)
+      return false;
+    // l : h : s.
+    int64_t Step = -Third;
+    if (Second <= First || (Second - First) % Step != 0)
+      return false;
+    Out.Runs.push_back({static_cast<Timestamp>(First),
+                        static_cast<Timestamp>(Second),
+                        static_cast<uint32_t>(Step)});
+  }
+  return true;
+}
+
+uint64_t TimestampSet::encodedValueCount() const {
+  uint64_t Count = 0;
+  for (const SeriesRun &Run : Runs) {
+    if (Run.Lo == Run.Hi)
+      Count += 1;
+    else if (Run.Step == 1)
+      Count += 2;
+    else
+      Count += 3;
+  }
+  return Count;
+}

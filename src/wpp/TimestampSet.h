@@ -1,0 +1,109 @@
+//===- wpp/TimestampSet.h - Arithmetic-series timestamp sets ----*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ordered sets of timestamps stored as arithmetic series, the TWPP path
+/// trace representation (paper Section 2, "Compacting TWPP path traces").
+/// A set is a sequence of entries `l` (singleton), `l:h` (step 1) or
+/// `l:h:s` (step s); on disk, entry boundaries are encoded in the sign of
+/// the values — the last number of every entry is stored negative — so the
+/// boundaries cost no extra space.
+///
+/// The same class doubles as the timestamp vector propagated by the
+/// demand-driven analyses (Section 4): shifting a whole series by -1 is one
+/// run update, which is what makes query propagation over compacted traces
+/// cheap (the paper's (2:20:2) -> (1:19:2) example).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_WPP_TIMESTAMPSET_H
+#define TWPP_WPP_TIMESTAMPSET_H
+
+#include <cstdint>
+#include <vector>
+
+namespace twpp {
+
+/// Timestamps are 1-based positions in a compacted path trace. They must be
+/// positive: the on-disk encoding uses the sign bit for entry boundaries.
+using Timestamp = uint32_t;
+
+/// One arithmetic series entry: {Lo, Lo+Step, ..., Hi}. Invariants:
+/// Lo <= Hi, (Hi - Lo) % Step == 0, Step >= 1; singleton iff Lo == Hi.
+struct SeriesRun {
+  Timestamp Lo;
+  Timestamp Hi;
+  uint32_t Step;
+
+  bool operator==(const SeriesRun &Other) const = default;
+
+  uint64_t count() const { return (Hi - Lo) / Step + 1; }
+  bool contains(Timestamp T) const {
+    return T >= Lo && T <= Hi && (T - Lo) % Step == 0;
+  }
+};
+
+/// An ordered set of positive timestamps with run-compressed storage.
+class TimestampSet {
+public:
+  TimestampSet() = default;
+
+  /// Builds a set from a strictly increasing timestamp list, greedily
+  /// packing maximal constant-stride runs (a two-element run with stride
+  /// != 1 is stored as two singletons, which encodes smaller).
+  static TimestampSet fromSorted(const std::vector<Timestamp> &Sorted);
+
+  /// Builds a set holding a single run.
+  static TimestampSet fromRun(Timestamp Lo, Timestamp Hi, uint32_t Step);
+
+  bool operator==(const TimestampSet &Other) const = default;
+
+  bool empty() const { return Runs.empty(); }
+  uint64_t count() const;
+  bool contains(Timestamp T) const;
+  Timestamp min() const { return Runs.front().Lo; }
+  Timestamp max() const { return Runs.back().Hi; }
+
+  /// Materializes the set as a sorted timestamp vector.
+  std::vector<Timestamp> toVector() const;
+
+  /// Returns the set shifted by \p Delta; elements that would become
+  /// non-positive are dropped. Runs are updated wholesale — this is the
+  /// operation backward query propagation performs at every step.
+  TimestampSet shifted(int64_t Delta) const;
+
+  /// Set intersection (elements in both).
+  TimestampSet intersect(const TimestampSet &Other) const;
+
+  /// Set difference (elements of this not in Other).
+  TimestampSet subtract(const TimestampSet &Other) const;
+
+  /// Set union.
+  TimestampSet unite(const TimestampSet &Other) const;
+
+  /// The paper's sign-delimited integer stream: each run becomes `-l`,
+  /// `l, -h` (step 1), or `l, h, -s`; decode keys off the signs.
+  std::vector<int64_t> encodeSigned() const;
+
+  /// Inverse of encodeSigned. \returns false on a malformed stream.
+  static bool decodeSigned(const std::vector<int64_t> &Encoded,
+                           TimestampSet &Out);
+
+  /// Number of integers encodeSigned would emit (the paper's measure of a
+  /// timestamp vector's size, Table 6).
+  uint64_t encodedValueCount() const;
+
+  const std::vector<SeriesRun> &runs() const { return Runs; }
+
+private:
+  /// Runs, sorted by Lo; a canonical form is maintained so that equal sets
+  /// compare equal (fromSorted's greedy packing of the element sequence).
+  std::vector<SeriesRun> Runs;
+};
+
+} // namespace twpp
+
+#endif // TWPP_WPP_TIMESTAMPSET_H

@@ -1,0 +1,205 @@
+//===- wpp/Twpp.cpp - Timestamped WPP representation ----------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/Twpp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+
+using namespace twpp;
+
+const TimestampSet *TwppTrace::timestampsOf(BlockId Block) const {
+  auto It = std::lower_bound(
+      Blocks.begin(), Blocks.end(), Block,
+      [](const std::pair<BlockId, TimestampSet> &Entry, BlockId Key) {
+        return Entry.first < Key;
+      });
+  if (It == Blocks.end() || It->first != Block)
+    return nullptr;
+  return &It->second;
+}
+
+TwppTrace twpp::twppFromBlockSequence(const std::vector<BlockId> &Sequence) {
+  TwppTrace Trace;
+  Trace.Length = static_cast<uint32_t>(Sequence.size());
+  // Gather the timestamp list of every block; std::map keeps block order.
+  std::map<BlockId, std::vector<Timestamp>> Lists;
+  for (uint32_t I = 0; I < Sequence.size(); ++I)
+    Lists[Sequence[I]].push_back(I + 1);
+  Trace.Blocks.reserve(Lists.size());
+  for (auto &[Block, List] : Lists)
+    Trace.Blocks.emplace_back(Block, TimestampSet::fromSorted(List));
+  return Trace;
+}
+
+bool twpp::blockSequenceFromTwpp(const TwppTrace &Trace,
+                                 std::vector<BlockId> &Sequence) {
+  Sequence.assign(Trace.Length, 0);
+  std::vector<bool> Seen(Trace.Length, false);
+  for (const auto &[Block, Set] : Trace.Blocks) {
+    for (const SeriesRun &Run : Set.runs()) {
+      for (uint64_t T = Run.Lo; T <= Run.Hi; T += Run.Step) {
+        if (T == 0 || T > Trace.Length || Seen[T - 1])
+          return false;
+        Seen[T - 1] = true;
+        Sequence[T - 1] = Block;
+      }
+    }
+  }
+  for (bool Filled : Seen)
+    if (!Filled)
+      return false;
+  return true;
+}
+
+namespace {
+
+/// Interns values into a pool, deduplicating by hash + equality.
+template <typename T, typename HashFn> class PoolInterner {
+public:
+  explicit PoolInterner(HashFn Hash) : Hash(Hash) {}
+
+  uint32_t intern(std::vector<T> &Pool, T &&Value) {
+    uint64_t H = Hash(Value);
+    auto Range = Buckets.equal_range(H);
+    for (auto It = Range.first; It != Range.second; ++It)
+      if (Pool[It->second] == Value)
+        return It->second;
+    uint32_t Index = static_cast<uint32_t>(Pool.size());
+    Pool.push_back(std::move(Value));
+    Buckets.emplace(H, Index);
+    return Index;
+  }
+
+private:
+  HashFn Hash;
+  std::unordered_multimap<uint64_t, uint32_t> Buckets;
+};
+
+} // namespace
+
+DbbWpp twpp::applyDbbCompaction(const PartitionedWpp &Wpp) {
+  DbbWpp Out;
+  Out.Dcg = Wpp.Dcg;
+  Out.Functions.resize(Wpp.Functions.size());
+  for (size_t F = 0; F < Wpp.Functions.size(); ++F) {
+    const FunctionTraceTable &In = Wpp.Functions[F];
+    DbbFunctionTable &Table = Out.Functions[F];
+    Table.CallCount = In.CallCount;
+    Table.UseCounts = In.UseCounts;
+
+    PoolInterner<std::vector<BlockId>, uint64_t (*)(const std::vector<BlockId> &)>
+        StringInterner(hashBlockSequence);
+    PoolInterner<DbbDictionary, uint64_t (*)(const DbbDictionary &)>
+        DictInterner(hashDictionary);
+
+    Table.Traces.reserve(In.UniqueTraces.size());
+    for (const PathTrace &Trace : In.UniqueTraces) {
+      CompactedTrace Compacted = compactWithDbbs(Trace);
+      uint32_t StringIdx = StringInterner.intern(
+          Table.TraceStrings, std::move(Compacted.Blocks));
+      uint32_t DictIdx = DictInterner.intern(Table.Dictionaries,
+                                             std::move(Compacted.Dictionary));
+      Table.Traces.emplace_back(StringIdx, DictIdx);
+    }
+  }
+  return Out;
+}
+
+TwppWpp twpp::convertToTwpp(const DbbWpp &Wpp) {
+  TwppWpp Out;
+  Out.Dcg = Wpp.Dcg;
+  Out.Functions.resize(Wpp.Functions.size());
+  for (size_t F = 0; F < Wpp.Functions.size(); ++F) {
+    const DbbFunctionTable &In = Wpp.Functions[F];
+    TwppFunctionTable &Table = Out.Functions[F];
+    Table.CallCount = In.CallCount;
+    Table.UseCounts = In.UseCounts;
+    Table.Traces = In.Traces;
+    Table.Dictionaries = In.Dictionaries;
+    Table.TraceStrings.reserve(In.TraceStrings.size());
+    for (const std::vector<BlockId> &Sequence : In.TraceStrings)
+      Table.TraceStrings.push_back(twppFromBlockSequence(Sequence));
+  }
+  return Out;
+}
+
+DbbWpp twpp::twppToDbb(const TwppWpp &Wpp) {
+  DbbWpp Out;
+  Out.Dcg = Wpp.Dcg;
+  Out.Functions.resize(Wpp.Functions.size());
+  for (size_t F = 0; F < Wpp.Functions.size(); ++F) {
+    const TwppFunctionTable &In = Wpp.Functions[F];
+    DbbFunctionTable &Table = Out.Functions[F];
+    Table.CallCount = In.CallCount;
+    Table.UseCounts = In.UseCounts;
+    Table.Traces = In.Traces;
+    Table.Dictionaries = In.Dictionaries;
+    Table.TraceStrings.reserve(In.TraceStrings.size());
+    for (const TwppTrace &Trace : In.TraceStrings) {
+      std::vector<BlockId> Sequence;
+      bool Ok = blockSequenceFromTwpp(Trace, Sequence);
+      assert(Ok && "inconsistent TWPP trace");
+      (void)Ok;
+      Table.TraceStrings.push_back(std::move(Sequence));
+    }
+  }
+  return Out;
+}
+
+PartitionedWpp twpp::dbbToPartitioned(const DbbWpp &Wpp) {
+  PartitionedWpp Out;
+  Out.Dcg = Wpp.Dcg;
+  Out.Functions.resize(Wpp.Functions.size());
+  for (size_t F = 0; F < Wpp.Functions.size(); ++F) {
+    const DbbFunctionTable &In = Wpp.Functions[F];
+    FunctionTraceTable &Table = Out.Functions[F];
+    Table.CallCount = In.CallCount;
+    Table.UseCounts = In.UseCounts;
+    Table.UniqueTraces.reserve(In.Traces.size());
+    for (size_t T = 0; T < In.Traces.size(); ++T) {
+      auto [StringIdx, DictIdx] = In.Traces[T];
+      CompactedTrace Compacted;
+      Compacted.Blocks = In.TraceStrings[StringIdx];
+      Compacted.Dictionary = In.Dictionaries[DictIdx];
+      PathTrace Expanded = expandDbbs(Compacted);
+      Table.UniqueTraces.push_back(std::move(Expanded));
+      Table.TotalBlockEvents +=
+          Table.UniqueTraces.back().size() * In.UseCounts[T];
+    }
+  }
+  return Out;
+}
+
+TwppWpp twpp::compactWpp(const RawTrace &Trace) {
+  return convertToTwpp(applyDbbCompaction(partitionWpp(Trace)));
+}
+
+RawTrace twpp::reconstructRawTrace(const TwppWpp &Wpp) {
+  return reconstructRawTrace(dbbToPartitioned(twppToDbb(Wpp)));
+}
+
+FunctionPathTraces
+twpp::expandFunctionTraces(const TwppFunctionTable &Table) {
+  FunctionPathTraces Out;
+  Out.CallCount = Table.CallCount;
+  Out.UseCounts = Table.UseCounts;
+  Out.Traces.reserve(Table.Traces.size());
+  for (auto [StringIdx, DictIdx] : Table.Traces) {
+    std::vector<BlockId> Sequence;
+    bool Ok = blockSequenceFromTwpp(Table.TraceStrings[StringIdx], Sequence);
+    assert(Ok && "inconsistent TWPP trace");
+    (void)Ok;
+    PathTrace Expanded;
+    Expanded.reserve(Sequence.size());
+    for (BlockId Head : Sequence)
+      appendExpansion(Table.Dictionaries[DictIdx], Head, Expanded);
+    Out.Traces.push_back(std::move(Expanded));
+  }
+  return Out;
+}

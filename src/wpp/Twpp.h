@@ -1,0 +1,136 @@
+//===- wpp/Twpp.h - Timestamped WPP representation --------------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The timestamped WPP (TWPP) representation and the full compaction
+/// pipeline. A path trace in WPP form is a map timestamp -> dynamic basic
+/// block; TWPP inverts it into block -> ordered timestamp set, the form
+/// profile-limited data flow analysis consumes, and compacts the timestamp
+/// sets into arithmetic series (paper Section 2).
+///
+/// Pipeline:  RawTrace --partitionWpp--> PartitionedWpp
+///            --applyDbbCompaction--> DbbWpp
+///            --convertToTwpp--> TwppWpp            (and inverses).
+///
+/// Both the DBB stage and the TWPP stage keep, per function, a pool of
+/// deduplicated trace strings and a pool of deduplicated dictionaries; a
+/// unique path trace is a (string, dictionary) pair — the paper's (t, d)
+/// tuples (Figure 5: one trace string, two dictionaries).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_WPP_TWPP_H
+#define TWPP_WPP_TWPP_H
+
+#include "wpp/Dbb.h"
+#include "wpp/Partition.h"
+#include "wpp/TimestampSet.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace twpp {
+
+/// A path trace in timestamped form: for every dynamic basic block of the
+/// compacted trace, the ordered set of time steps at which it ran.
+struct TwppTrace {
+  /// Number of time steps (length of the compacted block sequence).
+  uint32_t Length = 0;
+  /// (block, timestamps) pairs sorted by block id. Every timestamp in
+  /// [1, Length] occurs in exactly one set.
+  std::vector<std::pair<BlockId, TimestampSet>> Blocks;
+
+  bool operator==(const TwppTrace &Other) const = default;
+
+  /// Returns the timestamp set of \p Block, or nullptr when the block does
+  /// not appear in this trace.
+  const TimestampSet *timestampsOf(BlockId Block) const;
+};
+
+/// Converts a compacted block sequence (timestamp -> block) to TWPP form.
+TwppTrace twppFromBlockSequence(const std::vector<BlockId> &Sequence);
+
+/// Inverse of twppFromBlockSequence. \returns false when the trace is
+/// inconsistent (overlapping or missing timestamps).
+bool blockSequenceFromTwpp(const TwppTrace &Trace,
+                           std::vector<BlockId> &Sequence);
+
+/// Per-function tables after DBB dictionary creation. Traces[i] gives the
+/// (trace string, dictionary) pair of the i-th unique path trace, indexing
+/// the deduplicated pools.
+struct DbbFunctionTable {
+  std::vector<std::vector<BlockId>> TraceStrings;
+  std::vector<DbbDictionary> Dictionaries;
+  std::vector<std::pair<uint32_t, uint32_t>> Traces;
+  /// Calls per unique trace, parallel to Traces.
+  std::vector<uint64_t> UseCounts;
+  uint64_t CallCount = 0;
+
+  bool operator==(const DbbFunctionTable &Other) const = default;
+};
+
+/// The WPP after DBB dictionary creation (paper Figure 5).
+struct DbbWpp {
+  DynamicCallGraph Dcg;
+  std::vector<DbbFunctionTable> Functions;
+
+  bool operator==(const DbbWpp &Other) const = default;
+};
+
+/// Per-function tables in compacted TWPP form.
+struct TwppFunctionTable {
+  std::vector<TwppTrace> TraceStrings;
+  std::vector<DbbDictionary> Dictionaries;
+  std::vector<std::pair<uint32_t, uint32_t>> Traces;
+  std::vector<uint64_t> UseCounts;
+  uint64_t CallCount = 0;
+
+  bool operator==(const TwppFunctionTable &Other) const = default;
+};
+
+/// The fully compacted representation (paper Figure 7): DCG + per-function
+/// TWPP trace strings and DBB dictionaries.
+struct TwppWpp {
+  DynamicCallGraph Dcg;
+  std::vector<TwppFunctionTable> Functions;
+
+  bool operator==(const TwppWpp &Other) const = default;
+};
+
+/// Stage 3: builds DBB dictionaries for every unique path trace and
+/// re-deduplicates trace strings and dictionaries independently.
+DbbWpp applyDbbCompaction(const PartitionedWpp &Wpp);
+
+/// Stage 4+5: converts every compacted trace string to timestamped form
+/// with series-compacted timestamp sets.
+TwppWpp convertToTwpp(const DbbWpp &Wpp);
+
+/// Inverse of convertToTwpp.
+DbbWpp twppToDbb(const TwppWpp &Wpp);
+
+/// Inverse of applyDbbCompaction (expands every (string, dictionary) pair).
+PartitionedWpp dbbToPartitioned(const DbbWpp &Wpp);
+
+/// Runs the whole pipeline: raw event stream to compacted TWPP.
+TwppWpp compactWpp(const RawTrace &Trace);
+
+/// Inverse of compactWpp: rebuilds the exact original event stream.
+RawTrace reconstructRawTrace(const TwppWpp &Wpp);
+
+/// Expands the unique path traces of one function back to raw block
+/// sequences (the answer to the paper's per-function query), together with
+/// their use counts.
+struct FunctionPathTraces {
+  std::vector<PathTrace> Traces;
+  std::vector<uint64_t> UseCounts;
+  uint64_t CallCount = 0;
+};
+FunctionPathTraces expandFunctionTraces(const TwppFunctionTable &Table);
+
+} // namespace twpp
+
+#endif // TWPP_WPP_TWPP_H

@@ -1,0 +1,134 @@
+//===- tests/ArchiveTest.cpp - compacted TWPP archive format ---------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/Archive.h"
+
+#include "TestTraces.h"
+#include "support/FileIO.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace twpp;
+
+namespace {
+
+std::string tempPath(const char *Name) {
+  return ::testing::TempDir() + "/" + Name;
+}
+
+TEST(FunctionTableCodecTest, RoundTrip) {
+  RawTrace Trace = fixtures::figure1Trace();
+  TwppWpp Compacted = compactWpp(Trace);
+  for (const TwppFunctionTable &Table : Compacted.Functions) {
+    TwppFunctionTable Back;
+    ASSERT_TRUE(decodeTwppFunctionTable(encodeTwppFunctionTable(Table),
+                                        Back));
+    EXPECT_EQ(Back, Table);
+  }
+}
+
+TEST(FunctionTableCodecTest, RejectsTruncated) {
+  RawTrace Trace = fixtures::figure1Trace();
+  TwppWpp Compacted = compactWpp(Trace);
+  std::vector<uint8_t> Bytes =
+      encodeTwppFunctionTable(Compacted.Functions[1]);
+  Bytes.resize(Bytes.size() - 2);
+  TwppFunctionTable Back;
+  EXPECT_FALSE(decodeTwppFunctionTable(Bytes, Back));
+}
+
+TEST(ArchiveTest, WriteOpenReadAll) {
+  std::string Path = tempPath("twpp_archive_test.twpp");
+  RawTrace Trace = fixtures::figure1Trace();
+  TwppWpp Compacted = compactWpp(Trace);
+  ASSERT_TRUE(writeArchiveFile(Path, Compacted));
+
+  ArchiveReader Reader;
+  ASSERT_TRUE(Reader.open(Path));
+  EXPECT_EQ(Reader.functionCount(), 2u);
+  EXPECT_EQ(Reader.callCount(0), 1u);
+  EXPECT_EQ(Reader.callCount(1), 5u);
+
+  TwppWpp Back;
+  ASSERT_TRUE(Reader.readAll(Back));
+  EXPECT_EQ(Back, Compacted);
+  EXPECT_EQ(reconstructRawTrace(Back), Trace);
+  std::remove(Path.c_str());
+}
+
+TEST(ArchiveTest, ExtractSingleFunction) {
+  std::string Path = tempPath("twpp_archive_extract.twpp");
+  RawTrace Trace = fixtures::figure1Trace();
+  TwppWpp Compacted = compactWpp(Trace);
+  ASSERT_TRUE(writeArchiveFile(Path, Compacted));
+
+  ArchiveReader Reader;
+  ASSERT_TRUE(Reader.open(Path));
+  FunctionPathTraces F;
+  ASSERT_TRUE(Reader.extractFunctionPathTraces(1, F));
+  ASSERT_EQ(F.Traces.size(), 2u);
+  EXPECT_EQ(F.Traces[0],
+            (PathTrace{1, 2, 7, 8, 9, 6, 2, 7, 8, 9, 6, 2, 7, 8, 9, 6, 10}));
+  EXPECT_EQ(F.Traces[1],
+            (PathTrace{1, 2, 3, 4, 5, 6, 2, 3, 4, 5, 6, 2, 3, 4, 5, 6, 10}));
+  EXPECT_EQ(F.CallCount, 5u);
+
+  // Out-of-range function id fails cleanly.
+  TwppFunctionTable Table;
+  EXPECT_FALSE(Reader.extractFunction(7, Table));
+  std::remove(Path.c_str());
+}
+
+TEST(ArchiveTest, DcgRoundTripsThroughLzw) {
+  std::string Path = tempPath("twpp_archive_dcg.twpp");
+  RawTrace Trace = fixtures::randomTrace(99);
+  TwppWpp Compacted = compactWpp(Trace);
+  ASSERT_TRUE(writeArchiveFile(Path, Compacted));
+
+  ArchiveReader Reader;
+  ASSERT_TRUE(Reader.open(Path));
+  DynamicCallGraph Dcg;
+  ASSERT_TRUE(Reader.readDcg(Dcg));
+  EXPECT_EQ(Dcg, Compacted.Dcg);
+  std::remove(Path.c_str());
+}
+
+TEST(ArchiveTest, OpenRejectsGarbage) {
+  std::string Path = tempPath("twpp_archive_garbage.twpp");
+  ASSERT_TRUE(writeFileBytes(Path, {1, 2, 3, 4, 5, 6, 7, 8}));
+  ArchiveReader Reader;
+  EXPECT_FALSE(Reader.open(Path));
+  std::remove(Path.c_str());
+
+  ArchiveReader Missing;
+  EXPECT_FALSE(Missing.open(tempPath("no_such_file.twpp")));
+}
+
+/// Property sweep: archive round trip on random traces.
+class ArchiveRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ArchiveRoundTrip, RandomTraces) {
+  std::string Path = tempPath(
+      ("twpp_archive_rt_" + std::to_string(GetParam()) + ".twpp").c_str());
+  RawTrace Trace = fixtures::randomTrace(GetParam(), 8, 5000);
+  TwppWpp Compacted = compactWpp(Trace);
+  ASSERT_TRUE(writeArchiveFile(Path, Compacted));
+  ArchiveReader Reader;
+  ASSERT_TRUE(Reader.open(Path));
+  TwppWpp Back;
+  ASSERT_TRUE(Reader.readAll(Back));
+  EXPECT_EQ(Back, Compacted);
+  EXPECT_EQ(reconstructRawTrace(Back), Trace);
+  std::remove(Path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArchiveRoundTrip,
+                         ::testing::Values(51, 52, 53, 54, 55, 56));
+
+} // namespace

@@ -1,0 +1,110 @@
+//===- tests/ControlDepsTest.cpp - postdominators & control deps -----------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slicing/ControlDeps.h"
+
+#include "dataflow/AnnotatedCfg.h"
+#include "slicing/DynamicSlicer.h"
+
+#include <gtest/gtest.h>
+
+using namespace twpp;
+
+namespace {
+
+/// if (1) { 2 } else { 3 }; 4
+SliceProgram diamond() {
+  SliceProgram P;
+  P.Stmts.resize(4);
+  P.Succs = {{2, 3}, {4}, {4}, {}};
+  return P;
+}
+
+/// 1; while (2) { 3 }; 4
+SliceProgram loop() {
+  SliceProgram P;
+  P.Stmts.resize(4);
+  P.Succs = {{2}, {3, 4}, {2}, {}};
+  return P;
+}
+
+TEST(PostDominatorTest, Diamond) {
+  std::vector<BlockId> Ipdom = computePostDominators(diamond());
+  EXPECT_EQ(Ipdom[1], 4u);
+  EXPECT_EQ(Ipdom[2], 4u);
+  EXPECT_EQ(Ipdom[3], 4u);
+  EXPECT_EQ(Ipdom[4], 0u); // exits into the virtual exit
+}
+
+TEST(PostDominatorTest, Loop) {
+  std::vector<BlockId> Ipdom = computePostDominators(loop());
+  EXPECT_EQ(Ipdom[1], 2u);
+  EXPECT_EQ(Ipdom[2], 4u); // the loop always exits through 4
+  EXPECT_EQ(Ipdom[3], 2u); // the body returns to the header
+  EXPECT_EQ(Ipdom[4], 0u);
+}
+
+TEST(ControlDepsTest, DiamondArmsDependOnPredicate) {
+  std::vector<BlockId> Deps = computeControlDeps(diamond());
+  EXPECT_EQ(Deps[1], 0u);
+  EXPECT_EQ(Deps[2], 1u);
+  EXPECT_EQ(Deps[3], 1u);
+  EXPECT_EQ(Deps[4], 0u); // the join postdominates the predicate
+}
+
+TEST(ControlDepsTest, LoopBodyDependsOnHeader) {
+  std::vector<BlockId> Deps = computeControlDeps(loop());
+  EXPECT_EQ(Deps[3], 2u);
+  EXPECT_EQ(Deps[4], 0u);
+  EXPECT_EQ(Deps[2], 0u); // self-dependence of the header is dropped
+}
+
+TEST(ControlDepsTest, RecomputesFigure10HandAnnotations) {
+  // The hand-assigned control dependences of the paper's example must
+  // fall out of the postdominance computation.
+  Figure10Program Fig = buildFigure10Program();
+  SliceProgram Bare = Fig.Program;
+  for (SliceStmt &S : Bare.Stmts) {
+    S.ControlDep = 0;
+    S.IsPredicate = false;
+  }
+  annotateControlDeps(Bare);
+  for (BlockId Id = 1; Id <= Fig.Program.stmtCount(); ++Id) {
+    EXPECT_EQ(Bare.stmt(Id).ControlDep, Fig.Program.stmt(Id).ControlDep)
+        << "statement " << Id;
+    EXPECT_EQ(Bare.stmt(Id).IsPredicate, Fig.Program.stmt(Id).IsPredicate)
+        << "statement " << Id;
+  }
+}
+
+TEST(ControlDepsTest, SlicesUnchangedUnderRecomputedDeps) {
+  Figure10Program Fig = buildFigure10Program();
+  SliceProgram Recomputed = Fig.Program;
+  annotateControlDeps(Recomputed);
+  AnnotatedDynamicCfg Cfg = buildAnnotatedCfgFromSequence(Fig.Trace);
+
+  EXPECT_EQ(sliceApproach3(Recomputed, Cfg, Fig.Breakpoint, Fig.VarZ, 30)
+                .Stmts,
+            sliceApproach3(Fig.Program, Cfg, Fig.Breakpoint, Fig.VarZ, 30)
+                .Stmts);
+  EXPECT_EQ(sliceApproach2(Recomputed, Cfg, Fig.Breakpoint, Fig.VarZ).Stmts,
+            sliceApproach2(Fig.Program, Cfg, Fig.Breakpoint, Fig.VarZ)
+                .Stmts);
+}
+
+TEST(ControlDepsTest, NestedDiamonds) {
+  // if (1) { if (2) { 3 } 4 } 5
+  SliceProgram P;
+  P.Stmts.resize(5);
+  P.Succs = {{2, 5}, {3, 4}, {4}, {5}, {}};
+  std::vector<BlockId> Deps = computeControlDeps(P);
+  EXPECT_EQ(Deps[2], 1u);
+  EXPECT_EQ(Deps[3], 2u); // inner statement on the inner predicate
+  EXPECT_EQ(Deps[4], 1u); // inner join back on the outer predicate
+  EXPECT_EQ(Deps[5], 0u);
+}
+
+} // namespace

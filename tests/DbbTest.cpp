@@ -1,0 +1,135 @@
+//===- tests/DbbTest.cpp - dynamic basic block compaction ------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/Dbb.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace twpp;
+
+namespace {
+
+TEST(DynamicCfgTest, BuildsAdjacency) {
+  PathTrace Trace = {1, 2, 3, 2, 3, 4};
+  DynamicCfg Cfg = buildDynamicCfg(Trace);
+  ASSERT_EQ(Cfg.Blocks, (std::vector<BlockId>{1, 2, 3, 4}));
+  EXPECT_EQ(Cfg.Successors[Cfg.indexOf(1)], (std::vector<BlockId>{2}));
+  EXPECT_EQ(Cfg.Successors[Cfg.indexOf(2)], (std::vector<BlockId>{3}));
+  EXPECT_EQ(Cfg.Successors[Cfg.indexOf(3)], (std::vector<BlockId>{2, 4}));
+  EXPECT_TRUE(Cfg.IsEntry[Cfg.indexOf(1)]);
+  EXPECT_TRUE(Cfg.IsExit[Cfg.indexOf(4)]);
+  EXPECT_EQ(Cfg.edgeCount(), 4u);
+}
+
+TEST(DbbTest, PaperFigure4FirstPath) {
+  // f's first unique path: chain 2.3.4.5.6 collapses; trace becomes
+  // 1.2.2.2.10 (paper Figures 4-5).
+  PathTrace Trace = {1, 2, 3, 4, 5, 6, 2, 3, 4, 5, 6, 2, 3, 4, 5, 6, 10};
+  CompactedTrace Compacted = compactWithDbbs(Trace);
+  EXPECT_EQ(Compacted.Blocks, (std::vector<BlockId>{1, 2, 2, 2, 10}));
+  ASSERT_EQ(Compacted.Dictionary.Chains.size(), 1u);
+  EXPECT_EQ(Compacted.Dictionary.Chains[0],
+            (std::vector<BlockId>{2, 3, 4, 5, 6}));
+  EXPECT_EQ(expandDbbs(Compacted), Trace);
+}
+
+TEST(DbbTest, PaperFigure4SecondPath) {
+  PathTrace Trace = {1, 2, 7, 8, 9, 6, 2, 7, 8, 9, 6, 2, 7, 8, 9, 6, 10};
+  CompactedTrace Compacted = compactWithDbbs(Trace);
+  EXPECT_EQ(Compacted.Blocks, (std::vector<BlockId>{1, 2, 2, 2, 10}));
+  ASSERT_EQ(Compacted.Dictionary.Chains.size(), 1u);
+  EXPECT_EQ(Compacted.Dictionary.Chains[0],
+            (std::vector<BlockId>{2, 7, 8, 9, 6}));
+  EXPECT_EQ(expandDbbs(Compacted), Trace);
+}
+
+TEST(DbbTest, PaperFigure4MainPath) {
+  // main's trace 1.(2.3.4)^5.6 -> 1.2.2.2.2.2.6 with chain {2,3,4}.
+  PathTrace Trace = {1, 2, 3, 4, 2, 3, 4, 2, 3, 4, 2, 3, 4, 2, 3, 4, 6};
+  CompactedTrace Compacted = compactWithDbbs(Trace);
+  EXPECT_EQ(Compacted.Blocks, (std::vector<BlockId>{1, 2, 2, 2, 2, 2, 6}));
+  ASSERT_EQ(Compacted.Dictionary.Chains.size(), 1u);
+  EXPECT_EQ(Compacted.Dictionary.Chains[0], (std::vector<BlockId>{2, 3, 4}));
+  EXPECT_EQ(expandDbbs(Compacted), Trace);
+}
+
+TEST(DbbTest, TrivialTraces) {
+  EXPECT_EQ(compactWithDbbs({}).Blocks, PathTrace{});
+  EXPECT_EQ(compactWithDbbs({7}).Blocks, (PathTrace{7}));
+  EXPECT_TRUE(compactWithDbbs({7}).Dictionary.Chains.empty());
+}
+
+TEST(DbbTest, StraightLineCollapsesToOneBlock) {
+  PathTrace Trace = {1, 2, 3, 4, 5};
+  CompactedTrace Compacted = compactWithDbbs(Trace);
+  EXPECT_EQ(Compacted.Blocks, (std::vector<BlockId>{1}));
+  ASSERT_EQ(Compacted.Dictionary.Chains.size(), 1u);
+  EXPECT_EQ(Compacted.Dictionary.Chains[0],
+            (std::vector<BlockId>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(expandDbbs(Compacted), Trace);
+}
+
+TEST(DbbTest, TrailingHeadOccurrenceBlocksChain) {
+  // 1.2.1: block 1 both precedes 2 and ends the trace, so no chain may
+  // treat 1 as always-followed-by-2 (the virtual exit edge preserves
+  // losslessness).
+  PathTrace Trace = {1, 2, 1};
+  CompactedTrace Compacted = compactWithDbbs(Trace);
+  EXPECT_EQ(expandDbbs(Compacted), Trace);
+  EXPECT_TRUE(Compacted.Dictionary.Chains.empty());
+}
+
+TEST(DbbTest, RepeatedBlockNoChain) {
+  PathTrace Trace = {3, 3, 3, 3};
+  CompactedTrace Compacted = compactWithDbbs(Trace);
+  EXPECT_EQ(expandDbbs(Compacted), Trace);
+}
+
+TEST(DbbTest, AlternatingBlocksDoNotLoopForever) {
+  PathTrace Trace = {1, 2, 1, 2, 1, 2};
+  CompactedTrace Compacted = compactWithDbbs(Trace);
+  EXPECT_EQ(expandDbbs(Compacted), Trace);
+}
+
+/// Property sweep: DBB compaction is lossless on random walks.
+class DbbRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DbbRoundTrip, RandomWalks) {
+  Rng R(GetParam());
+  for (int Iter = 0; Iter < 60; ++Iter) {
+    // Random walk over a small block alphabet with loop-ish repetition.
+    PathTrace Trace;
+    size_t Length = 1 + R.nextBelow(300);
+    BlockId Current = 1 + static_cast<BlockId>(R.nextBelow(8));
+    for (size_t I = 0; I < Length; ++I) {
+      Trace.push_back(Current);
+      if (R.nextBool(0.6)) {
+        Current = Current % 8 + 1; // deterministic chain structure
+      } else {
+        Current = 1 + static_cast<BlockId>(R.nextBelow(8));
+      }
+    }
+    CompactedTrace Compacted = compactWithDbbs(Trace);
+    EXPECT_EQ(expandDbbs(Compacted), Trace);
+    EXPECT_LE(Compacted.Blocks.size(), Trace.size());
+    // Dictionary chains must be non-trivial and keyed uniquely.
+    for (size_t C = 0; C < Compacted.Dictionary.Chains.size(); ++C) {
+      EXPECT_GE(Compacted.Dictionary.Chains[C].size(), 2u);
+      if (C > 0) {
+        EXPECT_LT(Compacted.Dictionary.Chains[C - 1].front(),
+                  Compacted.Dictionary.Chains[C].front());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbbRoundTrip,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808, 909, 1010));
+
+} // namespace

@@ -1,0 +1,58 @@
+//===- tests/DumpTest.cpp - dot / summary dumps ----------------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Dump.h"
+
+#include "TestTraces.h"
+
+#include <gtest/gtest.h>
+
+using namespace twpp;
+
+namespace {
+
+TEST(DumpTest, DcgDotContainsNodesAndAnchors) {
+  RawTrace Trace = fixtures::figure1Trace();
+  TwppWpp Compacted = compactWpp(Trace);
+  std::string Dot = dumpDcgDot(Compacted.Dcg);
+  EXPECT_NE(Dot.find("digraph dcg"), std::string::npos);
+  EXPECT_NE(Dot.find("f0 t0"), std::string::npos); // main's node
+  EXPECT_NE(Dot.find("f1 t"), std::string::npos);  // a call to f
+  EXPECT_NE(Dot.find("@3"), std::string::npos);    // first call anchor
+  EXPECT_NE(Dot.find("root -> n0"), std::string::npos);
+  EXPECT_EQ(Dot.find("elided"), std::string::npos);
+}
+
+TEST(DumpTest, DcgDotElidesBeyondLimit) {
+  RawTrace Trace = fixtures::figure1Trace();
+  TwppWpp Compacted = compactWpp(Trace);
+  std::string Dot = dumpDcgDot(Compacted.Dcg, /*MaxNodes=*/2);
+  EXPECT_NE(Dot.find("elided"), std::string::npos);
+  EXPECT_NE(Dot.find("+4 more"), std::string::npos);
+}
+
+TEST(DumpTest, AnnotatedCfgDotShowsSeries) {
+  AnnotatedDynamicCfg Cfg =
+      buildAnnotatedCfgFromSequence({1, 2, 2, 2, 2, 2, 6});
+  std::string Dot = dumpAnnotatedCfgDot(Cfg, "paper");
+  EXPECT_NE(Dot.find("digraph \"paper\""), std::string::npos);
+  EXPECT_NE(Dot.find("T=2:6"), std::string::npos); // block 2's series
+  EXPECT_NE(Dot.find("T=1"), std::string::npos);
+  EXPECT_NE(Dot.find("->"), std::string::npos);
+}
+
+TEST(DumpTest, SummaryListsCalledFunctions) {
+  RawTrace Trace = fixtures::figure1Trace();
+  TwppWpp Compacted = compactWpp(Trace);
+  std::string Summary = dumpSummary(Compacted);
+  EXPECT_NE(Summary.find("functions: 2"), std::string::npos);
+  EXPECT_NE(Summary.find("f0: 1 calls, 1 unique traces"),
+            std::string::npos);
+  EXPECT_NE(Summary.find("f1: 5 calls, 2 unique traces"),
+            std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+//===- tests/InterpreterTest.cpp - tracing interpreter ---------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interpreter.h"
+
+#include "lang/Lower.h"
+#include "wpp/Twpp.h"
+
+#include <gtest/gtest.h>
+
+using namespace twpp;
+
+namespace {
+
+Module compile(const std::string &Source) {
+  Module M;
+  std::string Error;
+  bool Ok = compileProgram(Source, M, Error);
+  EXPECT_TRUE(Ok) << Error;
+  return M;
+}
+
+TEST(InterpreterTest, ArithmeticAndPrint) {
+  Module M = compile("fn main() { print 2 + 3 * 4; print (2 + 3) * 4; "
+                     "print 10 / 3; print 10 % 3; print -7; print !0; }");
+  ExecutionResult Result;
+  traceExecution(M, {}, Result);
+  ASSERT_TRUE(Result.Completed) << Result.Error;
+  EXPECT_EQ(Result.Output, (std::vector<int64_t>{14, 20, 3, 1, -7, 1}));
+}
+
+TEST(InterpreterTest, DivisionByZeroYieldsZero) {
+  Module M = compile("fn main() { read x; print 5 / x; print 5 % x; }");
+  ExecutionResult Result;
+  traceExecution(M, {0}, Result);
+  ASSERT_TRUE(Result.Completed);
+  EXPECT_EQ(Result.Output, (std::vector<int64_t>{0, 0}));
+}
+
+TEST(InterpreterTest, ReadsInputsInOrder) {
+  Module M = compile("fn main() { read a; read b; print a - b; read c; "
+                     "print c; }");
+  ExecutionResult Result;
+  traceExecution(M, {10, 4}, Result); // c exhausted -> 0
+  ASSERT_TRUE(Result.Completed);
+  EXPECT_EQ(Result.Output, (std::vector<int64_t>{6, 0}));
+}
+
+TEST(InterpreterTest, LoopComputesSum) {
+  Module M = compile("fn main() {"
+                     "  read n; s = 0; i = 1;"
+                     "  while (i <= n) { s = s + i; i = i + 1; }"
+                     "  print s;"
+                     "}");
+  ExecutionResult Result;
+  traceExecution(M, {100}, Result);
+  ASSERT_TRUE(Result.Completed);
+  EXPECT_EQ(Result.Output, (std::vector<int64_t>{5050}));
+}
+
+TEST(InterpreterTest, RecursionViaCalls) {
+  Module M = compile("fn fib(n) {"
+                     "  if (n < 2) { return n; }"
+                     "  a = call fib(n - 1);"
+                     "  b = call fib(n - 2);"
+                     "  return a + b;"
+                     "}"
+                     "fn main() { f = call fib(12); print f; }");
+  ExecutionResult Result;
+  RawTrace Trace = traceExecution(M, {}, Result);
+  ASSERT_TRUE(Result.Completed) << Result.Error;
+  EXPECT_EQ(Result.Output, (std::vector<int64_t>{144}));
+  EXPECT_TRUE(Trace.isWellFormed());
+  // fib(12) makes 465 calls; main makes 1.
+  EXPECT_EQ(Trace.callCount(), 466u);
+}
+
+TEST(InterpreterTest, TraceMatchesExecutedPath) {
+  Module M = compile("fn main() {"
+                     "  read x;"
+                     "  if (x > 0) { print 1; } else { print 2; }"
+                     "}");
+  ExecutionResult Result;
+  RawTrace Positive = traceExecution(M, {5}, Result);
+  RawTrace Negative = traceExecution(M, {-5}, Result);
+  // entry=1, then=2, else=3, join=4.
+  std::vector<TraceEvent> WantPositive = {
+      TraceEvent::enter(0), TraceEvent::block(1), TraceEvent::block(2),
+      TraceEvent::block(4), TraceEvent::exit()};
+  std::vector<TraceEvent> WantNegative = {
+      TraceEvent::enter(0), TraceEvent::block(1), TraceEvent::block(3),
+      TraceEvent::block(4), TraceEvent::exit()};
+  EXPECT_EQ(Positive.Events, WantPositive);
+  EXPECT_EQ(Negative.Events, WantNegative);
+}
+
+TEST(InterpreterTest, BreakAndContinueSemantics) {
+  Module M = compile("fn main() {"
+                     "  i = 0;"
+                     "  while (i < 100) {"
+                     "    i = i + 1;"
+                     "    if (i % 2 == 0) { continue; }"
+                     "    if (i > 7) { break; }"
+                     "    print i;"
+                     "  }"
+                     "  print i;"
+                     "}");
+  ExecutionResult Result;
+  traceExecution(M, {}, Result);
+  ASSERT_TRUE(Result.Completed) << Result.Error;
+  // Odd values 1..7 printed, then 9 breaks out before printing.
+  EXPECT_EQ(Result.Output, (std::vector<int64_t>{1, 3, 5, 7, 9}));
+}
+
+TEST(InterpreterTest, NestedLoopBreakBindsInnermost) {
+  Module M = compile("fn main() {"
+                     "  outer = 0; total = 0;"
+                     "  while (outer < 3) {"
+                     "    inner = 0;"
+                     "    while (inner < 100) {"
+                     "      inner = inner + 1;"
+                     "      if (inner == 2) { break; }"
+                     "    }"
+                     "    total = total + inner;"
+                     "    outer = outer + 1;"
+                     "  }"
+                     "  print total;"
+                     "}");
+  ExecutionResult Result;
+  traceExecution(M, {}, Result);
+  ASSERT_TRUE(Result.Completed);
+  EXPECT_EQ(Result.Output, (std::vector<int64_t>{6}));
+}
+
+TEST(InterpreterTest, StepLimitAborts) {
+  Module M = compile("fn main() { x = 1; while (x > 0) { x = x + 1; } }");
+  CollectingSink Sink(1);
+  Interpreter Interp(M, Sink);
+  Interp.setStepLimit(1000);
+  ExecutionResult Result = Interp.run({});
+  EXPECT_FALSE(Result.Completed);
+  EXPECT_NE(Result.Error.find("step limit"), std::string::npos);
+  // Even the aborted trace is balanced and usable.
+  EXPECT_TRUE(Sink.trace().isWellFormed());
+}
+
+TEST(InterpreterTest, DepthLimitAborts) {
+  Module M = compile("fn loop() { call loop(); }"
+                     "fn main() { call loop(); }");
+  CollectingSink Sink(2);
+  Interpreter Interp(M, Sink);
+  Interp.setDepthLimit(50);
+  ExecutionResult Result = Interp.run({});
+  EXPECT_FALSE(Result.Completed);
+  EXPECT_NE(Result.Error.find("depth limit"), std::string::npos);
+  EXPECT_TRUE(Sink.trace().isWellFormed());
+}
+
+TEST(InterpreterTest, TracedProgramSurvivesFullPipeline) {
+  Module M = compile("fn work(n) {"
+                     "  t = 0; i = 0;"
+                     "  while (i < n) { t = t + i; i = i + 1; }"
+                     "  return t;"
+                     "}"
+                     "fn main() {"
+                     "  k = 0;"
+                     "  while (k < 20) {"
+                     "    r = call work(k % 4);"
+                     "    print r;"
+                     "    k = k + 1;"
+                     "  }"
+                     "}");
+  ExecutionResult Result;
+  RawTrace Trace = traceExecution(M, {}, Result);
+  ASSERT_TRUE(Result.Completed);
+  TwppWpp Compacted = compactWpp(Trace);
+  EXPECT_EQ(reconstructRawTrace(Compacted), Trace);
+  // work() was called 20 times but has only 4 unique path traces.
+  EXPECT_EQ(Compacted.Functions[0].CallCount, 20u);
+  EXPECT_EQ(Compacted.Functions[0].Traces.size(), 4u);
+}
+
+} // namespace

@@ -1,0 +1,211 @@
+//===- tests/InterproceduralTest.cpp - call-aware GEN-KILL -----------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Interprocedural.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace twpp;
+
+namespace {
+
+/// Builds a trace where main (function 0) runs blocks and calls f (1)
+/// and g (2); f gens the fact via its block 1, g kills it via its
+/// block 1. Effects in main: none.
+struct Fixture {
+  RawTrace Trace;
+  TwppWpp Wpp;
+  CallEffectOracle Oracle;
+
+  static BlockEffect effect(FunctionId F, BlockId B) {
+    if (F == 1 && B == 1)
+      return BlockEffect::Gen;
+    if (F == 2 && B == 1)
+      return BlockEffect::Kill;
+    return BlockEffect::Transparent;
+  }
+
+  explicit Fixture(RawTrace T)
+      : Trace(std::move(T)), Wpp(compactWpp(Trace)),
+        Oracle(Wpp, &Fixture::effect) {}
+};
+
+RawTrace simpleTrace() {
+  // main: 1 [call f] 2 [call g] 3 [call f] 4 ; query at block 4, 3, 2.
+  RawTrace Trace;
+  Trace.FunctionCount = 3;
+  auto &E = Trace.Events;
+  auto Call = [&E](FunctionId F) {
+    E.push_back(TraceEvent::enter(F));
+    E.push_back(TraceEvent::block(1));
+    E.push_back(TraceEvent::exit());
+  };
+  E.push_back(TraceEvent::enter(0));
+  E.push_back(TraceEvent::block(1));
+  Call(1); // f gens
+  E.push_back(TraceEvent::block(2));
+  Call(2); // g kills
+  E.push_back(TraceEvent::block(3));
+  Call(1); // f gens again
+  E.push_back(TraceEvent::block(4));
+  E.push_back(TraceEvent::exit());
+  return Trace;
+}
+
+TEST(CallEffectOracleTest, LeafAndNestedEffects) {
+  Fixture Fix(simpleTrace());
+  const DynamicCallGraph &Dcg = Fix.Wpp.Dcg;
+  const DcgNode &Main = Dcg.Nodes[Dcg.Roots[0]];
+  ASSERT_EQ(Main.Children.size(), 3u);
+  EXPECT_EQ(Fix.Oracle.callEffect(Main.Children[0]), BlockEffect::Gen);
+  EXPECT_EQ(Fix.Oracle.callEffect(Main.Children[1]), BlockEffect::Kill);
+  EXPECT_EQ(Fix.Oracle.callEffect(Main.Children[2]), BlockEffect::Gen);
+  // main's own net effect: last action is f's gen.
+  EXPECT_EQ(Fix.Oracle.callEffect(Dcg.Roots[0]), BlockEffect::Gen);
+}
+
+TEST(CallEffectOracleTest, DeepNestingFoldsBottomUp) {
+  // main calls h; h calls g (kill) then f (gen): h's net effect is Gen.
+  RawTrace Trace;
+  Trace.FunctionCount = 4; // 0 main, 1 f(gen), 2 g(kill), 3 h
+  auto &E = Trace.Events;
+  E.push_back(TraceEvent::enter(0));
+  E.push_back(TraceEvent::block(1));
+  E.push_back(TraceEvent::enter(3));
+  E.push_back(TraceEvent::block(1));
+  E.push_back(TraceEvent::enter(2));
+  E.push_back(TraceEvent::block(1));
+  E.push_back(TraceEvent::exit());
+  E.push_back(TraceEvent::block(2));
+  E.push_back(TraceEvent::enter(1));
+  E.push_back(TraceEvent::block(1));
+  E.push_back(TraceEvent::exit());
+  E.push_back(TraceEvent::block(3));
+  E.push_back(TraceEvent::exit());
+  E.push_back(TraceEvent::block(2));
+  E.push_back(TraceEvent::exit());
+  Fixture Fix(Trace);
+  const DynamicCallGraph &Dcg = Fix.Wpp.Dcg;
+  const DcgNode &Main = Dcg.Nodes[Dcg.Roots[0]];
+  ASSERT_EQ(Main.Children.size(), 1u);
+  EXPECT_EQ(Fix.Oracle.callEffect(Main.Children[0]), BlockEffect::Gen);
+}
+
+TEST(InterproceduralQueryTest, CallsResolvePerInstance) {
+  Fixture Fix(simpleTrace());
+  uint32_t Root = Fix.Wpp.Dcg.Roots[0];
+  CallInstanceView View = buildCallInstanceView(Fix.Wpp, Root);
+  ASSERT_EQ(View.Cfg.Length, 4u);
+  // Calls anchored at block events 1, 2 and 3.
+  EXPECT_TRUE(View.CallsAt[0].empty());
+  EXPECT_EQ(View.CallsAt[1].size(), 1u);
+  EXPECT_EQ(View.CallsAt[2].size(), 1u);
+  EXPECT_EQ(View.CallsAt[3].size(), 1u);
+
+  // Before block 4 (t=4): block 3's call to f genned -> true.
+  size_t N4 = View.Cfg.nodeIndexOf(4);
+  QueryResult R4 = propagateBackwardInterprocedural(
+      View, Fix.Oracle, 0, N4, View.Cfg.Nodes[N4].Times);
+  EXPECT_EQ(R4.True.toVector(), (std::vector<Timestamp>{4}));
+  EXPECT_TRUE(R4.False.empty());
+
+  // Before block 3 (t=3): block 2's call to g killed -> false.
+  size_t N3 = View.Cfg.nodeIndexOf(3);
+  QueryResult R3 = propagateBackwardInterprocedural(
+      View, Fix.Oracle, 0, N3, View.Cfg.Nodes[N3].Times);
+  EXPECT_EQ(R3.False.toVector(), (std::vector<Timestamp>{3}));
+  EXPECT_TRUE(R3.True.empty());
+
+  // Before block 2 (t=2): block 1's call to f genned -> true.
+  size_t N2 = View.Cfg.nodeIndexOf(2);
+  QueryResult R2 = propagateBackwardInterprocedural(
+      View, Fix.Oracle, 0, N2, View.Cfg.Nodes[N2].Times);
+  EXPECT_EQ(R2.True.toVector(), (std::vector<Timestamp>{2}));
+
+  // Before block 1 (t=1): nothing ran yet -> at entry.
+  size_t N1 = View.Cfg.nodeIndexOf(1);
+  QueryResult R1 = propagateBackwardInterprocedural(
+      View, Fix.Oracle, 0, N1, View.Cfg.Nodes[N1].Times);
+  EXPECT_EQ(R1.AtEntry.toVector(), (std::vector<Timestamp>{1}));
+}
+
+TEST(InterproceduralQueryTest, EntryAnchoredCallActsAtBoundary) {
+  // main calls f before running any block, then runs blocks 1.2.
+  RawTrace Trace;
+  Trace.FunctionCount = 2;
+  auto &E = Trace.Events;
+  E.push_back(TraceEvent::enter(0));
+  E.push_back(TraceEvent::enter(1));
+  E.push_back(TraceEvent::block(1)); // f's gen block
+  E.push_back(TraceEvent::exit());
+  E.push_back(TraceEvent::block(1));
+  E.push_back(TraceEvent::block(2));
+  E.push_back(TraceEvent::exit());
+  Fixture Fix(Trace);
+  uint32_t Root = Fix.Wpp.Dcg.Roots[0];
+  CallInstanceView View = buildCallInstanceView(Fix.Wpp, Root);
+  ASSERT_EQ(View.CallsAt[0].size(), 1u);
+
+  // Before block 1 (t=1): the entry-anchored call already genned.
+  size_t N1 = View.Cfg.nodeIndexOf(1);
+  QueryResult R = propagateBackwardInterprocedural(
+      View, Fix.Oracle, 0, N1, View.Cfg.Nodes[N1].Times);
+  EXPECT_EQ(R.True.toVector(), (std::vector<Timestamp>{1}));
+  EXPECT_TRUE(R.AtEntry.empty());
+}
+
+/// Oracle sweep: interprocedural resolution matches a direct event-walk
+/// over the raw trace.
+class InterproceduralOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InterproceduralOracle, MatchesEventWalk) {
+  Rng R(GetParam());
+  for (int Iter = 0; Iter < 10; ++Iter) {
+    // Random main trace over blocks 1..6 with random calls to f/g.
+    RawTrace Trace;
+    Trace.FunctionCount = 3;
+    auto &E = Trace.Events;
+    E.push_back(TraceEvent::enter(0));
+    size_t Blocks = 3 + R.nextBelow(60);
+    std::vector<int> EffectAfter; // oracle state after each block event
+    int State = 0;                // 0 unknown, 1 gen, -1 kill
+    for (size_t I = 0; I < Blocks; ++I) {
+      E.push_back(
+          TraceEvent::block(1 + static_cast<BlockId>(R.nextBelow(6))));
+      if (R.nextBool(0.4)) {
+        FunctionId Callee = R.nextBool(0.5) ? 1 : 2;
+        E.push_back(TraceEvent::enter(Callee));
+        E.push_back(TraceEvent::block(1));
+        E.push_back(TraceEvent::exit());
+        State = Callee == 1 ? 1 : -1;
+      }
+      EffectAfter.push_back(State);
+    }
+    E.push_back(TraceEvent::exit());
+
+    Fixture Fix(Trace);
+    uint32_t Root = Fix.Wpp.Dcg.Roots[0];
+    CallInstanceView View = buildCallInstanceView(Fix.Wpp, Root);
+
+    for (size_t NodeIdx = 0; NodeIdx < View.Cfg.Nodes.size(); ++NodeIdx) {
+      QueryResult Result = propagateBackwardInterprocedural(
+          View, Fix.Oracle, 0, NodeIdx, View.Cfg.Nodes[NodeIdx].Times);
+      for (Timestamp T : View.Cfg.Nodes[NodeIdx].Times.toVector()) {
+        int Expected = T == 1 ? 0 : EffectAfter[T - 2];
+        EXPECT_EQ(Result.True.contains(T), Expected == 1) << "t=" << T;
+        EXPECT_EQ(Result.False.contains(T), Expected == -1) << "t=" << T;
+        EXPECT_EQ(Result.AtEntry.contains(T), Expected == 0) << "t=" << T;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterproceduralOracle,
+                         ::testing::Values(41, 42, 43, 44, 45, 46));
+
+} // namespace

@@ -1,0 +1,141 @@
+//===- tests/IrTest.cpp - mini IR structure & helpers ----------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ir.h"
+#include "ir/IrBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace twpp;
+
+namespace {
+
+TEST(ModuleTest, InternVarDeduplicates) {
+  Module M;
+  VarId A = M.internVar("x");
+  VarId B = M.internVar("y");
+  VarId C = M.internVar("x");
+  EXPECT_EQ(A, C);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(M.varName(A), "x");
+  EXPECT_EQ(M.varName(12345), "v12345");
+}
+
+TEST(BuilderTest, BuildsVerifiableFunction) {
+  Module M;
+  FunctionBuilder B(M, "abs");
+  VarId X = B.param("x");
+  BlockId Entry = B.newBlock();
+  BlockId Then = B.newBlock();
+  BlockId Join = B.newBlock();
+  uint32_t Cond = B.binary(ExprKind::Lt, B.varRef(X), B.constant(0));
+  B.branch(Entry, Cond, Then, Join);
+  B.assign(Then, X, B.unary(ExprKind::Neg, B.varRef(X)));
+  B.jump(Then, Join);
+  B.retValue(Join, B.varRef(X));
+  M.MainId = 0;
+  EXPECT_TRUE(verifyModule(M));
+  EXPECT_EQ(M.findFunction("abs"), &M.Functions[0]);
+  EXPECT_EQ(M.findFunction("nope"), nullptr);
+}
+
+TEST(BuilderTest, SuccessorsReflectTerminators) {
+  Module M;
+  FunctionBuilder B(M, "f");
+  BlockId B1 = B.newBlock();
+  BlockId B2 = B.newBlock();
+  BlockId B3 = B.newBlock();
+  uint32_t Cond = B.constant(1);
+  B.branch(B1, Cond, B2, B3);
+  B.jump(B2, B3);
+  B.ret(B3);
+  const Function &F = M.Functions[0];
+  EXPECT_EQ(F.block(B1).successors(), (std::vector<BlockId>{B2, B3}));
+  EXPECT_EQ(F.block(B2).successors(), (std::vector<BlockId>{B3}));
+  EXPECT_TRUE(F.block(B3).successors().empty());
+  // A branch with identical arms reports one successor.
+  Module M2;
+  FunctionBuilder B2b(M2, "g");
+  BlockId C1 = B2b.newBlock();
+  BlockId C2 = B2b.newBlock();
+  B2b.branch(C1, B2b.constant(0), C2, C2);
+  B2b.ret(C2);
+  EXPECT_EQ(M2.Functions[0].block(C1).successors(),
+            (std::vector<BlockId>{C2}));
+}
+
+TEST(StmtUsesTest, CollectsAndDeduplicates) {
+  Module M;
+  FunctionBuilder B(M, "f");
+  VarId X = B.var("x");
+  VarId Y = B.var("y");
+  BlockId B1 = B.newBlock();
+  // x = x + (y * x): uses {x, y} once each.
+  uint32_t E = B.binary(ExprKind::Add, B.varRef(X),
+                        B.binary(ExprKind::Mul, B.varRef(Y), B.varRef(X)));
+  B.assign(B1, X, E);
+  B.ret(B1);
+  const Function &F = M.Functions[0];
+  EXPECT_EQ(stmtUses(F, F.block(B1).Stmts[0]),
+            (std::vector<VarId>{X, Y}));
+}
+
+TEST(StmtUsesTest, CallArgumentsCounted) {
+  Module M;
+  FunctionBuilder Callee(M, "g");
+  BlockId G1 = Callee.newBlock();
+  Callee.ret(G1);
+  FunctionBuilder B(M, "f");
+  VarId X = B.var("x");
+  BlockId B1 = B.newBlock();
+  B.call(B1, Callee.id(), {B.varRef(X)}, B.var("r"));
+  B.ret(B1);
+  const Function &F = M.Functions[1];
+  EXPECT_EQ(stmtUses(F, F.block(B1).Stmts[0]), (std::vector<VarId>{X}));
+}
+
+TEST(CfgStatsTest, CountsMatch) {
+  Module M;
+  FunctionBuilder B(M, "f");
+  BlockId B1 = B.newBlock();
+  BlockId B2 = B.newBlock();
+  BlockId B3 = B.newBlock();
+  B.branch(B1, B.constant(1), B2, B3);
+  B.jump(B2, B1);
+  B.ret(B3);
+  CfgStats Stats = staticCfgStats(M.Functions[0]);
+  EXPECT_EQ(Stats.Nodes, 3u);
+  EXPECT_EQ(Stats.Edges, 3u);
+}
+
+TEST(VerifyTest, CatchesBrokenModules) {
+  // Successor out of range.
+  Module M;
+  FunctionBuilder B(M, "f");
+  BlockId B1 = B.newBlock();
+  B.jump(B1, 9);
+  M.MainId = 0;
+  EXPECT_FALSE(verifyModule(M));
+
+  // MainId out of range.
+  Module M2;
+  FunctionBuilder B2(M2, "f");
+  BlockId C1 = B2.newBlock();
+  B2.ret(C1);
+  M2.MainId = 5;
+  EXPECT_FALSE(verifyModule(M2));
+
+  // Call to unknown function.
+  Module M3;
+  FunctionBuilder B3(M3, "f");
+  BlockId D1 = B3.newBlock();
+  B3.call(D1, 7, {});
+  B3.ret(D1);
+  M3.MainId = 0;
+  EXPECT_FALSE(verifyModule(M3));
+}
+
+} // namespace

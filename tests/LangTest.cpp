@@ -1,0 +1,215 @@
+//===- tests/LangTest.cpp - lexer / parser / lowering ----------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+#include "lang/Lower.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace twpp;
+
+namespace {
+
+TEST(LexerTest, TokenizesOperatorsAndKeywords) {
+  std::vector<Token> Tokens;
+  std::string Error;
+  ASSERT_TRUE(tokenize("fn f() { let x = 1 <= 2 && 3 != 4; } // note",
+                       Tokens, Error))
+      << Error;
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : Tokens)
+    Kinds.push_back(T.Kind);
+  EXPECT_EQ(Kinds,
+            (std::vector<TokenKind>{
+                TokenKind::KwFn, TokenKind::Ident, TokenKind::LParen,
+                TokenKind::RParen, TokenKind::LBrace, TokenKind::KwLet,
+                TokenKind::Ident, TokenKind::Assign, TokenKind::Integer,
+                TokenKind::Le, TokenKind::Integer, TokenKind::AndAnd,
+                TokenKind::Integer, TokenKind::NotEq, TokenKind::Integer,
+                TokenKind::Semi, TokenKind::RBrace, TokenKind::Eof}));
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  std::vector<Token> Tokens;
+  std::string Error;
+  ASSERT_TRUE(tokenize("fn f()\n{\n  read x;\n}", Tokens, Error));
+  // 'read' starts line 3.
+  for (const Token &T : Tokens) {
+    if (T.Kind == TokenKind::KwRead) {
+      EXPECT_EQ(T.Line, 3u);
+    }
+  }
+}
+
+TEST(LexerTest, RejectsBadCharacters) {
+  std::vector<Token> Tokens;
+  std::string Error;
+  EXPECT_FALSE(tokenize("fn f() { x = 1 @ 2; }", Tokens, Error));
+  EXPECT_NE(Error.find("unexpected character"), std::string::npos);
+  EXPECT_FALSE(tokenize("x & y", Tokens, Error));
+}
+
+TEST(ParserTest, ParsesControlFlow) {
+  AstProgram Program;
+  std::string Error;
+  ASSERT_TRUE(parseProgram("fn main() {"
+                           "  read n;"
+                           "  while (n > 0) {"
+                           "    if (n % 2 == 0) { print n; } else { n = n - 1; }"
+                           "    n = n - 1;"
+                           "  }"
+                           "}",
+                           Program, Error))
+      << Error;
+  ASSERT_EQ(Program.Functions.size(), 1u);
+  const AstBlock &Body = Program.Functions[0].Body;
+  ASSERT_EQ(Body.size(), 2u);
+  EXPECT_EQ(Body[1]->NodeKind, AstStmt::Kind::While);
+  ASSERT_EQ(Body[1]->Then.size(), 2u);
+  EXPECT_EQ(Body[1]->Then[0]->NodeKind, AstStmt::Kind::If);
+}
+
+TEST(ParserTest, ReportsErrors) {
+  AstProgram Program;
+  std::string Error;
+  EXPECT_FALSE(parseProgram("fn main() { x = ; }", Program, Error));
+  EXPECT_NE(Error.find("expected expression"), std::string::npos);
+  EXPECT_FALSE(parseProgram("fn main() { if x { } }", Program, Error));
+  EXPECT_FALSE(parseProgram("", Program, Error));
+  EXPECT_FALSE(parseProgram("fn main() {", Program, Error));
+}
+
+TEST(ParserTest, PrecedenceNestsCorrectly) {
+  AstProgram Program;
+  std::string Error;
+  ASSERT_TRUE(
+      parseProgram("fn f() { x = 1 + 2 * 3; }", Program, Error));
+  const AstStmt &S = *Program.Functions[0].Body[0];
+  // Root is '+', right child is '*'.
+  ASSERT_EQ(S.Value->NodeKind, AstExpr::Kind::Binary);
+  EXPECT_EQ(S.Value->Op, "+");
+  EXPECT_EQ(S.Value->Rhs->Op, "*");
+}
+
+TEST(LowerTest, WhileLoopShape) {
+  Module M;
+  std::string Error;
+  ASSERT_TRUE(compileProgram("fn main() {"
+                             "  read n;"
+                             "  while (n > 0) { n = n - 1; }"
+                             "  print n;"
+                             "}",
+                             M, Error))
+      << Error;
+  const Function &Main = M.Functions[M.MainId];
+  // entry, header, body, exit.
+  ASSERT_EQ(Main.blockCount(), 4u);
+  const BasicBlock &Entry = Main.block(1);
+  EXPECT_EQ(Entry.Term, BasicBlock::Terminator::Jump);
+  EXPECT_EQ(Entry.TrueSucc, 2u);
+  const BasicBlock &Header = Main.block(2);
+  EXPECT_EQ(Header.Term, BasicBlock::Terminator::Branch);
+  EXPECT_EQ(Header.TrueSucc, 3u);  // body
+  EXPECT_EQ(Header.FalseSucc, 4u); // exit
+  const BasicBlock &Body = Main.block(3);
+  EXPECT_EQ(Body.Term, BasicBlock::Terminator::Jump);
+  EXPECT_EQ(Body.TrueSucc, 2u); // back edge
+}
+
+TEST(LowerTest, IfElseJoins) {
+  Module M;
+  std::string Error;
+  ASSERT_TRUE(compileProgram("fn main() {"
+                             "  read x;"
+                             "  if (x < 0) { x = 0 - x; } else { x = x + 1; }"
+                             "  print x;"
+                             "}",
+                             M, Error))
+      << Error;
+  const Function &Main = M.Functions[M.MainId];
+  // entry, then, else, join.
+  ASSERT_EQ(Main.blockCount(), 4u);
+  EXPECT_EQ(Main.block(1).Term, BasicBlock::Terminator::Branch);
+  EXPECT_EQ(Main.block(2).TrueSucc, 4u);
+  EXPECT_EQ(Main.block(3).TrueSucc, 4u);
+}
+
+TEST(LowerTest, CallResolutionAndErrors) {
+  Module M;
+  std::string Error;
+  ASSERT_TRUE(compileProgram("fn helper(a, b) { return a + b; }"
+                             "fn main() { x = call helper(1, 2); print x; }",
+                             M, Error))
+      << Error;
+  EXPECT_EQ(M.Functions.size(), 2u);
+  EXPECT_EQ(M.MainId, 1u);
+  EXPECT_NE(M.findFunction("helper"), nullptr);
+
+  EXPECT_FALSE(compileProgram("fn main() { call nosuch(); }", M, Error));
+  EXPECT_NE(Error.find("undefined function"), std::string::npos);
+  EXPECT_FALSE(compileProgram("fn f(a) { return a; }"
+                              "fn main() { x = call f(); }",
+                              M, Error));
+  EXPECT_NE(Error.find("wrong argument count"), std::string::npos);
+  EXPECT_FALSE(compileProgram("fn f() {} fn f() {}", M, Error));
+  EXPECT_NE(Error.find("duplicate function"), std::string::npos);
+}
+
+TEST(LowerTest, BreakAndContinueLowerToJumps) {
+  Module M;
+  std::string Error;
+  ASSERT_TRUE(compileProgram("fn main() {"
+                             "  i = 0;"
+                             "  while (i < 10) {"
+                             "    i = i + 1;"
+                             "    if (i == 5) { break; }"
+                             "    if (i % 2 == 0) { continue; }"
+                             "    print i;"
+                             "  }"
+                             "  print i;"
+                             "}",
+                             M, Error))
+      << Error;
+  EXPECT_TRUE(verifyModule(M));
+}
+
+TEST(LowerTest, BreakOutsideLoopRejected) {
+  Module M;
+  std::string Error;
+  EXPECT_FALSE(compileProgram("fn main() { break; }", M, Error));
+  EXPECT_NE(Error.find("'break' outside"), std::string::npos);
+  EXPECT_FALSE(compileProgram("fn main() { continue; }", M, Error));
+  EXPECT_NE(Error.find("'continue' outside"), std::string::npos);
+  // Break binds to the innermost loop; outside its body it is an error.
+  EXPECT_FALSE(compileProgram("fn main() {"
+                              "  while (1 < 0) { }"
+                              "  break;"
+                              "}",
+                              M, Error));
+}
+
+TEST(LowerTest, UnreachableCodeIsRejected) {
+  Module M;
+  std::string Error;
+  EXPECT_FALSE(compileProgram("fn main() { return; print 1; }", M, Error));
+  EXPECT_NE(Error.find("unreachable"), std::string::npos);
+}
+
+TEST(LowerTest, BothArmsReturn) {
+  Module M;
+  std::string Error;
+  ASSERT_TRUE(compileProgram("fn sign(x) {"
+                             "  if (x < 0) { return 0 - 1; }"
+                             "  else { return 1; }"
+                             "}"
+                             "fn main() { s = call sign(0 - 5); print s; }",
+                             M, Error))
+      << Error;
+  EXPECT_TRUE(verifyModule(M));
+}
+
+} // namespace

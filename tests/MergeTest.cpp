@@ -1,0 +1,100 @@
+//===- tests/MergeTest.cpp - multi-run WPP aggregation ---------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/Merge.h"
+
+#include "TestTraces.h"
+
+#include <gtest/gtest.h>
+
+using namespace twpp;
+
+namespace {
+
+/// Concatenating two runs' event streams gives the same WPP as merging
+/// their partitioned forms (the oracle for all merge behaviour).
+RawTrace concatenated(const RawTrace &A, const RawTrace &B) {
+  RawTrace Out = A;
+  Out.Events.insert(Out.Events.end(), B.Events.begin(), B.Events.end());
+  return Out;
+}
+
+TEST(MergeTest, TwoRunsMatchConcatenatedStream) {
+  RawTrace RunA = fixtures::figure1Trace();
+  RawTrace RunB = fixtures::randomTrace(5, 2, 800);
+  PartitionedWpp A = partitionWpp(RunA);
+  PartitionedWpp B = partitionWpp(RunB);
+
+  PartitionedWpp Merged = mergePartitionedWpps({&A, &B});
+  PartitionedWpp Oracle = partitionWpp(concatenated(RunA, RunB));
+  EXPECT_EQ(Merged, Oracle);
+  EXPECT_EQ(reconstructRawTrace(Merged), concatenated(RunA, RunB));
+}
+
+TEST(MergeTest, CrossRunRedundancyEliminated) {
+  // The same execution twice: unique traces must not duplicate, while
+  // use/call counts double.
+  RawTrace Run = fixtures::figure1Trace();
+  PartitionedWpp Once = partitionWpp(Run);
+  PartitionedWpp Merged = mergePartitionedWpps({&Once, &Once});
+
+  for (size_t F = 0; F < Once.Functions.size(); ++F) {
+    EXPECT_EQ(Merged.Functions[F].UniqueTraces,
+              Once.Functions[F].UniqueTraces);
+    EXPECT_EQ(Merged.Functions[F].CallCount,
+              2 * Once.Functions[F].CallCount);
+    for (size_t T = 0; T < Once.Functions[F].UseCounts.size(); ++T)
+      EXPECT_EQ(Merged.Functions[F].UseCounts[T],
+                2 * Once.Functions[F].UseCounts[T]);
+  }
+  EXPECT_EQ(Merged.Dcg.Roots.size(), 2u);
+}
+
+TEST(MergeTest, EmptyAndSingleInputs) {
+  EXPECT_EQ(mergePartitionedWpps({}), PartitionedWpp());
+  RawTrace Run = fixtures::randomTrace(9, 3, 500);
+  PartitionedWpp Once = partitionWpp(Run);
+  PartitionedWpp Merged = mergePartitionedWpps({&Once});
+  EXPECT_EQ(Merged, Once);
+}
+
+TEST(MergeTest, CompactedMergeRoundTrips) {
+  RawTrace RunA = fixtures::randomTrace(11, 4, 900);
+  RawTrace RunB = fixtures::randomTrace(12, 4, 900);
+  TwppWpp A = compactWpp(RunA);
+  TwppWpp B = compactWpp(RunB);
+  TwppWpp Merged = mergeCompactedWpps({&A, &B});
+  EXPECT_EQ(Merged, compactWpp(concatenated(RunA, RunB)));
+  EXPECT_EQ(reconstructRawTrace(Merged), concatenated(RunA, RunB));
+}
+
+/// Property: merging k random runs equals compacting the concatenation.
+class MergeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MergeProperty, ManyRuns) {
+  Rng R(GetParam());
+  std::vector<RawTrace> Runs;
+  RawTrace All;
+  All.FunctionCount = 5;
+  size_t Count = 2 + R.nextBelow(4);
+  for (size_t I = 0; I < Count; ++I) {
+    Runs.push_back(fixtures::randomTrace(GetParam() * 10 + I, 5, 600));
+    All.Events.insert(All.Events.end(), Runs.back().Events.begin(),
+                      Runs.back().Events.end());
+  }
+  std::vector<PartitionedWpp> Parts;
+  for (const RawTrace &Run : Runs)
+    Parts.push_back(partitionWpp(Run));
+  std::vector<const PartitionedWpp *> Pointers;
+  for (const PartitionedWpp &P : Parts)
+    Pointers.push_back(&P);
+  EXPECT_EQ(mergePartitionedWpps(Pointers), partitionWpp(All));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeProperty,
+                         ::testing::Values(91, 92, 93, 94, 95, 96));
+
+} // namespace

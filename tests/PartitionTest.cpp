@@ -1,0 +1,129 @@
+//===- tests/PartitionTest.cpp - partitioning + redundancy removal ---------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/Partition.h"
+
+#include "TestTraces.h"
+#include "wpp/DynamicCallGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace twpp;
+
+namespace {
+
+TEST(PartitionTest, PaperFigure3UniqueTraces) {
+  // Five calls to f produce only two unique path traces (Figure 3).
+  RawTrace Trace = fixtures::figure1Trace();
+  PartitionedWpp Wpp = partitionWpp(Trace);
+
+  ASSERT_EQ(Wpp.Functions.size(), 2u);
+  const FunctionTraceTable &Main = Wpp.Functions[0];
+  const FunctionTraceTable &F = Wpp.Functions[1];
+
+  EXPECT_EQ(Main.CallCount, 1u);
+  EXPECT_EQ(Main.UniqueTraces.size(), 1u);
+  EXPECT_EQ(F.CallCount, 5u);
+  EXPECT_EQ(F.UniqueTraces.size(), 2u);
+  EXPECT_EQ(F.UseCounts[0], 3u); // path2 used by calls 1, 2, 4
+  EXPECT_EQ(F.UseCounts[1], 2u); // path1 used by calls 3, 5
+  EXPECT_EQ(F.TotalBlockEvents, 5u * 17u);
+}
+
+TEST(PartitionTest, DcgShape) {
+  RawTrace Trace = fixtures::figure1Trace();
+  PartitionedWpp Wpp = partitionWpp(Trace);
+
+  ASSERT_EQ(Wpp.Dcg.Roots.size(), 1u);
+  const DcgNode &Root = Wpp.Dcg.Nodes[Wpp.Dcg.Roots[0]];
+  EXPECT_EQ(Root.Function, 0u);
+  ASSERT_EQ(Root.Children.size(), 5u);
+  // Calls to f happen while main executes its 3rd, 6th, ... block events.
+  EXPECT_EQ(Root.Anchors,
+            (std::vector<uint32_t>{3, 6, 9, 12, 15}));
+  for (uint32_t Child : Root.Children)
+    EXPECT_EQ(Wpp.Dcg.Nodes[Child].Function, 1u);
+  EXPECT_EQ(Wpp.Dcg.callCountOf(1), 5u);
+}
+
+TEST(PartitionTest, ReconstructionIsExact) {
+  RawTrace Trace = fixtures::figure1Trace();
+  EXPECT_EQ(reconstructRawTrace(partitionWpp(Trace)), Trace);
+}
+
+TEST(PartitionTest, EmptyTrace) {
+  RawTrace Trace;
+  Trace.FunctionCount = 3;
+  PartitionedWpp Wpp = partitionWpp(Trace);
+  EXPECT_TRUE(Wpp.Dcg.Nodes.empty());
+  EXPECT_EQ(reconstructRawTrace(Wpp), Trace);
+}
+
+TEST(PartitionTest, CallBeforeAnyBlock) {
+  // f called before main executes any block: anchor 0.
+  RawTrace Trace;
+  Trace.FunctionCount = 2;
+  Trace.Events = {TraceEvent::enter(0), TraceEvent::enter(1),
+                  TraceEvent::block(1), TraceEvent::exit(),
+                  TraceEvent::block(1), TraceEvent::exit()};
+  PartitionedWpp Wpp = partitionWpp(Trace);
+  const DcgNode &Root = Wpp.Dcg.Nodes[Wpp.Dcg.Roots[0]];
+  ASSERT_EQ(Root.Anchors.size(), 1u);
+  EXPECT_EQ(Root.Anchors[0], 0u);
+  EXPECT_EQ(reconstructRawTrace(Wpp), Trace);
+}
+
+TEST(PartitionTest, EmptyPathTraceCall) {
+  // A call that runs no blocks at all still round-trips.
+  RawTrace Trace;
+  Trace.FunctionCount = 2;
+  Trace.Events = {TraceEvent::enter(0), TraceEvent::enter(1),
+                  TraceEvent::exit(), TraceEvent::exit()};
+  PartitionedWpp Wpp = partitionWpp(Trace);
+  EXPECT_EQ(Wpp.Functions[1].UniqueTraces.size(), 1u);
+  EXPECT_TRUE(Wpp.Functions[1].UniqueTraces[0].empty());
+  EXPECT_EQ(reconstructRawTrace(Wpp), Trace);
+}
+
+TEST(DcgCodecTest, EncodeDecodeRoundTrip) {
+  RawTrace Trace = fixtures::randomTrace(77);
+  PartitionedWpp Wpp = partitionWpp(Trace);
+  DynamicCallGraph Back;
+  ASSERT_TRUE(decodeDcg(encodeDcg(Wpp.Dcg), Back));
+  EXPECT_EQ(Back, Wpp.Dcg);
+}
+
+TEST(DcgCodecTest, RejectsTruncated) {
+  RawTrace Trace = fixtures::randomTrace(78);
+  std::vector<uint8_t> Bytes = encodeDcg(partitionWpp(Trace).Dcg);
+  Bytes.resize(Bytes.size() / 2);
+  DynamicCallGraph Back;
+  EXPECT_FALSE(decodeDcg(Bytes, Back));
+}
+
+/// Property sweep: partition/reconstruct is the identity on random traces.
+class PartitionRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PartitionRoundTrip, RandomTraces) {
+  RawTrace Trace = fixtures::randomTrace(GetParam());
+  ASSERT_TRUE(Trace.isWellFormed());
+  PartitionedWpp Wpp = partitionWpp(Trace);
+  EXPECT_EQ(reconstructRawTrace(Wpp), Trace);
+
+  // Use counts are consistent with call counts.
+  for (const FunctionTraceTable &Table : Wpp.Functions) {
+    uint64_t Sum = 0;
+    for (uint64_t Count : Table.UseCounts)
+      Sum += Count;
+    EXPECT_EQ(Sum, Table.CallCount);
+    EXPECT_EQ(Table.UseCounts.size(), Table.UniqueTraces.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+} // namespace

@@ -1,0 +1,140 @@
+//===- tests/SequiturTest.cpp - Sequitur baseline --------------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sequitur/Sequitur.h"
+
+#include "TestTraces.h"
+#include "trace/UncompactedFile.h"
+
+#include <gtest/gtest.h>
+
+using namespace twpp;
+
+namespace {
+
+std::vector<uint64_t> buildAndExpand(const std::vector<uint64_t> &Input,
+                                     bool &InvariantsOk) {
+  SequiturBuilder Builder;
+  for (uint64_t Terminal : Input)
+    Builder.append(Terminal);
+  InvariantsOk = Builder.checkInvariants();
+  return Builder.freeze().expand();
+}
+
+TEST(SequiturTest, ClassicAbcabcabc) {
+  std::vector<uint64_t> Input;
+  for (int I = 0; I < 9; ++I)
+    Input.push_back(static_cast<uint64_t>("abc"[I % 3]));
+  bool InvariantsOk = false;
+  EXPECT_EQ(buildAndExpand(Input, InvariantsOk), Input);
+  EXPECT_TRUE(InvariantsOk);
+}
+
+TEST(SequiturTest, KwKwKPattern) {
+  std::vector<uint64_t> Input(64, 7); // aaaa...
+  bool InvariantsOk = false;
+  EXPECT_EQ(buildAndExpand(Input, InvariantsOk), Input);
+  EXPECT_TRUE(InvariantsOk);
+}
+
+TEST(SequiturTest, NevillManningExample) {
+  // "abcdbcabcd" from the Sequitur paper.
+  std::vector<uint64_t> Input = {'a', 'b', 'c', 'd', 'b',
+                                 'c', 'a', 'b', 'c', 'd'};
+  bool InvariantsOk = false;
+  EXPECT_EQ(buildAndExpand(Input, InvariantsOk), Input);
+  EXPECT_TRUE(InvariantsOk);
+}
+
+TEST(SequiturTest, RepetitiveInputCreatesHierarchy) {
+  std::vector<uint64_t> Input;
+  for (int I = 0; I < 1024; ++I)
+    Input.push_back(static_cast<uint64_t>(I % 2));
+  SequiturBuilder Builder;
+  for (uint64_t Terminal : Input)
+    Builder.append(Terminal);
+  FlatGrammar Grammar = Builder.freeze();
+  EXPECT_EQ(Grammar.expand(), Input);
+  // Hierarchical rules make the grammar logarithmically small.
+  EXPECT_LT(Grammar.symbolCount(), 64u);
+  EXPECT_GT(Grammar.Rules.size(), 2u);
+}
+
+TEST(GrammarCodecTest, RoundTrip) {
+  RawTrace Trace = fixtures::figure1Trace();
+  FlatGrammar Grammar = buildSequiturGrammar(Trace);
+  FlatGrammar Back;
+  ASSERT_TRUE(decodeGrammar(encodeGrammar(Grammar), Back));
+  EXPECT_EQ(Back, Grammar);
+}
+
+TEST(GrammarCodecTest, RejectsBadRuleReference) {
+  FlatGrammar Grammar;
+  Grammar.Rules.resize(1);
+  Grammar.Rules[0].push_back({5, true}); // rule 5 does not exist
+  FlatGrammar Back;
+  EXPECT_FALSE(decodeGrammar(encodeGrammar(Grammar), Back));
+}
+
+TEST(SequiturWppTest, GrammarExpandsToOriginalEventStream) {
+  RawTrace Trace = fixtures::figure1Trace();
+  FlatGrammar Grammar = buildSequiturGrammar(Trace);
+
+  std::vector<uint64_t> Expanded = Grammar.expand();
+  ASSERT_EQ(Expanded.size(), Trace.Events.size());
+  for (size_t I = 0; I < Expanded.size(); ++I)
+    EXPECT_EQ(tokenToEvent(Expanded[I]), Trace.Events[I]);
+
+  // The grammar is much smaller than the raw stream for this repetitive
+  // trace.
+  EXPECT_LT(Grammar.symbolCount(), Trace.Events.size());
+}
+
+TEST(SequiturWppTest, PerFunctionExtractionMatchesDirectScan) {
+  RawTrace Trace = fixtures::figure1Trace();
+  FlatGrammar Grammar = buildSequiturGrammar(Trace);
+
+  for (FunctionId F = 0; F < Trace.FunctionCount; ++F) {
+    std::vector<std::vector<BlockId>> FromGrammar, FromScan;
+    extractFunctionTracesFromGrammar(Grammar, F, FromGrammar);
+    extractFunctionTraces(Trace, F, FromScan);
+    EXPECT_EQ(FromGrammar, FromScan) << "function " << F;
+  }
+}
+
+/// Property sweep: Sequitur is lossless and maintains its invariants on
+/// random strings over small alphabets (worst case for digram churn).
+class SequiturProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SequiturProperty, RandomStrings) {
+  Rng R(GetParam());
+  for (int Iter = 0; Iter < 8; ++Iter) {
+    size_t Length = 1 + R.nextBelow(3000);
+    uint64_t Alphabet = 2 + R.nextBelow(6);
+    std::vector<uint64_t> Input;
+    Input.reserve(Length);
+    for (size_t I = 0; I < Length; ++I)
+      Input.push_back(R.nextBelow(Alphabet));
+    bool InvariantsOk = false;
+    ASSERT_EQ(buildAndExpand(Input, InvariantsOk), Input)
+        << "seed " << GetParam() << " iter " << Iter;
+    EXPECT_TRUE(InvariantsOk) << "seed " << GetParam() << " iter " << Iter;
+  }
+}
+
+TEST_P(SequiturProperty, RandomTraceRoundTrip) {
+  RawTrace Trace = fixtures::randomTrace(GetParam(), 6, 5000);
+  FlatGrammar Grammar = buildSequiturGrammar(Trace);
+  std::vector<uint64_t> Expanded = Grammar.expand();
+  ASSERT_EQ(Expanded.size(), Trace.Events.size());
+  for (size_t I = 0; I < Expanded.size(); ++I)
+    ASSERT_EQ(tokenToEvent(Expanded[I]), Trace.Events[I]) << "at " << I;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SequiturProperty,
+                         ::testing::Values(7, 8, 9, 10, 11, 12, 13, 14));
+
+} // namespace

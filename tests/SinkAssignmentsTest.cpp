@@ -1,0 +1,186 @@
+//===- tests/SinkAssignmentsTest.cpp - liveness, PDE, currency -------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Liveness.h"
+#include "ir/SinkAssignments.h"
+
+#include "dataflow/AnnotatedCfg.h"
+#include "lang/Lower.h"
+#include "runtime/Interpreter.h"
+#include "slicing/Currency.h"
+#include "support/Random.h"
+#include "trace/UncompactedFile.h"
+
+#include <gtest/gtest.h>
+
+using namespace twpp;
+
+namespace {
+
+Module compile(const std::string &Source) {
+  Module M;
+  std::string Error;
+  bool Ok = compileProgram(Source, M, Error);
+  EXPECT_TRUE(Ok) << Error;
+  return M;
+}
+
+/// The Figure 12 shape in source form: the second assignment to x is
+/// only needed on the then-arm.
+const char *Figure12Source = "fn main() {"
+                             "  read p;"
+                             "  x = 1;"
+                             "  x = 2;"
+                             "  if (p > 0) { y = x; } else { y = 5; }"
+                             "  print y;"
+                             "}";
+
+TEST(LivenessTest, StraightLine) {
+  Module M = compile("fn main() { read a; b = a + 1; print b; }");
+  const Function &Main = M.Functions[M.MainId];
+  LivenessInfo Live = computeLiveness(Main);
+  VarId A = M.internVar("a");
+  VarId B = M.internVar("b");
+  // Nothing is live into the entry; a and b die inside the single block.
+  EXPECT_TRUE(Live.LiveIn[0].empty());
+  EXPECT_FALSE(Live.isLiveOut(1, A));
+  EXPECT_FALSE(Live.isLiveOut(1, B));
+}
+
+TEST(LivenessTest, BranchArmsDifferInLiveness) {
+  Module M = compile(Figure12Source);
+  const Function &Main = M.Functions[M.MainId];
+  LivenessInfo Live = computeLiveness(Main);
+  VarId X = M.internVar("x");
+  VarId Y = M.internVar("y");
+  // Blocks: 1 entry(+branch), 2 then, 3 else, 4 join.
+  EXPECT_TRUE(Live.isLiveIn(2, X));   // then-arm reads x
+  EXPECT_FALSE(Live.isLiveIn(3, X));  // else-arm does not
+  EXPECT_TRUE(Live.isLiveIn(4, Y));   // join prints y
+  EXPECT_FALSE(Live.isLiveOut(4, Y));
+}
+
+TEST(LivenessTest, LoopCarriedLiveness) {
+  Module M = compile("fn main() {"
+                     "  read n; s = 0; i = 0;"
+                     "  while (i < n) { s = s + i; i = i + 1; }"
+                     "  print s;"
+                     "}");
+  const Function &Main = M.Functions[M.MainId];
+  LivenessInfo Live = computeLiveness(Main);
+  VarId S = M.internVar("s");
+  VarId I = M.internVar("i");
+  // Blocks: 1 entry, 2 header, 3 body, 4 exit.
+  EXPECT_TRUE(Live.isLiveIn(2, S)); // s flows around the loop
+  EXPECT_TRUE(Live.isLiveIn(2, I));
+  EXPECT_TRUE(Live.isLiveOut(3, S)); // body feeds the next iteration
+  EXPECT_FALSE(Live.isLiveOut(4, S));
+}
+
+TEST(SinkTest, Figure12AssignmentSinks) {
+  Module M = compile(Figure12Source);
+  const Function &Main = M.Functions[M.MainId];
+  SinkResult Sunk = sinkPartiallyDeadAssignments(Main);
+
+  ASSERT_EQ(Sunk.Moves.size(), 1u);
+  EXPECT_EQ(Sunk.Moves[0].Var, M.internVar("x"));
+  EXPECT_EQ(Sunk.Moves[0].FromBlock, 1u);
+  EXPECT_EQ(Sunk.Moves[0].ToBlock, 2u); // the then-arm
+  // The then-arm now starts with the moved x = 2.
+  const Stmt &First = Sunk.Optimized.block(2).Stmts.front();
+  EXPECT_EQ(First.StmtKind, Stmt::Kind::Assign);
+  EXPECT_EQ(First.Target, M.internVar("x"));
+  // x = 1 stays (it reaches neither use, but sinking only moves the
+  // trailing assignment).
+  EXPECT_EQ(Sunk.Optimized.block(1).Stmts.size(),
+            Main.block(1).Stmts.size() - 1);
+}
+
+TEST(SinkTest, FullyLiveAssignmentStays) {
+  Module M = compile("fn main() {"
+                     "  read p; x = 2;"
+                     "  if (p > 0) { y = x; } else { y = x + 1; }"
+                     "  print y;"
+                     "}");
+  SinkResult Sunk = sinkPartiallyDeadAssignments(M.Functions[M.MainId]);
+  EXPECT_TRUE(Sunk.Moves.empty());
+}
+
+TEST(SinkTest, BranchOnVariableBlocksSinking) {
+  Module M = compile("fn main() {"
+                     "  read p; x = p + 1;"
+                     "  if (x > 0) { y = x; } else { y = 5; }"
+                     "  print y;"
+                     "}");
+  SinkResult Sunk = sinkPartiallyDeadAssignments(M.Functions[M.MainId]);
+  EXPECT_TRUE(Sunk.Moves.empty()); // the branch itself reads x
+}
+
+TEST(SinkTest, SemanticsPreservedOnRandomInputs) {
+  Module M = compile(Figure12Source);
+  Module Optimized = M;
+  Optimized.Functions[M.MainId] =
+      sinkPartiallyDeadAssignments(M.Functions[M.MainId]).Optimized;
+
+  Rng R(321);
+  for (int I = 0; I < 40; ++I) {
+    std::vector<int64_t> Inputs = {R.nextInRange(-5, 5)};
+    ExecutionResult A, B;
+    traceExecution(M, Inputs, A);
+    traceExecution(Optimized, Inputs, B);
+    ASSERT_TRUE(A.Completed && B.Completed);
+    EXPECT_EQ(A.Output, B.Output) << "input " << Inputs[0];
+  }
+}
+
+TEST(CurrencyEndToEndTest, Figure12FromSource) {
+  Module M = compile(Figure12Source);
+  const Function &Main = M.Functions[M.MainId];
+  SinkResult Sunk = sinkPartiallyDeadAssignments(Main);
+  VarId X = M.internVar("x");
+  CurrencyProblem Problem = currencyProblemFor(Main, Sunk, X);
+  ASSERT_EQ(Problem.OriginalDefs.size(), 2u);
+  ASSERT_EQ(Problem.OptimizedDefs.size(), 2u);
+
+  // Run the (original-CFG) program both ways; block paths are identical
+  // between versions, which is what makes currency decidable.
+  for (int64_t P : {+1, -1}) {
+    ExecutionResult Result;
+    RawTrace Trace = traceExecution(M, {P}, Result);
+    ASSERT_TRUE(Result.Completed);
+    std::vector<std::vector<BlockId>> BlockTraces;
+    extractFunctionTraces(Trace, Main.Id, BlockTraces);
+    AnnotatedDynamicCfg Cfg =
+        buildAnnotatedCfgFromSequence(BlockTraces[0]);
+    // Breakpoint: the join block (4), its only execution.
+    Timestamp BreakTime = static_cast<Timestamp>(BlockTraces[0].size());
+    ASSERT_EQ(BlockTraces[0].back(), 4u);
+    Currency Verdict = checkCurrency(Cfg, BreakTime, Problem);
+    if (P > 0)
+      EXPECT_EQ(Verdict, Currency::Current) << "then-path";
+    else
+      EXPECT_EQ(Verdict, Currency::NonCurrent) << "else-path";
+  }
+}
+
+TEST(SinkTest, OriginsTrackEveryStatement) {
+  Module M = compile(Figure12Source);
+  const Function &Main = M.Functions[M.MainId];
+  SinkResult Sunk = sinkPartiallyDeadAssignments(Main);
+  // Every optimized statement's origin must name a statement of the same
+  // kind in the original function.
+  for (BlockId Block = 1; Block <= Sunk.Optimized.blockCount(); ++Block) {
+    const BasicBlock &B = Sunk.Optimized.block(Block);
+    for (uint32_t I = 0; I < B.Stmts.size(); ++I) {
+      auto [OrigBlock, OrigOrdinal] = Sunk.Origins[Block - 1][I];
+      const Stmt &Orig = Main.block(OrigBlock).Stmts[OrigOrdinal];
+      EXPECT_EQ(Orig.StmtKind, B.Stmts[I].StmtKind);
+      EXPECT_EQ(Orig.Target, B.Stmts[I].Target);
+    }
+  }
+}
+
+} // namespace

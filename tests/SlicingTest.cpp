@@ -1,0 +1,334 @@
+//===- tests/SlicingTest.cpp - dynamic slicing & currency ------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slicing/Currency.h"
+#include "slicing/DynamicSlicer.h"
+#include "slicing/SliceProgram.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace twpp;
+
+namespace {
+
+TEST(SliceProgramTest, Figure10TraceAndTimestamps) {
+  Figure10Program Fig = buildFigure10Program();
+  AnnotatedDynamicCfg Cfg = buildAnnotatedCfgFromSequence(Fig.Trace);
+  // Paper Figure 10 annotations: 4 -> 4:28:8, 9 -> 8:24:8, 7 -> {7,23},
+  // 8 -> {15}, 13 -> {29}, 14 -> {30}.
+  auto TimesOf = [&Cfg](BlockId Stmt) {
+    return Cfg.Nodes[Cfg.nodeIndexOf(Stmt)].Times;
+  };
+  EXPECT_EQ(TimesOf(4).encodeSigned(), (std::vector<int64_t>{4, 28, -8}));
+  EXPECT_EQ(TimesOf(9).encodeSigned(), (std::vector<int64_t>{8, 24, -8}));
+  EXPECT_EQ(TimesOf(7).toVector(), (std::vector<Timestamp>{7, 23}));
+  EXPECT_EQ(TimesOf(8).toVector(), (std::vector<Timestamp>{15}));
+  EXPECT_EQ(TimesOf(13).toVector(), (std::vector<Timestamp>{29}));
+  EXPECT_EQ(TimesOf(14).toVector(), (std::vector<Timestamp>{30}));
+}
+
+TEST(SliceProgramTest, StaticDataDepsIncludeLoopCarried) {
+  Figure10Program Fig = buildFigure10Program();
+  std::vector<DataDepEdge> Edges = computeStaticDataDeps(Fig.Program);
+  auto Has = [&Edges](BlockId Use, BlockId Def, VarId Var) {
+    return std::find(Edges.begin(), Edges.end(),
+                     DataDepEdge{Use, Def, Var}) != Edges.end();
+  };
+  // 13 (Z=Z+J) statically sees J from both 3 (J=0) and 11 (J=I).
+  EXPECT_TRUE(Has(13, 3, Fig.VarJ));
+  EXPECT_TRUE(Has(13, 11, Fig.VarJ));
+  // 4 (while I<=N) sees I from 2 and from 12 (loop carried).
+  EXPECT_TRUE(Has(4, 2, Fig.VarI));
+  EXPECT_TRUE(Has(4, 12, Fig.VarI));
+  // 9 (Z=f3(Y)) sees Y from both arms.
+  EXPECT_TRUE(Has(9, 7, Fig.VarY));
+  EXPECT_TRUE(Has(9, 8, Fig.VarY));
+  // 13's Z def does not reach itself as a use of 14... (14 uses Z from 13).
+  EXPECT_TRUE(Has(14, 13, Fig.VarZ));
+}
+
+TEST(SlicingTest, PaperApproach1) {
+  // A1 = static slice over executed nodes = everything except 10.
+  Figure10Program Fig = buildFigure10Program();
+  AnnotatedDynamicCfg Cfg = buildAnnotatedCfgFromSequence(Fig.Trace);
+  SliceResult Slice =
+      sliceApproach1(Fig.Program, Cfg, Fig.Breakpoint, Fig.VarZ);
+  EXPECT_EQ(Slice.Stmts, (std::vector<BlockId>{1, 2, 3, 4, 5, 6, 7, 8, 9,
+                                               11, 12, 13, 14}));
+}
+
+TEST(SlicingTest, PaperApproach2) {
+  // A2 = executed-edge traversal = everything except 3 and 10.
+  Figure10Program Fig = buildFigure10Program();
+  AnnotatedDynamicCfg Cfg = buildAnnotatedCfgFromSequence(Fig.Trace);
+  SliceResult Slice =
+      sliceApproach2(Fig.Program, Cfg, Fig.Breakpoint, Fig.VarZ);
+  EXPECT_EQ(Slice.Stmts, (std::vector<BlockId>{1, 2, 4, 5, 6, 7, 8, 9, 11,
+                                               12, 13, 14}));
+}
+
+TEST(SlicingTest, PaperApproach3) {
+  // A3 = exact instances = everything except 3, 8 and 10.
+  Figure10Program Fig = buildFigure10Program();
+  AnnotatedDynamicCfg Cfg = buildAnnotatedCfgFromSequence(Fig.Trace);
+  SliceResult Slice = sliceApproach3(Fig.Program, Cfg, Fig.Breakpoint,
+                                     Fig.VarZ, /*Time=*/30);
+  EXPECT_EQ(Slice.Stmts, (std::vector<BlockId>{1, 2, 4, 5, 6, 7, 9, 11, 12,
+                                               13, 14}));
+}
+
+TEST(SlicingTest, SlicesAreNested) {
+  // A3 subset-of A2 subset-of A1 on the paper example.
+  Figure10Program Fig = buildFigure10Program();
+  AnnotatedDynamicCfg Cfg = buildAnnotatedCfgFromSequence(Fig.Trace);
+  SliceResult A1 =
+      sliceApproach1(Fig.Program, Cfg, Fig.Breakpoint, Fig.VarZ);
+  SliceResult A2 =
+      sliceApproach2(Fig.Program, Cfg, Fig.Breakpoint, Fig.VarZ);
+  SliceResult A3 = sliceApproach3(Fig.Program, Cfg, Fig.Breakpoint,
+                                  Fig.VarZ, 30);
+  EXPECT_TRUE(std::includes(A1.Stmts.begin(), A1.Stmts.end(),
+                            A2.Stmts.begin(), A2.Stmts.end()));
+  EXPECT_TRUE(std::includes(A2.Stmts.begin(), A2.Stmts.end(),
+                            A3.Stmts.begin(), A3.Stmts.end()));
+}
+
+TEST(InstanceSearchTest, FindLastDefInstance) {
+  Figure10Program Fig = buildFigure10Program();
+  AnnotatedDynamicCfg Cfg = buildAnnotatedCfgFromSequence(Fig.Trace);
+  BlockId DefStmt;
+  Timestamp DefTime;
+  // Z before t=30 (breakpoint): defined by 13 at t=29.
+  ASSERT_TRUE(findLastDefInstance(Fig.Program, Cfg, Fig.VarZ, 30, DefStmt,
+                                  DefTime));
+  EXPECT_EQ(DefStmt, 13u);
+  EXPECT_EQ(DefTime, 29u);
+  // Y before t=24 (9's last instance): defined by 7 at t=23.
+  ASSERT_TRUE(findLastDefInstance(Fig.Program, Cfg, Fig.VarY, 24, DefStmt,
+                                  DefTime));
+  EXPECT_EQ(DefStmt, 7u);
+  EXPECT_EQ(DefTime, 23u);
+  // Y before t=16 (9's second instance): defined by 8 at t=15.
+  ASSERT_TRUE(findLastDefInstance(Fig.Program, Cfg, Fig.VarY, 16, DefStmt,
+                                  DefTime));
+  EXPECT_EQ(DefStmt, 8u);
+  // Nothing defines N after statement 1; search before t=1 fails.
+  EXPECT_FALSE(findLastDefInstance(Fig.Program, Cfg, Fig.VarN, 1, DefStmt,
+                                   DefTime));
+}
+
+TEST(InstanceSearchTest, FindLastInstanceOf) {
+  Figure10Program Fig = buildFigure10Program();
+  AnnotatedDynamicCfg Cfg = buildAnnotatedCfgFromSequence(Fig.Trace);
+  Timestamp T;
+  ASSERT_TRUE(findLastInstanceOf(Cfg, 4, 29, T)); // before Z=Z+J
+  EXPECT_EQ(T, 28u);
+  ASSERT_TRUE(findLastInstanceOf(Cfg, 4, 28, T)); // strictly before
+  EXPECT_EQ(T, 20u);
+  EXPECT_FALSE(findLastInstanceOf(Cfg, 4, 4, T));
+  EXPECT_FALSE(findLastInstanceOf(Cfg, 13, 29, T));
+}
+
+/// Brute-force reference slicers over the raw statement trace.
+struct ReferenceSlices {
+  std::set<BlockId> A2, A3;
+};
+
+ReferenceSlices referenceSlices(const SliceProgram &Program,
+                                const std::vector<BlockId> &Trace,
+                                BlockId Criterion, VarId Var,
+                                Timestamp Time) {
+  // Instance-level dependence graph by direct scan.
+  struct Instance {
+    BlockId Stmt;
+    std::vector<size_t> DataDeps; // instance indices
+    long CtrlDep = -1;
+  };
+  std::vector<Instance> Instances;
+  for (size_t I = 0; I < Trace.size(); ++I) {
+    Instance Inst;
+    Inst.Stmt = Trace[I];
+    const SliceStmt &S = Program.stmt(Trace[I]);
+    for (VarId Use : S.Uses) {
+      for (size_t J = I; J-- > 0;) {
+        if (Program.stmt(Trace[J]).Def == Use) {
+          Inst.DataDeps.push_back(J);
+          break;
+        }
+      }
+    }
+    if (S.ControlDep != 0)
+      for (size_t J = I; J-- > 0;)
+        if (Trace[J] == S.ControlDep) {
+          Inst.CtrlDep = static_cast<long>(J);
+          break;
+        }
+    Instances.push_back(std::move(Inst));
+  }
+
+  ReferenceSlices Ref;
+  // A3: closure over instances from the criterion instance's var def.
+  {
+    std::set<size_t> Visited;
+    std::vector<size_t> Work;
+    Ref.A3.insert(Criterion);
+    size_t CriterionIdx = Time - 1;
+    // Seed: def of Var before criterion + criterion's control dep.
+    for (size_t J = CriterionIdx; J-- > 0;)
+      if (Program.stmt(Trace[J]).Def == Var) {
+        Work.push_back(J);
+        break;
+      }
+    if (Instances[CriterionIdx].CtrlDep >= 0)
+      Work.push_back(static_cast<size_t>(Instances[CriterionIdx].CtrlDep));
+    while (!Work.empty()) {
+      size_t I = Work.back();
+      Work.pop_back();
+      if (!Visited.insert(I).second)
+        continue;
+      Ref.A3.insert(Trace[I]);
+      for (size_t D : Instances[I].DataDeps)
+        Work.push_back(D);
+      if (Instances[I].CtrlDep >= 0)
+        Work.push_back(static_cast<size_t>(Instances[I].CtrlDep));
+    }
+  }
+  // A2: edge-level closure. Collect exercised stmt-level edges, then
+  // closure over statements.
+  {
+    std::set<std::pair<BlockId, BlockId>> Edges; // use -> def (incl ctrl)
+    for (const Instance &Inst : Instances) {
+      for (size_t D : Inst.DataDeps)
+        Edges.insert({Inst.Stmt, Trace[D]});
+      if (Inst.CtrlDep >= 0)
+        Edges.insert({Inst.Stmt, Trace[static_cast<size_t>(Inst.CtrlDep)]});
+    }
+    // Criterion edges: via Var from *every* instance of the criterion
+    // (approach 2 works at node granularity), plus its control dep.
+    std::vector<BlockId> Work;
+    Ref.A2.insert(Criterion);
+    size_t CriterionIdx = Time - 1;
+    for (size_t I = 0; I < Trace.size(); ++I) {
+      if (Trace[I] != Criterion)
+        continue;
+      for (size_t J = I; J-- > 0;)
+        if (Program.stmt(Trace[J]).Def == Var) {
+          Work.push_back(Trace[J]);
+          break;
+        }
+    }
+    if (Instances[CriterionIdx].CtrlDep >= 0)
+      Work.push_back(Trace[static_cast<size_t>(
+          Instances[CriterionIdx].CtrlDep)]);
+    while (!Work.empty()) {
+      BlockId S = Work.back();
+      Work.pop_back();
+      if (!Ref.A2.insert(S).second)
+        continue;
+      for (const auto &[Use, Def] : Edges)
+        if (Use == S)
+          Work.push_back(Def);
+    }
+  }
+  return Ref;
+}
+
+/// Random structured programs: compare slicer output against the
+/// brute-force reference.
+class SlicerOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SlicerOracle, MatchesBruteForce) {
+  Rng R(GetParam());
+  for (int Iter = 0; Iter < 12; ++Iter) {
+    // Random straight-line-with-loop program over 8 statements:
+    // statement i defines variable (i % 4) and uses 1-2 random vars.
+    SliceProgram Program;
+    uint32_t N = 8;
+    Program.Stmts.resize(N);
+    Program.Succs.resize(N);
+    for (uint32_t I = 0; I < N; ++I) {
+      SliceStmt &S = Program.Stmts[I];
+      S.Def = static_cast<VarId>(R.nextBelow(4));
+      size_t Uses = R.nextBelow(3);
+      for (size_t U = 0; U < Uses; ++U)
+        S.Uses.push_back(static_cast<VarId>(R.nextBelow(4)));
+      std::sort(S.Uses.begin(), S.Uses.end());
+      S.Uses.erase(std::unique(S.Uses.begin(), S.Uses.end()), S.Uses.end());
+      if (I + 1 < N)
+        Program.Succs[I] = {I + 2}; // linear chain (ids are 1-based)
+    }
+    // Random trace: repeated passes over a random subsequence.
+    std::vector<BlockId> Trace;
+    size_t Passes = 1 + R.nextBelow(5);
+    for (size_t P = 0; P < Passes; ++P)
+      for (uint32_t I = 0; I < N; ++I)
+        if (R.nextBool(0.7))
+          Trace.push_back(I + 1);
+    if (Trace.empty())
+      continue;
+
+    BlockId Criterion = Trace.back();
+    Timestamp Time = static_cast<Timestamp>(Trace.size());
+    VarId Var = Program.stmt(Criterion).Uses.empty()
+                    ? 0
+                    : Program.stmt(Criterion).Uses[0];
+
+    AnnotatedDynamicCfg Cfg = buildAnnotatedCfgFromSequence(Trace);
+    ReferenceSlices Ref =
+        referenceSlices(Program, Trace, Criterion, Var, Time);
+
+    SliceResult A2 = sliceApproach2(Program, Cfg, Criterion, Var);
+    SliceResult A3 = sliceApproach3(Program, Cfg, Criterion, Var, Time);
+    EXPECT_EQ(std::set<BlockId>(A2.Stmts.begin(), A2.Stmts.end()), Ref.A2)
+        << "seed " << GetParam() << " iter " << Iter;
+    EXPECT_EQ(std::set<BlockId>(A3.Stmts.begin(), A3.Stmts.end()), Ref.A3)
+        << "seed " << GetParam() << " iter " << Iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlicerOracle,
+                         ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38));
+
+TEST(CurrencyTest, PaperFigure12) {
+  // Diamond CFG 1 -> {2, 4} -> 3. Original: defs 1 and 2 of X both in
+  // block 1. Optimized (after PDE): def 2 moved to block 2.
+  CurrencyProblem Problem;
+  Problem.OriginalDefs = {{1, 1, 0}, {2, 1, 1}};
+  Problem.OptimizedDefs = {{1, 1, 0}, {2, 2, 0}};
+
+  // Path 1.2.3: the moved assignment executed -> X is current.
+  AnnotatedDynamicCfg Left = buildAnnotatedCfgFromSequence({1, 2, 3});
+  EXPECT_EQ(checkCurrency(Left, 3, Problem), Currency::Current);
+
+  // Path 1.4.3: optimized execution still holds def 1's value while the
+  // unoptimized program would have def 2's -> non-current.
+  AnnotatedDynamicCfg Right = buildAnnotatedCfgFromSequence({1, 4, 3});
+  EXPECT_EQ(checkCurrency(Right, 3, Problem), Currency::NonCurrent);
+}
+
+TEST(CurrencyTest, NoDefsEitherSideIsCurrent) {
+  CurrencyProblem Problem;
+  Problem.OriginalDefs = {{1, 9, 0}};
+  Problem.OptimizedDefs = {{1, 9, 0}};
+  AnnotatedDynamicCfg Cfg = buildAnnotatedCfgFromSequence({1, 2, 3});
+  EXPECT_EQ(checkCurrency(Cfg, 3, Problem), Currency::Current);
+}
+
+TEST(CurrencyTest, IntraBlockOrdinalDecides) {
+  // Two defs in the same block: the later ordinal is the reaching one.
+  CurrencyProblem Problem;
+  Problem.OriginalDefs = {{1, 1, 0}, {2, 1, 5}};
+  Problem.OptimizedDefs = {{1, 1, 0}, {2, 1, 5}};
+  AnnotatedDynamicCfg Cfg = buildAnnotatedCfgFromSequence({1, 2});
+  EXPECT_EQ(checkCurrency(Cfg, 2, Problem), Currency::Current);
+}
+
+} // namespace

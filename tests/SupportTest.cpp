@@ -1,0 +1,225 @@
+//===- tests/SupportTest.cpp - support/ unit tests -------------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ByteStream.h"
+#include "support/FileIO.h"
+#include "support/LZW.h"
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace twpp;
+
+namespace {
+
+TEST(ZigzagTest, RoundTripsRepresentativeValues) {
+  for (int64_t Value :
+       std::initializer_list<int64_t>{0, 1, -1, 2, -2, 1000000, -1000000,
+                                      INT64_MAX, INT64_MIN})
+    EXPECT_EQ(zigzagDecode(zigzagEncode(Value)), Value) << Value;
+}
+
+TEST(ZigzagTest, SmallMagnitudesStaySmall) {
+  EXPECT_EQ(zigzagEncode(0), 0u);
+  EXPECT_EQ(zigzagEncode(-1), 1u);
+  EXPECT_EQ(zigzagEncode(1), 2u);
+  EXPECT_EQ(zigzagEncode(-2), 3u);
+}
+
+TEST(ByteStreamTest, VarUintRoundTrip) {
+  ByteWriter Writer;
+  std::vector<uint64_t> Values = {0, 1, 127, 128, 16383, 16384,
+                                  UINT32_MAX, UINT64_MAX};
+  for (uint64_t Value : Values)
+    Writer.writeVarUint(Value);
+  ByteReader Reader(Writer.bytes());
+  for (uint64_t Value : Values)
+    EXPECT_EQ(Reader.readVarUint(), Value);
+  EXPECT_TRUE(Reader.valid());
+  EXPECT_TRUE(Reader.atEnd());
+}
+
+TEST(ByteStreamTest, VarIntRoundTrip) {
+  ByteWriter Writer;
+  std::vector<int64_t> Values = {0, -1, 1, -64, 64, INT64_MIN, INT64_MAX};
+  for (int64_t Value : Values)
+    Writer.writeVarInt(Value);
+  ByteReader Reader(Writer.bytes());
+  for (int64_t Value : Values)
+    EXPECT_EQ(Reader.readVarInt(), Value);
+  EXPECT_TRUE(Reader.valid());
+}
+
+TEST(ByteStreamTest, StringsAndFixedWidth) {
+  ByteWriter Writer;
+  Writer.writeString("hello");
+  Writer.writeFixed32(0xDEADBEEF);
+  size_t PatchAt = Writer.size();
+  Writer.writeFixed64(0);
+  Writer.writeString("");
+  Writer.patchFixed64(PatchAt, 0x0123456789ABCDEFULL);
+
+  ByteReader Reader(Writer.bytes());
+  EXPECT_EQ(Reader.readString(), "hello");
+  EXPECT_EQ(Reader.readFixed32(), 0xDEADBEEFu);
+  EXPECT_EQ(Reader.readFixed64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(Reader.readString(), "");
+  EXPECT_TRUE(Reader.valid());
+}
+
+TEST(ByteStreamTest, ReaderFlagsTruncation) {
+  ByteWriter Writer;
+  Writer.writeVarUint(UINT64_MAX);
+  std::vector<uint8_t> Bytes = Writer.take();
+  Bytes.pop_back();
+  ByteReader Reader(Bytes);
+  Reader.readVarUint();
+  EXPECT_TRUE(Reader.hasError());
+}
+
+TEST(ByteStreamTest, ReaderFlagsOutOfRangeSeek) {
+  std::vector<uint8_t> Bytes = {1, 2, 3};
+  ByteReader Reader(Bytes);
+  Reader.seek(3); // end is legal
+  EXPECT_TRUE(Reader.valid());
+  Reader.seek(4);
+  EXPECT_TRUE(Reader.hasError());
+}
+
+TEST(LzwTest, EmptyInput) {
+  std::vector<uint8_t> Out;
+  EXPECT_TRUE(lzwDecompress(lzwCompress({}), Out));
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(LzwTest, SingleByteAndKwKwK) {
+  // "aaaa..." exercises the KwKwK corner case.
+  std::vector<uint8_t> Input(100, 'a');
+  std::vector<uint8_t> Out;
+  ASSERT_TRUE(lzwDecompress(lzwCompress(Input), Out));
+  EXPECT_EQ(Out, Input);
+}
+
+TEST(LzwTest, CompressesRepetitiveInput) {
+  std::vector<uint8_t> Input;
+  for (int I = 0; I < 2000; ++I)
+    Input.push_back(static_cast<uint8_t>("abcabcab"[I % 8]));
+  std::vector<uint8_t> Compressed = lzwCompress(Input);
+  EXPECT_LT(Compressed.size(), Input.size() / 4);
+  std::vector<uint8_t> Out;
+  ASSERT_TRUE(lzwDecompress(Compressed, Out));
+  EXPECT_EQ(Out, Input);
+}
+
+TEST(LzwTest, RejectsMalformedStreams) {
+  std::vector<uint8_t> Out;
+  // First code must be a literal byte (< 256); 0x80 0x02 encodes 256.
+  EXPECT_FALSE(lzwDecompress({0x80, 0x02}, Out));
+}
+
+/// Property sweep: random byte strings round trip.
+class LzwRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LzwRoundTrip, RandomBytes) {
+  Rng R(GetParam());
+  size_t Length = R.nextBelow(5000);
+  // Small alphabets compress hard; large alphabets stress literals.
+  uint64_t Alphabet = 1 + R.nextBelow(255);
+  std::vector<uint8_t> Input;
+  Input.reserve(Length);
+  for (size_t I = 0; I < Length; ++I)
+    Input.push_back(static_cast<uint8_t>(R.nextBelow(Alphabet)));
+  std::vector<uint8_t> Out;
+  ASSERT_TRUE(lzwDecompress(lzwCompress(Input), Out));
+  EXPECT_EQ(Out, Input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LzwRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+TEST(RandomTest, DeterministicAcrossInstances) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, BoundsRespected) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_LT(R.nextBelow(10), 10u);
+    int64_t V = R.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RandomTest, WeightedSamplingHitsAllBuckets) {
+  Rng R(9);
+  std::vector<double> Weights = {1.0, 2.0, 4.0};
+  std::vector<int> Counts(3, 0);
+  for (int I = 0; I < 3000; ++I)
+    ++Counts[R.nextWeighted(Weights)];
+  EXPECT_GT(Counts[0], 0);
+  EXPECT_GT(Counts[2], Counts[0]); // heavier bucket sampled more
+}
+
+TEST(StatsTest, RunningStats) {
+  RunningStats S;
+  S.add(2.0);
+  S.add(4.0);
+  S.add(9.0);
+  EXPECT_EQ(S.count(), 3u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+}
+
+TEST(StatsTest, Formatting) {
+  EXPECT_EQ(formatBytes(512), "512 B");
+  EXPECT_EQ(formatBytes(2048), "2.00 KB");
+  EXPECT_EQ(formatBytes(3 * 1024 * 1024), "3.00 MB");
+  EXPECT_EQ(formatFactor(6.3), "x6.30");
+}
+
+TEST(FileIoTest, WholeFileAndSliceRoundTrip) {
+  std::string Path = ::testing::TempDir() + "/twpp_fileio_test.bin";
+  std::vector<uint8_t> Data;
+  for (int I = 0; I < 1000; ++I)
+    Data.push_back(static_cast<uint8_t>(I * 7));
+  ASSERT_TRUE(writeFileBytes(Path, Data));
+  EXPECT_EQ(fileSize(Path), Data.size());
+
+  std::vector<uint8_t> Back;
+  ASSERT_TRUE(readFileBytes(Path, Back));
+  EXPECT_EQ(Back, Data);
+
+  std::vector<uint8_t> Slice;
+  ASSERT_TRUE(readFileSlice(Path, 100, 50, Slice));
+  EXPECT_EQ(Slice,
+            std::vector<uint8_t>(Data.begin() + 100, Data.begin() + 150));
+  std::remove(Path.c_str());
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter Table("Demo");
+  Table.addRow({"Program", "Size"});
+  Table.addRow({"a", "100"});
+  Table.addRow({"longer-name", "2"});
+  std::string Text = Table.render();
+  EXPECT_NE(Text.find("== Demo =="), std::string::npos);
+  EXPECT_NE(Text.find("longer-name"), std::string::npos);
+  EXPECT_NE(Text.find("---"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+//===- tests/TimestampSetTest.cpp - series codec & set ops -----------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/TimestampSet.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace twpp;
+
+namespace {
+
+TEST(TimestampSetTest, PaperExampleCompactsToSeries) {
+  // Paper Section 2: {1 -> {1}, 2 -> {2,3,4,5,6}, 6 -> {7}} compacts to
+  // {1 -> {-1}, 2 -> {2:-6}, 6 -> {-7}}.
+  TimestampSet Block2 = TimestampSet::fromSorted({2, 3, 4, 5, 6});
+  EXPECT_EQ(Block2.encodeSigned(), (std::vector<int64_t>{2, -6}));
+  TimestampSet Block1 = TimestampSet::fromSorted({1});
+  EXPECT_EQ(Block1.encodeSigned(), (std::vector<int64_t>{-1}));
+  TimestampSet Block6 = TimestampSet::fromSorted({7});
+  EXPECT_EQ(Block6.encodeSigned(), (std::vector<int64_t>{-7}));
+}
+
+TEST(TimestampSetTest, SteppedSeriesUsesThreeValues) {
+  TimestampSet Set = TimestampSet::fromSorted({2, 4, 6, 8});
+  EXPECT_EQ(Set.encodeSigned(), (std::vector<int64_t>{2, 8, -2}));
+  EXPECT_EQ(Set.encodedValueCount(), 3u);
+}
+
+TEST(TimestampSetTest, TwoElementOddStridePrefersSingletons) {
+  // {3, 10}: l:h:s would cost 3 ints; two singletons cost 2.
+  TimestampSet Set = TimestampSet::fromSorted({3, 10});
+  EXPECT_EQ(Set.encodeSigned(), (std::vector<int64_t>{-3, -10}));
+}
+
+TEST(TimestampSetTest, BasicAccessors) {
+  TimestampSet Set = TimestampSet::fromSorted({1, 5, 9, 13, 20});
+  EXPECT_EQ(Set.count(), 5u);
+  EXPECT_EQ(Set.min(), 1u);
+  EXPECT_EQ(Set.max(), 20u);
+  EXPECT_TRUE(Set.contains(9));
+  EXPECT_FALSE(Set.contains(10));
+  EXPECT_EQ(Set.toVector(), (std::vector<Timestamp>{1, 5, 9, 13, 20}));
+}
+
+TEST(TimestampSetTest, ShiftMovesWholeRuns) {
+  // The paper's traversal example: (2:20:2) shifted to (1:19:2)/(3:21:2).
+  TimestampSet Set = TimestampSet::fromRun(2, 20, 2);
+  TimestampSet Back = Set.shifted(-1);
+  ASSERT_EQ(Back.runs().size(), 1u);
+  EXPECT_EQ(Back.runs()[0], (SeriesRun{1, 19, 2}));
+  TimestampSet Fwd = Set.shifted(+1);
+  ASSERT_EQ(Fwd.runs().size(), 1u);
+  EXPECT_EQ(Fwd.runs()[0], (SeriesRun{3, 21, 2}));
+}
+
+TEST(TimestampSetTest, ShiftDropsNonPositives) {
+  TimestampSet Set = TimestampSet::fromSorted({1, 2, 3});
+  TimestampSet Shifted = Set.shifted(-2);
+  EXPECT_EQ(Shifted.toVector(), (std::vector<Timestamp>{1}));
+  EXPECT_TRUE(Set.shifted(-5).empty());
+}
+
+TEST(TimestampSetTest, ShiftPartialRunWithStride) {
+  TimestampSet Set = TimestampSet::fromRun(3, 11, 4); // {3, 7, 11}
+  TimestampSet Shifted = Set.shifted(-4);             // {3, 7} after drop
+  EXPECT_EQ(Shifted.toVector(), (std::vector<Timestamp>{3, 7}));
+}
+
+TEST(TimestampSetTest, SetOperations) {
+  TimestampSet A = TimestampSet::fromSorted({1, 2, 3, 4, 5, 6});
+  TimestampSet B = TimestampSet::fromSorted({2, 4, 6, 8});
+  EXPECT_EQ(A.intersect(B).toVector(), (std::vector<Timestamp>{2, 4, 6}));
+  EXPECT_EQ(A.subtract(B).toVector(), (std::vector<Timestamp>{1, 3, 5}));
+  EXPECT_EQ(A.unite(B).toVector(),
+            (std::vector<Timestamp>{1, 2, 3, 4, 5, 6, 8}));
+  EXPECT_TRUE(A.intersect(TimestampSet()).empty());
+  EXPECT_EQ(A.subtract(TimestampSet()).toVector(), A.toVector());
+}
+
+TEST(TimestampSetTest, DecodeRejectsMalformedStreams) {
+  TimestampSet Out;
+  // Dangling positive value.
+  EXPECT_FALSE(TimestampSet::decodeSigned({5}, Out));
+  // Range with h <= l.
+  EXPECT_FALSE(TimestampSet::decodeSigned({5, -5}, Out));
+  // Step not dividing the span.
+  EXPECT_FALSE(TimestampSet::decodeSigned({2, 7, -2}, Out));
+  // Zero is not a valid timestamp.
+  EXPECT_FALSE(TimestampSet::decodeSigned({0}, Out));
+  // Three positives in a row.
+  EXPECT_FALSE(TimestampSet::decodeSigned({2, 8, 2}, Out));
+}
+
+TEST(TimestampSetTest, EmptySetEncodesEmpty) {
+  TimestampSet Set;
+  EXPECT_TRUE(Set.encodeSigned().empty());
+  TimestampSet Out;
+  EXPECT_TRUE(TimestampSet::decodeSigned({}, Out));
+  EXPECT_TRUE(Out.empty());
+}
+
+/// Property sweep: random strictly-increasing lists round trip through
+/// the signed encoding, and set operations agree with std::set oracles.
+class TimestampSetProperty : public ::testing::TestWithParam<uint64_t> {};
+
+std::vector<Timestamp> randomSortedList(Rng &R, size_t MaxLength) {
+  std::vector<Timestamp> Out;
+  Timestamp T = 0;
+  size_t Length = R.nextBelow(MaxLength + 1);
+  for (size_t I = 0; I < Length; ++I) {
+    // Mix of dense runs (stride 1 / constant stride) and jumps.
+    uint64_t Roll = R.nextBelow(10);
+    Timestamp Step = Roll < 5 ? 1 : (Roll < 8 ? 3 : 1 + R.nextBelow(50));
+    T += Step;
+    Out.push_back(T);
+  }
+  return Out;
+}
+
+TEST_P(TimestampSetProperty, EncodeDecodeRoundTrip) {
+  Rng R(GetParam());
+  for (int Iter = 0; Iter < 50; ++Iter) {
+    std::vector<Timestamp> List = randomSortedList(R, 200);
+    TimestampSet Set = TimestampSet::fromSorted(List);
+    EXPECT_EQ(Set.toVector(), List);
+    EXPECT_EQ(Set.count(), List.size());
+    TimestampSet Back;
+    ASSERT_TRUE(TimestampSet::decodeSigned(Set.encodeSigned(), Back));
+    EXPECT_EQ(Back.toVector(), List);
+  }
+}
+
+TEST_P(TimestampSetProperty, SetOpsMatchOracle) {
+  Rng R(GetParam() ^ 0xABCD);
+  for (int Iter = 0; Iter < 30; ++Iter) {
+    std::vector<Timestamp> ListA = randomSortedList(R, 120);
+    std::vector<Timestamp> ListB = randomSortedList(R, 120);
+    TimestampSet A = TimestampSet::fromSorted(ListA);
+    TimestampSet B = TimestampSet::fromSorted(ListB);
+
+    std::set<Timestamp> OracleA(ListA.begin(), ListA.end());
+    std::set<Timestamp> OracleB(ListB.begin(), ListB.end());
+
+    std::vector<Timestamp> Meet, Diff, Join;
+    std::set_intersection(OracleA.begin(), OracleA.end(), OracleB.begin(),
+                          OracleB.end(), std::back_inserter(Meet));
+    std::set_difference(OracleA.begin(), OracleA.end(), OracleB.begin(),
+                        OracleB.end(), std::back_inserter(Diff));
+    std::set_union(OracleA.begin(), OracleA.end(), OracleB.begin(),
+                   OracleB.end(), std::back_inserter(Join));
+
+    EXPECT_EQ(A.intersect(B).toVector(), Meet);
+    EXPECT_EQ(A.subtract(B).toVector(), Diff);
+    EXPECT_EQ(A.unite(B).toVector(), Join);
+
+    // Shift oracle.
+    int64_t Delta = static_cast<int64_t>(R.nextBelow(7)) - 3;
+    std::vector<Timestamp> ShiftOracle;
+    for (Timestamp T : ListA) {
+      int64_t V = static_cast<int64_t>(T) + Delta;
+      if (V > 0)
+        ShiftOracle.push_back(static_cast<Timestamp>(V));
+    }
+    EXPECT_EQ(A.shifted(Delta).toVector(), ShiftOracle);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimestampSetProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+} // namespace

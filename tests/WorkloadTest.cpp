@@ -1,0 +1,150 @@
+//===- tests/WorkloadTest.cpp - synthetic benchmark generators -------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "wpp/Sizes.h"
+#include "wpp/Twpp.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace twpp;
+
+namespace {
+
+WorkloadProfile smallProfile() {
+  WorkloadProfile P;
+  P.Name = "unit";
+  P.Seed = 12345;
+  P.FunctionCount = 12;
+  P.TargetCalls = 400;
+  P.MaxPathLength = 200;
+  return P;
+}
+
+TEST(GeneratorTest, ProgramIsStructurallyValid) {
+  SyntheticProgram Program = generateProgram(smallProfile());
+  ASSERT_EQ(Program.Functions.size(), 12u);
+  for (FunctionId F = 0; F < Program.Functions.size(); ++F) {
+    const SyntheticFunction &Fn = Program.Functions[F];
+    ASSERT_FALSE(Fn.Blocks.empty());
+    for (const SyntheticBlock &B : Fn.Blocks) {
+      EXPECT_LE(B.Succs.size(), 2u);
+      for (BlockId Succ : B.Succs) {
+        EXPECT_GE(Succ, 1u);
+        EXPECT_LE(Succ, Fn.Blocks.size());
+      }
+      if (B.IsCallSite) {
+        EXPECT_GT(B.Callee, F); // acyclic call structure
+        EXPECT_LT(B.Callee, Program.Functions.size());
+      }
+    }
+    ASSERT_FALSE(Fn.PathPool.empty());
+    EXPECT_EQ(Fn.PathPool.size(), Fn.PathWeights.size());
+  }
+}
+
+TEST(GeneratorTest, PoolPathsAreValidWalks) {
+  SyntheticProgram Program = generateProgram(smallProfile());
+  for (const SyntheticFunction &Fn : Program.Functions) {
+    for (const auto &Path : Fn.PathPool) {
+      ASSERT_FALSE(Path.empty());
+      EXPECT_EQ(Path.front(), 1u); // entry block
+      for (size_t I = 0; I + 1 < Path.size(); ++I) {
+        const auto &Succs = Fn.Blocks[Path[I] - 1].Succs;
+        EXPECT_NE(std::find(Succs.begin(), Succs.end(), Path[I + 1]),
+                  Succs.end())
+            << "invalid edge " << Path[I] << " -> " << Path[I + 1];
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  RawTrace A = generateWorkloadTrace(smallProfile());
+  RawTrace B = generateWorkloadTrace(smallProfile());
+  EXPECT_EQ(A, B);
+  WorkloadProfile Other = smallProfile();
+  Other.Seed ^= 1;
+  RawTrace C = generateWorkloadTrace(Other);
+  EXPECT_NE(A, C);
+}
+
+TEST(DriverTest, TraceIsWellFormedAndBudgeted) {
+  WorkloadProfile P = smallProfile();
+  RawTrace Trace = generateWorkloadTrace(P);
+  EXPECT_TRUE(Trace.isWellFormed());
+  // main + at most TargetCalls nested calls (budget is a cap).
+  EXPECT_LE(Trace.callCount(), P.TargetCalls + 1);
+  EXPECT_GT(Trace.callCount(), P.TargetCalls / 2);
+}
+
+TEST(DriverTest, UniqueTracesBoundedByPool) {
+  WorkloadProfile P = smallProfile();
+  SyntheticProgram Program = generateProgram(P);
+  RawTrace Trace = generateWorkloadTrace(P);
+  PartitionedWpp Wpp = partitionWpp(Trace);
+  for (FunctionId F = 0; F < Program.Functions.size(); ++F)
+    EXPECT_LE(Wpp.Functions[F].UniqueTraces.size(),
+              Program.Functions[F].PathPool.size())
+        << "function " << F;
+}
+
+TEST(DriverTest, PipelineLosslessOnWorkload) {
+  RawTrace Trace = generateWorkloadTrace(smallProfile());
+  TwppWpp Compacted = compactWpp(Trace);
+  EXPECT_EQ(reconstructRawTrace(Compacted), Trace);
+}
+
+TEST(ProfilesTest, FiveBenchmarksWithPaperNames) {
+  std::vector<WorkloadProfile> Profiles = paperProfiles();
+  ASSERT_EQ(Profiles.size(), 5u);
+  EXPECT_EQ(Profiles[0].Name, "099.go");
+  EXPECT_EQ(Profiles[1].Name, "126.gcc");
+  EXPECT_EQ(Profiles[2].Name, "130.li");
+  EXPECT_EQ(Profiles[3].Name, "132.ijpeg");
+  EXPECT_EQ(Profiles[4].Name, "134.perl");
+  std::set<uint64_t> Seeds;
+  for (const WorkloadProfile &P : Profiles)
+    Seeds.insert(P.Seed);
+  EXPECT_EQ(Seeds.size(), 5u);
+}
+
+TEST(ProfilesTest, TestProfilesCompactLosslessly) {
+  for (const WorkloadProfile &P : testProfiles()) {
+    RawTrace Trace = generateWorkloadTrace(P);
+    ASSERT_TRUE(Trace.isWellFormed()) << P.Name;
+    TwppWpp Compacted = compactWpp(Trace);
+    EXPECT_EQ(reconstructRawTrace(Compacted), Trace) << P.Name;
+  }
+}
+
+TEST(ProfilesTest, RedundancyShapeMatchesPaper) {
+  // The paper's core observation: functions are called many times but
+  // follow few unique paths. On every profile, redundancy removal must
+  // shrink traces by a large factor.
+  for (const WorkloadProfile &P : testProfiles()) {
+    RawTrace Trace = generateWorkloadTrace(P);
+    PartitionedWpp Partitioned = partitionWpp(Trace);
+    DbbWpp Dbb = applyDbbCompaction(Partitioned);
+    TwppWpp Twpp = convertToTwpp(Dbb);
+    StageSizes Sizes = measureStages(Partitioned, Dbb, Twpp);
+    double Factor = static_cast<double>(Sizes.OwppTraceBytes) /
+                    static_cast<double>(Sizes.DedupedTraceBytes);
+    EXPECT_GT(Factor, 2.0) << P.Name;
+  }
+}
+
+TEST(StaticStatsTest, CountsNodesAndEdges) {
+  SyntheticProgram Program = generateProgram(smallProfile());
+  CfgStats Stats = Program.staticStats();
+  EXPECT_GT(Stats.Nodes, Program.Functions.size());
+  EXPECT_GT(Stats.Edges, 0u);
+}
+
+} // namespace
