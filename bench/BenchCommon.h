@@ -14,6 +14,9 @@
 #ifndef TWPP_BENCH_BENCHCOMMON_H
 #define TWPP_BENCH_BENCHCOMMON_H
 
+#include "obs/Export.h"
+#include "obs/Metrics.h"
+#include "obs/Names.h"
 #include "support/Stats.h"
 #include "support/TablePrinter.h"
 #include "support/Timer.h"
@@ -22,10 +25,72 @@
 #include "wpp/Twpp.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace twpp::bench {
+
+/// Opt-in telemetry for the table/figure binaries. Activated by
+/// `--metrics-out <path>` on the command line or the TWPP_METRICS_OUT
+/// environment variable; inert (and free) otherwise.
+///
+/// Each checkpoint() emits one JSON-lines block labelled
+/// "<bench>/<label>" and resets the registry, so per-profile metric
+/// values line up with the table rows the bench prints. With no
+/// checkpoints the destructor dumps a single block for the whole run.
+class BenchTelemetry {
+public:
+  BenchTelemetry(int Argc, char **Argv, std::string BenchName)
+      : Bench(std::move(BenchName)) {
+    for (int I = 1; I + 1 < Argc; ++I)
+      if (std::strcmp(Argv[I], "--metrics-out") == 0)
+        OutPath = Argv[I + 1];
+    if (OutPath.empty())
+      if (const char *Env = std::getenv("TWPP_METRICS_OUT"))
+        OutPath = Env;
+    if (OutPath.empty())
+      return;
+    obs::setMetricsEnabled(true);
+    obs::names::registerCanonicalMetrics(obs::metrics());
+    obs::metrics().reset();
+  }
+
+  ~BenchTelemetry() {
+    if (OutPath.empty())
+      return;
+    if (Lines.empty())
+      Lines = obs::exportMetricsJsonLines(obs::metrics(), Bench);
+    if (std::FILE *F = std::fopen(OutPath.c_str(), "w")) {
+      std::fwrite(Lines.data(), 1, Lines.size(), F);
+      std::fclose(F);
+      std::fprintf(stderr, "[bench] wrote metrics to %s\n", OutPath.c_str());
+    } else {
+      std::fprintf(stderr, "[bench] cannot write metrics to %s\n",
+                   OutPath.c_str());
+    }
+  }
+
+  BenchTelemetry(const BenchTelemetry &) = delete;
+  BenchTelemetry &operator=(const BenchTelemetry &) = delete;
+
+  bool active() const { return !OutPath.empty(); }
+
+  /// Flushes everything collected since the previous checkpoint under
+  /// the label "<bench>/<label>" and zeroes the registry.
+  void checkpoint(const std::string &Label) {
+    if (OutPath.empty())
+      return;
+    Lines += obs::exportMetricsJsonLines(obs::metrics(), Bench + "/" + Label);
+    obs::metrics().reset();
+  }
+
+private:
+  std::string Bench;
+  std::string OutPath;
+  std::string Lines;
+};
 
 /// Everything a table needs about one benchmark run.
 struct ProfileData {
@@ -54,12 +119,17 @@ inline ProfileData buildProfileData(const WorkloadProfile &Profile) {
   return Data;
 }
 
-/// Builds all five paper profiles, printing progress to stderr.
-inline std::vector<ProfileData> buildAllProfiles() {
+/// Builds all five paper profiles, printing progress to stderr. With a
+/// telemetry collector, each profile becomes one labelled checkpoint so
+/// its metrics can be compared against that profile's table row.
+inline std::vector<ProfileData>
+buildAllProfiles(BenchTelemetry *Telemetry = nullptr) {
   std::vector<ProfileData> All;
   for (const WorkloadProfile &Profile : paperProfiles()) {
     std::fprintf(stderr, "[bench] building %s...\n", Profile.Name.c_str());
     All.push_back(buildProfileData(Profile));
+    if (Telemetry)
+      Telemetry->checkpoint(Profile.Name);
   }
   return All;
 }

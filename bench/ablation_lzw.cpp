@@ -15,11 +15,12 @@
 using namespace twpp;
 using namespace twpp::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchTelemetry Telemetry(Argc, Argv, "ablation_lzw");
   TablePrinter Table("Ablation: dynamic call graph storage");
   Table.addRow({"Program", "Calls", "Raw DCG (KB)", "LZW DCG (KB)",
                 "Ratio"});
-  for (const ProfileData &Data : buildAllProfiles()) {
+  for (const ProfileData &Data : buildAllProfiles(&Telemetry)) {
     std::vector<uint8_t> Raw = encodeDcg(Data.Twpp.Dcg);
     std::vector<uint8_t> Compressed = lzwCompress(Raw);
     Table.addRow({Data.Profile.Name,

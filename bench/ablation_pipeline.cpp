@@ -36,12 +36,13 @@ uint64_t twppBytesWithoutSeries(const TwppWpp &Wpp) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchTelemetry Telemetry(Argc, Argv, "ablation_pipeline");
   TablePrinter Table(
       "Ablation: trace bytes (KB) under partial pipelines");
   Table.addRow({"Program", "No compaction", "+dedup", "+DBB dict",
                 "+TWPP no-series", "+TWPP series (full)"});
-  for (const ProfileData &Data : buildAllProfiles()) {
+  for (const ProfileData &Data : buildAllProfiles(&Telemetry)) {
     const StageSizes &S = Data.Stages;
     uint64_t NoSeries = twppBytesWithoutSeries(Data.Twpp);
     Table.addRow({Data.Profile.Name, kb(S.OwppTraceBytes),

@@ -12,6 +12,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "slicing/DynamicSlicer.h"
 #include "support/TablePrinter.h"
 
@@ -30,7 +32,8 @@ std::string setToString(const std::vector<BlockId> &Stmts) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::BenchTelemetry Telemetry(Argc, Argv, "fig11_slicing");
   Figure10Program Fig = buildFigure10Program();
   AnnotatedDynamicCfg Cfg = buildAnnotatedCfgFromSequence(Fig.Trace);
 

@@ -10,6 +10,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "ir/SinkAssignments.h"
 #include "lang/Lower.h"
 #include "runtime/Interpreter.h"
@@ -70,7 +72,8 @@ void fromSource() {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::BenchTelemetry Telemetry(Argc, Argv, "fig12_currency");
   CurrencyProblem Problem;
   // DefId 1: the first assignment to X (stays in block 1).
   // DefId 2: the partially dead assignment (block 1 -> block 2 after PDE).

@@ -15,7 +15,8 @@
 using namespace twpp;
 using namespace twpp::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchTelemetry Telemetry(Argc, Argv, "fig8_redundancy");
   std::vector<uint64_t> Thresholds = {1, 2, 5, 10, 25, 50, 100, 200, 300};
 
   TablePrinter Table(
@@ -25,7 +26,7 @@ int main() {
     Header.push_back("N<=" + std::to_string(N));
   Table.addRow(Header);
 
-  for (const ProfileData &Data : buildAllProfiles()) {
+  for (const ProfileData &Data : buildAllProfiles(&Telemetry)) {
     uint64_t TotalCalls = 0;
     for (const FunctionTraceTable &Fn : Data.Partitioned.Functions)
       TotalCalls += Fn.CallCount;

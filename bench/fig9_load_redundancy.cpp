@@ -12,6 +12,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "dataflow/AnnotatedCfg.h"
 #include "dataflow/Query.h"
 #include "support/TablePrinter.h"
@@ -20,7 +22,8 @@
 
 using namespace twpp;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::BenchTelemetry Telemetry(Argc, Argv, "fig9_load_redundancy");
   // (1.2.3.4.5)^30 (1.2.7.4.5)^30 (1.6.7.5)^40, matching the stated
   // frequencies (the figure's own exponents are inconsistent with them).
   std::vector<BlockId> Sequence;

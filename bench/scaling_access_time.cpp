@@ -11,6 +11,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "support/FileIO.h"
 #include "support/Stats.h"
 #include "support/TablePrinter.h"
@@ -23,7 +25,8 @@
 
 using namespace twpp;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::BenchTelemetry Telemetry(Argc, Argv, "scaling_access_time");
   TablePrinter Table(
       "Scaling: per-function extraction time vs trace size (130.li shape)");
   Table.addRow({"Calls", "Events", "OWPP (KB)", "Archive (KB)",
@@ -76,6 +79,7 @@ int main() {
                   formatFactor(U.mean() / std::max(C.mean(), 1e-9))});
     std::remove(OwppPath.c_str());
     std::remove(ArchivePath.c_str());
+    Telemetry.checkpoint("x" + std::to_string(Scale));
   }
   Table.print();
   return 0;

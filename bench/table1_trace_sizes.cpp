@@ -15,11 +15,12 @@
 using namespace twpp;
 using namespace twpp::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchTelemetry Telemetry(Argc, Argv, "table1_trace_sizes");
   TablePrinter Table("Table 1: sample input traces (uncompacted WPP)");
   Table.addRow({"Program", "DCG (KB)", "WPP traces (KB)", "Total (KB)",
                 "Events", "Calls"});
-  for (const ProfileData &Data : buildAllProfiles()) {
+  for (const ProfileData &Data : buildAllProfiles(&Telemetry)) {
     Table.addRow({Data.Profile.Name, kb(Data.Owpp.DcgBytes),
                   kb(Data.Owpp.TraceBytes), kb(Data.Owpp.totalBytes()),
                   std::to_string(Data.Trace.Events.size()),

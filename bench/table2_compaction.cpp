@@ -28,13 +28,14 @@ std::string withFactor(uint64_t Bytes, uint64_t PrevBytes) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchTelemetry Telemetry(Argc, Argv, "table2_compaction");
   TablePrinter Table(
       "Table 2: WPP trace compaction by transformation (KB, factor vs "
       "previous stage)");
   Table.addRow({"Program", "OWPP traces", "Redundancy removal",
                 "Dictionary creation", "Compacted TWPP", "OWPP/CTWPP"});
-  for (const ProfileData &Data : buildAllProfiles()) {
+  for (const ProfileData &Data : buildAllProfiles(&Telemetry)) {
     const StageSizes &S = Data.Stages;
     Table.addRow(
         {Data.Profile.Name, kb(S.OwppTraceBytes),

@@ -14,11 +14,12 @@
 using namespace twpp;
 using namespace twpp::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchTelemetry Telemetry(Argc, Argv, "table3_overall");
   TablePrinter Table("Table 3: overall compaction factor");
   Table.addRow({"Program", "Compacted DCG (KB)", "Traces (KB)",
                 "Dictionaries (KB)", "Total (KB)", "Compaction factor"});
-  for (const ProfileData &Data : buildAllProfiles()) {
+  for (const ProfileData &Data : buildAllProfiles(&Telemetry)) {
     const StageSizes &S = Data.Stages;
     uint64_t Total =
         S.CompactedDcgBytes + S.TwppTraceBytes + S.DictionaryBytes;

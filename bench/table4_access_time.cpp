@@ -36,14 +36,15 @@ std::vector<FunctionId> calledFunctions(const ProfileData &Data) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchTelemetry Telemetry(Argc, Argv, "table4_access_time");
   TablePrinter Table(
       "Table 4: per-function extraction times, uncompacted (U) vs "
       "compacted archive (C)");
   Table.addRow({"Program", "avg.U (ms)", "max.U (ms)", "avg.C (ms)",
                 "max.C (ms)", "Speedup (avg)"});
 
-  for (const ProfileData &Data : buildAllProfiles()) {
+  for (const ProfileData &Data : buildAllProfiles(&Telemetry)) {
     std::string OwppPath = "/tmp/twpp_bench_" + Data.Profile.Name + ".owpp";
     std::string ArchivePath =
         "/tmp/twpp_bench_" + Data.Profile.Name + ".twpp";

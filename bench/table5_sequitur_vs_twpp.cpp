@@ -22,7 +22,8 @@
 using namespace twpp;
 using namespace twpp::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchTelemetry Telemetry(Argc, Argv, "table5_sequitur_vs_twpp");
   TablePrinter Table(
       "Table 5: compacted sizes and per-function extraction times, "
       "Sequitur (Larus) vs TWPP archive");
@@ -30,7 +31,7 @@ int main() {
                 "Seq process (ms)", "Seq total (ms)", "TWPP (ms)",
                 "Access ratio"});
 
-  for (const ProfileData &Data : buildAllProfiles()) {
+  for (const ProfileData &Data : buildAllProfiles(&Telemetry)) {
     std::fprintf(stderr, "[bench] sequitur over %zu events...\n",
                  Data.Trace.Events.size());
     FlatGrammar Grammar = buildSequiturGrammar(Data.Trace);

@@ -19,7 +19,8 @@
 using namespace twpp;
 using namespace twpp::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchTelemetry Telemetry(Argc, Argv, "table6_flowgraphs");
   TablePrinter Table(
       "Table 6: static vs dynamic flow graph sizes; avg timestamp vector "
       "entries per node (before compaction in parentheses)");
@@ -27,7 +28,7 @@ int main() {
                 "avg dyn N/graph", "avg static N/fn",
                 "avg |T| compacted (raw)"});
 
-  for (const ProfileData &Data : buildAllProfiles()) {
+  for (const ProfileData &Data : buildAllProfiles(&Telemetry)) {
     CfgStats Static = Data.Program.staticStats();
 
     uint64_t DynNodes = 0, DynEdges = 0, Graphs = 0;

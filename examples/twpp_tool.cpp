@@ -18,10 +18,18 @@
 //   twpp_tool reconstruct <archive.twpp> <out.owpp>
 //       Expand the archive back to the uncompacted linear WPP.
 //
+// Global options (before or after the command):
+//
+//   --metrics-out <path>   Collect pipeline telemetry and write it as JSON.
+//   --metrics-table        Print the telemetry tables to stderr on exit.
+//
 //===----------------------------------------------------------------------===//
 
 #include "dataflow/Dump.h"
 #include "lang/Lower.h"
+#include "obs/Export.h"
+#include "obs/Metrics.h"
+#include "obs/Names.h"
 #include "runtime/Interpreter.h"
 #include "support/FileIO.h"
 #include "trace/UncompactedFile.h"
@@ -33,6 +41,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 using namespace twpp;
 
@@ -46,7 +55,10 @@ int usage() {
       "       twpp_tool query <archive.twpp> <function-id>\n"
       "       twpp_tool dot-dcg <archive.twpp>\n"
       "       twpp_tool dot-trace <archive.twpp> <function-id> <trace-#>\n"
-      "       twpp_tool reconstruct <archive.twpp> <out.owpp>\n");
+      "       twpp_tool reconstruct <archive.twpp> <out.owpp>\n"
+      "global options:\n"
+      "       --metrics-out <path>   write pipeline telemetry as JSON\n"
+      "       --metrics-table        print telemetry tables to stderr\n");
   return 2;
 }
 
@@ -204,19 +216,56 @@ int cmdReconstruct(int Argc, char **Argv) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  if (Argc < 2)
+  // Strip the global telemetry options before command dispatch so they
+  // work in any position.
+  std::string MetricsOut;
+  bool MetricsTable = false;
+  std::vector<char *> Args;
+  Args.reserve(static_cast<size_t>(Argc) + 1);
+  for (int I = 0; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--metrics-out") == 0) {
+      if (I + 1 >= Argc)
+        return usage();
+      MetricsOut = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--metrics-table") == 0) {
+      MetricsTable = true;
+    } else {
+      Args.push_back(Argv[I]);
+    }
+  }
+  Args.push_back(nullptr);
+  int Count = static_cast<int>(Args.size()) - 1;
+  if (Count < 2)
     return usage();
-  if (std::strcmp(Argv[1], "trace") == 0)
-    return cmdTrace(Argc, Argv);
-  if (std::strcmp(Argv[1], "stats") == 0)
-    return cmdStats(Argc, Argv);
-  if (std::strcmp(Argv[1], "query") == 0)
-    return cmdQuery(Argc, Argv);
-  if (std::strcmp(Argv[1], "dot-dcg") == 0)
-    return cmdDotDcg(Argc, Argv);
-  if (std::strcmp(Argv[1], "dot-trace") == 0)
-    return cmdDotTrace(Argc, Argv);
-  if (std::strcmp(Argv[1], "reconstruct") == 0)
-    return cmdReconstruct(Argc, Argv);
-  return usage();
+
+  if (!MetricsOut.empty() || MetricsTable) {
+    obs::setMetricsEnabled(true);
+    // Pre-register every canonical metric so the export enumerates all
+    // pipeline stages, zero-valued when this command does not reach them.
+    obs::names::registerCanonicalMetrics(obs::metrics());
+  }
+
+  int Exit;
+  char **Cmd = Args.data();
+  if (std::strcmp(Cmd[1], "trace") == 0)
+    Exit = cmdTrace(Count, Cmd);
+  else if (std::strcmp(Cmd[1], "stats") == 0)
+    Exit = cmdStats(Count, Cmd);
+  else if (std::strcmp(Cmd[1], "query") == 0)
+    Exit = cmdQuery(Count, Cmd);
+  else if (std::strcmp(Cmd[1], "dot-dcg") == 0)
+    Exit = cmdDotDcg(Count, Cmd);
+  else if (std::strcmp(Cmd[1], "dot-trace") == 0)
+    Exit = cmdDotTrace(Count, Cmd);
+  else if (std::strcmp(Cmd[1], "reconstruct") == 0)
+    Exit = cmdReconstruct(Count, Cmd);
+  else
+    return usage();
+
+  if (!MetricsOut.empty() &&
+      !obs::writeMetricsJsonFile(MetricsOut, obs::metrics()))
+    std::fprintf(stderr, "cannot write metrics to %s\n", MetricsOut.c_str());
+  if (MetricsTable)
+    std::fputs(obs::renderMetricsTable(obs::metrics()).c_str(), stderr);
+  return Exit;
 }

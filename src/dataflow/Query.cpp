@@ -6,6 +6,10 @@
 
 #include "dataflow/Query.h"
 
+#include "obs/Metrics.h"
+#include "obs/Names.h"
+#include "obs/PhaseSpan.h"
+
 #include <cassert>
 #include <deque>
 #include <map>
@@ -32,6 +36,8 @@ QueryResult twpp::propagateBackward(const AnnotatedDynamicCfg &Cfg,
   if (Times.empty())
     return Result;
   assert(NodeIndex < Cfg.Nodes.size() && "query node out of range");
+  obs::PhaseSpan Span("dataflow_query");
+  uint64_t NodesVisited = 0;
 
   // Pending queries keyed by (node, backward depth). All timestamps in one
   // entry moved the same distance, so original = current + depth.
@@ -53,6 +59,7 @@ QueryResult twpp::propagateBackward(const AnnotatedDynamicCfg &Cfg,
     auto [Node, Depth] = It->first;
     TimestampSet Current = std::move(It->second);
     Pending.erase(It);
+    ++NodesVisited;
 
     // Instances whose previous point falls before the trace start reached
     // the function entry unresolved.
@@ -86,6 +93,17 @@ QueryResult twpp::propagateBackward(const AnnotatedDynamicCfg &Cfg,
       }
       }
     }
+  }
+  if (obs::enabled()) {
+    obs::MetricsRegistry &M = obs::metrics();
+    static obs::Counter &Queries = M.counter(obs::names::DataflowQueries);
+    static obs::Counter &Subqueries =
+        M.counter(obs::names::DataflowSubqueries);
+    static obs::Counter &Visited =
+        M.counter(obs::names::DataflowNodesVisited);
+    Queries.add();
+    Subqueries.add(Result.QueriesGenerated);
+    Visited.add(NodesVisited);
   }
   return Result;
 }

@@ -1,0 +1,202 @@
+//===- obs/Export.cpp - Metric exporters ----------------------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Export.h"
+
+#include "obs/Names.h"
+#include "support/FileIO.h"
+#include "support/Stats.h"
+#include "support/TablePrinter.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace twpp;
+using namespace twpp::obs;
+
+namespace {
+
+std::string u64(uint64_t Value) { return std::to_string(Value); }
+
+/// JSON numbers must not be NaN/Inf; metrics never produce them but a
+/// defensive zero keeps the output parseable no matter what.
+std::string num(double Value) {
+  if (Value != Value || Value > 1e300 || Value < -1e300)
+    return "0";
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.6g", Value);
+  return Buffer;
+}
+
+/// Metric names are dot/slash identifiers, but escape defensively so the
+/// exporter can never emit invalid JSON.
+std::string jsonString(const std::string &Raw) {
+  std::string Out = "\"";
+  for (char C : Raw) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buffer[8];
+      std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
+      Out += Buffer;
+    } else {
+      Out += C;
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string statsJson(const RunningStats &S) {
+  return "{\"count\": " + u64(S.count()) + ", \"min\": " + num(S.min()) +
+         ", \"max\": " + num(S.max()) + ", \"mean\": " + num(S.mean()) +
+         ", \"stddev\": " + num(S.stddev()) + ", \"p50\": " + num(S.p50()) +
+         ", \"p95\": " + num(S.p95()) + "}";
+}
+
+std::string boundsLabel(const std::vector<uint64_t> &Bounds, size_t Bucket) {
+  if (Bucket == Bounds.size())
+    return "> " + u64(Bounds.empty() ? 0 : Bounds.back());
+  return "<= " + u64(Bounds[Bucket]);
+}
+
+} // namespace
+
+void names::registerCanonicalMetrics(MetricsRegistry &Registry) {
+  for (const char *Name :
+       {SequiturSymbols, SequiturRulesCreated, SequiturRulesDeleted,
+        SequiturSubstitutions, PartitionCalls, PartitionBlockEvents,
+        PartitionUniqueTraces, DbbChains, DbbLookups, DbbLookupHits,
+        TimestampSets, TimestampValues, TimestampRuns, LzwCompressCalls,
+        LzwCompressBytesIn, LzwCompressBytesOut, LzwDictEntries,
+        LzwDecompressCalls, LzwDecompressBytesIn, LzwDecompressBytesOut,
+        ArchiveEncodes, ArchiveIndexReads, ArchiveBlockReads,
+        ArchiveBlockBytesRead, ArchiveDcgReads, DataflowQueries,
+        DataflowSubqueries, DataflowNodesVisited, DataflowCacheHits,
+        DataflowCacheMisses})
+    Registry.counter(Name);
+  for (const char *Name : {PartitionBytesIn, PartitionBytesOut, DbbBytesIn,
+                           DbbBytesOut, TwppBytesIn, TwppBytesOut,
+                           ArchiveBytes})
+    Registry.gauge(Name);
+  Registry.histogram(PartitionTraceLength, powerOfTwoBounds(1u << 20));
+  Registry.histogram(ArchiveBlockBytes, powerOfTwoBounds(1u << 24));
+}
+
+std::string obs::renderMetricsTable(const MetricsRegistry &Registry) {
+  std::string Out;
+
+  TablePrinter Counters("Counters");
+  Counters.addRow({"name", "value"});
+  for (const auto &[Name, Value] : Registry.counterSnapshot())
+    Counters.addRow({Name, u64(Value)});
+  Out += Counters.render();
+  Out += "\n";
+
+  TablePrinter Gauges("Gauges");
+  Gauges.addRow({"name", "value"});
+  for (const auto &[Name, Value] : Registry.gaugeSnapshot())
+    Gauges.addRow({Name, std::to_string(Value)});
+  Out += Gauges.render();
+  Out += "\n";
+
+  TablePrinter Histograms("Histograms");
+  Histograms.addRow(
+      {"name", "count", "min", "mean", "p50", "p95", "max", "stddev"});
+  for (const auto &H : Registry.histogramSnapshot())
+    Histograms.addRow({H.Name, u64(H.Samples.count()),
+                       formatDouble(H.Samples.min(), 1),
+                       formatDouble(H.Samples.mean(), 1),
+                       formatDouble(H.Samples.p50(), 1),
+                       formatDouble(H.Samples.p95(), 1),
+                       formatDouble(H.Samples.max(), 1),
+                       formatDouble(H.Samples.stddev(), 1)});
+  Out += Histograms.render();
+  Out += "\n";
+
+  TablePrinter Spans("Phase spans");
+  Spans.addRow({"path", "count", "total ms", "self ms", "mean us", "p95 us"});
+  for (const auto &S : Registry.spanSnapshot())
+    Spans.addRow({S.Path, u64(S.Stats.Count),
+                  formatDouble(S.Stats.TotalUs / 1000.0, 3),
+                  formatDouble(S.Stats.SelfUs / 1000.0, 3),
+                  formatDouble(S.Stats.DurationsUs.mean(), 1),
+                  formatDouble(S.Stats.DurationsUs.p95(), 1)});
+  Out += Spans.render();
+  return Out;
+}
+
+std::string obs::exportMetricsJson(const MetricsRegistry &Registry) {
+  std::string Out = "{\n  \"schema\": \"twpp-metrics-v1\",\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : Registry.counterSnapshot()) {
+    Out += First ? "\n" : ",\n";
+    Out += "    " + jsonString(Name) + ": " + u64(Value);
+    First = false;
+  }
+  Out += "\n  },\n  \"gauges\": {";
+  First = true;
+  for (const auto &[Name, Value] : Registry.gaugeSnapshot()) {
+    Out += First ? "\n" : ",\n";
+    Out += "    " + jsonString(Name) + ": " + std::to_string(Value);
+    First = false;
+  }
+  Out += "\n  },\n  \"histograms\": {";
+  First = true;
+  for (const auto &H : Registry.histogramSnapshot()) {
+    Out += First ? "\n" : ",\n";
+    Out += "    " + jsonString(H.Name) + ": {\"bounds\": [";
+    for (size_t I = 0; I < H.Bounds.size(); ++I)
+      Out += (I ? ", " : "") + u64(H.Bounds[I]);
+    Out += "], \"counts\": [";
+    for (size_t I = 0; I < H.Counts.size(); ++I)
+      Out += (I ? ", " : "") + u64(H.Counts[I]);
+    Out += "], \"stats\": " + statsJson(H.Samples) + "}";
+    First = false;
+  }
+  Out += "\n  },\n  \"spans\": {";
+  First = true;
+  for (const auto &S : Registry.spanSnapshot()) {
+    Out += First ? "\n" : ",\n";
+    Out += "    " + jsonString(S.Path) + ": {\"count\": " +
+           u64(S.Stats.Count) + ", \"total_us\": " + num(S.Stats.TotalUs) +
+           ", \"self_us\": " + num(S.Stats.SelfUs) +
+           ", \"mean_us\": " + num(S.Stats.DurationsUs.mean()) +
+           ", \"p95_us\": " + num(S.Stats.DurationsUs.p95()) + "}";
+    First = false;
+  }
+  Out += "\n  }\n}\n";
+  return Out;
+}
+
+std::string obs::exportMetricsJsonLines(const MetricsRegistry &Registry,
+                                        const std::string &Label) {
+  std::string Out;
+  std::string Prefix = "{\"label\": " + jsonString(Label) + ", ";
+  for (const auto &[Name, Value] : Registry.counterSnapshot())
+    Out += Prefix + "\"kind\": \"counter\", \"name\": " + jsonString(Name) +
+           ", \"value\": " + u64(Value) + "}\n";
+  for (const auto &[Name, Value] : Registry.gaugeSnapshot())
+    Out += Prefix + "\"kind\": \"gauge\", \"name\": " + jsonString(Name) +
+           ", \"value\": " + std::to_string(Value) + "}\n";
+  for (const auto &H : Registry.histogramSnapshot())
+    Out += Prefix + "\"kind\": \"histogram\", \"name\": " +
+           jsonString(H.Name) + ", \"stats\": " + statsJson(H.Samples) +
+           "}\n";
+  for (const auto &S : Registry.spanSnapshot())
+    Out += Prefix + "\"kind\": \"span\", \"name\": " + jsonString(S.Path) +
+           ", \"count\": " + u64(S.Stats.Count) +
+           ", \"total_us\": " + num(S.Stats.TotalUs) +
+           ", \"self_us\": " + num(S.Stats.SelfUs) + "}\n";
+  return Out;
+}
+
+bool obs::writeMetricsJsonFile(const std::string &Path,
+                               const MetricsRegistry &Registry) {
+  std::string Json = exportMetricsJson(Registry);
+  return writeFileBytes(Path, std::vector<uint8_t>(Json.begin(), Json.end()));
+}

@@ -1,0 +1,47 @@
+//===- obs/Export.h - Metric exporters --------------------------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two views of a MetricsRegistry snapshot:
+///
+///  * renderMetricsTable — human-readable tables (support/TablePrinter),
+///    printed by `twpp_tool ... --metrics-table` and test diagnostics.
+///  * exportMetricsJson / exportMetricsJsonLines — machine-readable form.
+///    The single-object export backs `twpp_tool --metrics-out`; the
+///    line-per-record form is what the BENCH_*.json perf trajectory files
+///    accumulate (one labeled record per metric per bench checkpoint).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_OBS_EXPORT_H
+#define TWPP_OBS_EXPORT_H
+
+#include "obs/Metrics.h"
+
+#include <string>
+
+namespace twpp::obs {
+
+/// Renders every counter, gauge, histogram and span as aligned tables.
+std::string renderMetricsTable(const MetricsRegistry &Registry);
+
+/// One JSON object: {"schema": "twpp-metrics-v1", "counters": {...},
+/// "gauges": {...}, "histograms": {...}, "spans": {...}}.
+std::string exportMetricsJson(const MetricsRegistry &Registry);
+
+/// JSON-lines form: one {"label", "kind", "name", ...} object per line for
+/// every metric in the registry, labeled \p Label.
+std::string exportMetricsJsonLines(const MetricsRegistry &Registry,
+                                   const std::string &Label);
+
+/// Writes exportMetricsJson(\p Registry) to \p Path. \returns true on
+/// success.
+bool writeMetricsJsonFile(const std::string &Path,
+                          const MetricsRegistry &Registry);
+
+} // namespace twpp::obs
+
+#endif // TWPP_OBS_EXPORT_H

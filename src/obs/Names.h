@@ -1,0 +1,94 @@
+//===- obs/Names.h - Canonical metric names ---------------------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical metric names every pipeline stage reports, in one place so
+/// instrumentation sites, tests and docs/OBSERVABILITY.md cannot drift
+/// apart. registerCanonicalMetrics() pre-registers all of them, which makes
+/// exports carry every stage (zero-valued when unexercised) — the shape the
+/// BENCH_*.json trajectory diffs rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_OBS_NAMES_H
+#define TWPP_OBS_NAMES_H
+
+#include "obs/Metrics.h"
+
+namespace twpp::obs::names {
+
+// sequitur/ — grammar inference (the Larus baseline).
+inline constexpr const char *SequiturSymbols = "sequitur.symbols";
+inline constexpr const char *SequiturRulesCreated = "sequitur.rules_created";
+inline constexpr const char *SequiturRulesDeleted = "sequitur.rules_deleted";
+inline constexpr const char *SequiturSubstitutions = "sequitur.substitutions";
+
+// wpp/Partition + wpp/Streaming — stages 1+2 (partitioning, redundant
+// path trace elimination).
+inline constexpr const char *PartitionCalls = "partition.calls";
+inline constexpr const char *PartitionBlockEvents = "partition.block_events";
+inline constexpr const char *PartitionUniqueTraces = "partition.unique_traces";
+inline constexpr const char *PartitionBytesIn = "partition.bytes_in";
+inline constexpr const char *PartitionBytesOut = "partition.bytes_out";
+inline constexpr const char *PartitionTraceLength = "partition.trace_length";
+
+// wpp/Dbb — stage 3 (DBB dictionary creation).
+inline constexpr const char *DbbChains = "dbb.chains";
+inline constexpr const char *DbbLookups = "dbb.lookups";
+inline constexpr const char *DbbLookupHits = "dbb.lookup_hits";
+inline constexpr const char *DbbBytesIn = "dbb.bytes_in";
+inline constexpr const char *DbbBytesOut = "dbb.bytes_out";
+
+// wpp/TimestampSet + wpp/Twpp — stages 4+5 (timestamped form, series
+// compaction).
+inline constexpr const char *TimestampSets = "timestamp.sets";
+inline constexpr const char *TimestampValues = "timestamp.values";
+inline constexpr const char *TimestampRuns = "timestamp.runs";
+inline constexpr const char *TwppBytesIn = "twpp.bytes_in";
+inline constexpr const char *TwppBytesOut = "twpp.bytes_out";
+
+// support/LZW — DCG compression.
+inline constexpr const char *LzwCompressCalls = "lzw.compress_calls";
+inline constexpr const char *LzwCompressBytesIn = "lzw.compress_bytes_in";
+inline constexpr const char *LzwCompressBytesOut = "lzw.compress_bytes_out";
+inline constexpr const char *LzwDictEntries = "lzw.dict_entries";
+inline constexpr const char *LzwDecompressCalls = "lzw.decompress_calls";
+inline constexpr const char *LzwDecompressBytesIn = "lzw.decompress_bytes_in";
+inline constexpr const char *LzwDecompressBytesOut =
+    "lzw.decompress_bytes_out";
+
+// wpp/Archive — the on-disk format and its random-access reader.
+inline constexpr const char *ArchiveEncodes = "archive.encodes";
+inline constexpr const char *ArchiveBytes = "archive.bytes";
+inline constexpr const char *ArchiveIndexReads = "archive.index_reads";
+inline constexpr const char *ArchiveBlockReads = "archive.block_reads";
+inline constexpr const char *ArchiveBlockBytesRead = "archive.block_bytes_read";
+inline constexpr const char *ArchiveDcgReads = "archive.dcg_reads";
+inline constexpr const char *ArchiveBlockBytes = "archive.block_bytes";
+
+// dataflow/ — demand-driven queries over the compacted form.
+inline constexpr const char *DataflowQueries = "dataflow.queries";
+inline constexpr const char *DataflowSubqueries = "dataflow.subqueries";
+inline constexpr const char *DataflowNodesVisited = "dataflow.nodes_visited";
+inline constexpr const char *DataflowCacheHits = "dataflow.cache_hits";
+inline constexpr const char *DataflowCacheMisses = "dataflow.cache_misses";
+
+/// Power-of-two bucket bounds shared by the size/length histograms.
+/// Header-only so instrumented libraries need no link against twpp_obs.
+inline std::vector<uint64_t> powerOfTwoBounds(uint64_t MaxBound) {
+  std::vector<uint64_t> Bounds;
+  for (uint64_t B = 1; B <= MaxBound; B *= 2)
+    Bounds.push_back(B);
+  return Bounds;
+}
+
+/// Registers every canonical counter, gauge and histogram in \p Registry so
+/// exports enumerate all stages even when a run exercised only a few.
+void registerCanonicalMetrics(MetricsRegistry &Registry);
+
+} // namespace twpp::obs::names
+
+#endif // TWPP_OBS_NAMES_H

@@ -12,6 +12,10 @@
 
 #include "sequitur/Sequitur.h"
 
+#include "obs/Metrics.h"
+#include "obs/Names.h"
+#include "obs/PhaseSpan.h"
+
 #include <cassert>
 #include <map>
 #include <vector>
@@ -37,6 +41,9 @@ SequiturBuilder::~SequiturBuilder() {
 }
 
 SequiturBuilder::Rule *SequiturBuilder::newRule() {
+  static obs::Counter &RulesCreated =
+      obs::metrics().counter(obs::names::SequiturRulesCreated);
+  RulesCreated.add();
   Rule *R = new Rule();
   R->Id = NextRuleId++;
   R->Guard = new Sym();
@@ -50,6 +57,9 @@ SequiturBuilder::Rule *SequiturBuilder::newRule() {
 }
 
 void SequiturBuilder::freeRule(Rule *R) {
+  static obs::Counter &RulesDeleted =
+      obs::metrics().counter(obs::names::SequiturRulesDeleted);
+  RulesDeleted.add();
   assert(R != Start && "cannot free the start rule");
   LiveRules.erase(R->Id);
   delete R->Guard;
@@ -171,6 +181,9 @@ void SequiturBuilder::match(Sym *New, Sym *Found) {
 }
 
 void SequiturBuilder::substitute(Sym *S, Rule *R) {
+  static obs::Counter &Substitutions =
+      obs::metrics().counter(obs::names::SequiturSubstitutions);
+  Substitutions.add();
   Sym *Before = S->Prev;
   removeSymbol(S->Next);
   removeSymbol(S);
@@ -200,6 +213,9 @@ void SequiturBuilder::expand(Sym *S) {
 }
 
 void SequiturBuilder::append(uint64_t Terminal) {
+  static obs::Counter &Symbols =
+      obs::metrics().counter(obs::names::SequiturSymbols);
+  Symbols.add();
   Sym *S = newSymbol(Terminal);
   Sym *Last = Start->Guard->Prev;
   insertAfter(Last, S);
@@ -273,6 +289,7 @@ SequiturBuilder::InvariantReport SequiturBuilder::auditInvariants() const {
 }
 
 FlatGrammar twpp::buildSequiturGrammar(const RawTrace &Trace) {
+  obs::PhaseSpan Span("sequitur");
   SequiturBuilder Builder;
   for (const TraceEvent &Event : Trace.Events)
     Builder.append(eventToToken(Event));

@@ -6,6 +6,9 @@
 
 #include "support/LZW.h"
 
+#include "obs/Metrics.h"
+#include "obs/Names.h"
+#include "obs/PhaseSpan.h"
 #include "support/ByteStream.h"
 
 #include <unordered_map>
@@ -31,6 +34,7 @@ struct DecodeEntry {
 } // namespace
 
 std::vector<uint8_t> twpp::lzwCompress(const std::vector<uint8_t> &Input) {
+  obs::PhaseSpan Span("lzw_compress");
   ByteWriter Writer;
   if (Input.empty())
     return Writer.take();
@@ -54,14 +58,45 @@ std::vector<uint8_t> twpp::lzwCompress(const std::vector<uint8_t> &Input) {
     Current = Byte;
   }
   Writer.writeVarUint(Current);
-  return Writer.take();
+  std::vector<uint8_t> Out = Writer.take();
+  if (obs::enabled()) {
+    obs::MetricsRegistry &M = obs::metrics();
+    static obs::Counter &Calls = M.counter(obs::names::LzwCompressCalls);
+    static obs::Counter &BytesIn = M.counter(obs::names::LzwCompressBytesIn);
+    static obs::Counter &BytesOut = M.counter(obs::names::LzwCompressBytesOut);
+    static obs::Counter &DictEntries = M.counter(obs::names::LzwDictEntries);
+    Calls.add();
+    BytesIn.add(Input.size());
+    BytesOut.add(Out.size());
+    DictEntries.add(NextCode - 256);
+  }
+  return Out;
 }
+
+namespace {
+
+void noteDecompress(size_t BytesInCount, size_t BytesOutCount) {
+  if (!obs::enabled())
+    return;
+  obs::MetricsRegistry &M = obs::metrics();
+  static obs::Counter &Calls = M.counter(obs::names::LzwDecompressCalls);
+  static obs::Counter &BytesIn = M.counter(obs::names::LzwDecompressBytesIn);
+  static obs::Counter &BytesOut = M.counter(obs::names::LzwDecompressBytesOut);
+  Calls.add();
+  BytesIn.add(BytesInCount);
+  BytesOut.add(BytesOutCount);
+}
+
+} // namespace
 
 bool twpp::lzwDecompress(const std::vector<uint8_t> &Input,
                          std::vector<uint8_t> &Output) {
+  obs::PhaseSpan Span("lzw_decompress");
   Output.clear();
-  if (Input.empty())
+  if (Input.empty()) {
+    noteDecompress(0, 0);
     return true;
+  }
 
   ByteReader Reader(Input);
   std::vector<DecodeEntry> Dict;
@@ -143,5 +178,6 @@ bool twpp::lzwDecompress(const std::vector<uint8_t> &Input,
     }
     Previous = Code;
   }
+  noteDecompress(Input.size(), Output.size());
   return true;
 }

@@ -6,9 +6,84 @@
 
 #include "support/Stats.h"
 
+#include <cmath>
 #include <cstdio>
 
 using namespace twpp;
+
+void P2Quantile::add(double Sample) {
+  // The first five samples seed the markers exactly.
+  if (N < 5) {
+    Heights[N] = Sample;
+    ++N;
+    if (N == 5)
+      std::sort(Heights, Heights + 5);
+    return;
+  }
+
+  // Locate the cell the sample falls in and stretch the extreme markers.
+  int Cell;
+  if (Sample < Heights[0]) {
+    Heights[0] = Sample;
+    Cell = 0;
+  } else if (Sample >= Heights[4]) {
+    Heights[4] = std::max(Heights[4], Sample);
+    Cell = 3;
+  } else {
+    Cell = 0;
+    while (Cell < 3 && Sample >= Heights[Cell + 1])
+      ++Cell;
+  }
+
+  ++N;
+  for (int I = Cell + 1; I < 5; ++I)
+    Positions[I] += 1;
+
+  // Desired marker positions for quantile Q after N samples.
+  double Last = static_cast<double>(N);
+  double Desired[5] = {1, 1 + (Last - 1) * Q / 2, 1 + (Last - 1) * Q,
+                       1 + (Last - 1) * (1 + Q) / 2, Last};
+
+  // Nudge the three interior markers toward their desired positions with
+  // piecewise-parabolic (hence "P-squared") height interpolation.
+  for (int I = 1; I <= 3; ++I) {
+    double Diff = Desired[I] - Positions[I];
+    if ((Diff >= 1 && Positions[I + 1] - Positions[I] > 1) ||
+        (Diff <= -1 && Positions[I - 1] - Positions[I] < -1)) {
+      double Dir = Diff >= 1 ? 1.0 : -1.0;
+      double Np = Positions[I + 1], Nc = Positions[I], Nm = Positions[I - 1];
+      double Qp = Heights[I + 1], Qc = Heights[I], Qm = Heights[I - 1];
+      double Candidate =
+          Qc + Dir / (Np - Nm) *
+                   ((Nc - Nm + Dir) * (Qp - Qc) / (Np - Nc) +
+                    (Np - Nc - Dir) * (Qc - Qm) / (Nc - Nm));
+      if (Qm < Candidate && Candidate < Qp)
+        Heights[I] = Candidate;
+      else // Parabolic estimate left the bracket; fall back to linear.
+        Heights[I] = Qc + Dir * (Dir > 0 ? (Qp - Qc) / (Np - Nc)
+                                         : (Qm - Qc) / (Nm - Nc));
+      Positions[I] += Dir;
+    }
+  }
+}
+
+double P2Quantile::estimate() const {
+  if (N == 0)
+    return 0.0;
+  if (N <= 5) {
+    // Exact small-sample quantile; at N == 5 the markers are still the
+    // sorted samples themselves.
+    double Sorted[5];
+    std::copy(Heights, Heights + N, Sorted);
+    std::sort(Sorted, Sorted + N);
+    double Rank = Q * static_cast<double>(N);
+    uint64_t Index = Rank <= 1 ? 0 : static_cast<uint64_t>(std::ceil(Rank)) - 1;
+    return Sorted[std::min(Index, N - 1)];
+  }
+  return Heights[2];
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 std::string twpp::formatDouble(double Value, int Digits) {
   char Buffer[64];

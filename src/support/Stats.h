@@ -5,7 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Accumulators and formatting helpers shared by the experiment harnesses.
+/// Accumulators and formatting helpers shared by the experiment harnesses
+/// and the telemetry exporters (obs/). RunningStats folds samples in one
+/// pass: min/mean/max, Welford variance, and reservoir-free p50/p95
+/// estimates via the P-squared algorithm (Jain & Chlamtac, CACM 1985).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,28 +21,72 @@
 
 namespace twpp {
 
-/// Streaming min/max/mean accumulator.
+/// Streaming quantile estimate without storing samples: the P-squared
+/// algorithm tracks five markers whose heights approximate the quantile
+/// with O(1) memory. Exact for the first five samples.
+class P2Quantile {
+public:
+  explicit P2Quantile(double Quantile) : Q(Quantile) {}
+
+  /// Folds one sample into the estimate.
+  void add(double Sample);
+
+  /// Current estimate; 0 when no samples were added.
+  double estimate() const;
+
+  uint64_t count() const { return N; }
+
+private:
+  double Q;
+  uint64_t N = 0;
+  double Heights[5] = {0, 0, 0, 0, 0};
+  double Positions[5] = {1, 2, 3, 4, 5};
+};
+
+/// Streaming min/max/mean/variance accumulator with p50/p95 estimates.
 class RunningStats {
 public:
+  RunningStats() : P50(0.5), P95(0.95) {}
+
   /// Folds one sample into the summary.
   void add(double Sample) {
     ++Count;
     Sum += Sample;
     Min = Count == 1 ? Sample : std::min(Min, Sample);
     Max = Count == 1 ? Sample : std::max(Max, Sample);
+    // Welford's online update keeps the variance numerically stable.
+    double Delta = Sample - Mean;
+    Mean += Delta / static_cast<double>(Count);
+    M2 += Delta * (Sample - Mean);
+    P50.add(Sample);
+    P95.add(Sample);
   }
 
   uint64_t count() const { return Count; }
   double sum() const { return Sum; }
-  double mean() const { return Count == 0 ? 0.0 : Sum / Count; }
+  double mean() const { return Count == 0 ? 0.0 : Mean; }
   double min() const { return Min; }
   double max() const { return Max; }
+
+  /// Population variance (0 with fewer than two samples).
+  double variance() const {
+    return Count < 2 ? 0.0 : M2 / static_cast<double>(Count);
+  }
+  double stddev() const;
+
+  /// Streaming quantile estimates (exact up to five samples).
+  double p50() const { return P50.estimate(); }
+  double p95() const { return P95.estimate(); }
 
 private:
   uint64_t Count = 0;
   double Sum = 0;
   double Min = 0;
   double Max = 0;
+  double Mean = 0;
+  double M2 = 0;
+  P2Quantile P50;
+  P2Quantile P95;
 };
 
 /// Formats a byte count as a human-friendly string ("12.4 KB", "3.1 MB").

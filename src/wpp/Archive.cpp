@@ -6,6 +6,9 @@
 
 #include "wpp/Archive.h"
 
+#include "obs/Metrics.h"
+#include "obs/Names.h"
+#include "obs/PhaseSpan.h"
 #include "support/ByteStream.h"
 #include "support/FileIO.h"
 #include "support/LZW.h"
@@ -160,6 +163,7 @@ bool twpp::decodeTwppFunctionTable(const std::vector<uint8_t> &Bytes,
 }
 
 std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp) {
+  obs::PhaseSpan Span("archive_encode");
   uint32_t FunctionCount = static_cast<uint32_t>(Wpp.Functions.size());
 
   // Most frequently called functions are stored first (paper Section 3).
@@ -202,7 +206,14 @@ std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp) {
     Writer.patchFixed64(Row + 8, Extents[F].second);
     Writer.patchFixed64(Row + 16, Wpp.Functions[F].CallCount);
   }
-  return Writer.take();
+  std::vector<uint8_t> Out = Writer.take();
+  if (obs::enabled()) {
+    obs::MetricsRegistry &M = obs::metrics();
+    static obs::Counter &Encodes = M.counter(obs::names::ArchiveEncodes);
+    Encodes.add();
+    M.gauge(obs::names::ArchiveBytes).set(static_cast<int64_t>(Out.size()));
+  }
+  return Out;
 }
 
 bool twpp::writeArchiveFile(const std::string &Path, const TwppWpp &Wpp) {
@@ -210,6 +221,10 @@ bool twpp::writeArchiveFile(const std::string &Path, const TwppWpp &Wpp) {
 }
 
 bool ArchiveReader::open(const std::string &ArchivePath) {
+  obs::PhaseSpan Span("archive_open");
+  static obs::Counter &IndexReads =
+      obs::metrics().counter(obs::names::ArchiveIndexReads);
+  IndexReads.add();
   Path = ArchivePath;
   Index.clear();
 
@@ -256,10 +271,24 @@ bool ArchiveReader::extractFunction(FunctionId Function,
                                     TwppFunctionTable &Table) const {
   if (Function >= Index.size())
     return false;
+  obs::PhaseSpan Span("archive_extract");
   std::vector<uint8_t> Block;
   if (!readFileSlice(Path, Index[Function].Offset, Index[Function].Length,
                      Block))
     return false;
+  if (obs::enabled()) {
+    // The Table 4 access-time story: one index row + one block per query.
+    obs::MetricsRegistry &M = obs::metrics();
+    static obs::Counter &BlockReads =
+        M.counter(obs::names::ArchiveBlockReads);
+    static obs::Counter &BytesRead =
+        M.counter(obs::names::ArchiveBlockBytesRead);
+    static obs::Histogram &BlockBytes = M.histogram(
+        obs::names::ArchiveBlockBytes, obs::names::powerOfTwoBounds(1u << 24));
+    BlockReads.add();
+    BytesRead.add(Block.size());
+    BlockBytes.record(Block.size());
+  }
   return decodeTwppFunctionTable(Block, Table);
 }
 
@@ -273,6 +302,10 @@ bool ArchiveReader::extractFunctionPathTraces(FunctionId Function,
 }
 
 bool ArchiveReader::readDcg(DynamicCallGraph &Dcg) const {
+  obs::PhaseSpan Span("archive_read_dcg");
+  static obs::Counter &DcgReads =
+      obs::metrics().counter(obs::names::ArchiveDcgReads);
+  DcgReads.add();
   std::vector<uint8_t> Compressed;
   if (!readFileSlice(Path, DcgOffset, DcgLength, Compressed))
     return false;

@@ -58,9 +58,10 @@ public:
     return static_cast<uint32_t>(Index.size());
   }
 
-  /// Number of calls to \p Function recorded in the archive.
+  /// Number of calls to \p Function recorded in the archive; 0 when the
+  /// archive holds no such function.
   uint64_t callCount(FunctionId Function) const {
-    return Index[Function].CallCount;
+    return Function < Index.size() ? Index[Function].CallCount : 0;
   }
 
   /// Reads and decodes the block of \p Function (one file slice).

@@ -6,6 +6,9 @@
 
 #include "wpp/Dbb.h"
 
+#include "obs/Metrics.h"
+#include "obs/Names.h"
+
 #include <algorithm>
 #include <cassert>
 #include <unordered_map>
@@ -124,15 +127,18 @@ CompactedTrace twpp::compactWithDbbs(const PathTrace &Trace) {
   // follow (guaranteed by the degree conditions); emit the head and skip
   // the body.
   Result.Dictionary = std::move(Dict);
+  uint64_t Lookups = 0, Hits = 0;
   size_t Pos = 0;
   while (Pos < Trace.size()) {
     BlockId Head = Trace[Pos];
     const std::vector<BlockId> *Chain = Result.Dictionary.findChain(Head);
+    ++Lookups;
     if (!Chain) {
       Result.Blocks.push_back(Head);
       ++Pos;
       continue;
     }
+    ++Hits;
     for (size_t K = 0; K < Chain->size(); ++K) {
       (void)K;
       assert(Pos + K < Trace.size() && Trace[Pos + K] == (*Chain)[K] &&
@@ -140,6 +146,15 @@ CompactedTrace twpp::compactWithDbbs(const PathTrace &Trace) {
     }
     Result.Blocks.push_back(Head);
     Pos += Chain->size();
+  }
+  if (obs::enabled()) {
+    obs::MetricsRegistry &M = obs::metrics();
+    static obs::Counter &Chains = M.counter(obs::names::DbbChains);
+    static obs::Counter &AllLookups = M.counter(obs::names::DbbLookups);
+    static obs::Counter &LookupHits = M.counter(obs::names::DbbLookupHits);
+    Chains.add(Result.Dictionary.Chains.size());
+    AllLookups.add(Lookups);
+    LookupHits.add(Hits);
   }
   return Result;
 }

@@ -6,6 +6,7 @@
 
 #include "wpp/Partition.h"
 
+#include "obs/PhaseSpan.h"
 #include "wpp/Streaming.h"
 
 #include <cassert>
@@ -13,6 +14,7 @@
 using namespace twpp;
 
 PartitionedWpp twpp::partitionWpp(const RawTrace &Trace) {
+  obs::PhaseSpan Span("partition");
   assert(Trace.isWellFormed() && "partitionWpp requires a well-formed WPP");
   // One implementation for both modes: the offline path replays the
   // event stream into the online compactor.

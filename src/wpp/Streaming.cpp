@@ -6,6 +6,11 @@
 
 #include "wpp/Streaming.h"
 
+#include "obs/Metrics.h"
+#include "obs/Names.h"
+#include "obs/PhaseSpan.h"
+#include "wpp/Sizes.h"
+
 #include <cassert>
 #include <unordered_map>
 
@@ -24,6 +29,9 @@ public:
     for (auto It = Range.first; It != Range.second; ++It)
       if (Table.UniqueTraces[It->second] == Trace)
         return It->second;
+    static obs::Counter &UniqueTraces =
+        obs::metrics().counter(obs::names::PartitionUniqueTraces);
+    UniqueTraces.add();
     uint32_t Index = static_cast<uint32_t>(Table.UniqueTraces.size());
     Table.UniqueTraces.push_back(std::move(Trace));
     Table.UseCounts.push_back(0);
@@ -82,6 +90,18 @@ void StreamingCompactor::onExit() {
   assert(!P->Stack.empty() && "exit event outside any call");
   Impl::Frame Top = std::move(P->Stack.back());
   P->Stack.pop_back();
+  if (obs::enabled()) {
+    obs::MetricsRegistry &M = obs::metrics();
+    static obs::Counter &Calls = M.counter(obs::names::PartitionCalls);
+    static obs::Counter &BlockEvents =
+        M.counter(obs::names::PartitionBlockEvents);
+    static obs::Histogram &TraceLength =
+        M.histogram(obs::names::PartitionTraceLength,
+                    obs::names::powerOfTwoBounds(1u << 20));
+    Calls.add();
+    BlockEvents.add(Top.Blocks.size());
+    TraceLength.record(Top.Blocks.size());
+  }
   DcgNode &Node = P->Wpp.Dcg.Nodes[Top.NodeIndex];
   FunctionTraceTable &Table = P->Wpp.Functions[Node.Function];
   ++Table.CallCount;
@@ -97,9 +117,32 @@ PartitionedWpp StreamingCompactor::takePartitioned() {
   assert(balanced() && "takePartitioned with open frames");
   PartitionedWpp Out = std::move(P->Wpp);
   P = std::make_unique<Impl>(static_cast<uint32_t>(Out.Functions.size()));
+  if (obs::enabled()) {
+    // Stage 2 size accounting (mirrors measureStages so live factors match
+    // Table 2): bytes_in keeps every duplicate, bytes_out deduplicates.
+    uint64_t BytesIn = 0, BytesOut = 0;
+    for (const FunctionTraceTable &Table : Out.Functions) {
+      for (size_t T = 0; T < Table.UniqueTraces.size(); ++T) {
+        uint64_t Bytes = pathTraceBytes(Table.UniqueTraces[T]);
+        BytesIn += Bytes * Table.UseCounts[T];
+        BytesOut += Bytes;
+      }
+    }
+    obs::MetricsRegistry &M = obs::metrics();
+    M.gauge(obs::names::PartitionBytesIn).set(static_cast<int64_t>(BytesIn));
+    M.gauge(obs::names::PartitionBytesOut).set(static_cast<int64_t>(BytesOut));
+  }
   return Out;
 }
 
 TwppWpp StreamingCompactor::takeCompacted() {
-  return convertToTwpp(applyDbbCompaction(takePartitioned()));
+  // Same span hierarchy as the batch compactWpp so the two paths render
+  // identically. The partition span only covers finalization here: the
+  // per-event work happened online, interleaved with the program run.
+  obs::PhaseSpan Span("compact");
+  PartitionedWpp Partitioned = [&] {
+    obs::PhaseSpan PartitionSpan("partition");
+    return takePartitioned();
+  }();
+  return convertToTwpp(applyDbbCompaction(std::move(Partitioned)));
 }

@@ -6,6 +6,9 @@
 
 #include "wpp/TimestampSet.h"
 
+#include "obs/Metrics.h"
+#include "obs/Names.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -35,6 +38,17 @@ TimestampSet TimestampSet::fromSorted(const std::vector<Timestamp> &Sorted) {
       Set.Runs.push_back({Sorted[I], Sorted[J], Step});
       I = J + 1;
     }
+  }
+  if (obs::enabled()) {
+    // Series formation observability: values folded vs runs emitted is the
+    // live view of the stage-5 compression ratio.
+    obs::MetricsRegistry &M = obs::metrics();
+    static obs::Counter &Sets = M.counter(obs::names::TimestampSets);
+    static obs::Counter &Values = M.counter(obs::names::TimestampValues);
+    static obs::Counter &Runs = M.counter(obs::names::TimestampRuns);
+    Sets.add();
+    Values.add(Sorted.size());
+    Runs.add(Set.Runs.size());
   }
   return Set;
 }

@@ -6,6 +6,11 @@
 
 #include "wpp/Twpp.h"
 
+#include "obs/Metrics.h"
+#include "obs/Names.h"
+#include "obs/PhaseSpan.h"
+#include "wpp/Sizes.h"
+
 #include <algorithm>
 #include <cassert>
 #include <map>
@@ -84,6 +89,7 @@ private:
 } // namespace
 
 DbbWpp twpp::applyDbbCompaction(const PartitionedWpp &Wpp) {
+  obs::PhaseSpan Span("dbb");
   DbbWpp Out;
   Out.Dcg = Wpp.Dcg;
   Out.Functions.resize(Wpp.Functions.size());
@@ -108,10 +114,26 @@ DbbWpp twpp::applyDbbCompaction(const PartitionedWpp &Wpp) {
       Table.Traces.emplace_back(StringIdx, DictIdx);
     }
   }
+  if (obs::enabled()) {
+    // Stage 3 size accounting, same formulas as measureStages: bytes_in is
+    // the deduplicated trace pool, bytes_out the dictionary-compacted
+    // trace strings (dictionaries themselves are a Table 3 column).
+    uint64_t BytesIn = 0, BytesOut = 0;
+    for (const FunctionTraceTable &Table : Wpp.Functions)
+      for (const PathTrace &Trace : Table.UniqueTraces)
+        BytesIn += pathTraceBytes(Trace);
+    for (const DbbFunctionTable &Table : Out.Functions)
+      for (const auto &TraceString : Table.TraceStrings)
+        BytesOut += pathTraceBytes(TraceString);
+    obs::MetricsRegistry &M = obs::metrics();
+    M.gauge(obs::names::DbbBytesIn).set(static_cast<int64_t>(BytesIn));
+    M.gauge(obs::names::DbbBytesOut).set(static_cast<int64_t>(BytesOut));
+  }
   return Out;
 }
 
 TwppWpp twpp::convertToTwpp(const DbbWpp &Wpp) {
+  obs::PhaseSpan Span("twpp");
   TwppWpp Out;
   Out.Dcg = Wpp.Dcg;
   Out.Functions.resize(Wpp.Functions.size());
@@ -125,6 +147,20 @@ TwppWpp twpp::convertToTwpp(const DbbWpp &Wpp) {
     Table.TraceStrings.reserve(In.TraceStrings.size());
     for (const std::vector<BlockId> &Sequence : In.TraceStrings)
       Table.TraceStrings.push_back(twppFromBlockSequence(Sequence));
+  }
+  if (obs::enabled()) {
+    // Stage 4+5 size accounting: the same trace strings before and after
+    // the timestamped-form conversion (measureStages' Dbb/Twpp columns).
+    uint64_t BytesIn = 0, BytesOut = 0;
+    for (const DbbFunctionTable &Table : Wpp.Functions)
+      for (const auto &TraceString : Table.TraceStrings)
+        BytesIn += pathTraceBytes(TraceString);
+    for (const TwppFunctionTable &Table : Out.Functions)
+      for (const TwppTrace &TraceString : Table.TraceStrings)
+        BytesOut += twppTraceBytes(TraceString);
+    obs::MetricsRegistry &M = obs::metrics();
+    M.gauge(obs::names::TwppBytesIn).set(static_cast<int64_t>(BytesIn));
+    M.gauge(obs::names::TwppBytesOut).set(static_cast<int64_t>(BytesOut));
   }
   return Out;
 }
@@ -177,6 +213,7 @@ PartitionedWpp twpp::dbbToPartitioned(const DbbWpp &Wpp) {
 }
 
 TwppWpp twpp::compactWpp(const RawTrace &Trace) {
+  obs::PhaseSpan Span("compact");
   return convertToTwpp(applyDbbCompaction(partitionWpp(Trace)));
 }
 

@@ -62,6 +62,26 @@ TEST(ArchiveTest, WriteOpenReadAll) {
   std::remove(Path.c_str());
 }
 
+TEST(ArchiveTest, OutOfRangeFunctionIdsAreRejected) {
+  std::string Path = tempPath("twpp_archive_bounds.twpp");
+  RawTrace Trace = fixtures::figure1Trace();
+  TwppWpp Compacted = compactWpp(Trace);
+  ASSERT_TRUE(writeArchiveFile(Path, Compacted));
+
+  ArchiveReader Reader;
+  ASSERT_TRUE(Reader.open(Path));
+  ASSERT_EQ(Reader.functionCount(), 2u);
+  // callCount() used to index the table without a bounds check; an
+  // unknown id must report zero calls, not undefined behaviour.
+  EXPECT_EQ(Reader.callCount(2), 0u);
+  EXPECT_EQ(Reader.callCount(1u << 20), 0u);
+  TwppFunctionTable Table;
+  EXPECT_FALSE(Reader.extractFunction(2, Table));
+  FunctionPathTraces Traces;
+  EXPECT_FALSE(Reader.extractFunctionPathTraces(1u << 20, Traces));
+  std::remove(Path.c_str());
+}
+
 TEST(ArchiveTest, ExtractSingleFunction) {
   std::string Path = tempPath("twpp_archive_extract.twpp");
   RawTrace Trace = fixtures::figure1Trace();

@@ -1,0 +1,459 @@
+//===- tests/ObsTest.cpp - obs/ telemetry unit tests -----------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Export.h"
+#include "obs/Metrics.h"
+#include "obs/Names.h"
+#include "obs/PhaseSpan.h"
+
+#include "dataflow/AnnotatedCfg.h"
+#include "dataflow/Query.h"
+#include "sequitur/Sequitur.h"
+#include "support/LZW.h"
+#include "wpp/Archive.h"
+#include "wpp/Twpp.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+
+using namespace twpp;
+
+namespace {
+
+/// Every test starts from a clean, enabled registry; collection is
+/// restored to off so other binaries sharing the process stay unaffected.
+class ObsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    obs::metrics().reset();
+    obs::setMetricsEnabled(true);
+  }
+  void TearDown() override {
+    obs::setMetricsEnabled(false);
+    obs::metrics().reset();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// A minimal JSON syntax checker, enough to assert the exporters emit
+// well-formed documents (objects, arrays, strings, numbers, literals).
+//===----------------------------------------------------------------------===//
+
+class JsonChecker {
+public:
+  explicit JsonChecker(const std::string &Text) : Text(Text) {}
+
+  bool valid() {
+    skipSpace();
+    if (!value())
+      return false;
+    skipSpace();
+    return Pos == Text.size();
+  }
+
+private:
+  bool value() {
+    if (Pos >= Text.size())
+      return false;
+    switch (Text[Pos]) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+
+  bool object() {
+    ++Pos; // '{'
+    skipSpace();
+    if (peek() == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipSpace();
+      if (!string())
+        return false;
+      skipSpace();
+      if (peek() != ':')
+        return false;
+      ++Pos;
+      skipSpace();
+      if (!value())
+        return false;
+      skipSpace();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++Pos; // '['
+    skipSpace();
+    if (peek() == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipSpace();
+      if (!value())
+        return false;
+      skipSpace();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"')
+      return false;
+    ++Pos;
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      if (Text[Pos] == '\\')
+        ++Pos;
+      ++Pos;
+    }
+    if (Pos >= Text.size())
+      return false;
+    ++Pos; // closing quote
+    return true;
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    if (peek() == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    return Pos > Start;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::string(Word).size();
+    if (Text.compare(Pos, Len, Word) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  char peek() const { return Pos < Text.size() ? Text[Pos] : '\0'; }
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+uint64_t counterValue(const char *Name) {
+  return obs::metrics().counter(Name).value();
+}
+
+//===----------------------------------------------------------------------===//
+// Primitives
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, CounterAccumulates) {
+  obs::Counter &C = obs::metrics().counter("test.counter");
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+  EXPECT_EQ(counterValue("test.counter"), 42u);
+}
+
+TEST_F(ObsTest, CounterRegistrationIsStable) {
+  obs::Counter &A = obs::metrics().counter("test.same");
+  obs::Counter &B = obs::metrics().counter("test.same");
+  EXPECT_EQ(&A, &B);
+  A.add(7);
+  EXPECT_EQ(B.value(), 7u);
+}
+
+TEST_F(ObsTest, GaugeSetAndAdd) {
+  obs::Gauge &G = obs::metrics().gauge("test.gauge");
+  G.set(100);
+  G.add(-30);
+  EXPECT_EQ(G.value(), 70);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndStats) {
+  obs::Histogram &H = obs::metrics().histogram("test.hist", {10, 100});
+  for (uint64_t Sample : {1u, 10u, 11u, 100u, 1000u})
+    H.record(Sample);
+  std::vector<uint64_t> Counts = H.counts();
+  ASSERT_EQ(Counts.size(), 3u); // <=10, <=100, overflow
+  EXPECT_EQ(Counts[0], 2u);
+  EXPECT_EQ(Counts[1], 2u);
+  EXPECT_EQ(Counts[2], 1u);
+  RunningStats S = H.stats();
+  EXPECT_EQ(S.count(), 5u);
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(S.p50(), 11.0); // exact below five samples
+}
+
+TEST_F(ObsTest, ResetZeroesInPlace) {
+  obs::Counter &C = obs::metrics().counter("test.reset");
+  C.add(5);
+  obs::metrics().reset();
+  EXPECT_EQ(C.value(), 0u); // same object, zeroed
+  C.add(2);
+  EXPECT_EQ(counterValue("test.reset"), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Disabled path
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, DisabledCollectionIsANoOp) {
+  obs::setMetricsEnabled(false);
+  obs::metrics().counter("test.off").add(9);
+  obs::metrics().gauge("test.off_gauge").set(9);
+  obs::Histogram &H = obs::metrics().histogram("test.off_hist", {10});
+  H.record(3);
+  {
+    obs::PhaseSpan Span("test_off_span");
+    EXPECT_TRUE(Span.path().empty());
+  }
+  EXPECT_EQ(counterValue("test.off"), 0u);
+  EXPECT_EQ(obs::metrics().gauge("test.off_gauge").value(), 0);
+  EXPECT_EQ(H.stats().count(), 0u);
+  EXPECT_TRUE(obs::metrics().spanSnapshot().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Spans
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, SpanNestingBuildsHierarchicalPaths) {
+  {
+    obs::PhaseSpan Outer("outer");
+    EXPECT_EQ(Outer.path(), "outer");
+    {
+      obs::PhaseSpan Inner("inner");
+      EXPECT_EQ(Inner.path(), "outer/inner");
+    }
+    obs::PhaseSpan Sibling("sibling");
+    EXPECT_EQ(Sibling.path(), "outer/sibling");
+  }
+  auto Spans = obs::metrics().spanSnapshot();
+  ASSERT_EQ(Spans.size(), 3u);
+  // Snapshot is ordered by path.
+  EXPECT_EQ(Spans[0].Path, "outer");
+  EXPECT_EQ(Spans[1].Path, "outer/inner");
+  EXPECT_EQ(Spans[2].Path, "outer/sibling");
+  EXPECT_EQ(Spans[0].Stats.Count, 1u);
+  // The parent's self time excludes both children.
+  EXPECT_GE(Spans[0].Stats.TotalUs,
+            Spans[1].Stats.TotalUs + Spans[2].Stats.TotalUs);
+  EXPECT_LE(Spans[0].Stats.SelfUs, Spans[0].Stats.TotalUs);
+}
+
+TEST_F(ObsTest, SpanCountsRepeatedCalls) {
+  for (int I = 0; I < 3; ++I)
+    obs::PhaseSpan Span("repeat");
+  auto Spans = obs::metrics().spanSnapshot();
+  ASSERT_EQ(Spans.size(), 1u);
+  EXPECT_EQ(Spans[0].Stats.Count, 3u);
+  EXPECT_EQ(Spans[0].Stats.DurationsUs.count(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Exporters
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, JsonExportIsValidAndRoundTripsValues) {
+  obs::metrics().counter("round.trip").add(12345);
+  obs::metrics().gauge("round.gauge").set(-7);
+  obs::metrics().histogram("round.hist", {10}).record(4);
+  { obs::PhaseSpan Span("round_span"); }
+
+  std::string Json = obs::exportMetricsJson(obs::metrics());
+  JsonChecker Checker(Json);
+  EXPECT_TRUE(Checker.valid()) << Json;
+  EXPECT_NE(Json.find("\"round.trip\": 12345"), std::string::npos);
+  EXPECT_NE(Json.find("\"round.gauge\": -7"), std::string::npos);
+  EXPECT_NE(Json.find("\"round.hist\""), std::string::npos);
+  EXPECT_NE(Json.find("\"round_span\""), std::string::npos);
+  EXPECT_NE(Json.find("\"schema\": \"twpp-metrics-v1\""), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonLinesExportIsValidPerLine) {
+  obs::metrics().counter("lines.counter").add(3);
+  { obs::PhaseSpan Span("lines_span"); }
+  std::string Lines =
+      obs::exportMetricsJsonLines(obs::metrics(), "unit-test");
+  ASSERT_FALSE(Lines.empty());
+  size_t Start = 0, LineCount = 0;
+  while (Start < Lines.size()) {
+    size_t End = Lines.find('\n', Start);
+    ASSERT_NE(End, std::string::npos);
+    std::string Line = Lines.substr(Start, End - Start);
+    JsonChecker Checker(Line);
+    EXPECT_TRUE(Checker.valid()) << Line;
+    EXPECT_NE(Line.find("\"label\": \"unit-test\""), std::string::npos);
+    ++LineCount;
+    Start = End + 1;
+  }
+  EXPECT_GE(LineCount, 2u);
+}
+
+TEST_F(ObsTest, TableExportListsEveryKind) {
+  obs::metrics().counter("table.counter").add(1);
+  obs::metrics().gauge("table.gauge").set(2);
+  obs::metrics().histogram("table.hist", {10}).record(5);
+  { obs::PhaseSpan Span("table_span"); }
+  std::string Table = obs::renderMetricsTable(obs::metrics());
+  EXPECT_NE(Table.find("table.counter"), std::string::npos);
+  EXPECT_NE(Table.find("table.gauge"), std::string::npos);
+  EXPECT_NE(Table.find("table.hist"), std::string::npos);
+  EXPECT_NE(Table.find("table_span"), std::string::npos);
+}
+
+TEST_F(ObsTest, CanonicalRegistrationMakesExportsEnumerateAllStages) {
+  obs::names::registerCanonicalMetrics(obs::metrics());
+  std::string Json = obs::exportMetricsJson(obs::metrics());
+  for (const char *Name :
+       {obs::names::SequiturSymbols, obs::names::PartitionCalls,
+        obs::names::DbbChains, obs::names::TimestampSets,
+        obs::names::LzwCompressBytesIn, obs::names::ArchiveBlockReads,
+        obs::names::DataflowQueries})
+    EXPECT_NE(Json.find(std::string("\"") + Name + "\""), std::string::npos)
+        << Name;
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: one pipeline run populates the expected metrics
+//===----------------------------------------------------------------------===//
+
+RawTrace loopyTrace() {
+  RawTrace Trace;
+  Trace.FunctionCount = 2;
+  Trace.Events.push_back(TraceEvent::enter(0));
+  for (int Iter = 0; Iter < 8; ++Iter) {
+    Trace.Events.push_back(TraceEvent::block(1));
+    Trace.Events.push_back(TraceEvent::enter(1));
+    for (BlockId B = 1; B <= 6; ++B)
+      Trace.Events.push_back(TraceEvent::block(B));
+    Trace.Events.push_back(TraceEvent::exit());
+    Trace.Events.push_back(TraceEvent::block(2));
+  }
+  Trace.Events.push_back(TraceEvent::exit());
+  return Trace;
+}
+
+TEST_F(ObsTest, PipelineRunPopulatesEveryStage) {
+  RawTrace Trace = loopyTrace();
+  TwppWpp Compacted = compactWpp(Trace);
+
+  std::string Path = ::testing::TempDir() + "obs_pipeline.twpp";
+  ASSERT_TRUE(writeArchiveFile(Path, Compacted));
+  ArchiveReader Reader;
+  ASSERT_TRUE(Reader.open(Path));
+  TwppFunctionTable Table;
+  ASSERT_TRUE(Reader.extractFunction(1, Table));
+  DynamicCallGraph Dcg;
+  ASSERT_TRUE(Reader.readDcg(Dcg));
+
+  buildSequiturGrammar(Trace);
+
+  auto [StringIdx, DictIdx] = Table.Traces[0];
+  AnnotatedDynamicCfg Cfg = buildAnnotatedCfg(Table.TraceStrings[StringIdx],
+                                              Table.Dictionaries[DictIdx]);
+  ASSERT_FALSE(Cfg.Nodes.empty());
+  // Query a DBB head: non-head blocks are folded into chains and are not
+  // addressable nodes in the collapsed CFG.
+  factFrequency(Cfg, Cfg.Nodes.back().Head,
+                [](BlockId) { return BlockEffect::Gen; });
+
+  // Counters from every stage of the pipeline must be populated.
+  for (const char *Name :
+       {obs::names::SequiturSymbols, obs::names::SequiturRulesCreated,
+        obs::names::PartitionCalls, obs::names::PartitionUniqueTraces,
+        obs::names::DbbLookups, obs::names::TimestampSets,
+        obs::names::LzwCompressBytesIn, obs::names::ArchiveIndexReads,
+        obs::names::ArchiveBlockReads, obs::names::DataflowQueries})
+    EXPECT_GT(counterValue(Name), 0u) << Name;
+
+  // Calls: 1 root call of f0 + 8 calls of f1; 8 share one unique trace.
+  EXPECT_EQ(counterValue(obs::names::PartitionCalls), 9u);
+  EXPECT_EQ(counterValue(obs::names::PartitionUniqueTraces), 2u);
+
+  // Per-stage byte gauges are populated and shrink monotonically across
+  // the dedup and dictionary stages.
+  int64_t PartIn = obs::metrics().gauge(obs::names::PartitionBytesIn).value();
+  int64_t PartOut =
+      obs::metrics().gauge(obs::names::PartitionBytesOut).value();
+  int64_t DbbIn = obs::metrics().gauge(obs::names::DbbBytesIn).value();
+  int64_t DbbOut = obs::metrics().gauge(obs::names::DbbBytesOut).value();
+  EXPECT_GT(PartIn, PartOut);
+  EXPECT_EQ(PartOut, DbbIn);
+  EXPECT_GE(DbbIn, DbbOut);
+  EXPECT_GT(DbbOut, 0);
+
+  // Spans exist for the pipeline stages, nested under "compact".
+  std::string Json = obs::exportMetricsJson(obs::metrics());
+  for (const char *SpanPath :
+       {"\"compact\"", "\"compact/partition\"", "\"compact/dbb\"",
+        "\"compact/twpp\"", "\"archive_open\"", "\"archive_extract\"",
+        "\"sequitur\"", "\"dataflow_query\""})
+    EXPECT_NE(Json.find(SpanPath), std::string::npos) << SpanPath;
+
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Regression: ArchiveReader bounds checks for unknown function ids
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, ArchiveReaderRejectsUnknownFunctionIds) {
+  TwppWpp Compacted = compactWpp(loopyTrace());
+  std::string Path = ::testing::TempDir() + "obs_bounds.twpp";
+  ASSERT_TRUE(writeArchiveFile(Path, Compacted));
+  ArchiveReader Reader;
+  ASSERT_TRUE(Reader.open(Path));
+  ASSERT_EQ(Reader.functionCount(), 2u);
+  // Out-of-range ids must not index the table (previously UB).
+  EXPECT_EQ(Reader.callCount(2), 0u);
+  EXPECT_EQ(Reader.callCount(0xFFFFFFFF), 0u);
+  TwppFunctionTable Table;
+  EXPECT_FALSE(Reader.extractFunction(2, Table));
+  EXPECT_FALSE(Reader.extractFunction(0xFFFFFFFF, Table));
+  std::remove(Path.c_str());
+}
+
+} // namespace

@@ -14,6 +14,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdint>
+#include <vector>
 
 using namespace twpp;
 
@@ -183,6 +185,62 @@ TEST(StatsTest, RunningStats) {
   EXPECT_DOUBLE_EQ(S.mean(), 5.0);
   EXPECT_DOUBLE_EQ(S.min(), 2.0);
   EXPECT_DOUBLE_EQ(S.max(), 9.0);
+}
+
+TEST(StatsTest, WelfordVarianceMatchesDirectComputation) {
+  RunningStats S;
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  S.add(5.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0); // undefined below two samples
+  std::vector<double> Samples = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats W;
+  for (double X : Samples)
+    W.add(X);
+  // Population variance of the classic example set is exactly 4.
+  EXPECT_NEAR(W.variance(), 4.0, 1e-12);
+  EXPECT_NEAR(W.stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(W.mean(), 5.0);
+}
+
+TEST(StatsTest, WelfordIsStableForLargeOffsets) {
+  // Naive sum-of-squares cancels catastrophically here; Welford must not.
+  RunningStats S;
+  for (double X : {1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0})
+    S.add(X);
+  EXPECT_NEAR(S.variance(), 22.5, 1e-6);
+}
+
+TEST(StatsTest, QuantilesExactForSmallSamples) {
+  RunningStats S;
+  for (double X : {10.0, 20.0, 30.0, 40.0, 50.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.p50(), 30.0);
+  EXPECT_DOUBLE_EQ(S.p95(), 50.0);
+}
+
+TEST(StatsTest, P2QuantileTracksUniformStream) {
+  // Deterministic uniform-ish stream via a multiplicative generator.
+  P2Quantile Median(0.5), Tail(0.95);
+  uint64_t State = 1;
+  const uint64_t Samples = 20000;
+  for (uint64_t I = 0; I < Samples; ++I) {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    double X = static_cast<double>(State >> 11) /
+               static_cast<double>(1ull << 53); // [0, 1)
+    Median.add(X * 1000.0);
+    Tail.add(X * 1000.0);
+  }
+  EXPECT_EQ(Median.count(), Samples);
+  // P-squared is approximate; a few percent of the range is plenty.
+  EXPECT_NEAR(Median.estimate(), 500.0, 25.0);
+  EXPECT_NEAR(Tail.estimate(), 950.0, 25.0);
+}
+
+TEST(StatsTest, P2QuantileHandlesMonotoneStream) {
+  P2Quantile Q(0.5);
+  for (int I = 1; I <= 1001; ++I)
+    Q.add(static_cast<double>(I));
+  EXPECT_NEAR(Q.estimate(), 501.0, 50.0);
 }
 
 TEST(StatsTest, Formatting) {
