@@ -17,6 +17,7 @@
 #include "obs/Export.h"
 #include "obs/Metrics.h"
 #include "obs/Names.h"
+#include "support/Parallel.h"
 #include "support/Stats.h"
 #include "support/TablePrinter.h"
 #include "support/Timer.h"
@@ -92,6 +93,16 @@ private:
   std::string Lines;
 };
 
+/// Parses the `--jobs N` flag shared by the bench binaries (0 = one
+/// worker per hardware thread; absent = serial, matching the paper runs).
+inline ParallelConfig parseParallelConfig(int Argc, char **Argv) {
+  ParallelConfig Config;
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--jobs") == 0)
+      Config.Jobs = static_cast<unsigned>(std::atoi(Argv[I + 1]));
+  return Config;
+}
+
 /// Everything a table needs about one benchmark run.
 struct ProfileData {
   WorkloadProfile Profile;
@@ -102,18 +113,23 @@ struct ProfileData {
   TwppWpp Twpp;
   OwppSizes Owpp;
   StageSizes Stages;
+  /// Wall time of the compaction stages (partition + DBB + TWPP).
+  double CompactionMs = 0;
 };
 
-inline ProfileData buildProfileData(const WorkloadProfile &Profile) {
+inline ProfileData buildProfileData(const WorkloadProfile &Profile,
+                                    const ParallelConfig &Config = {}) {
   ProfileData Data;
   Data.Profile = Profile;
   Data.Program = generateProgram(Profile);
   CollectingSink Sink(Profile.FunctionCount);
   runSyntheticProgram(Data.Program, Sink);
   Data.Trace = Sink.take();
+  Stopwatch Compaction;
   Data.Partitioned = partitionWpp(Data.Trace);
-  Data.Dbb = applyDbbCompaction(Data.Partitioned);
-  Data.Twpp = convertToTwpp(Data.Dbb);
+  Data.Dbb = applyDbbCompaction(Data.Partitioned, Config);
+  Data.Twpp = convertToTwpp(Data.Dbb, Config);
+  Data.CompactionMs = Compaction.elapsedUs() / 1000.0;
   Data.Owpp = measureOwpp(Data.Partitioned);
   Data.Stages = measureStages(Data.Partitioned, Data.Dbb, Data.Twpp);
   return Data;
@@ -123,11 +139,12 @@ inline ProfileData buildProfileData(const WorkloadProfile &Profile) {
 /// telemetry collector, each profile becomes one labelled checkpoint so
 /// its metrics can be compared against that profile's table row.
 inline std::vector<ProfileData>
-buildAllProfiles(BenchTelemetry *Telemetry = nullptr) {
+buildAllProfiles(BenchTelemetry *Telemetry = nullptr,
+                 const ParallelConfig &Config = {}) {
   std::vector<ProfileData> All;
   for (const WorkloadProfile &Profile : paperProfiles()) {
     std::fprintf(stderr, "[bench] building %s...\n", Profile.Name.c_str());
-    All.push_back(buildProfileData(Profile));
+    All.push_back(buildProfileData(Profile, Config));
     if (Telemetry)
       Telemetry->checkpoint(Profile.Name);
   }

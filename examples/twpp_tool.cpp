@@ -20,6 +20,9 @@
 //
 // Global options (before or after the command):
 //
+//   --jobs N               Fan the function-level compaction stages out
+//                          over N worker threads (0 = one per hardware
+//                          thread). Archives are byte-identical for any N.
 //   --metrics-out <path>   Collect pipeline telemetry and write it as JSON.
 //   --metrics-table        Print the telemetry tables to stderr on exit.
 //
@@ -57,10 +60,15 @@ int usage() {
       "       twpp_tool dot-trace <archive.twpp> <function-id> <trace-#>\n"
       "       twpp_tool reconstruct <archive.twpp> <out.owpp>\n"
       "global options:\n"
+      "       --jobs N               parallel compaction worker threads\n"
+      "                              (0 = all hardware threads)\n"
       "       --metrics-out <path>   write pipeline telemetry as JSON\n"
       "       --metrics-table        print telemetry tables to stderr\n");
   return 2;
 }
+
+/// Parallelism for the compaction stages, set by the global --jobs flag.
+ParallelConfig Jobs;
 
 bool readTextFile(const std::string &Path, std::string &Text) {
   std::vector<uint8_t> Bytes;
@@ -99,8 +107,8 @@ int cmdTrace(int Argc, char **Argv) {
   for (int64_t Value : Result.Output)
     std::printf("%lld\n", static_cast<long long>(Value));
 
-  TwppWpp Compacted = Sink.takeCompacted();
-  if (!writeArchiveFile(Argv[3], Compacted)) {
+  TwppWpp Compacted = Sink.takeCompacted(Jobs);
+  if (!writeArchiveFile(Argv[3], Compacted, Jobs)) {
     std::fprintf(stderr, "cannot write %s\n", Argv[3]);
     return 1;
   }
@@ -227,6 +235,10 @@ int main(int Argc, char **Argv) {
       if (I + 1 >= Argc)
         return usage();
       MetricsOut = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--jobs") == 0) {
+      if (I + 1 >= Argc)
+        return usage();
+      Jobs.Jobs = static_cast<unsigned>(std::atoi(Argv[++I]));
     } else if (std::strcmp(Argv[I], "--metrics-table") == 0) {
       MetricsTable = true;
     } else {

@@ -69,7 +69,8 @@ std::string boundsLabel(const std::vector<uint64_t> &Bounds, size_t Bucket) {
 void names::registerCanonicalMetrics(MetricsRegistry &Registry) {
   for (const char *Name :
        {SequiturSymbols, SequiturRulesCreated, SequiturRulesDeleted,
-        SequiturSubstitutions, PartitionCalls, PartitionBlockEvents,
+        SequiturSubstitutions, PoolTasks, PoolSteals, PartitionCalls,
+        PartitionBlockEvents,
         PartitionUniqueTraces, DbbChains, DbbLookups, DbbLookupHits,
         TimestampSets, TimestampValues, TimestampRuns, LzwCompressCalls,
         LzwCompressBytesIn, LzwCompressBytesOut, LzwDictEntries,
@@ -79,12 +80,13 @@ void names::registerCanonicalMetrics(MetricsRegistry &Registry) {
         DataflowSubqueries, DataflowNodesVisited, DataflowCacheHits,
         DataflowCacheMisses})
     Registry.counter(Name);
-  for (const char *Name : {PartitionBytesIn, PartitionBytesOut, DbbBytesIn,
-                           DbbBytesOut, TwppBytesIn, TwppBytesOut,
-                           ArchiveBytes})
+  for (const char *Name : {PoolWorkers, PoolQueueDepth, PartitionBytesIn,
+                           PartitionBytesOut, DbbBytesIn, DbbBytesOut,
+                           TwppBytesIn, TwppBytesOut, ArchiveBytes})
     Registry.gauge(Name);
   Registry.histogram(PartitionTraceLength, powerOfTwoBounds(1u << 20));
   Registry.histogram(ArchiveBlockBytes, powerOfTwoBounds(1u << 24));
+  Registry.histogram(PoolTaskLatency, powerOfTwoBounds(1u << 20));
 }
 
 std::string obs::renderMetricsTable(const MetricsRegistry &Registry) {

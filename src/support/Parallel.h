@@ -1,0 +1,55 @@
+//===- support/Parallel.h - Parallel execution configuration ----*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ParallelConfig, the knob every parallelizable pipeline stage takes, and
+/// parallelFor, the fan-out helper they share. The paper's partitioned WPP
+/// makes per-function work independent (Section 2), so the function-level
+/// stages — DBB compaction, TWPP conversion, archive block encoding — fan
+/// out one task per function table over a work-stealing pool
+/// (support/ThreadPool.h).
+///
+/// Parallel runs are bit-for-bit deterministic: every task writes only its
+/// own pre-allocated output slot and all cross-function ordering (archive
+/// layout, metric accounting loops) stays on the calling thread, so
+/// `--jobs 8` produces byte-identical archives to `--jobs 1`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_SUPPORT_PARALLEL_H
+#define TWPP_SUPPORT_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace twpp {
+
+/// How many worker threads the parallel pipeline stages may use. The
+/// default (1) is fully serial, which keeps every existing call site and
+/// test on the single-threaded path unless a consumer opts in.
+struct ParallelConfig {
+  /// Worker count; 0 means "one per hardware thread".
+  unsigned Jobs = 1;
+
+  static ParallelConfig withJobs(unsigned N) { return ParallelConfig{N}; }
+
+  /// Jobs with 0 resolved against the hardware.
+  unsigned effectiveJobs() const;
+
+  /// True when this config fans work out to a pool.
+  bool parallel() const { return effectiveJobs() > 1; }
+};
+
+/// Runs Fn(0), ..., Fn(N-1), fanning out over a work-stealing pool of
+/// min(Config.effectiveJobs(), N) workers; inline on the calling thread
+/// when the config is serial or N < 2. Fn must not throw; iterations must
+/// be independent (each writing only its own output slot).
+void parallelFor(const ParallelConfig &Config, size_t N,
+                 const std::function<void(size_t)> &Fn);
+
+} // namespace twpp
+
+#endif // TWPP_SUPPORT_PARALLEL_H

@@ -1,0 +1,173 @@
+//===- support/ThreadPool.cpp - Work-stealing thread pool -----------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "obs/Metrics.h"
+#include "obs/Names.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace twpp;
+
+unsigned ParallelConfig::effectiveJobs() const {
+  if (Jobs != 0)
+    return Jobs;
+  unsigned Hardware = std::thread::hardware_concurrency();
+  return Hardware != 0 ? Hardware : 1;
+}
+
+namespace {
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned WorkerCount) {
+  unsigned Count = std::max(1u, WorkerCount);
+  Queues.reserve(Count);
+  for (unsigned I = 0; I != Count; ++I)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  Workers.reserve(Count);
+  for (unsigned I = 0; I != Count; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+  if (obs::enabled())
+    obs::metrics().gauge(obs::names::PoolWorkers).set(Count);
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  Stop.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> Lock(IdleM);
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::run(std::function<void()> Task) {
+  TaskItem Item{std::move(Task), 0};
+  if (obs::enabled())
+    Item.EnqueuedNs = nowNs();
+  // Count before publishing the task: a worker may pop and finish it the
+  // instant the queue mutex is released.
+  Unfinished.fetch_add(1, std::memory_order_relaxed);
+  int64_t Depth = Queued.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (obs::enabled())
+    obs::metrics().gauge(obs::names::PoolQueueDepth).set(Depth);
+  unsigned Slot = NextQueue.fetch_add(1, std::memory_order_relaxed) %
+                  Queues.size();
+  {
+    std::lock_guard<std::mutex> Lock(Queues[Slot]->M);
+    Queues[Slot]->Tasks.push_back(std::move(Item));
+  }
+  // Pairing the notify with the idle mutex closes the checked-then-slept
+  // race in workerLoop.
+  {
+    std::lock_guard<std::mutex> Lock(IdleM);
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(IdleM);
+  AllDone.wait(Lock, [this] {
+    return Unfinished.load(std::memory_order_acquire) == 0;
+  });
+}
+
+bool ThreadPool::popTask(unsigned Self, TaskItem &Item) {
+  // Own deque first, newest task (LIFO keeps caches warm).
+  {
+    WorkerQueue &Own = *Queues[Self];
+    std::lock_guard<std::mutex> Lock(Own.M);
+    if (!Own.Tasks.empty()) {
+      Item = std::move(Own.Tasks.back());
+      Own.Tasks.pop_back();
+      Queued.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Steal the oldest task from the first non-empty victim.
+  for (size_t Offset = 1; Offset < Queues.size(); ++Offset) {
+    WorkerQueue &Victim = *Queues[(Self + Offset) % Queues.size()];
+    std::lock_guard<std::mutex> Lock(Victim.M);
+    if (Victim.Tasks.empty())
+      continue;
+    Item = std::move(Victim.Tasks.front());
+    Victim.Tasks.pop_front();
+    Queued.fetch_sub(1, std::memory_order_relaxed);
+    Steals.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+      static obs::Counter &StealCounter =
+          obs::metrics().counter(obs::names::PoolSteals);
+      StealCounter.add();
+    }
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::finishTask(const TaskItem &Item) {
+  TasksRun.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    obs::MetricsRegistry &M = obs::metrics();
+    static obs::Counter &Tasks = M.counter(obs::names::PoolTasks);
+    static obs::Histogram &Latency =
+        M.histogram(obs::names::PoolTaskLatency,
+                    obs::names::powerOfTwoBounds(1u << 20));
+    Tasks.add();
+    if (Item.EnqueuedNs != 0)
+      Latency.record((nowNs() - Item.EnqueuedNs) / 1000);
+    M.gauge(obs::names::PoolQueueDepth)
+        .set(Queued.load(std::memory_order_relaxed));
+  }
+  if (Unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> Lock(IdleM);
+    AllDone.notify_all();
+  }
+}
+
+void ThreadPool::workerLoop(unsigned Self) {
+  while (true) {
+    TaskItem Item;
+    if (popTask(Self, Item)) {
+      Item.Fn();
+      finishTask(Item);
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(IdleM);
+    WorkAvailable.wait(Lock, [this] {
+      return Stop.load(std::memory_order_acquire) ||
+             Queued.load(std::memory_order_relaxed) > 0;
+    });
+    if (Stop.load(std::memory_order_acquire) &&
+        Queued.load(std::memory_order_relaxed) == 0)
+      return;
+  }
+}
+
+void twpp::parallelFor(const ParallelConfig &Config, size_t N,
+                       const std::function<void(size_t)> &Fn) {
+  unsigned Jobs = Config.effectiveJobs();
+  if (Jobs <= 1 || N < 2) {
+    for (size_t I = 0; I != N; ++I)
+      Fn(I);
+    return;
+  }
+  ThreadPool Pool(static_cast<unsigned>(
+      std::min<size_t>(Jobs, N)));
+  for (size_t I = 0; I != N; ++I)
+    Pool.run([&Fn, I] { Fn(I); });
+  Pool.wait();
+}

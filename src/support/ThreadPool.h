@@ -1,0 +1,112 @@
+//===- support/ThreadPool.h - Work-stealing thread pool ---------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for the function-level pipeline
+/// stages. Tasks are distributed round-robin across per-worker deques;
+/// each worker pops its own deque LIFO (cache locality) and steals FIFO
+/// from the others when it runs dry, so uneven per-function work — one hot
+/// function with thousands of unique traces next to dozens of cold ones —
+/// balances without a central queue becoming the bottleneck.
+///
+/// Observability: the pool reports pool.tasks, pool.steals, the
+/// pool.queue_depth gauge and the pool.task_latency_us histogram
+/// (enqueue-to-completion) through obs/Metrics.h, so a metrics run shows
+/// how well a `--jobs N` fan-out actually balanced.
+///
+/// Tasks must not throw. run() may be called from worker threads (tasks
+/// may spawn subtasks); wait() must only be called from outside the pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_SUPPORT_THREADPOOL_H
+#define TWPP_SUPPORT_THREADPOOL_H
+
+#include "support/Parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace twpp {
+
+/// Fixed-size work-stealing pool. Workers start in the constructor and
+/// join in the destructor; the destructor drains any still-queued tasks.
+class ThreadPool {
+public:
+  /// Starts \p WorkerCount workers (at least 1).
+  explicit ThreadPool(unsigned WorkerCount);
+
+  /// Drains outstanding tasks, then stops and joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task for execution on some worker.
+  void run(std::function<void()> Task);
+
+  /// Blocks until every task enqueued so far has finished.
+  void wait();
+
+  unsigned workerCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Number of tasks a worker took from another worker's deque.
+  uint64_t stealCount() const {
+    return Steals.load(std::memory_order_relaxed);
+  }
+
+  /// Total tasks executed to completion.
+  uint64_t taskCount() const {
+    return TasksRun.load(std::memory_order_relaxed);
+  }
+
+private:
+  /// One task with its enqueue timestamp (captured only when telemetry is
+  /// enabled, so the latency histogram costs nothing when off).
+  struct TaskItem {
+    std::function<void()> Fn;
+    uint64_t EnqueuedNs = 0;
+  };
+
+  /// A per-worker deque behind its own mutex. The owner pops from the
+  /// back (LIFO), thieves pop from the front (FIFO), so a thief takes the
+  /// oldest — typically largest-remaining — chunk of work.
+  struct WorkerQueue {
+    std::mutex M;
+    std::deque<TaskItem> Tasks;
+  };
+
+  void workerLoop(unsigned Self);
+  bool popTask(unsigned Self, TaskItem &Item);
+  void finishTask(const TaskItem &Item);
+
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Workers;
+
+  std::mutex IdleM;
+  std::condition_variable WorkAvailable; ///< Workers sleep here when dry.
+  std::condition_variable AllDone;       ///< wait() sleeps here.
+
+  std::atomic<int64_t> Queued{0};     ///< Tasks sitting in deques.
+  std::atomic<int64_t> Unfinished{0}; ///< Queued + currently running.
+  std::atomic<uint64_t> Steals{0};
+  std::atomic<uint64_t> TasksRun{0};
+  std::atomic<uint32_t> NextQueue{0}; ///< Round-robin enqueue cursor.
+  std::atomic<bool> Stop{false};
+};
+
+} // namespace twpp
+
+#endif // TWPP_SUPPORT_THREADPOOL_H

@@ -162,9 +162,18 @@ bool twpp::decodeTwppFunctionTable(const std::vector<uint8_t> &Bytes,
   return Reader.valid();
 }
 
-std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp) {
+std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp,
+                                         const ParallelConfig &Config) {
   obs::PhaseSpan Span("archive_encode");
   uint32_t FunctionCount = static_cast<uint32_t>(Wpp.Functions.size());
+
+  // Encode every function block concurrently; the layout below consumes
+  // them in the stable call-count order, so the archive bytes do not
+  // depend on the job count.
+  std::vector<std::vector<uint8_t>> Blocks(FunctionCount);
+  parallelFor(Config, FunctionCount, [&Wpp, &Blocks](size_t F) {
+    Blocks[F] = encodeTwppFunctionTable(Wpp.Functions[F]);
+  });
 
   // Most frequently called functions are stored first (paper Section 3).
   std::vector<uint32_t> Order(FunctionCount);
@@ -190,9 +199,8 @@ std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp) {
 
   std::vector<std::pair<uint64_t, uint64_t>> Extents(FunctionCount);
   for (uint32_t F : Order) {
-    std::vector<uint8_t> Block = encodeTwppFunctionTable(Wpp.Functions[F]);
-    Extents[F] = {Writer.size(), Block.size()};
-    Writer.writeBytes(Block.data(), Block.size());
+    Extents[F] = {Writer.size(), Blocks[F].size()};
+    Writer.writeBytes(Blocks[F].data(), Blocks[F].size());
   }
 
   std::vector<uint8_t> Dcg = lzwCompress(encodeDcg(Wpp.Dcg));
@@ -216,8 +224,9 @@ std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp) {
   return Out;
 }
 
-bool twpp::writeArchiveFile(const std::string &Path, const TwppWpp &Wpp) {
-  return writeFileBytes(Path, encodeArchive(Wpp));
+bool twpp::writeArchiveFile(const std::string &Path, const TwppWpp &Wpp,
+                            const ParallelConfig &Config) {
+  return writeFileBytes(Path, encodeArchive(Wpp, Config));
 }
 
 bool ArchiveReader::open(const std::string &ArchivePath) {

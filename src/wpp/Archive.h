@@ -41,10 +41,15 @@ bool decodeTwppFunctionTable(const std::vector<uint8_t> &Bytes,
                              TwppFunctionTable &Table);
 
 /// Serializes a whole compacted TWPP into the archive byte format.
-std::vector<uint8_t> encodeArchive(const TwppWpp &Wpp);
+/// Function blocks are encoded concurrently under \p Config and stitched
+/// serially in stable call-count order, so the bytes are identical for
+/// any job count.
+std::vector<uint8_t> encodeArchive(const TwppWpp &Wpp,
+                                   const ParallelConfig &Config = {});
 
 /// Writes \p Wpp to \p Path in archive format. \returns true on success.
-bool writeArchiveFile(const std::string &Path, const TwppWpp &Wpp);
+bool writeArchiveFile(const std::string &Path, const TwppWpp &Wpp,
+                      const ParallelConfig &Config = {});
 
 /// Random-access reader over an archive file. open() reads only the fixed
 /// header and index; extractFunction() reads only that function's block.

@@ -135,7 +135,7 @@ PartitionedWpp StreamingCompactor::takePartitioned() {
   return Out;
 }
 
-TwppWpp StreamingCompactor::takeCompacted() {
+TwppWpp StreamingCompactor::takeCompacted(const ParallelConfig &Config) {
   // Same span hierarchy as the batch compactWpp so the two paths render
   // identically. The partition span only covers finalization here: the
   // per-event work happened online, interleaved with the program run.
@@ -144,5 +144,6 @@ TwppWpp StreamingCompactor::takeCompacted() {
     obs::PhaseSpan PartitionSpan("partition");
     return takePartitioned();
   }();
-  return convertToTwpp(applyDbbCompaction(std::move(Partitioned)));
+  return convertToTwpp(applyDbbCompaction(std::move(Partitioned), Config),
+                       Config);
 }

@@ -88,12 +88,16 @@ private:
 
 } // namespace
 
-DbbWpp twpp::applyDbbCompaction(const PartitionedWpp &Wpp) {
+DbbWpp twpp::applyDbbCompaction(const PartitionedWpp &Wpp,
+                                const ParallelConfig &Config) {
   obs::PhaseSpan Span("dbb");
   DbbWpp Out;
   Out.Dcg = Wpp.Dcg;
   Out.Functions.resize(Wpp.Functions.size());
-  for (size_t F = 0; F < Wpp.Functions.size(); ++F) {
+  // One task per function table: interners are task-local and each task
+  // writes only its pre-allocated slot, so any job count produces the
+  // same tables as the serial walk.
+  parallelFor(Config, Wpp.Functions.size(), [&Wpp, &Out](size_t F) {
     const FunctionTraceTable &In = Wpp.Functions[F];
     DbbFunctionTable &Table = Out.Functions[F];
     Table.CallCount = In.CallCount;
@@ -113,7 +117,7 @@ DbbWpp twpp::applyDbbCompaction(const PartitionedWpp &Wpp) {
                                              std::move(Compacted.Dictionary));
       Table.Traces.emplace_back(StringIdx, DictIdx);
     }
-  }
+  });
   if (obs::enabled()) {
     // Stage 3 size accounting, same formulas as measureStages: bytes_in is
     // the deduplicated trace pool, bytes_out the dictionary-compacted
@@ -132,12 +136,12 @@ DbbWpp twpp::applyDbbCompaction(const PartitionedWpp &Wpp) {
   return Out;
 }
 
-TwppWpp twpp::convertToTwpp(const DbbWpp &Wpp) {
+TwppWpp twpp::convertToTwpp(const DbbWpp &Wpp, const ParallelConfig &Config) {
   obs::PhaseSpan Span("twpp");
   TwppWpp Out;
   Out.Dcg = Wpp.Dcg;
   Out.Functions.resize(Wpp.Functions.size());
-  for (size_t F = 0; F < Wpp.Functions.size(); ++F) {
+  parallelFor(Config, Wpp.Functions.size(), [&Wpp, &Out](size_t F) {
     const DbbFunctionTable &In = Wpp.Functions[F];
     TwppFunctionTable &Table = Out.Functions[F];
     Table.CallCount = In.CallCount;
@@ -147,7 +151,7 @@ TwppWpp twpp::convertToTwpp(const DbbWpp &Wpp) {
     Table.TraceStrings.reserve(In.TraceStrings.size());
     for (const std::vector<BlockId> &Sequence : In.TraceStrings)
       Table.TraceStrings.push_back(twppFromBlockSequence(Sequence));
-  }
+  });
   if (obs::enabled()) {
     // Stage 4+5 size accounting: the same trace strings before and after
     // the timestamped-form conversion (measureStages' Dbb/Twpp columns).
@@ -212,9 +216,10 @@ PartitionedWpp twpp::dbbToPartitioned(const DbbWpp &Wpp) {
   return Out;
 }
 
-TwppWpp twpp::compactWpp(const RawTrace &Trace) {
+TwppWpp twpp::compactWpp(const RawTrace &Trace, const ParallelConfig &Config) {
   obs::PhaseSpan Span("compact");
-  return convertToTwpp(applyDbbCompaction(partitionWpp(Trace)));
+  return convertToTwpp(applyDbbCompaction(partitionWpp(Trace), Config),
+                       Config);
 }
 
 RawTrace twpp::reconstructRawTrace(const TwppWpp &Wpp) {

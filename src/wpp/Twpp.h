@@ -25,6 +25,7 @@
 #ifndef TWPP_WPP_TWPP_H
 #define TWPP_WPP_TWPP_H
 
+#include "support/Parallel.h"
 #include "wpp/Dbb.h"
 #include "wpp/Partition.h"
 #include "wpp/TimestampSet.h"
@@ -102,12 +103,17 @@ struct TwppWpp {
 };
 
 /// Stage 3: builds DBB dictionaries for every unique path trace and
-/// re-deduplicates trace strings and dictionaries independently.
-DbbWpp applyDbbCompaction(const PartitionedWpp &Wpp);
+/// re-deduplicates trace strings and dictionaries independently. Function
+/// tables are independent (the paper's partitioning), so \p Config fans
+/// them out one task per table; results are byte-identical to the serial
+/// path for any job count.
+DbbWpp applyDbbCompaction(const PartitionedWpp &Wpp,
+                          const ParallelConfig &Config = {});
 
 /// Stage 4+5: converts every compacted trace string to timestamped form
-/// with series-compacted timestamp sets.
-TwppWpp convertToTwpp(const DbbWpp &Wpp);
+/// with series-compacted timestamp sets, one task per function table
+/// under \p Config.
+TwppWpp convertToTwpp(const DbbWpp &Wpp, const ParallelConfig &Config = {});
 
 /// Inverse of convertToTwpp.
 DbbWpp twppToDbb(const TwppWpp &Wpp);
@@ -115,8 +121,10 @@ DbbWpp twppToDbb(const TwppWpp &Wpp);
 /// Inverse of applyDbbCompaction (expands every (string, dictionary) pair).
 PartitionedWpp dbbToPartitioned(const DbbWpp &Wpp);
 
-/// Runs the whole pipeline: raw event stream to compacted TWPP.
-TwppWpp compactWpp(const RawTrace &Trace);
+/// Runs the whole pipeline: raw event stream to compacted TWPP. The DBB
+/// and TWPP stages fan out per function under \p Config (partitioning
+/// itself is a serial stack walk).
+TwppWpp compactWpp(const RawTrace &Trace, const ParallelConfig &Config = {});
 
 /// Inverse of compactWpp: rebuilds the exact original event stream.
 RawTrace reconstructRawTrace(const TwppWpp &Wpp);

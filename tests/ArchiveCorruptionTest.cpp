@@ -1,0 +1,304 @@
+//===- tests/ArchiveCorruptionTest.cpp - corrupt-archive robustness --------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fuzz-style robustness tests: an ArchiveReader fed truncated, patched
+/// or bit-flipped archive files must fail cleanly (open/extractFunction/
+/// readDcg returning false) or, where a flip happens to decode, produce a
+/// well-formed wrong result — never crash, hang, or over-allocate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FileIO.h"
+#include "support/Random.h"
+#include "workloads/Workload.h"
+#include "wpp/Archive.h"
+
+#include "TestTraces.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace twpp;
+
+namespace {
+
+// Mirrors the layout constants in Archive.cpp (wpp/Archive.h documents
+// them): 12-byte prefix, 16 bytes of DCG extent fields, 24-byte index
+// rows. The tests patch raw offsets, so drift here must fail loudly —
+// LayoutAssumptions below pins the values.
+constexpr size_t PrefixSize = 12;
+constexpr size_t DcgFieldsSize = 16;
+constexpr size_t IndexStart = PrefixSize + DcgFieldsSize;
+constexpr size_t IndexRowSize = 24;
+
+uint64_t readLe64(const std::vector<uint8_t> &Bytes, size_t At) {
+  uint64_t Value = 0;
+  for (int I = 0; I < 8; ++I)
+    Value |= static_cast<uint64_t>(Bytes[At + I]) << (8 * I);
+  return Value;
+}
+
+void writeLe64(std::vector<uint8_t> &Bytes, size_t At, uint64_t Value) {
+  for (int I = 0; I < 8; ++I)
+    Bytes[At + I] = static_cast<uint8_t>(Value >> (8 * I));
+}
+
+/// A healthy archive (bytes + decoded form) shared by every test.
+class ArchiveCorruption : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    RawTrace Trace = fixtures::randomTrace(2024, 6, 3000);
+    Original = new TwppWpp(compactWpp(Trace));
+    Bytes = new std::vector<uint8_t>(encodeArchive(*Original));
+  }
+
+  static void TearDownTestSuite() {
+    delete Original;
+    delete Bytes;
+    Original = nullptr;
+    Bytes = nullptr;
+  }
+
+  /// Writes \p Variant to a temp file and returns its path.
+  std::string writeVariant(const std::vector<uint8_t> &Variant,
+                           const std::string &Name) {
+    std::string Path = ::testing::TempDir() + "/corrupt_" + Name + ".twpp";
+    EXPECT_TRUE(writeFileBytes(Path, Variant));
+    Cleanup.push_back(Path);
+    return Path;
+  }
+
+  void TearDown() override {
+    for (const std::string &Path : Cleanup)
+      std::remove(Path.c_str());
+  }
+
+  static TwppWpp *Original;
+  static std::vector<uint8_t> *Bytes;
+  std::vector<std::string> Cleanup;
+};
+
+TwppWpp *ArchiveCorruption::Original = nullptr;
+std::vector<uint8_t> *ArchiveCorruption::Bytes = nullptr;
+
+TEST_F(ArchiveCorruption, LayoutAssumptions) {
+  // Sanity-pin the layout the other tests patch against: magic "TWPP"
+  // little-endian at byte 0, DCG extent fields at 12, index at 28.
+  ASSERT_GE(Bytes->size(), IndexStart);
+  EXPECT_EQ((*Bytes)[0], 0x50); // 'P'
+  EXPECT_EQ((*Bytes)[1], 0x50); // 'P'
+  EXPECT_EQ((*Bytes)[2], 0x57); // 'W'
+  EXPECT_EQ((*Bytes)[3], 0x54); // 'T'
+  uint64_t DcgOffset = readLe64(*Bytes, PrefixSize);
+  uint64_t DcgLength = readLe64(*Bytes, PrefixSize + 8);
+  EXPECT_LE(DcgOffset + DcgLength, Bytes->size());
+  EXPECT_GT(DcgLength, 0u);
+}
+
+TEST_F(ArchiveCorruption, SanityHealthyArchiveRoundTrips) {
+  std::string Path = writeVariant(*Bytes, "healthy");
+  ArchiveReader Reader;
+  ASSERT_TRUE(Reader.open(Path));
+  TwppWpp Back;
+  ASSERT_TRUE(Reader.readAll(Back));
+  EXPECT_EQ(Back, *Original);
+}
+
+TEST_F(ArchiveCorruption, TruncatedHeaderFailsOpen) {
+  // Every prefix shorter than header + DCG fields + full index must be
+  // rejected at open(); a zero-byte file included.
+  size_t IndexEnd = IndexStart + Original->Functions.size() * IndexRowSize;
+  for (size_t Length : {size_t(0), size_t(1), size_t(4), size_t(11),
+                        PrefixSize, size_t(20), IndexStart - 1, IndexStart,
+                        IndexStart + 5, IndexEnd - 1}) {
+    std::vector<uint8_t> Truncated(Bytes->begin(),
+                                   Bytes->begin() +
+                                       static_cast<long>(Length));
+    std::string Path =
+        writeVariant(Truncated, "trunc_" + std::to_string(Length));
+    ArchiveReader Reader;
+    EXPECT_FALSE(Reader.open(Path)) << "prefix length " << Length;
+  }
+}
+
+TEST_F(ArchiveCorruption, BadMagicOrVersionFailsOpen) {
+  for (size_t Byte : {size_t(0), size_t(4)}) {
+    std::vector<uint8_t> Variant = *Bytes;
+    Variant[Byte] ^= 0xFF;
+    std::string Path = writeVariant(Variant, "hdr_" + std::to_string(Byte));
+    ArchiveReader Reader;
+    EXPECT_FALSE(Reader.open(Path)) << "flipped header byte " << Byte;
+  }
+}
+
+TEST_F(ArchiveCorruption, HugeFunctionCountFailsOpen) {
+  // A function count whose index alone would exceed the file must be
+  // rejected before any allocation proportional to it.
+  std::vector<uint8_t> Variant = *Bytes;
+  Variant[8] = 0xFF;
+  Variant[9] = 0xFF;
+  Variant[10] = 0xFF;
+  Variant[11] = 0x7F;
+  std::string Path = writeVariant(Variant, "hugecount");
+  ArchiveReader Reader;
+  EXPECT_FALSE(Reader.open(Path));
+}
+
+TEST_F(ArchiveCorruption, IndexRowPastEofFailsOpen) {
+  const size_t FunctionCount = Original->Functions.size();
+  ASSERT_GT(FunctionCount, 0u);
+  for (size_t F : {size_t(0), FunctionCount / 2, FunctionCount - 1}) {
+    size_t Row = IndexStart + F * IndexRowSize;
+    {
+      // Offset beyond the file.
+      std::vector<uint8_t> Variant = *Bytes;
+      writeLe64(Variant, Row, Bytes->size() + 1000);
+      std::string Path =
+          writeVariant(Variant, "idx_off_" + std::to_string(F));
+      ArchiveReader Reader;
+      EXPECT_FALSE(Reader.open(Path)) << "row " << F << " offset past EOF";
+    }
+    {
+      // Length running past the end of the file.
+      std::vector<uint8_t> Variant = *Bytes;
+      writeLe64(Variant, Row + 8, Bytes->size());
+      std::string Path =
+          writeVariant(Variant, "idx_len_" + std::to_string(F));
+      ArchiveReader Reader;
+      EXPECT_FALSE(Reader.open(Path)) << "row " << F << " length past EOF";
+    }
+    {
+      // Offset + length overflowing uint64 must not wrap past the check.
+      std::vector<uint8_t> Variant = *Bytes;
+      writeLe64(Variant, Row, ~uint64_t(0) - 8);
+      writeLe64(Variant, Row + 8, 1000);
+      std::string Path =
+          writeVariant(Variant, "idx_wrap_" + std::to_string(F));
+      ArchiveReader Reader;
+      EXPECT_FALSE(Reader.open(Path)) << "row " << F << " extent overflow";
+    }
+  }
+}
+
+TEST_F(ArchiveCorruption, DcgExtentPastEofFailsOpen) {
+  {
+    std::vector<uint8_t> Variant = *Bytes;
+    writeLe64(Variant, PrefixSize, Bytes->size() + 1);
+    std::string Path = writeVariant(Variant, "dcg_off");
+    ArchiveReader Reader;
+    EXPECT_FALSE(Reader.open(Path));
+  }
+  {
+    std::vector<uint8_t> Variant = *Bytes;
+    writeLe64(Variant, PrefixSize + 8, Bytes->size());
+    std::string Path = writeVariant(Variant, "dcg_len");
+    ArchiveReader Reader;
+    EXPECT_FALSE(Reader.open(Path));
+  }
+}
+
+TEST_F(ArchiveCorruption, BitFlippedDcgFailsOrDiffers) {
+  // Bit flips inside the LZW-compressed DCG: readDcg must either reject
+  // the stream or decode to something well-formed; it must never crash.
+  // Most flips corrupt the LZW code stream or the DCG framing and are
+  // rejected; a rare flip may survive as a different graph.
+  uint64_t DcgOffset = readLe64(*Bytes, PrefixSize);
+  uint64_t DcgLength = readLe64(*Bytes, PrefixSize + 8);
+  ASSERT_GT(DcgLength, 0u);
+  Rng R(7);
+  int Rejected = 0;
+  for (int Case = 0; Case < 24; ++Case) {
+    std::vector<uint8_t> Variant = *Bytes;
+    size_t At = static_cast<size_t>(DcgOffset + R.nextBelow(DcgLength));
+    Variant[At] ^= static_cast<uint8_t>(1u << R.nextBelow(8));
+    std::string Path = writeVariant(Variant, "dcg_" + std::to_string(Case));
+    ArchiveReader Reader;
+    ASSERT_TRUE(Reader.open(Path)); // Index is intact; only the DCG is hit.
+    DynamicCallGraph Dcg;
+    if (!Reader.readDcg(Dcg)) {
+      ++Rejected;
+      continue;
+    }
+    EXPECT_NE(Dcg, Original->Dcg) << "flip at " << At << " was a no-op";
+  }
+  // The stream is dense: the overwhelming majority of flips must be
+  // detected outright, not silently absorbed.
+  EXPECT_GE(Rejected, 12);
+}
+
+TEST_F(ArchiveCorruption, BitFlippedFunctionBlockFailsOrDiffers) {
+  // Flips inside function blocks: extractFunction must reject or decode
+  // to a (well-formed) different table, never crash or over-allocate.
+  const size_t FunctionCount = Original->Functions.size();
+  Rng R(11);
+  for (int Case = 0; Case < 24; ++Case) {
+    size_t F = R.nextBelow(FunctionCount);
+    size_t Row = IndexStart + F * IndexRowSize;
+    uint64_t Offset = readLe64(*Bytes, Row);
+    uint64_t Length = readLe64(*Bytes, Row + 8);
+    if (Length == 0)
+      continue; // Never-called function, empty block: nothing to flip.
+    std::vector<uint8_t> Variant = *Bytes;
+    size_t At = static_cast<size_t>(Offset + R.nextBelow(Length));
+    Variant[At] ^= static_cast<uint8_t>(1u << R.nextBelow(8));
+    std::string Path = writeVariant(Variant, "blk_" + std::to_string(Case));
+    ArchiveReader Reader;
+    ASSERT_TRUE(Reader.open(Path));
+    TwppFunctionTable Table;
+    if (Reader.extractFunction(static_cast<FunctionId>(F), Table)) {
+      EXPECT_NE(Table, Original->Functions[F])
+          << "flip at " << At << " was a no-op";
+    }
+  }
+}
+
+TEST_F(ArchiveCorruption, TruncatedFunctionBlockFailsExtract) {
+  // Shorten a block via its index length: the decoder must hit the hard
+  // end of the slice and reject, not read past it.
+  const size_t FunctionCount = Original->Functions.size();
+  size_t Victim = FunctionCount; // First function with a non-trivial block.
+  for (size_t F = 0; F < FunctionCount; ++F)
+    if (readLe64(*Bytes, IndexStart + F * IndexRowSize + 8) > 4) {
+      Victim = F;
+      break;
+    }
+  ASSERT_LT(Victim, FunctionCount) << "fixture has no non-trivial block";
+  size_t Row = IndexStart + Victim * IndexRowSize;
+  uint64_t Length = readLe64(*Bytes, Row + 8);
+  for (uint64_t Cut : {Length / 2, Length - 1}) {
+    std::vector<uint8_t> Variant = *Bytes;
+    writeLe64(Variant, Row + 8, Cut);
+    std::string Path =
+        writeVariant(Variant, "cutblk_" + std::to_string(Cut));
+    ArchiveReader Reader;
+    ASSERT_TRUE(Reader.open(Path));
+    TwppFunctionTable Table;
+    EXPECT_FALSE(
+        Reader.extractFunction(static_cast<FunctionId>(Victim), Table))
+        << "block cut to " << Cut << " of " << Length << " bytes";
+  }
+}
+
+TEST_F(ArchiveCorruption, ExtractBeyondFunctionCountFails) {
+  std::string Path = writeVariant(*Bytes, "range");
+  ArchiveReader Reader;
+  ASSERT_TRUE(Reader.open(Path));
+  TwppFunctionTable Table;
+  EXPECT_FALSE(Reader.extractFunction(
+      static_cast<FunctionId>(Original->Functions.size()), Table));
+  EXPECT_FALSE(Reader.extractFunction(~FunctionId(0), Table));
+}
+
+TEST_F(ArchiveCorruption, MissingFileFailsOpen) {
+  ArchiveReader Reader;
+  EXPECT_FALSE(Reader.open(::testing::TempDir() + "/does_not_exist.twpp"));
+}
+
+} // namespace

@@ -176,4 +176,110 @@ TEST_P(TimestampSetProperty, SetOpsMatchOracle) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TimestampSetProperty,
                          ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
 
+TEST(TimestampSetEdge, SingleElementSeries) {
+  TimestampSet Set = TimestampSet::fromSorted({42});
+  ASSERT_EQ(Set.runs().size(), 1u);
+  EXPECT_EQ(Set.runs()[0], (SeriesRun{42, 42, 1}));
+  EXPECT_EQ(Set.encodeSigned(), (std::vector<int64_t>{-42}));
+  EXPECT_EQ(Set.count(), 1u);
+  EXPECT_EQ(Set.min(), 42u);
+  EXPECT_EQ(Set.max(), 42u);
+
+  // A degenerate fromRun must normalize the step so equal sets compare
+  // equal regardless of how they were built.
+  EXPECT_EQ(TimestampSet::fromRun(7, 7, 5), TimestampSet::fromSorted({7}));
+}
+
+TEST(TimestampSetEdge, StrideOverflowNearInt32Max) {
+  // Strides close to INT32_MAX: the greedy packer must fold
+  // {1, 2^30, 2^31-1} (stride 0x3FFFFFFF twice) into one run, and the
+  // signed codec must carry it without overflowing.
+  const Timestamp Mid = 0x40000000u, Top = 0x7FFFFFFFu;
+  TimestampSet Set = TimestampSet::fromSorted({1, Mid, Top});
+  ASSERT_EQ(Set.runs().size(), 1u);
+  EXPECT_EQ(Set.runs()[0], (SeriesRun{1, Top, 0x3FFFFFFFu}));
+  std::vector<int64_t> Encoded = Set.encodeSigned();
+  EXPECT_EQ(Encoded, (std::vector<int64_t>{1, Top, -0x3FFFFFFF}));
+  TimestampSet Back;
+  ASSERT_TRUE(TimestampSet::decodeSigned(Encoded, Back));
+  EXPECT_EQ(Back, Set);
+  EXPECT_EQ(Back.toVector(), (std::vector<Timestamp>{1, Mid, Top}));
+}
+
+TEST(TimestampSetEdge, TwoElementHugeStridePrefersSingletons) {
+  // The 2-element rule must hold at extreme strides too: {1, 2^31-1}
+  // costs 2 ints as singletons, 3 as a run.
+  TimestampSet Set = TimestampSet::fromSorted({1, 0x7FFFFFFFu});
+  ASSERT_EQ(Set.runs().size(), 2u);
+  EXPECT_EQ(Set.encodeSigned(),
+            (std::vector<int64_t>{-1, -0x7FFFFFFF}));
+  TimestampSet Back;
+  ASSERT_TRUE(TimestampSet::decodeSigned(Set.encodeSigned(), Back));
+  EXPECT_EQ(Back, Set);
+}
+
+TEST(TimestampSetEdge, TimestampsAboveInt32Max) {
+  // Timestamps are uint32; values past INT32_MAX must survive the signed
+  // int64 codec (the sign bit delimits entries, it cannot eat value bits).
+  const Timestamp Hi = 0xFFFFFFFFu;
+  TimestampSet Singleton = TimestampSet::fromSorted({Hi});
+  EXPECT_EQ(Singleton.encodeSigned(),
+            (std::vector<int64_t>{-static_cast<int64_t>(Hi)}));
+  TimestampSet Back;
+  ASSERT_TRUE(TimestampSet::decodeSigned(Singleton.encodeSigned(), Back));
+  EXPECT_EQ(Back.toVector(), (std::vector<Timestamp>{Hi}));
+
+  // A stepped run ending at the uint32 ceiling.
+  TimestampSet Run = TimestampSet::fromSorted({Hi - 4, Hi - 2, Hi});
+  ASSERT_EQ(Run.runs().size(), 1u);
+  EXPECT_EQ(Run.runs()[0], (SeriesRun{Hi - 4, Hi, 2}));
+  ASSERT_TRUE(TimestampSet::decodeSigned(Run.encodeSigned(), Back));
+  EXPECT_EQ(Back.toVector(), (std::vector<Timestamp>{Hi - 4, Hi - 2, Hi}));
+}
+
+TEST(TimestampSetEdge, SignEncodedEntryBoundaries) {
+  // Mixed entry kinds back to back: singleton, step-1 range, stepped run.
+  // Every entry ends on its only negative value, so the stream is
+  // unambiguous without separators.
+  std::vector<Timestamp> List = {5, 10, 11, 12, 13, 20, 23, 26};
+  TimestampSet Set = TimestampSet::fromSorted(List);
+  std::vector<int64_t> Encoded = Set.encodeSigned();
+  EXPECT_EQ(Encoded, (std::vector<int64_t>{-5, 10, -13, 20, 26, -3}));
+  EXPECT_EQ(Set.encodedValueCount(), Encoded.size());
+  int Negatives = 0;
+  for (int64_t Value : Encoded)
+    Negatives += Value < 0;
+  EXPECT_EQ(static_cast<size_t>(Negatives), Set.runs().size());
+  TimestampSet Back;
+  ASSERT_TRUE(TimestampSet::decodeSigned(Encoded, Back));
+  EXPECT_EQ(Back.toVector(), List);
+}
+
+TEST(TimestampSetEdge, DecodeBoundaryValidation) {
+  TimestampSet Out;
+  // Step-1 range collapsing to a point must be rejected (a singleton
+  // encodes it); so must an inverted range.
+  EXPECT_FALSE(TimestampSet::decodeSigned({1, -1}, Out));
+  EXPECT_FALSE(TimestampSet::decodeSigned({5, -3}, Out));
+  // Truncated stepped entry: positive pair with no step.
+  EXPECT_FALSE(TimestampSet::decodeSigned({2, 8}, Out));
+  // Valid adjacent entries that share boundary values must decode.
+  ASSERT_TRUE(TimestampSet::decodeSigned({-1, 2, -3, 4, 8, -2}, Out));
+  EXPECT_EQ(Out.toVector(), (std::vector<Timestamp>{1, 2, 3, 4, 6, 8}));
+  // Huge-stride entry at the INT32_MAX edge decodes exactly.
+  ASSERT_TRUE(
+      TimestampSet::decodeSigned({1, 0x7FFFFFFF, -0x3FFFFFFF}, Out));
+  EXPECT_EQ(Out.count(), 3u);
+  EXPECT_TRUE(Out.contains(0x40000000u));
+}
+
+TEST(TimestampSetEdge, EncodedValueCountMatchesEncoding) {
+  Rng R(314159);
+  for (int Iter = 0; Iter < 40; ++Iter) {
+    std::vector<Timestamp> List = randomSortedList(R, 150);
+    TimestampSet Set = TimestampSet::fromSorted(List);
+    EXPECT_EQ(Set.encodedValueCount(), Set.encodeSigned().size());
+  }
+}
+
 } // namespace
