@@ -17,6 +17,7 @@
 #include "obs/Export.h"
 #include "obs/Metrics.h"
 #include "obs/Names.h"
+#include "obs/Trace.h"
 #include "support/Parallel.h"
 #include "support/Stats.h"
 #include "support/TablePrinter.h"
@@ -33,24 +34,37 @@
 
 namespace twpp::bench {
 
-/// Opt-in telemetry for the table/figure binaries. Activated by
-/// `--metrics-out <path>` on the command line or the TWPP_METRICS_OUT
-/// environment variable; inert (and free) otherwise.
+/// Opt-in telemetry for the table/figure binaries. Metric collection is
+/// activated by `--metrics-out <path>` on the command line or the
+/// TWPP_METRICS_OUT environment variable; event tracing by `--trace-out
+/// <path>` or TWPP_TRACE_OUT. Inert (and free) otherwise.
 ///
 /// Each checkpoint() emits one JSON-lines block labelled
 /// "<bench>/<label>" and resets the registry, so per-profile metric
 /// values line up with the table rows the bench prints. With no
 /// checkpoints the destructor dumps a single block for the whole run.
+/// Checkpoints also drop an instant event into the trace, so the
+/// timeline shows where each profile's work starts.
 class BenchTelemetry {
 public:
   BenchTelemetry(int Argc, char **Argv, std::string BenchName)
       : Bench(std::move(BenchName)) {
-    for (int I = 1; I + 1 < Argc; ++I)
+    for (int I = 1; I + 1 < Argc; ++I) {
       if (std::strcmp(Argv[I], "--metrics-out") == 0)
         OutPath = Argv[I + 1];
+      else if (std::strcmp(Argv[I], "--trace-out") == 0)
+        TracePath = Argv[I + 1];
+    }
     if (OutPath.empty())
       if (const char *Env = std::getenv("TWPP_METRICS_OUT"))
         OutPath = Env;
+    if (TracePath.empty())
+      if (const char *Env = std::getenv("TWPP_TRACE_OUT"))
+        TracePath = Env;
+    if (!TracePath.empty()) {
+      obs::setTracingEnabled(true);
+      obs::setCurrentThreadName("main");
+    }
     if (OutPath.empty())
       return;
     obs::setMetricsEnabled(true);
@@ -59,6 +73,14 @@ public:
   }
 
   ~BenchTelemetry() {
+    if (!TracePath.empty()) {
+      if (obs::writeTraceJsonFile(TracePath, obs::traceRecorder()))
+        std::fprintf(stderr, "[bench] wrote trace to %s\n",
+                     TracePath.c_str());
+      else
+        std::fprintf(stderr, "[bench] cannot write trace to %s\n",
+                     TracePath.c_str());
+    }
     if (OutPath.empty())
       return;
     if (Lines.empty())
@@ -76,11 +98,12 @@ public:
   BenchTelemetry(const BenchTelemetry &) = delete;
   BenchTelemetry &operator=(const BenchTelemetry &) = delete;
 
-  bool active() const { return !OutPath.empty(); }
+  bool active() const { return !OutPath.empty() || !TracePath.empty(); }
 
   /// Flushes everything collected since the previous checkpoint under
   /// the label "<bench>/<label>" and zeroes the registry.
   void checkpoint(const std::string &Label) {
+    obs::traceInstant(Label);
     if (OutPath.empty())
       return;
     Lines += obs::exportMetricsJsonLines(obs::metrics(), Bench + "/" + Label);
@@ -90,6 +113,7 @@ public:
 private:
   std::string Bench;
   std::string OutPath;
+  std::string TracePath;
   std::string Lines;
 };
 

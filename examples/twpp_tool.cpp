@@ -25,6 +25,8 @@
 //                          thread). Archives are byte-identical for any N.
 //   --metrics-out <path>   Collect pipeline telemetry and write it as JSON.
 //   --metrics-table        Print the telemetry tables to stderr on exit.
+//   --trace-out <path>     Record an event timeline and write it as Chrome
+//                          trace-event JSON (chrome://tracing / Perfetto).
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +35,7 @@
 #include "obs/Export.h"
 #include "obs/Metrics.h"
 #include "obs/Names.h"
+#include "obs/Trace.h"
 #include "runtime/Interpreter.h"
 #include "support/FileIO.h"
 #include "trace/UncompactedFile.h"
@@ -63,7 +66,9 @@ int usage() {
       "       --jobs N               parallel compaction worker threads\n"
       "                              (0 = all hardware threads)\n"
       "       --metrics-out <path>   write pipeline telemetry as JSON\n"
-      "       --metrics-table        print telemetry tables to stderr\n");
+      "       --metrics-table        print telemetry tables to stderr\n"
+      "       --trace-out <path>     write Chrome trace-event JSON "
+      "timeline\n");
   return 2;
 }
 
@@ -227,6 +232,7 @@ int main(int Argc, char **Argv) {
   // Strip the global telemetry options before command dispatch so they
   // work in any position.
   std::string MetricsOut;
+  std::string TraceOut;
   bool MetricsTable = false;
   std::vector<char *> Args;
   Args.reserve(static_cast<size_t>(Argc) + 1);
@@ -235,6 +241,10 @@ int main(int Argc, char **Argv) {
       if (I + 1 >= Argc)
         return usage();
       MetricsOut = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--trace-out") == 0) {
+      if (I + 1 >= Argc)
+        return usage();
+      TraceOut = Argv[++I];
     } else if (std::strcmp(Argv[I], "--jobs") == 0) {
       if (I + 1 >= Argc)
         return usage();
@@ -255,6 +265,10 @@ int main(int Argc, char **Argv) {
     // Pre-register every canonical metric so the export enumerates all
     // pipeline stages, zero-valued when this command does not reach them.
     obs::names::registerCanonicalMetrics(obs::metrics());
+  }
+  if (!TraceOut.empty()) {
+    obs::setTracingEnabled(true);
+    obs::setCurrentThreadName("main");
   }
 
   int Exit;
@@ -279,5 +293,8 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "cannot write metrics to %s\n", MetricsOut.c_str());
   if (MetricsTable)
     std::fputs(obs::renderMetricsTable(obs::metrics()).c_str(), stderr);
+  if (!TraceOut.empty() &&
+      !obs::writeTraceJsonFile(TraceOut, obs::traceRecorder()))
+    std::fprintf(stderr, "cannot write trace to %s\n", TraceOut.c_str());
   return Exit;
 }

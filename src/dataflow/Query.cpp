@@ -36,7 +36,8 @@ QueryResult twpp::propagateBackward(const AnnotatedDynamicCfg &Cfg,
   if (Times.empty())
     return Result;
   assert(NodeIndex < Cfg.Nodes.size() && "query node out of range");
-  obs::PhaseSpan Span("dataflow_query");
+  obs::PhaseSpan Span("dataflow_query", "node",
+                      static_cast<int64_t>(NodeIndex));
   uint64_t NodesVisited = 0;
 
   // Pending queries keyed by (node, backward depth). All timestamps in one

@@ -6,6 +6,7 @@
 
 #include "obs/Export.h"
 
+#include "obs/Json.h"
 #include "obs/Names.h"
 #include "support/FileIO.h"
 #include "support/Stats.h"
@@ -21,34 +22,13 @@ namespace {
 
 std::string u64(uint64_t Value) { return std::to_string(Value); }
 
-/// JSON numbers must not be NaN/Inf; metrics never produce them but a
-/// defensive zero keeps the output parseable no matter what.
-std::string num(double Value) {
-  if (Value != Value || Value > 1e300 || Value < -1e300)
-    return "0";
-  char Buffer[64];
-  std::snprintf(Buffer, sizeof(Buffer), "%.6g", Value);
-  return Buffer;
-}
+std::string num(double Value) { return jsonNumber(Value); }
 
-/// Metric names are dot/slash identifiers, but escape defensively so the
-/// exporter can never emit invalid JSON.
+/// Metric names are dot/slash identifiers, but quotes/backslashes in a
+/// label must still round-trip; the escaper is shared with the trace
+/// exporter (obs/Json.h) so the two cannot drift apart.
 std::string jsonString(const std::string &Raw) {
-  std::string Out = "\"";
-  for (char C : Raw) {
-    if (C == '"' || C == '\\') {
-      Out += '\\';
-      Out += C;
-    } else if (static_cast<unsigned char>(C) < 0x20) {
-      char Buffer[8];
-      std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
-      Out += Buffer;
-    } else {
-      Out += C;
-    }
-  }
-  Out += '"';
-  return Out;
+  return jsonStringLiteral(Raw);
 }
 
 std::string statsJson(const RunningStats &S) {

@@ -1,0 +1,58 @@
+//===- obs/Json.h - Shared JSON emission helpers ----------------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The string-escape and number-formatting helpers shared by the metrics
+/// exporters (obs/Export.cpp) and the trace exporter (obs/Trace.cpp), so
+/// a metric label or span arg containing quotes, backslashes or control
+/// characters can never desynchronize one exporter from the other.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_OBS_JSON_H
+#define TWPP_OBS_JSON_H
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace twpp::obs {
+
+/// \returns \p Raw as a quoted JSON string literal with `"`, `\` and
+/// control characters escaped, so exporters emit valid JSON for any
+/// label.
+inline std::string jsonStringLiteral(std::string_view Raw) {
+  std::string Out = "\"";
+  for (char C : Raw) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buffer[8];
+      std::snprintf(Buffer, sizeof(Buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(C)));
+      Out += Buffer;
+    } else {
+      Out += C;
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+/// JSON numbers must not be NaN/Inf; a defensive zero keeps the output
+/// parseable no matter what the stats produce.
+inline std::string jsonNumber(double Value) {
+  if (Value != Value || Value > 1e300 || Value < -1e300)
+    return "0";
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.6g", Value);
+  return Buffer;
+}
+
+} // namespace twpp::obs
+
+#endif // TWPP_OBS_JSON_H

@@ -15,8 +15,19 @@
 ///   compact/dbb        1x    5.2ms
 ///   compact/twpp       1x    3.0ms
 ///
-/// When collection is disabled a span costs one relaxed atomic load and
-/// records nothing.
+/// When event tracing (obs/Trace.h) is on, every span additionally emits
+/// a Begin/End pair into the calling thread's ring, so the same
+/// instrumentation feeds both the aggregate span table and the timeline.
+/// Spans may carry one numeric arg ("function": 12) that surfaces in the
+/// exported trace.
+///
+/// Tasks running on pool workers lose the enqueuing thread's span stack;
+/// ScopedRoot re-installs the captured path as the worker-side root so a
+/// task's spans aggregate under "compact/dbb/pool" instead of a bare
+/// "pool" (see support/ThreadPool.cpp).
+///
+/// When both collection and tracing are disabled a span costs two
+/// relaxed atomic loads and records nothing.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,10 +35,12 @@
 #define TWPP_OBS_PHASESPAN_H
 
 #include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Timer.h"
 
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace twpp::obs {
 
@@ -35,14 +48,27 @@ namespace twpp::obs {
 /// formed by every live enclosing span on this thread.
 class PhaseSpan {
 public:
-  explicit PhaseSpan(std::string_view Name) {
-    if (!enabled())
+  explicit PhaseSpan(std::string_view Name) : PhaseSpan(Name, nullptr, 0) {}
+
+  /// Span with one numeric arg, carried into the trace export only (the
+  /// aggregate span table keys by path, which must stay low-cardinality).
+  PhaseSpan(std::string_view Name, const char *ArgName, int64_t ArgValue) {
+    bool Metrics = enabled();
+    Tracing = tracingEnabled();
+    if (!Metrics && !Tracing)
       return;
     Active = true;
+    RecordMetrics = Metrics;
     Parent = currentSpan();
-    Path = Parent ? Parent->Path + "/" + std::string(Name)
-                  : std::string(Name);
+    if (Parent)
+      Path = Parent->Path + "/" + std::string(Name);
+    else if (externalRoot().empty())
+      Path = std::string(Name);
+    else
+      Path = externalRoot() + "/" + std::string(Name);
     currentSpan() = this;
+    if (Tracing)
+      traceBegin(Name, ArgName, ArgValue);
     Watch.reset();
   }
 
@@ -50,7 +76,10 @@ public:
     if (!Active)
       return;
     double TotalUs = Watch.elapsedUs();
-    metrics().recordSpan(Path, TotalUs, TotalUs - ChildUs);
+    if (Tracing)
+      traceEnd();
+    if (RecordMetrics)
+      metrics().recordSpan(Path, TotalUs, TotalUs - ChildUs);
     if (Parent)
       Parent->ChildUs += TotalUs;
     currentSpan() = Parent;
@@ -62,10 +91,40 @@ public:
   /// Full hierarchical path ("compact/dbb"); empty when inactive.
   const std::string &path() const { return Path; }
 
+  /// The path of the innermost live span on this thread (the external
+  /// root when none is open) — what ThreadPool::run captures to parent a
+  /// task's worker-side spans.
+  static std::string currentPath() {
+    if (PhaseSpan *Top = currentSpan())
+      return Top->Path;
+    return externalRoot();
+  }
+
+  /// Installs \p Root as this thread's span-path root for the guard's
+  /// lifetime: spans opened with no live parent prefix their path with
+  /// it. Used by pool workers to nest task spans under the enqueuing
+  /// phase ("compact/dbb"). Nesting guards restores the previous root.
+  class ScopedRoot {
+  public:
+    explicit ScopedRoot(std::string Root)
+        : Saved(std::exchange(externalRoot(), std::move(Root))) {}
+    ~ScopedRoot() { externalRoot() = std::move(Saved); }
+    ScopedRoot(const ScopedRoot &) = delete;
+    ScopedRoot &operator=(const ScopedRoot &) = delete;
+
+  private:
+    std::string Saved;
+  };
+
 private:
   static PhaseSpan *&currentSpan() {
     thread_local PhaseSpan *Top = nullptr;
     return Top;
+  }
+
+  static std::string &externalRoot() {
+    thread_local std::string Root;
+    return Root;
   }
 
   Stopwatch Watch;
@@ -73,6 +132,8 @@ private:
   PhaseSpan *Parent = nullptr;
   double ChildUs = 0;
   bool Active = false;
+  bool RecordMetrics = false;
+  bool Tracing = false;
 };
 
 } // namespace twpp::obs

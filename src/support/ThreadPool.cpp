@@ -8,6 +8,8 @@
 
 #include "obs/Metrics.h"
 #include "obs/Names.h"
+#include "obs/PhaseSpan.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -56,15 +58,26 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run(std::function<void()> Task) {
-  TaskItem Item{std::move(Task), 0};
+  TaskItem Item;
+  Item.Fn = std::move(Task);
   if (obs::enabled())
     Item.EnqueuedNs = nowNs();
+  if (obs::enabled() || obs::tracingEnabled()) {
+    // Capture the enqueuing thread's span path so the worker can nest
+    // the task's spans under it ("compact/dbb/pool"), and start a flow
+    // arrow from this enqueue site to the executing slice.
+    Item.ParentPath = obs::PhaseSpan::currentPath();
+    Item.FlowId = obs::traceNextFlowId();
+    Item.Attributed = true;
+    obs::traceFlowStart("pool.task", Item.FlowId);
+  }
   // Count before publishing the task: a worker may pop and finish it the
   // instant the queue mutex is released.
   Unfinished.fetch_add(1, std::memory_order_relaxed);
   int64_t Depth = Queued.fetch_add(1, std::memory_order_relaxed) + 1;
   if (obs::enabled())
     obs::metrics().gauge(obs::names::PoolQueueDepth).set(Depth);
+  obs::traceCounter("pool.queue_depth", Depth);
   unsigned Slot = NextQueue.fetch_add(1, std::memory_order_relaxed) %
                   Queues.size();
   {
@@ -118,6 +131,21 @@ bool ThreadPool::popTask(unsigned Self, TaskItem &Item) {
   return false;
 }
 
+void ThreadPool::runTask(TaskItem &Item) {
+  if (!Item.Attributed) {
+    Item.Fn();
+    return;
+  }
+  // Root the worker-side span stack at the enqueuing phase's path, so
+  // the task's "pool" span (and any spans the task opens) aggregate and
+  // render under "compact/dbb/pool" instead of a bare "pool"; the flow
+  // finish inside the slice is what binds the cross-thread arrow to it.
+  obs::PhaseSpan::ScopedRoot Root(std::move(Item.ParentPath));
+  obs::PhaseSpan Span("pool");
+  obs::traceFlowFinish("pool.task", Item.FlowId);
+  Item.Fn();
+}
+
 void ThreadPool::finishTask(const TaskItem &Item) {
   TasksRun.fetch_add(1, std::memory_order_relaxed);
   if (obs::enabled()) {
@@ -139,10 +167,12 @@ void ThreadPool::finishTask(const TaskItem &Item) {
 }
 
 void ThreadPool::workerLoop(unsigned Self) {
+  if (obs::tracingEnabled())
+    obs::setCurrentThreadName("pool-worker-" + std::to_string(Self));
   while (true) {
     TaskItem Item;
     if (popTask(Self, Item)) {
-      Item.Fn();
+      runTask(Item);
       finishTask(Item);
       continue;
     }

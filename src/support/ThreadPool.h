@@ -15,7 +15,12 @@
 /// Observability: the pool reports pool.tasks, pool.steals, the
 /// pool.queue_depth gauge and the pool.task_latency_us histogram
 /// (enqueue-to-completion) through obs/Metrics.h, so a metrics run shows
-/// how well a `--jobs N` fan-out actually balanced.
+/// how well a `--jobs N` fan-out actually balanced. With event tracing
+/// on (obs/Trace.h), run() captures the enqueuing thread's span path and
+/// a flow id; the worker re-installs the path as its span root and wraps
+/// the task in a "pool" span, so worker-side spans aggregate and render
+/// under the enqueuing phase ("compact/dbb/pool") and a flow arrow links
+/// the enqueue site to the execution slice across threads.
 ///
 /// Tasks must not throw. run() may be called from worker threads (tasks
 /// may spawn subtasks); wait() must only be called from outside the pool.
@@ -73,11 +78,21 @@ public:
   }
 
 private:
-  /// One task with its enqueue timestamp (captured only when telemetry is
-  /// enabled, so the latency histogram costs nothing when off).
+  /// One task with its enqueue timestamp and span/flow attribution (all
+  /// captured only when telemetry or tracing is enabled, so the latency
+  /// histogram and the timeline cost nothing when off).
   struct TaskItem {
     std::function<void()> Fn;
     uint64_t EnqueuedNs = 0;
+    /// Flow-arrow id linking the enqueue site to the executing slice;
+    /// 0 when tracing is off.
+    uint64_t FlowId = 0;
+    /// The enqueuing thread's span path ("compact/dbb"), installed as
+    /// the worker-side span root for the task's duration.
+    std::string ParentPath;
+    /// True when ParentPath/FlowId were captured and the worker must
+    /// wrap the task in an attributed "pool" span.
+    bool Attributed = false;
   };
 
   /// A per-worker deque behind its own mutex. The owner pops from the
@@ -90,6 +105,7 @@ private:
 
   void workerLoop(unsigned Self);
   bool popTask(unsigned Self, TaskItem &Item);
+  void runTask(TaskItem &Item);
   void finishTask(const TaskItem &Item);
 
   std::vector<std::unique_ptr<WorkerQueue>> Queues;

@@ -9,6 +9,7 @@
 #include "obs/Metrics.h"
 #include "obs/Names.h"
 #include "obs/PhaseSpan.h"
+#include "obs/Trace.h"
 #include "support/ByteStream.h"
 #include "support/FileIO.h"
 #include "support/LZW.h"
@@ -172,6 +173,8 @@ std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp,
   // depend on the job count.
   std::vector<std::vector<uint8_t>> Blocks(FunctionCount);
   parallelFor(Config, FunctionCount, [&Wpp, &Blocks](size_t F) {
+    obs::PhaseSpan FnSpan("encode_function", "function",
+                          static_cast<int64_t>(F));
     Blocks[F] = encodeTwppFunctionTable(Wpp.Functions[F]);
   });
 
@@ -221,6 +224,8 @@ std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp,
     Encodes.add();
     M.gauge(obs::names::ArchiveBytes).set(static_cast<int64_t>(Out.size()));
   }
+  obs::traceInstant("archive_encoded", "bytes",
+                    static_cast<int64_t>(Out.size()));
   return Out;
 }
 
@@ -280,7 +285,8 @@ bool ArchiveReader::extractFunction(FunctionId Function,
                                     TwppFunctionTable &Table) const {
   if (Function >= Index.size())
     return false;
-  obs::PhaseSpan Span("archive_extract");
+  obs::PhaseSpan Span("archive_extract", "function",
+                      static_cast<int64_t>(Function));
   std::vector<uint8_t> Block;
   if (!readFileSlice(Path, Index[Function].Offset, Index[Function].Length,
                      Block))

@@ -9,6 +9,7 @@
 #include "obs/Metrics.h"
 #include "obs/Names.h"
 #include "obs/PhaseSpan.h"
+#include "obs/Trace.h"
 #include "wpp/Sizes.h"
 
 #include <cassert>
@@ -131,6 +132,8 @@ PartitionedWpp StreamingCompactor::takePartitioned() {
     obs::MetricsRegistry &M = obs::metrics();
     M.gauge(obs::names::PartitionBytesIn).set(static_cast<int64_t>(BytesIn));
     M.gauge(obs::names::PartitionBytesOut).set(static_cast<int64_t>(BytesOut));
+    obs::traceCounter(obs::names::PartitionBytesOut,
+                      static_cast<int64_t>(BytesOut));
   }
   return Out;
 }

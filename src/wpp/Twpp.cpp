@@ -9,6 +9,7 @@
 #include "obs/Metrics.h"
 #include "obs/Names.h"
 #include "obs/PhaseSpan.h"
+#include "obs/Trace.h"
 #include "wpp/Sizes.h"
 
 #include <algorithm>
@@ -98,6 +99,10 @@ DbbWpp twpp::applyDbbCompaction(const PartitionedWpp &Wpp,
   // writes only its pre-allocated slot, so any job count produces the
   // same tables as the serial walk.
   parallelFor(Config, Wpp.Functions.size(), [&Wpp, &Out](size_t F) {
+    // Leaf span per function table; the function id arg makes a trace of
+    // a --jobs N run show which function each worker slice compacted.
+    obs::PhaseSpan FnSpan("dbb_function", "function",
+                          static_cast<int64_t>(F));
     const FunctionTraceTable &In = Wpp.Functions[F];
     DbbFunctionTable &Table = Out.Functions[F];
     Table.CallCount = In.CallCount;
@@ -132,6 +137,8 @@ DbbWpp twpp::applyDbbCompaction(const PartitionedWpp &Wpp,
     obs::MetricsRegistry &M = obs::metrics();
     M.gauge(obs::names::DbbBytesIn).set(static_cast<int64_t>(BytesIn));
     M.gauge(obs::names::DbbBytesOut).set(static_cast<int64_t>(BytesOut));
+    obs::traceCounter(obs::names::DbbBytesOut,
+                      static_cast<int64_t>(BytesOut));
   }
   return Out;
 }
@@ -142,6 +149,8 @@ TwppWpp twpp::convertToTwpp(const DbbWpp &Wpp, const ParallelConfig &Config) {
   Out.Dcg = Wpp.Dcg;
   Out.Functions.resize(Wpp.Functions.size());
   parallelFor(Config, Wpp.Functions.size(), [&Wpp, &Out](size_t F) {
+    obs::PhaseSpan FnSpan("twpp_function", "function",
+                          static_cast<int64_t>(F));
     const DbbFunctionTable &In = Wpp.Functions[F];
     TwppFunctionTable &Table = Out.Functions[F];
     Table.CallCount = In.CallCount;
@@ -165,6 +174,8 @@ TwppWpp twpp::convertToTwpp(const DbbWpp &Wpp, const ParallelConfig &Config) {
     obs::MetricsRegistry &M = obs::metrics();
     M.gauge(obs::names::TwppBytesIn).set(static_cast<int64_t>(BytesIn));
     M.gauge(obs::names::TwppBytesOut).set(static_cast<int64_t>(BytesOut));
+    obs::traceCounter(obs::names::TwppBytesOut,
+                      static_cast<int64_t>(BytesOut));
   }
   return Out;
 }

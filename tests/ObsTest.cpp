@@ -8,6 +8,7 @@
 #include "obs/Metrics.h"
 #include "obs/Names.h"
 #include "obs/PhaseSpan.h"
+#include "obs/Trace.h"
 
 #include "dataflow/AnnotatedCfg.h"
 #include "dataflow/Query.h"
@@ -238,6 +239,15 @@ TEST_F(ObsTest, ResetZeroesInPlace) {
 //===----------------------------------------------------------------------===//
 // Disabled path
 //===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, DisabledTracingRecordsNoEvents) {
+  // This binary never turns tracing on, so the flight recorder must have
+  // created no rings at all: spans and pool tasks throughout these tests
+  // pay only the relaxed-load check, allocating nothing.
+  ASSERT_FALSE(obs::tracingEnabled());
+  { obs::PhaseSpan Span("metrics_only_span"); }
+  EXPECT_TRUE(obs::traceRecorder().snapshot().empty());
+}
 
 TEST_F(ObsTest, DisabledCollectionIsANoOp) {
   obs::setMetricsEnabled(false);
