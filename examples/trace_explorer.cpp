@@ -44,7 +44,10 @@ int main(int Argc, char **Argv) {
   ArchiveReader Reader;
   Stopwatch OpenTimer;
   if (!Reader.open(Path)) {
-    std::fprintf(stderr, "cannot open archive %s\n", Path.c_str());
+    const verify::Diagnostic &D = Reader.lastError();
+    std::fprintf(stderr, "cannot open archive %s: [%s] %s: %s\n",
+                 Path.c_str(), D.CheckId.c_str(), D.Location.c_str(),
+                 D.Message.c_str());
     return 1;
   }
   double OpenMs = OpenTimer.elapsedMs();

@@ -39,6 +39,7 @@
 #include "runtime/Interpreter.h"
 #include "support/FileIO.h"
 #include "trace/UncompactedFile.h"
+#include "verify/Verify.h"
 #include "wpp/Archive.h"
 #include "wpp/HotPaths.h"
 #include "wpp/Streaming.h"
@@ -126,7 +127,15 @@ int cmdTrace(int Argc, char **Argv) {
 bool openArchive(const char *Path, ArchiveReader &Reader) {
   if (Reader.open(Path))
     return true;
-  std::fprintf(stderr, "cannot open archive %s\n", Path);
+  const verify::Diagnostic &D = Reader.lastError();
+  if (D.ByteOffset != verify::NoByteOffset)
+    std::fprintf(stderr, "cannot open archive %s: [%s] %s: %s (byte %llu)\n",
+                 Path, D.CheckId.c_str(), D.Location.c_str(),
+                 D.Message.c_str(),
+                 static_cast<unsigned long long>(D.ByteOffset));
+  else
+    std::fprintf(stderr, "cannot open archive %s: [%s] %s: %s\n", Path,
+                 D.CheckId.c_str(), D.Location.c_str(), D.Message.c_str());
   return false;
 }
 
@@ -229,6 +238,9 @@ int cmdReconstruct(int Argc, char **Argv) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // Arm the TWPP_VERIFY post-stage assertions; they fire only when the
+  // environment variable is set.
+  verify::installPipelineVerifier();
   // Strip the global telemetry options before command dispatch so they
   // work in any position.
   std::string MetricsOut;

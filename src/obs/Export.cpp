@@ -56,7 +56,8 @@ void names::registerCanonicalMetrics(MetricsRegistry &Registry) {
         LzwCompressBytesIn, LzwCompressBytesOut, LzwDictEntries,
         LzwDecompressCalls, LzwDecompressBytesIn, LzwDecompressBytesOut,
         ArchiveEncodes, ArchiveIndexReads, ArchiveBlockReads,
-        ArchiveBlockBytesRead, ArchiveDcgReads, DataflowQueries,
+        ArchiveBlockBytesRead, ArchiveDcgReads, VerifyRuns,
+        VerifyDiagnostics, VerifyErrors, VerifyWarnings, DataflowQueries,
         DataflowSubqueries, DataflowNodesVisited, DataflowCacheHits,
         DataflowCacheMisses})
     Registry.counter(Name);

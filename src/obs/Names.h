@@ -77,6 +77,13 @@ inline constexpr const char *ArchiveBlockBytesRead = "archive.block_bytes_read";
 inline constexpr const char *ArchiveDcgReads = "archive.dcg_reads";
 inline constexpr const char *ArchiveBlockBytes = "archive.block_bytes";
 
+// verify/ — static invariant verification (TWPP_VERIFY post-stage
+// assertions and the twpp_verify CLI).
+inline constexpr const char *VerifyRuns = "verify.runs";
+inline constexpr const char *VerifyDiagnostics = "verify.diagnostics";
+inline constexpr const char *VerifyErrors = "verify.errors";
+inline constexpr const char *VerifyWarnings = "verify.warnings";
+
 // dataflow/ — demand-driven queries over the compacted form.
 inline constexpr const char *DataflowQueries = "dataflow.queries";
 inline constexpr const char *DataflowSubqueries = "dataflow.subqueries";

@@ -1,0 +1,99 @@
+//===- verify/Checks.cpp - Check catalog ----------------------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Checks.h"
+
+using namespace twpp;
+using namespace twpp::verify;
+
+const std::vector<CheckInfo> &verify::checkCatalog() {
+  static const std::vector<CheckInfo> Catalog = {
+      // Archive family.
+      {checks::ArchiveHeader, "archive", Severity::Error,
+       "archive magic/version valid and header, index and DCG extents fit "
+       "the file"},
+      {checks::ArchiveIndexBounds, "archive", Severity::Error,
+       "index rows reference in-bounds, non-overlapping function blocks "
+       "outside the header/index/DCG regions"},
+      {checks::ArchiveIndexOrder, "archive", Severity::Warning,
+       "function blocks laid out in call-count-descending order (the "
+       "paper's most-frequent-first access layout)"},
+      {checks::ArchiveBlockDecode, "archive", Severity::Error,
+       "every function block decodes and its index call count matches the "
+       "decoded table"},
+      {checks::ArchiveDcgDecode, "archive", Severity::Error,
+       "the DCG extent LZW-decompresses and decodes as a call graph"},
+      {checks::ArchiveSeriesOrder, "archive", Severity::Error,
+       "timestamp series entries strictly increasing with valid strides "
+       "(Lo <= Hi, Step >= 1, (Hi-Lo) % Step == 0, positive timestamps)"},
+      {checks::ArchiveSeriesSignEncoding, "archive", Severity::Error,
+       "sign-delimited series encoding round-trips and runs are packed "
+       "canonically (maximal greedy runs)"},
+      {checks::ArchiveTracePartition, "archive", Severity::Error,
+       "per trace string, the block timestamp sets form an exact partition "
+       "of 1..Length"},
+      {checks::ArchiveDedupIntegrity, "archive", Severity::Error,
+       "unique-trace table referential integrity: (string, dictionary) "
+       "indices in range, use counts positive and summing to the call "
+       "count, no duplicate pairs"},
+      {checks::ArchivePoolDedup, "archive", Severity::Warning,
+       "trace-string and dictionary pools hold no byte-identical "
+       "duplicates and no unreferenced entries"},
+      {checks::DbbChainStructure, "archive", Severity::Error,
+       "DBB dictionaries well-formed: chains of length >= 2, sorted by "
+       "head, heads unique, chain bodies disjoint from other chains "
+       "(acyclic one-level expansion)"},
+      {checks::DbbChainMaximality, "archive", Severity::Warning,
+       "every (trace, dictionary) pair re-compacts to itself: chains are "
+       "maximal and every occurrence was collapsed"},
+      {checks::DcgConsistency, "archive", Severity::Error,
+       "DCG is a forest with forward child edges, in-range functions and "
+       "trace indices, and non-decreasing anchors bounded by the parent "
+       "trace length"},
+      {checks::DcgCallCounts, "archive", Severity::Error,
+       "per-function DCG node counts equal the function tables' call "
+       "counts"},
+
+      // IR family.
+      {checks::IrEmptyFunction, "ir", Severity::Error,
+       "every function has at least one basic block (block 1 is the "
+       "entry)"},
+      {checks::IrEdgeTarget, "ir", Severity::Error,
+       "every terminator successor names an existing block (no edges to "
+       "missing blocks)"},
+      {checks::IrTerminator, "ir", Severity::Error,
+       "terminators well-formed: branch conditions and return values "
+       "reference in-range expressions"},
+      {checks::IrExprCycle, "ir", Severity::Error,
+       "expression pools are acyclic and operand indices are in range"},
+      {checks::IrCallTarget, "ir", Severity::Error,
+       "call statements target existing functions"},
+      {checks::IrUnreachableBlock, "ir", Severity::Warning,
+       "every block is reachable from the function entry"},
+      {checks::IrDefBeforeUse, "ir", Severity::Warning,
+       "no variable is read on a path before any definition (params count "
+       "as defined)"},
+
+      // Dataflow family.
+      {checks::DataflowFactBlocks, "dataflow", Severity::Error,
+       "GEN/KILL sets reference real IR blocks of the owning function, "
+       "sorted and duplicate-free"},
+      {checks::DataflowAnnotationPartition, "dataflow", Severity::Error,
+       "annotated-CFG node timestamps partition 1..Length and edges are "
+       "in-range and symmetric"},
+      {checks::DataflowAnnotationSubset, "dataflow", Severity::Error,
+       "annotated-CFG node timestamps equal the owning trace's set for "
+       "that block"},
+  };
+  return Catalog;
+}
+
+const CheckInfo *verify::findCheck(std::string_view Id) {
+  for (const CheckInfo &Info : checkCatalog())
+    if (Id == Info.Id)
+      return &Info;
+  return nullptr;
+}

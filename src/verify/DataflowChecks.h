@@ -1,0 +1,47 @@
+//===- verify/DataflowChecks.h - Dataflow-family checks ---------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dataflow family: checks over the inputs the profile-limited
+/// analyses consume — GEN/KILL fact specs derived from the IR, and
+/// timestamp-annotated dynamic CFGs built from TWPP traces. These close
+/// the loop between the archive and IR families: the annotation checks
+/// assert that an AnnotatedDynamicCfg is a faithful view of its owning
+/// trace, and the fact checks assert that block sets name real IR blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_VERIFY_DATAFLOWCHECKS_H
+#define TWPP_VERIFY_DATAFLOWCHECKS_H
+
+#include "dataflow/AnnotatedCfg.h"
+#include "dataflow/IrFacts.h"
+#include "ir/Ir.h"
+#include "verify/Diagnostics.h"
+
+namespace twpp::verify {
+
+/// Checks that \p Spec's GEN/KILL block sets are sorted, duplicate-free,
+/// disjoint views of real blocks of \p F. \p FactName labels locations.
+void runFactSpecChecks(const BlockFactSpec &Spec, const Function &F,
+                       const std::string &FactName, DiagnosticEngine &Engine);
+
+/// Checks \p Cfg's internal shape (timestamp partition of 1..Length,
+/// in-range and symmetric edges, nodes sorted by head).
+void runAnnotatedCfgChecks(const AnnotatedDynamicCfg &Cfg,
+                           const std::string &Loc, DiagnosticEngine &Engine);
+
+/// Checks \p Cfg against the trace it was built from: every node's
+/// timestamp set must equal the owning trace's set for that DBB head.
+void runAnnotationSourceChecks(const AnnotatedDynamicCfg &Cfg,
+                               const TwppTrace &Trace,
+                               const DbbDictionary &Dictionary,
+                               const std::string &Loc,
+                               DiagnosticEngine &Engine);
+
+} // namespace twpp::verify
+
+#endif // TWPP_VERIFY_DATAFLOWCHECKS_H

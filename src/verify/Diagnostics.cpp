@@ -1,0 +1,84 @@
+//===- verify/Diagnostics.cpp - Static-check diagnostics ------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Diagnostics.h"
+
+#include "obs/Json.h"
+
+using namespace twpp;
+using namespace twpp::verify;
+
+bool verify::checkIdMatchesGlob(std::string_view Id, std::string_view Glob) {
+  // Iterative wildcard match with single-star backtracking: globs here
+  // are short ("twpp-archive-*"), so this is plenty.
+  size_t I = 0, G = 0;
+  size_t StarG = std::string_view::npos, StarI = 0;
+  while (I < Id.size()) {
+    if (G < Glob.size() && (Glob[G] == Id[I] || Glob[G] == '?')) {
+      ++I;
+      ++G;
+    } else if (G < Glob.size() && Glob[G] == '*') {
+      StarG = G++;
+      StarI = I;
+    } else if (StarG != std::string_view::npos) {
+      G = StarG + 1;
+      I = ++StarI;
+    } else {
+      return false;
+    }
+  }
+  while (G < Glob.size() && Glob[G] == '*')
+    ++G;
+  return G == Glob.size();
+}
+
+std::string verify::renderDiagnosticsText(const DiagnosticEngine &Engine) {
+  std::string Out;
+  for (const Diagnostic &D : Engine.diagnostics()) {
+    Out += severityName(D.Sev);
+    Out += ": [";
+    Out += D.CheckId;
+    Out += "] ";
+    if (!D.Location.empty()) {
+      Out += D.Location;
+      Out += ": ";
+    }
+    Out += D.Message;
+    if (D.ByteOffset != NoByteOffset) {
+      Out += " (byte ";
+      Out += std::to_string(D.ByteOffset);
+      Out += ")";
+    }
+    Out += "\n";
+  }
+  Out += std::to_string(Engine.count(Severity::Error)) + " error(s), " +
+         std::to_string(Engine.count(Severity::Warning)) + " warning(s), " +
+         std::to_string(Engine.count(Severity::Note)) + " note(s)\n";
+  return Out;
+}
+
+std::string verify::renderDiagnosticsJson(const DiagnosticEngine &Engine) {
+  std::string Out = "{\n  \"schema\": \"twpp-verify-v1\",\n  \"summary\": {";
+  Out += "\"errors\": " + std::to_string(Engine.count(Severity::Error));
+  Out += ", \"warnings\": " + std::to_string(Engine.count(Severity::Warning));
+  Out += ", \"notes\": " + std::to_string(Engine.count(Severity::Note));
+  Out += "},\n  \"diagnostics\": [";
+  bool First = true;
+  for (const Diagnostic &D : Engine.diagnostics()) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    {\"check\": " + obs::jsonStringLiteral(D.CheckId);
+    Out += ", \"severity\": ";
+    Out += obs::jsonStringLiteral(severityName(D.Sev));
+    Out += ", \"location\": " + obs::jsonStringLiteral(D.Location);
+    Out += ", \"message\": " + obs::jsonStringLiteral(D.Message);
+    if (D.ByteOffset != NoByteOffset)
+      Out += ", \"byteOffset\": " + std::to_string(D.ByteOffset);
+    Out += "}";
+  }
+  Out += First ? "]\n}\n" : "\n  ]\n}\n";
+  return Out;
+}

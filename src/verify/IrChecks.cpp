@@ -1,0 +1,370 @@
+//===- verify/IrChecks.cpp - IR/CFG-family invariant checks ---------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/IrChecks.h"
+
+#include "verify/Checks.h"
+
+#include <algorithm>
+#include <iterator>
+#include <string>
+#include <vector>
+
+using namespace twpp;
+using namespace twpp::verify;
+
+namespace {
+
+std::string blockLoc(const Function &F, BlockId Block) {
+  return F.Name + " / block " + std::to_string(Block);
+}
+
+std::string stmtLoc(const Function &F, BlockId Block, size_t Stmt) {
+  return blockLoc(F, Block) + " / stmt " + std::to_string(Stmt);
+}
+
+bool isUnary(ExprKind Kind) {
+  return Kind == ExprKind::Not || Kind == ExprKind::Neg;
+}
+
+bool isLeaf(ExprKind Kind) {
+  return Kind == ExprKind::Const || Kind == ExprKind::Var;
+}
+
+//===----------------------------------------------------------------------===//
+// Expression pool: operand indices in range, no cycles.
+//===----------------------------------------------------------------------===//
+
+/// Colors for the iterative DFS over the expression "pool graph".
+enum class Color : uint8_t { White, Grey, Black };
+
+/// \returns true when the pool is sound (in-range, acyclic); blocks and
+/// terminators only validate their root indices once this holds.
+bool checkExprPool(const Function &F, DiagnosticEngine &Engine) {
+  const std::string Loc = F.Name + " / expression pool";
+  bool Ok = true;
+  const uint32_t N = static_cast<uint32_t>(F.Exprs.size());
+  for (uint32_t I = 0; I < N; ++I) {
+    const Expr &E = F.Exprs[I];
+    if (isLeaf(E.Kind))
+      continue;
+    if (E.Lhs >= N || (!isUnary(E.Kind) && E.Rhs >= N)) {
+      Engine.report(checks::IrExprCycle, Severity::Error,
+                    "expression " + std::to_string(I) +
+                        " references an operand outside the pool of " +
+                        std::to_string(N),
+                    Loc);
+      Ok = false;
+    }
+  }
+  if (!Ok)
+    return false;
+  std::vector<Color> Colors(N, Color::White);
+  for (uint32_t Root = 0; Root < N; ++Root) {
+    if (Colors[Root] != Color::White)
+      continue;
+    // Iterative DFS; a grey node reached again closes a cycle.
+    std::vector<std::pair<uint32_t, uint8_t>> Stack = {{Root, 0}};
+    while (!Stack.empty()) {
+      auto &[Node, Edge] = Stack.back();
+      const Expr &E = F.Exprs[Node];
+      Colors[Node] = Color::Grey;
+      const uint8_t Arity = isLeaf(E.Kind) ? 0 : (isUnary(E.Kind) ? 1 : 2);
+      if (Edge >= Arity) {
+        Colors[Node] = Color::Black;
+        Stack.pop_back();
+        continue;
+      }
+      uint32_t Child = Edge == 0 ? E.Lhs : E.Rhs;
+      ++Edge;
+      if (Colors[Child] == Color::Grey) {
+        Engine.report(checks::IrExprCycle, Severity::Error,
+                      "expression " + std::to_string(Child) +
+                          " participates in a reference cycle",
+                      Loc);
+        return false;
+      }
+      if (Colors[Child] == Color::White)
+        Stack.push_back({Child, 0});
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Blocks: statement operands, call targets, terminators, edges.
+//===----------------------------------------------------------------------===//
+
+void checkBlocks(const Function &F, const Module &M, bool ExprsOk,
+                 DiagnosticEngine &Engine) {
+  const uint32_t ExprCount = static_cast<uint32_t>(F.Exprs.size());
+  auto ExprInRange = [&](uint32_t Index) {
+    return ExprsOk && Index < ExprCount;
+  };
+  for (BlockId B = 1; B <= F.blockCount(); ++B) {
+    const BasicBlock &Block = F.block(B);
+    for (size_t S = 0; S < Block.Stmts.size(); ++S) {
+      const Stmt &St = Block.Stmts[S];
+      switch (St.StmtKind) {
+      case Stmt::Kind::Assign:
+      case Stmt::Kind::Print:
+        if (!ExprInRange(St.ExprIndex))
+          Engine.report(checks::IrExprCycle, Severity::Error,
+                        "statement operand references expression " +
+                            std::to_string(St.ExprIndex) +
+                            " outside the pool",
+                        stmtLoc(F, B, S));
+        break;
+      case Stmt::Kind::Read:
+        break;
+      case Stmt::Kind::Call:
+        if (St.Callee >= M.Functions.size())
+          Engine.report(checks::IrCallTarget, Severity::Error,
+                        "call targets function " +
+                            std::to_string(St.Callee) +
+                            " but the module holds " +
+                            std::to_string(M.Functions.size()),
+                        stmtLoc(F, B, S));
+        for (uint32_t Arg : St.Args)
+          if (!ExprInRange(Arg))
+            Engine.report(checks::IrExprCycle, Severity::Error,
+                          "call argument references expression " +
+                              std::to_string(Arg) + " outside the pool",
+                          stmtLoc(F, B, S));
+        break;
+      }
+    }
+    switch (Block.Term) {
+    case BasicBlock::Terminator::Jump:
+      if (Block.TrueSucc < 1 || Block.TrueSucc > F.blockCount())
+        Engine.report(checks::IrEdgeTarget, Severity::Error,
+                      "jump targets missing block " +
+                          std::to_string(Block.TrueSucc),
+                      blockLoc(F, B));
+      break;
+    case BasicBlock::Terminator::Branch:
+      if (!ExprInRange(Block.CondExpr))
+        Engine.report(checks::IrTerminator, Severity::Error,
+                      "branch condition references expression " +
+                          std::to_string(Block.CondExpr) +
+                          " outside the pool",
+                      blockLoc(F, B));
+      for (BlockId Succ : {Block.TrueSucc, Block.FalseSucc})
+        if (Succ < 1 || Succ > F.blockCount())
+          Engine.report(checks::IrEdgeTarget, Severity::Error,
+                        "branch targets missing block " +
+                            std::to_string(Succ),
+                        blockLoc(F, B));
+      break;
+    case BasicBlock::Terminator::Return:
+      if (Block.HasRetValue && !ExprInRange(Block.RetExpr))
+        Engine.report(checks::IrTerminator, Severity::Error,
+                      "return value references expression " +
+                          std::to_string(Block.RetExpr) +
+                          " outside the pool",
+                      blockLoc(F, B));
+      break;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reachability + def-before-use (forward must-defined dataflow).
+//===----------------------------------------------------------------------===//
+
+/// \returns the reachable-block mask (1-based indexing; index 0 unused).
+std::vector<bool> checkReachability(const Function &F,
+                                    DiagnosticEngine &Engine) {
+  std::vector<bool> Reached(F.blockCount() + 1, false);
+  std::vector<BlockId> Work = {1};
+  Reached[1] = true;
+  while (!Work.empty()) {
+    BlockId B = Work.back();
+    Work.pop_back();
+    for (BlockId Succ : F.block(B).successors())
+      if (Succ >= 1 && Succ <= F.blockCount() && !Reached[Succ]) {
+        Reached[Succ] = true;
+        Work.push_back(Succ);
+      }
+  }
+  if (Engine.checkEnabled(checks::IrUnreachableBlock))
+    for (BlockId B = 1; B <= F.blockCount(); ++B)
+      if (!Reached[B])
+        Engine.report(checks::IrUnreachableBlock, Severity::Warning,
+                      "block is unreachable from the function entry",
+                      blockLoc(F, B));
+  return Reached;
+}
+
+/// Forward must-defined analysis: a variable is surely defined at a point
+/// iff it is defined on *every* path from the entry. Reads of variables
+/// that are not surely defined get a warning (the interpreter defaults
+/// them to 0, so this is lint, not an execution error).
+void checkDefBeforeUse(const Function &F, const Module &M,
+                       const std::vector<bool> &Reached,
+                       DiagnosticEngine &Engine) {
+  if (!Engine.checkEnabled(checks::IrDefBeforeUse))
+    return;
+  const uint32_t N = F.blockCount();
+  if (N == 0)
+    return;
+  // Out-of-pool roots were already reported by checkBlocks as errors;
+  // skip them here so stmtUses/collectExprUses never walk out of range.
+  const uint32_t ExprCount = static_cast<uint32_t>(F.Exprs.size());
+  auto StmtRootsOk = [&](const Stmt &St) {
+    switch (St.StmtKind) {
+    case Stmt::Kind::Assign:
+    case Stmt::Kind::Print:
+      return St.ExprIndex < ExprCount;
+    case Stmt::Kind::Read:
+      return true;
+    case Stmt::Kind::Call:
+      return std::all_of(St.Args.begin(), St.Args.end(),
+                         [&](uint32_t Arg) { return Arg < ExprCount; });
+    }
+    return false;
+  };
+
+  // Per-block GEN (variables the block itself defines) — statement-level
+  // precision is handled in the final reporting pass.
+  std::vector<std::vector<VarId>> Gen(N + 1);
+  for (BlockId B = 1; B <= N; ++B)
+    for (const Stmt &St : F.block(B).Stmts)
+      if (St.Target != NoVar)
+        Gen[B].push_back(St.Target);
+
+  std::vector<std::vector<BlockId>> Preds(N + 1);
+  for (BlockId B = 1; B <= N; ++B)
+    for (BlockId Succ : F.block(B).successors())
+      if (Succ >= 1 && Succ <= N)
+        Preds[Succ].push_back(B);
+
+  // IN/OUT as sorted VarId vectors; Top (everything) is represented by
+  // {AllDefined} until first lowered. Params are defined at entry.
+  std::vector<VarId> EntryIn(F.Params.begin(), F.Params.end());
+  std::sort(EntryIn.begin(), EntryIn.end());
+  EntryIn.erase(std::unique(EntryIn.begin(), EntryIn.end()), EntryIn.end());
+
+  auto Union = [](std::vector<VarId> A, const std::vector<VarId> &B) {
+    std::vector<VarId> Out;
+    std::set_union(A.begin(), A.end(), B.begin(), B.end(),
+                   std::back_inserter(Out));
+    return Out;
+  };
+  auto Intersect = [](const std::vector<VarId> &A,
+                      const std::vector<VarId> &B) {
+    std::vector<VarId> Out;
+    std::set_intersection(A.begin(), A.end(), B.begin(), B.end(),
+                          std::back_inserter(Out));
+    return Out;
+  };
+
+  std::vector<std::vector<VarId>> In(N + 1), Out(N + 1);
+  std::vector<bool> OutValid(N + 1, false);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B = 1; B <= N; ++B) {
+      if (!Reached[B])
+        continue;
+      std::vector<VarId> NewIn;
+      if (B == 1) {
+        NewIn = EntryIn;
+      } else {
+        bool First = true;
+        for (BlockId P : Preds[B]) {
+          if (!Reached[P] || !OutValid[P])
+            continue;
+          NewIn = First ? Out[P] : Intersect(NewIn, Out[P]);
+          First = false;
+        }
+        if (First)
+          continue; // no computed predecessor yet
+      }
+      std::vector<VarId> SortedGen = Gen[B];
+      std::sort(SortedGen.begin(), SortedGen.end());
+      SortedGen.erase(std::unique(SortedGen.begin(), SortedGen.end()),
+                      SortedGen.end());
+      std::vector<VarId> NewOut = Union(NewIn, SortedGen);
+      if (!OutValid[B] || NewIn != In[B] || NewOut != Out[B]) {
+        In[B] = std::move(NewIn);
+        Out[B] = std::move(NewOut);
+        OutValid[B] = true;
+        Changed = true;
+      }
+    }
+  }
+
+  // Report: walk each reachable block, tracking defs statement by
+  // statement on top of the block's IN set.
+  for (BlockId B = 1; B <= N; ++B) {
+    if (!Reached[B] || !OutValid[B])
+      continue;
+    std::vector<VarId> Defined = In[B];
+    auto IsDefined = [&Defined](VarId V) {
+      return std::binary_search(Defined.begin(), Defined.end(), V);
+    };
+    auto Define = [&Defined](VarId V) {
+      auto It = std::lower_bound(Defined.begin(), Defined.end(), V);
+      if (It == Defined.end() || *It != V)
+        Defined.insert(It, V);
+    };
+    const BasicBlock &Block = F.block(B);
+    for (size_t S = 0; S < Block.Stmts.size(); ++S) {
+      const Stmt &St = Block.Stmts[S];
+      if (StmtRootsOk(St))
+        for (VarId Use : stmtUses(F, St))
+          if (!IsDefined(Use))
+            Engine.report(checks::IrDefBeforeUse, Severity::Warning,
+                          "variable '" + M.varName(Use) +
+                              "' may be read before any definition",
+                          stmtLoc(F, B, S));
+      if (St.Target != NoVar)
+        Define(St.Target);
+    }
+    std::vector<VarId> TermUses;
+    if (Block.Term == BasicBlock::Terminator::Branch &&
+        Block.CondExpr < ExprCount)
+      collectExprUses(F, Block.CondExpr, TermUses);
+    else if (Block.Term == BasicBlock::Terminator::Return &&
+             Block.HasRetValue && Block.RetExpr < ExprCount)
+      collectExprUses(F, Block.RetExpr, TermUses);
+    for (VarId Use : TermUses)
+      if (!IsDefined(Use))
+        Engine.report(checks::IrDefBeforeUse, Severity::Warning,
+                      "variable '" + M.varName(Use) +
+                          "' may be read before any definition in the "
+                          "terminator",
+                      blockLoc(F, B));
+  }
+}
+
+} // namespace
+
+void verify::runFunctionChecks(const Function &F, const Module &M,
+                               DiagnosticEngine &Engine) {
+  if (F.Blocks.empty()) {
+    Engine.report(checks::IrEmptyFunction, Severity::Error,
+                  "function has no basic blocks (block 1 is the entry)",
+                  F.Name);
+    return;
+  }
+  bool ExprsOk = checkExprPool(F, Engine);
+  checkBlocks(F, M, ExprsOk, Engine);
+  std::vector<bool> Reached = checkReachability(F, Engine);
+  if (ExprsOk)
+    checkDefBeforeUse(F, M, Reached, Engine);
+}
+
+void verify::runModuleChecks(const Module &M, DiagnosticEngine &Engine) {
+  for (const Function &F : M.Functions)
+    runFunctionChecks(F, M, Engine);
+  if (M.MainId >= M.Functions.size())
+    Engine.report(checks::IrCallTarget, Severity::Error,
+                  "module entry point " + std::to_string(M.MainId) +
+                      " names a missing function",
+                  "module");
+}

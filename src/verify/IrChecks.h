@@ -1,0 +1,33 @@
+//===- verify/IrChecks.h - IR/CFG-family invariant checks -------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IR family: structural and flow checks over lowered mini-language
+/// modules (src/ir/, src/lang/Lower output). Where ir/Ir.h's
+/// verifyFunction answers a bare yes/no, these checks name the violated
+/// invariant, locate it (function / block / statement) and keep going, so
+/// one run reports every problem in a module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_VERIFY_IRCHECKS_H
+#define TWPP_VERIFY_IRCHECKS_H
+
+#include "ir/Ir.h"
+#include "verify/Diagnostics.h"
+
+namespace twpp::verify {
+
+/// Runs every IR-family check over one function of \p M.
+void runFunctionChecks(const Function &F, const Module &M,
+                       DiagnosticEngine &Engine);
+
+/// Runs every IR-family check over every function of \p M.
+void runModuleChecks(const Module &M, DiagnosticEngine &Engine);
+
+} // namespace twpp::verify
+
+#endif // TWPP_VERIFY_IRCHECKS_H

@@ -1,0 +1,83 @@
+//===- verify/Verify.cpp - TWPP invariant verifier entry points -----------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Verify.h"
+
+#include "obs/Metrics.h"
+#include "obs/Names.h"
+#include "obs/PhaseSpan.h"
+#include "support/FileIO.h"
+#include "wpp/Twpp.h"
+#include "wpp/VerifyHooks.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace twpp;
+using namespace twpp::verify;
+
+bool verify::verifyArchiveFile(const std::string &Path,
+                               DiagnosticEngine &Engine) {
+  std::vector<uint8_t> Bytes;
+  if (!readFileBytes(Path, Bytes))
+    return false;
+  runArchiveBytesChecks(Bytes, Engine);
+  return true;
+}
+
+namespace {
+
+/// Glob for the pipeline assertions: TWPP_VERIFY_CHECKS when set, else
+/// every check (the archive family is all the pipeline hooks can reach).
+const char *hookGlob() {
+  const char *Env = std::getenv("TWPP_VERIFY_CHECKS");
+  return Env && Env[0] != '\0' ? Env : "*";
+}
+
+void recordAndEnforce(const DiagnosticEngine &Engine, const char *Stage) {
+  if (obs::enabled()) {
+    obs::MetricsRegistry &M = obs::metrics();
+    M.counter(obs::names::VerifyRuns).add();
+    M.counter(obs::names::VerifyDiagnostics)
+        .add(Engine.diagnostics().size());
+    M.counter(obs::names::VerifyErrors).add(Engine.count(Severity::Error));
+    M.counter(obs::names::VerifyWarnings)
+        .add(Engine.count(Severity::Warning));
+  }
+  if (Engine.empty())
+    return;
+  std::string Text = renderDiagnosticsText(Engine);
+  std::fprintf(stderr, "twpp verify (%s stage):\n%s", Stage, Text.c_str());
+  if (!Engine.clean()) {
+    std::fprintf(stderr,
+                 "twpp verify: aborting on error-severity diagnostics "
+                 "(TWPP_VERIFY is set)\n");
+    std::abort();
+  }
+}
+
+void verifyWppHook(const TwppWpp &Wpp, const char *Stage) {
+  obs::PhaseSpan Span("verify");
+  DiagnosticEngine Engine(hookGlob());
+  runWppChecks(Wpp, Engine);
+  recordAndEnforce(Engine, Stage);
+}
+
+void verifyArchiveBytesHook(const std::vector<uint8_t> &Bytes,
+                            const char *Stage) {
+  obs::PhaseSpan Span("verify");
+  DiagnosticEngine Engine(hookGlob());
+  runArchiveBytesChecks(Bytes, Engine);
+  recordAndEnforce(Engine, Stage);
+}
+
+} // namespace
+
+void verify::installPipelineVerifier() {
+  VerifyHooks &Hooks = verifyHooks();
+  Hooks.VerifyWpp = verifyWppHook;
+  Hooks.VerifyArchiveBytes = verifyArchiveBytesHook;
+}

@@ -13,6 +13,7 @@
 #include "support/ByteStream.h"
 #include "support/FileIO.h"
 #include "support/LZW.h"
+#include "wpp/VerifyHooks.h"
 
 #include <algorithm>
 #include <numeric>
@@ -218,6 +219,7 @@ std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp,
     Writer.patchFixed64(Row + 16, Wpp.Functions[F].CallCount);
   }
   std::vector<uint8_t> Out = Writer.take();
+  maybeVerifyArchiveBytes(Out, "archive_encode");
   if (obs::enabled()) {
     obs::MetricsRegistry &M = obs::metrics();
     static obs::Counter &Encodes = M.counter(obs::names::ArchiveEncodes);
@@ -234,6 +236,16 @@ bool twpp::writeArchiveFile(const std::string &Path, const TwppWpp &Wpp,
   return writeFileBytes(Path, encodeArchive(Wpp, Config));
 }
 
+bool ArchiveReader::fail(std::string CheckId, std::string Message,
+                         std::string Section, uint64_t ByteOffset) const {
+  LastError.CheckId = std::move(CheckId);
+  LastError.Sev = verify::Severity::Error;
+  LastError.Message = std::move(Message);
+  LastError.Location = std::move(Section);
+  LastError.ByteOffset = ByteOffset;
+  return false;
+}
+
 bool ArchiveReader::open(const std::string &ArchivePath) {
   obs::PhaseSpan Span("archive_open");
   static obs::Counter &IndexReads =
@@ -244,53 +256,89 @@ bool ArchiveReader::open(const std::string &ArchivePath) {
 
   std::vector<uint8_t> Prefix;
   if (!readFileSlice(Path, 0, PrefixSize + DcgFieldsSize, Prefix))
-    return false;
+    return fail("twpp-archive-header",
+                "cannot read the fixed header (file missing or smaller "
+                "than " +
+                    std::to_string(PrefixSize + DcgFieldsSize) + " bytes)",
+                "header", 0);
   ByteReader Reader(Prefix);
   if (Reader.readFixed32() != ArchiveMagic)
-    return false;
+    return fail("twpp-archive-header", "bad magic (not a TWPP archive)",
+                "header", 0);
   if (Reader.readFixed32() != ArchiveVersion)
-    return false;
+    return fail("twpp-archive-header", "unsupported archive version",
+                "header", 4);
   uint32_t FunctionCount = Reader.readFixed32();
   DcgOffset = Reader.readFixed64();
   DcgLength = Reader.readFixed64();
   if (Reader.hasError())
-    return false;
+    return fail("twpp-archive-header", "truncated fixed header", "header",
+                0);
   // Validate every extent against the actual file size so corrupt
   // headers cannot trigger absurd allocations later.
   uint64_t Size = fileSize(Path);
   if (DcgOffset > Size || DcgLength > Size - DcgOffset)
-    return false;
+    return fail("twpp-archive-header",
+                "DCG extent (offset " + std::to_string(DcgOffset) +
+                    ", length " + std::to_string(DcgLength) +
+                    ") runs past end of file (" + std::to_string(Size) +
+                    " bytes)",
+                "dcg extent", PrefixSize);
   if (static_cast<uint64_t>(FunctionCount) * IndexRowSize >
       Size - PrefixSize - DcgFieldsSize)
-    return false;
+    return fail("twpp-archive-header",
+                "function count " + std::to_string(FunctionCount) +
+                    " implies an index larger than the file",
+                "header", 8);
 
   std::vector<uint8_t> IndexBytes;
   if (!readFileSlice(Path, PrefixSize + DcgFieldsSize,
                      static_cast<uint64_t>(FunctionCount) * IndexRowSize,
                      IndexBytes))
-    return false;
+    return fail("twpp-archive-header", "cannot read the function index",
+                "index", PrefixSize + DcgFieldsSize);
   ByteReader IndexReader(IndexBytes);
   Index.resize(FunctionCount);
-  for (IndexEntry &Entry : Index) {
+  for (size_t F = 0; F != Index.size(); ++F) {
+    IndexEntry &Entry = Index[F];
     Entry.Offset = IndexReader.readFixed64();
     Entry.Length = IndexReader.readFixed64();
     Entry.CallCount = IndexReader.readFixed64();
-    if (Entry.Offset > Size || Entry.Length > Size - Entry.Offset)
-      return false;
+    if (Entry.Offset > Size || Entry.Length > Size - Entry.Offset) {
+      Index.clear();
+      return fail("twpp-archive-index-bounds",
+                  "block extent (offset " + std::to_string(Entry.Offset) +
+                      ", length " + std::to_string(Entry.Length) +
+                      ") runs past end of file",
+                  "index row " + std::to_string(F),
+                  PrefixSize + DcgFieldsSize + F * IndexRowSize);
+    }
   }
-  return IndexReader.valid();
+  if (!IndexReader.valid()) {
+    Index.clear();
+    return fail("twpp-archive-header", "truncated function index", "index",
+                PrefixSize + DcgFieldsSize);
+  }
+  return true;
 }
 
 bool ArchiveReader::extractFunction(FunctionId Function,
                                     TwppFunctionTable &Table) const {
   if (Function >= Index.size())
-    return false;
+    return fail("twpp-archive-index-bounds",
+                "function " + std::to_string(Function) +
+                    " not in the archive (index holds " +
+                    std::to_string(Index.size()) + " rows)",
+                "index", verify::NoByteOffset);
   obs::PhaseSpan Span("archive_extract", "function",
                       static_cast<int64_t>(Function));
   std::vector<uint8_t> Block;
   if (!readFileSlice(Path, Index[Function].Offset, Index[Function].Length,
                      Block))
-    return false;
+    return fail("twpp-archive-block-decode",
+                "cannot read the function block slice",
+                "function " + std::to_string(Function) + " block",
+                Index[Function].Offset);
   if (obs::enabled()) {
     // The Table 4 access-time story: one index row + one block per query.
     obs::MetricsRegistry &M = obs::metrics();
@@ -304,7 +352,11 @@ bool ArchiveReader::extractFunction(FunctionId Function,
     BytesRead.add(Block.size());
     BlockBytes.record(Block.size());
   }
-  return decodeTwppFunctionTable(Block, Table);
+  if (!decodeTwppFunctionTable(Block, Table))
+    return fail("twpp-archive-block-decode", "function block does not decode",
+                "function " + std::to_string(Function) + " block",
+                Index[Function].Offset);
+  return true;
 }
 
 bool ArchiveReader::extractFunctionPathTraces(FunctionId Function,
@@ -323,11 +375,17 @@ bool ArchiveReader::readDcg(DynamicCallGraph &Dcg) const {
   DcgReads.add();
   std::vector<uint8_t> Compressed;
   if (!readFileSlice(Path, DcgOffset, DcgLength, Compressed))
-    return false;
+    return fail("twpp-archive-dcg-decode", "cannot read the DCG slice",
+                "dcg", DcgOffset);
   std::vector<uint8_t> Raw;
   if (!lzwDecompress(Compressed, Raw))
-    return false;
-  return decodeDcg(Raw, Dcg);
+    return fail("twpp-archive-dcg-decode", "DCG does not LZW-decompress",
+                "dcg", DcgOffset);
+  if (!decodeDcg(Raw, Dcg))
+    return fail("twpp-archive-dcg-decode",
+                "decompressed DCG does not decode as a call graph", "dcg",
+                DcgOffset);
+  return true;
 }
 
 bool ArchiveReader::readAll(TwppWpp &Wpp) const {

@@ -25,6 +25,7 @@
 #ifndef TWPP_WPP_ARCHIVE_H
 #define TWPP_WPP_ARCHIVE_H
 
+#include "verify/Diagnostics.h" // header-only; no link dependency
 #include "wpp/Twpp.h"
 
 #include <string>
@@ -83,16 +84,29 @@ public:
   /// Loads the entire archive back into memory (DCG + every function).
   bool readAll(TwppWpp &Wpp) const;
 
+  /// Describes the most recent failure of any reader method as a
+  /// verifier diagnostic: the violated check id, the archive section
+  /// ("header", "index row 3", "function 2 block", "dcg") in Location,
+  /// and the file offset of the offending bytes in ByteOffset. Only
+  /// meaningful after a method returned false.
+  const verify::Diagnostic &lastError() const { return LastError; }
+
 private:
   struct IndexEntry {
     uint64_t Offset = 0;
     uint64_t Length = 0;
     uint64_t CallCount = 0;
   };
+
+  /// Records \p D as lastError() and returns false (failure shorthand).
+  bool fail(std::string CheckId, std::string Message, std::string Section,
+            uint64_t ByteOffset) const;
+
   std::string Path;
   uint64_t DcgOffset = 0;
   uint64_t DcgLength = 0;
   std::vector<IndexEntry> Index;
+  mutable verify::Diagnostic LastError;
 };
 
 } // namespace twpp

@@ -11,6 +11,7 @@
 #include "obs/PhaseSpan.h"
 #include "obs/Trace.h"
 #include "wpp/Sizes.h"
+#include "wpp/VerifyHooks.h"
 
 #include <cassert>
 #include <unordered_map>
@@ -147,6 +148,9 @@ TwppWpp StreamingCompactor::takeCompacted(const ParallelConfig &Config) {
     obs::PhaseSpan PartitionSpan("partition");
     return takePartitioned();
   }();
-  return convertToTwpp(applyDbbCompaction(std::move(Partitioned), Config),
-                       Config);
+  TwppWpp Out = convertToTwpp(applyDbbCompaction(std::move(Partitioned),
+                                                 Config),
+                              Config);
+  maybeVerifyWpp(Out, "streaming");
+  return Out;
 }

@@ -11,6 +11,7 @@
 #include "obs/PhaseSpan.h"
 #include "obs/Trace.h"
 #include "wpp/Sizes.h"
+#include "wpp/VerifyHooks.h"
 
 #include <algorithm>
 #include <cassert>
@@ -229,8 +230,10 @@ PartitionedWpp twpp::dbbToPartitioned(const DbbWpp &Wpp) {
 
 TwppWpp twpp::compactWpp(const RawTrace &Trace, const ParallelConfig &Config) {
   obs::PhaseSpan Span("compact");
-  return convertToTwpp(applyDbbCompaction(partitionWpp(Trace), Config),
-                       Config);
+  TwppWpp Out = convertToTwpp(applyDbbCompaction(partitionWpp(Trace), Config),
+                              Config);
+  maybeVerifyWpp(Out, "compact");
+  return Out;
 }
 
 RawTrace twpp::reconstructRawTrace(const TwppWpp &Wpp) {

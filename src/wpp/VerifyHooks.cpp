@@ -1,0 +1,35 @@
+//===- wpp/VerifyHooks.cpp - Pipeline verification seam -------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/VerifyHooks.h"
+
+#include <cstdlib>
+
+using namespace twpp;
+
+VerifyHooks &twpp::verifyHooks() {
+  static VerifyHooks Hooks;
+  return Hooks;
+}
+
+bool twpp::verifyEnvEnabled() {
+  static const bool Enabled = [] {
+    const char *Env = std::getenv("TWPP_VERIFY");
+    return Env && Env[0] != '\0' && !(Env[0] == '0' && Env[1] == '\0');
+  }();
+  return Enabled;
+}
+
+void twpp::maybeVerifyWpp(const TwppWpp &Wpp, const char *Stage) {
+  if (verifyEnvEnabled() && verifyHooks().VerifyWpp)
+    verifyHooks().VerifyWpp(Wpp, Stage);
+}
+
+void twpp::maybeVerifyArchiveBytes(const std::vector<uint8_t> &Bytes,
+                                   const char *Stage) {
+  if (verifyEnvEnabled() && verifyHooks().VerifyArchiveBytes)
+    verifyHooks().VerifyArchiveBytes(Bytes, Stage);
+}

@@ -1,0 +1,50 @@
+//===- wpp/VerifyHooks.h - Pipeline verification seam -----------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function-pointer seam through which the verifier library (src/verify/,
+/// which links *against* twpp_wpp) attaches post-stage assertions to the
+/// compaction pipeline without creating a dependency cycle. The pipeline
+/// calls the hooks only when TWPP_VERIFY is set in the environment and a
+/// verifier has been installed (verify::installPipelineVerifier()); both
+/// default to off, so library consumers pay one pointer load per stage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_WPP_VERIFYHOOKS_H
+#define TWPP_WPP_VERIFYHOOKS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace twpp {
+
+struct TwppWpp;
+
+/// The installable verification callbacks. \p Stage names the pipeline
+/// stage that produced the value ("compact", "streaming",
+/// "archive_encode") for diagnostics and span attribution.
+struct VerifyHooks {
+  void (*VerifyWpp)(const TwppWpp &Wpp, const char *Stage) = nullptr;
+  void (*VerifyArchiveBytes)(const std::vector<uint8_t> &Bytes,
+                             const char *Stage) = nullptr;
+};
+
+/// The process-global hook table.
+VerifyHooks &verifyHooks();
+
+/// True when the TWPP_VERIFY environment variable asks for post-stage
+/// verification (set and not "0").
+bool verifyEnvEnabled();
+
+/// Convenience guards used at the pipeline call sites.
+void maybeVerifyWpp(const TwppWpp &Wpp, const char *Stage);
+void maybeVerifyArchiveBytes(const std::vector<uint8_t> &Bytes,
+                             const char *Stage);
+
+} // namespace twpp
+
+#endif // TWPP_WPP_VERIFYHOOKS_H
