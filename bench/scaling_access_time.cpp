@@ -73,13 +73,15 @@ int main(int Argc, char **Argv) {
 
     Table.addRow({std::to_string(P.TargetCalls),
                   std::to_string(Trace.Events.size()),
-                  formatDouble(fileSize(OwppPath) / 1024.0, 1),
-                  formatDouble(fileSize(ArchivePath) / 1024.0, 1),
+                  formatDouble(fileSize(OwppPath).value_or(0) / 1024.0, 1),
+                  formatDouble(fileSize(ArchivePath).value_or(0) / 1024.0, 1),
                   formatDouble(U.mean(), 2), formatDouble(C.mean(), 3),
                   formatFactor(U.mean() / std::max(C.mean(), 1e-9))});
     std::remove(OwppPath.c_str());
     std::remove(ArchivePath.c_str());
-    Telemetry.checkpoint("x" + std::to_string(Scale));
+    std::string Label = "x";
+    Label += std::to_string(Scale);
+    Telemetry.checkpoint(Label);
   }
   Table.print();
   return 0;

@@ -75,8 +75,8 @@ int main(int Argc, char **Argv) {
       TwppTime.add(Sw.elapsedMs());
     }
 
-    uint64_t SequiturBytes = fileSize(GrammarPath);
-    uint64_t ArchiveBytes = fileSize(ArchivePath);
+    uint64_t SequiturBytes = fileSize(GrammarPath).value_or(0);
+    uint64_t ArchiveBytes = fileSize(ArchivePath).value_or(0);
     double SeqTotal = Read.mean() + Process.mean();
     Table.addRow({Data.Profile.Name, kb(SequiturBytes), kb(ArchiveBytes),
                   formatDouble(Read.mean(), 1),

@@ -69,12 +69,33 @@ int usage() {
       "       --metrics-out <path>   write pipeline telemetry as JSON\n"
       "       --metrics-table        print telemetry tables to stderr\n"
       "       --trace-out <path>     write Chrome trace-event JSON "
-      "timeline\n");
+      "timeline\n"
+      "durability options (trace command):\n"
+      "       --journal <path>       checkpoint compactor state to a\n"
+      "                              crash-recovery journal (*.twppj)\n"
+      "       --checkpoint-interval N\n"
+      "                              events between checkpoints (default\n"
+      "                              4096 when --journal is set)\n"
+      "       --memory-budget BYTES  degrade (drop oldest open frame's\n"
+      "                              block detail) past this state size\n"
+      "       --resume <journal>     skip execution; rebuild the compactor\n"
+      "                              from the journal's last checkpoint and\n"
+      "                              write the archive of that prefix\n"
+      "exit codes: 0 success, 1 command failed (bad input, corrupt\n"
+      "archive/journal, write failure), 2 usage error\n");
   return 2;
 }
 
 /// Parallelism for the compaction stages, set by the global --jobs flag.
 ParallelConfig Jobs;
+
+/// Durability knobs for the trace command, set by the global --journal /
+/// --checkpoint-interval / --memory-budget flags.
+StreamingConfig StreamCfg;
+
+/// When set (--resume), the trace command skips execution and finalizes
+/// the archive from this journal's last checkpoint.
+std::string ResumeJournal;
 
 bool readTextFile(const std::string &Path, std::string &Text) {
   std::vector<uint8_t> Bytes;
@@ -102,8 +123,51 @@ int cmdTrace(int Argc, char **Argv) {
   for (int I = 4; I < Argc; ++I)
     Inputs.push_back(std::atoll(Argv[I]));
 
-  // Online compaction: the raw event stream never exists.
-  StreamingCompactor Sink(static_cast<uint32_t>(M.Functions.size()));
+  if (!ResumeJournal.empty()) {
+    // Crash recovery: rebuild the compactor from the journal's last
+    // checkpoint and write the archive of that prefix. Open calls the
+    // checkpoint caught mid-flight are closed with the blocks recorded
+    // so far.
+    std::string ResumeError;
+    std::unique_ptr<StreamingCompactor> Sink =
+        StreamingCompactor::resumeFromJournal(ResumeJournal, StreamCfg,
+                                              &ResumeError);
+    if (!Sink) {
+      std::fprintf(stderr, "cannot resume from %s: %s\n",
+                   ResumeJournal.c_str(), ResumeError.c_str());
+      return 1;
+    }
+    if (Sink->functionCount() != static_cast<uint32_t>(M.Functions.size())) {
+      std::fprintf(stderr,
+                   "journal %s records %u functions but %s has %zu — "
+                   "wrong program?\n",
+                   ResumeJournal.c_str(), Sink->functionCount(), Argv[2],
+                   M.Functions.size());
+      return 1;
+    }
+    uint64_t Events = Sink->eventsConsumed();
+    while (!Sink->balanced())
+      Sink->onExit();
+    TwppWpp Compacted = Sink->takeCompacted(Jobs);
+    IoError WriteError;
+    if (!writeArchiveFile(Argv[3], Compacted, Jobs, &WriteError)) {
+      std::fprintf(stderr, "cannot write %s: %s\n", Argv[3],
+                   WriteError.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "wrote %s from %s (%llu checkpointed events recovered)\n",
+                 Argv[3], ResumeJournal.c_str(),
+                 (unsigned long long)Events);
+    return 0;
+  }
+
+  // Online compaction: the raw event stream never exists. With --journal
+  // the compactor checkpoints its state as it goes.
+  if (!StreamCfg.JournalPath.empty() && StreamCfg.CheckpointInterval == 0)
+    StreamCfg.CheckpointInterval = 4096;
+  StreamingCompactor Sink(static_cast<uint32_t>(M.Functions.size()),
+                          StreamCfg);
   Interpreter Interp(M, Sink);
   ExecutionResult Result = Interp.run(Inputs);
   if (!Result.Completed) {
@@ -113,9 +177,26 @@ int cmdTrace(int Argc, char **Argv) {
   for (int64_t Value : Result.Output)
     std::printf("%lld\n", static_cast<long long>(Value));
 
+  if (!StreamCfg.JournalPath.empty()) {
+    IoError Checkpoint = Sink.checkpointNow();
+    if (!Checkpoint)
+      std::fprintf(stderr, "warning: final checkpoint failed: %s\n",
+                   Checkpoint.message().c_str());
+  }
+  if (!Sink.lastJournalError().ok())
+    std::fprintf(stderr, "warning: journaling degraded: %s\n",
+                 Sink.lastJournalError().message().c_str());
+  if (Sink.degradedFrames() > 0)
+    std::fprintf(stderr,
+                 "warning: memory budget dropped block detail of %llu "
+                 "open frames\n",
+                 (unsigned long long)Sink.degradedFrames());
+
   TwppWpp Compacted = Sink.takeCompacted(Jobs);
-  if (!writeArchiveFile(Argv[3], Compacted, Jobs)) {
-    std::fprintf(stderr, "cannot write %s\n", Argv[3]);
+  IoError WriteError;
+  if (!writeArchiveFile(Argv[3], Compacted, Jobs, &WriteError)) {
+    std::fprintf(stderr, "cannot write %s: %s\n", Argv[3],
+                 WriteError.message().c_str());
     return 1;
   }
   std::fprintf(stderr, "wrote %s (%llu blocks executed, %zu functions)\n",
@@ -261,6 +342,24 @@ int main(int Argc, char **Argv) {
       if (I + 1 >= Argc)
         return usage();
       Jobs.Jobs = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (std::strcmp(Argv[I], "--journal") == 0) {
+      if (I + 1 >= Argc)
+        return usage();
+      StreamCfg.JournalPath = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--checkpoint-interval") == 0) {
+      if (I + 1 >= Argc)
+        return usage();
+      StreamCfg.CheckpointInterval =
+          static_cast<uint64_t>(std::atoll(Argv[++I]));
+    } else if (std::strcmp(Argv[I], "--memory-budget") == 0) {
+      if (I + 1 >= Argc)
+        return usage();
+      StreamCfg.MemoryBudgetBytes =
+          static_cast<uint64_t>(std::atoll(Argv[++I]));
+    } else if (std::strcmp(Argv[I], "--resume") == 0) {
+      if (I + 1 >= Argc)
+        return usage();
+      ResumeJournal = Argv[++I];
     } else if (std::strcmp(Argv[I], "--metrics-table") == 0) {
       MetricsTable = true;
     } else {

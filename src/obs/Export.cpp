@@ -59,11 +59,15 @@ void names::registerCanonicalMetrics(MetricsRegistry &Registry) {
         ArchiveBlockBytesRead, ArchiveDcgReads, VerifyRuns,
         VerifyDiagnostics, VerifyErrors, VerifyWarnings, DataflowQueries,
         DataflowSubqueries, DataflowNodesVisited, DataflowCacheHits,
-        DataflowCacheMisses})
+        DataflowCacheMisses, IoWrites, IoReads, IoAtomicWrites,
+        IoWriteRetries, IoWriteFailures, IoShortReads, IoFaultsInjected,
+        JournalCheckpoints, JournalCheckpointFailures, JournalBytes,
+        JournalResumes, JournalRecordsDropped, StreamDegraded})
     Registry.counter(Name);
   for (const char *Name : {PoolWorkers, PoolQueueDepth, PartitionBytesIn,
                            PartitionBytesOut, DbbBytesIn, DbbBytesOut,
-                           TwppBytesIn, TwppBytesOut, ArchiveBytes})
+                           TwppBytesIn, TwppBytesOut, ArchiveBytes,
+                           StreamStateBytes})
     Registry.gauge(Name);
   Registry.histogram(PartitionTraceLength, powerOfTwoBounds(1u << 20));
   Registry.histogram(ArchiveBlockBytes, powerOfTwoBounds(1u << 24));
@@ -181,5 +185,6 @@ std::string obs::exportMetricsJsonLines(const MetricsRegistry &Registry,
 bool obs::writeMetricsJsonFile(const std::string &Path,
                                const MetricsRegistry &Registry) {
   std::string Json = exportMetricsJson(Registry);
-  return writeFileBytes(Path, std::vector<uint8_t>(Json.begin(), Json.end()));
+  return writeFileBytes(Path, std::vector<uint8_t>(Json.begin(), Json.end()))
+      .ok();
 }

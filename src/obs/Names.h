@@ -68,6 +68,27 @@ inline constexpr const char *LzwDecompressBytesIn = "lzw.decompress_bytes_in";
 inline constexpr const char *LzwDecompressBytesOut =
     "lzw.decompress_bytes_out";
 
+// support/FileIO — durable file IO (atomic writes, retry, fault seam).
+inline constexpr const char *IoWrites = "io.writes";
+inline constexpr const char *IoReads = "io.reads";
+inline constexpr const char *IoAtomicWrites = "io.atomic_writes";
+inline constexpr const char *IoWriteRetries = "io.write_retries";
+inline constexpr const char *IoWriteFailures = "io.write_failures";
+inline constexpr const char *IoShortReads = "io.short_reads";
+inline constexpr const char *IoFaultsInjected = "io.faults_injected";
+
+// wpp/Journal + wpp/Streaming durability — checkpointing, recovery and
+// budget-driven degradation of the online compactor.
+inline constexpr const char *JournalCheckpoints = "journal.checkpoints";
+inline constexpr const char *JournalCheckpointFailures =
+    "journal.checkpoint_failures";
+inline constexpr const char *JournalBytes = "journal.bytes";
+inline constexpr const char *JournalResumes = "journal.resumes";
+inline constexpr const char *JournalRecordsDropped =
+    "journal.records_dropped";
+inline constexpr const char *StreamDegraded = "stream.degraded";
+inline constexpr const char *StreamStateBytes = "stream.state_bytes";
+
 // wpp/Archive — the on-disk format and its random-access reader.
 inline constexpr const char *ArchiveEncodes = "archive.encodes";
 inline constexpr const char *ArchiveBytes = "archive.bytes";

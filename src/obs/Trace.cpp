@@ -152,5 +152,6 @@ std::string obs::exportTraceJson(const TraceRecorder &Recorder) {
 bool obs::writeTraceJsonFile(const std::string &Path,
                              const TraceRecorder &Recorder) {
   std::string Json = exportTraceJson(Recorder);
-  return writeFileBytes(Path, std::vector<uint8_t>(Json.begin(), Json.end()));
+  return writeFileBytes(Path, std::vector<uint8_t>(Json.begin(), Json.end()))
+      .ok();
 }

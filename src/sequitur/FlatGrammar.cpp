@@ -122,7 +122,7 @@ void twpp::extractFunctionTracesFromGrammar(
 
 bool twpp::writeGrammarFile(const std::string &Path,
                             const FlatGrammar &Grammar) {
-  return writeFileBytes(Path, encodeGrammar(Grammar));
+  return writeFileBytes(Path, encodeGrammar(Grammar)).ok();
 }
 
 bool twpp::readGrammarFile(const std::string &Path, FlatGrammar &Grammar) {

@@ -58,7 +58,7 @@ bool twpp::decodeUncompactedTrace(const std::vector<uint8_t> &Bytes,
 
 bool twpp::writeUncompactedTraceFile(const std::string &Path,
                                      const RawTrace &Trace) {
-  return writeFileBytes(Path, encodeUncompactedTrace(Trace));
+  return writeFileBytes(Path, encodeUncompactedTrace(Trace)).ok();
 }
 
 bool twpp::readUncompactedTraceFile(const std::string &Path,

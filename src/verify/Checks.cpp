@@ -57,6 +57,27 @@ const std::vector<CheckInfo> &verify::checkCatalog() {
        "per-function DCG node counts equal the function tables' call "
        "counts"},
 
+      // Recover family.
+      {checks::RecoverInput, "recover", Severity::Error,
+       "the damaged file is recognizably a TWPP archive (magic, version, "
+       "minimum header) and its header fields are usable"},
+      {checks::RecoverIndexRow, "recover", Severity::Warning,
+       "an index row was unreadable or referenced bytes past the end of "
+       "the file; that function was dropped from the salvage"},
+      {checks::RecoverBlock, "recover", Severity::Warning,
+       "a function block failed to decode or verify (or disagreed with "
+       "the call graph); that function was dropped from the salvage"},
+      {checks::RecoverDcg, "recover", Severity::Error,
+       "the dynamic call graph could not be recovered and surviving "
+       "function tables still record calls"},
+      {checks::RecoverAlloc, "recover", Severity::Error,
+       "an allocation failed while rebuilding the archive"},
+      {checks::RecoverVerify, "recover", Severity::Error,
+       "the rewritten archive still fails verification (damage the "
+       "salvage strategies cannot isolate)"},
+      {checks::RecoverOutput, "recover", Severity::Error,
+       "the salvaged archive could not be written"},
+
       // IR family.
       {checks::IrEmptyFunction, "ir", Severity::Error,
        "every function has at least one basic block (block 1 is the "

@@ -47,6 +47,17 @@ inline constexpr const char *DbbChainMaximality = "twpp-dbb-chain-maximality";
 inline constexpr const char *DcgConsistency = "twpp-dcg-consistency";
 inline constexpr const char *DcgCallCounts = "twpp-dcg-call-counts";
 
+// Recover family: diagnostics of the twpp_recover salvage tool
+// (verify/Recover.h). Warnings mark data the salvage dropped; errors
+// mark damage salvage cannot work around.
+inline constexpr const char *RecoverInput = "twpp-recover-input";
+inline constexpr const char *RecoverIndexRow = "twpp-recover-index-row";
+inline constexpr const char *RecoverBlock = "twpp-recover-block";
+inline constexpr const char *RecoverDcg = "twpp-recover-dcg";
+inline constexpr const char *RecoverAlloc = "twpp-recover-alloc";
+inline constexpr const char *RecoverVerify = "twpp-recover-verify";
+inline constexpr const char *RecoverOutput = "twpp-recover-output";
+
 // IR family: lowered mini-language modules (src/ir/, src/lang/Lower).
 inline constexpr const char *IrEmptyFunction = "twpp-ir-empty-function";
 inline constexpr const char *IrEdgeTarget = "twpp-ir-edge-target";
@@ -68,12 +79,13 @@ inline constexpr const char *DataflowAnnotationSubset =
 /// One catalog row.
 struct CheckInfo {
   const char *Id;
-  const char *Family; ///< "archive", "ir" or "dataflow".
+  const char *Family; ///< "archive", "recover", "ir" or "dataflow".
   Severity DefaultSev;
   const char *Summary;
 };
 
-/// Every implemented check, in catalog order (archive, ir, dataflow).
+/// Every implemented check, in catalog order (archive, recover, ir,
+/// dataflow).
 const std::vector<CheckInfo> &checkCatalog();
 
 /// Catalog row for \p Id, or nullptr for an unknown id.

@@ -1,0 +1,480 @@
+//===- verify/Recover.cpp - Torn-archive salvage --------------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Recover.h"
+
+#include "obs/Json.h"
+#include "support/FaultInjection.h"
+#include "support/FileIO.h"
+#include "support/LZW.h"
+#include "verify/ArchiveChecks.h"
+#include "verify/Checks.h"
+#include "wpp/Archive.h"
+
+#include <algorithm>
+#include <new>
+
+using namespace twpp;
+using namespace twpp::recover;
+using namespace twpp::verify;
+
+namespace {
+
+// The fixed layout (wpp/Archive.h). Salvage parses the header by hand
+// because ArchiveReader rejects at the first inconsistency, while salvage
+// must keep going past one.
+constexpr uint32_t ArchiveMagic = 0x54575050;
+constexpr uint32_t ArchiveVersion = 1;
+constexpr size_t PrefixSize = 12;
+constexpr size_t DcgFieldsSize = 16;
+constexpr size_t IndexRowSize = 24;
+constexpr size_t HeaderSize = PrefixSize + DcgFieldsSize;
+
+uint32_t le32At(const std::vector<uint8_t> &Bytes, size_t Pos) {
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(Bytes[Pos + I]) << (8 * I);
+  return V;
+}
+
+uint64_t le64At(const std::vector<uint8_t> &Bytes, size_t Pos) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(Bytes[Pos + I]) << (8 * I);
+  return V;
+}
+
+/// Mirror of the verifier's anchor bound (verify/ArchiveChecks.cpp
+/// checkDcg): the uncompacted length behind unique trace \p T.
+uint64_t expandedTraceLength(const TwppFunctionTable &Table, uint32_t T) {
+  auto [StringIdx, DictIdx] = Table.Traces[T];
+  if (StringIdx >= Table.TraceStrings.size() ||
+      DictIdx >= Table.Dictionaries.size())
+    return 0;
+  const TwppTrace &Trace = Table.TraceStrings[StringIdx];
+  const DbbDictionary &Dict = Table.Dictionaries[DictIdx];
+  uint64_t Length = 0;
+  for (const auto &[Block, Set] : Trace.Blocks) {
+    const std::vector<BlockId> *Chain = Dict.findChain(Block);
+    Length += Set.count() * (Chain ? Chain->size() : 1);
+  }
+  return Length;
+}
+
+/// Removes every node whose function is dropped (or out of range),
+/// hoisting each removed node's surviving descendants onto its nearest
+/// kept ancestor at the anchor where the removed call sat. Subtrees are
+/// temporally nested, so descendants always carry larger indices than
+/// their ancestors — processing in reverse index order has every child's
+/// replacement ready before its parent needs it, and the monotone index
+/// remap preserves the forward-edge invariant.
+DynamicCallGraph spliceDcg(const DynamicCallGraph &Dcg,
+                           const std::vector<bool> &DropFn,
+                           size_t FunctionCount) {
+  const size_t N = Dcg.Nodes.size();
+  auto Dropped = [&](const DcgNode &Node) {
+    return Node.Function >= FunctionCount || DropFn[Node.Function];
+  };
+  std::vector<std::vector<uint32_t>> Replacement(N);
+  std::vector<bool> Keep(N, false);
+  for (size_t I = N; I-- > 0;) {
+    const DcgNode &Node = Dcg.Nodes[I];
+    Keep[I] = !Dropped(Node);
+    if (Keep[I])
+      continue;
+    std::vector<uint32_t> Hoisted;
+    for (uint32_t Child : Node.Children) {
+      // Backward or out-of-range edges are corrupt; dropping them may
+      // orphan a subtree, which the final re-verification then reports.
+      if (Child >= N || Child <= I)
+        continue;
+      if (Keep[Child])
+        Hoisted.push_back(Child);
+      else
+        Hoisted.insert(Hoisted.end(), Replacement[Child].begin(),
+                       Replacement[Child].end());
+    }
+    Replacement[I] = std::move(Hoisted);
+  }
+
+  std::vector<uint32_t> NewIndex(N, 0);
+  uint32_t Next = 0;
+  for (size_t I = 0; I < N; ++I)
+    if (Keep[I])
+      NewIndex[I] = Next++;
+
+  DynamicCallGraph Out;
+  Out.Nodes.reserve(Next);
+  for (size_t I = 0; I < N; ++I) {
+    if (!Keep[I])
+      continue;
+    const DcgNode &Node = Dcg.Nodes[I];
+    DcgNode New{Node.Function, Node.TraceIndex, {}, {}};
+    for (size_t C = 0; C < Node.Children.size(); ++C) {
+      uint32_t Child = Node.Children[C];
+      if (Child >= N || Child <= I)
+        continue;
+      uint32_t Anchor = C < Node.Anchors.size() ? Node.Anchors[C] : 0;
+      if (Keep[Child]) {
+        New.Children.push_back(NewIndex[Child]);
+        New.Anchors.push_back(Anchor);
+      } else {
+        for (uint32_t R : Replacement[Child]) {
+          New.Children.push_back(NewIndex[R]);
+          New.Anchors.push_back(Anchor);
+        }
+      }
+    }
+    Out.Nodes.push_back(std::move(New));
+  }
+  for (uint32_t Root : Dcg.Roots) {
+    if (Root >= N)
+      continue;
+    if (Keep[Root])
+      Out.Roots.push_back(NewIndex[Root]);
+    else
+      for (uint32_t R : Replacement[Root])
+        Out.Roots.push_back(NewIndex[R]);
+  }
+  return Out;
+}
+
+/// Files a diagnostic into the report.
+void note(SalvageReport &Report, const char *CheckId, Severity Sev,
+          std::string Message, std::string Location = "",
+          uint64_t ByteOffset = NoByteOffset) {
+  Report.Diagnostics.push_back(Diagnostic{
+      CheckId, Sev, std::move(Message), std::move(Location), ByteOffset});
+}
+
+/// Records function \p F as dropped (capping the id list) and notes why.
+void dropFunction(SalvageReport &Report, std::vector<bool> &DropFn,
+                  uint32_t F, const char *CheckId, std::string Message,
+                  uint64_t ByteOffset = NoByteOffset) {
+  if (DropFn[F])
+    return;
+  DropFn[F] = true;
+  ++Report.FunctionsDropped;
+  if (Report.DroppedFunctions.size() < SalvageReport::DroppedFunctionIdCap)
+    Report.DroppedFunctions.push_back(F);
+  note(Report, CheckId, Severity::Warning, std::move(Message),
+       "function " + std::to_string(F), ByteOffset);
+}
+
+bool salvageImpl(const std::vector<uint8_t> &Bytes, std::vector<uint8_t> &Out,
+                 SalvageReport &Report) {
+  Report.InputBytes = Bytes.size();
+  if (Bytes.size() < HeaderSize) {
+    note(Report, checks::RecoverInput, Severity::Error,
+         "file holds " + std::to_string(Bytes.size()) +
+             " bytes, smaller than the fixed header (" +
+             std::to_string(HeaderSize) + ")",
+         "header", 0);
+    return false;
+  }
+  if (le32At(Bytes, 0) != ArchiveMagic) {
+    note(Report, checks::RecoverInput, Severity::Error,
+         "bad magic (not a TWPP archive)", "header", 0);
+    return false;
+  }
+  if (le32At(Bytes, 4) != ArchiveVersion) {
+    note(Report, checks::RecoverInput, Severity::Error,
+         "unsupported archive version", "header", 4);
+    return false;
+  }
+
+  uint32_t ClaimedCount = le32At(Bytes, 8);
+  uint64_t MaxRows = (Bytes.size() - HeaderSize) / IndexRowSize;
+  uint32_t Count = ClaimedCount;
+  if (ClaimedCount > MaxRows) {
+    // A corrupt count must not drive the allocation below; rows beyond
+    // what the file physically holds are unreadable anyway.
+    Count = static_cast<uint32_t>(MaxRows);
+    note(Report, checks::RecoverIndexRow, Severity::Warning,
+         "header claims " + std::to_string(ClaimedCount) +
+             " functions but the file can hold at most " +
+             std::to_string(MaxRows) + " index rows; functions " +
+             std::to_string(Count) + ".." + std::to_string(ClaimedCount - 1) +
+             " are lost",
+         "header", 8);
+  }
+  Report.FunctionsTotal = Count;
+
+  // The DCG: recover it if its extent is intact and decodes.
+  uint64_t DcgOffset = le64At(Bytes, PrefixSize);
+  uint64_t DcgLength = le64At(Bytes, PrefixSize + 8);
+  DynamicCallGraph Dcg;
+  if (DcgOffset > Bytes.size() || DcgLength > Bytes.size() - DcgOffset) {
+    note(Report, checks::RecoverDcg, Severity::Warning,
+         "DCG extent (offset " + std::to_string(DcgOffset) + ", length " +
+             std::to_string(DcgLength) + ") runs past end of file",
+         "dcg", PrefixSize);
+  } else {
+    std::vector<uint8_t> Compressed(Bytes.begin() + DcgOffset,
+                                    Bytes.begin() + DcgOffset + DcgLength);
+    std::vector<uint8_t> Serialized;
+    if (!lzwDecompress(Compressed, Serialized))
+      note(Report, checks::RecoverDcg, Severity::Warning,
+           "DCG bytes do not LZW-decompress", "dcg", DcgOffset);
+    else if (!decodeDcg(Serialized, Dcg))
+      note(Report, checks::RecoverDcg, Severity::Warning,
+           "decompressed DCG does not decode as a call graph", "dcg",
+           DcgOffset);
+    else
+      Report.DcgRecovered = true;
+  }
+
+  // Walk the index; keep every block that decodes and verifies on its
+  // own. Each block is an independent extent, so one torn block costs
+  // exactly one function.
+  std::vector<TwppFunctionTable> Tables(Count);
+  std::vector<bool> DropFn(Count, false);
+  std::vector<uint64_t> IndexCalls(Count, 0);
+  for (uint32_t F = 0; F < Count; ++F) {
+    fault::maybeFailAlloc();
+    size_t Row = HeaderSize + static_cast<size_t>(F) * IndexRowSize;
+    uint64_t Offset = le64At(Bytes, Row);
+    uint64_t Length = le64At(Bytes, Row + 8);
+    IndexCalls[F] = le64At(Bytes, Row + 16);
+    if (Offset > Bytes.size() || Length > Bytes.size() - Offset) {
+      dropFunction(Report, DropFn, F, checks::RecoverIndexRow,
+                   "block extent (offset " + std::to_string(Offset) +
+                       ", length " + std::to_string(Length) +
+                       ") runs past end of file",
+                   Row);
+      continue;
+    }
+    std::vector<uint8_t> Block(Bytes.begin() + Offset,
+                               Bytes.begin() + Offset + Length);
+    if (!decodeTwppFunctionTable(Block, Tables[F])) {
+      dropFunction(Report, DropFn, F, checks::RecoverBlock,
+                   "function block does not decode", Offset);
+      Tables[F] = TwppFunctionTable();
+      continue;
+    }
+    DiagnosticEngine TableEngine;
+    runFunctionTableChecks(Tables[F], F, TableEngine);
+    if (!TableEngine.clean()) {
+      dropFunction(Report, DropFn, F, checks::RecoverBlock,
+                   "function block decodes but fails verification (" +
+                       TableEngine.diagnostics().front().Message + ")",
+                   Offset);
+      Tables[F] = TwppFunctionTable();
+    }
+  }
+
+  // Cross-check surviving tables against the DCG; a disagreement means
+  // one of the two is damaged in a way the independent checks missed, so
+  // the function is dropped too. Each check depends only on the function
+  // itself (splicing other functions out never changes this function's
+  // node set), so one pass reaches the fixpoint.
+  if (Report.DcgRecovered) {
+    std::vector<uint64_t> NodeCounts(Count, 0);
+    bool UnknownCallee = false;
+    for (const DcgNode &Node : Dcg.Nodes) {
+      if (Node.Function < Count)
+        ++NodeCounts[Node.Function];
+      else
+        UnknownCallee = true;
+    }
+    if (UnknownCallee)
+      note(Report, checks::RecoverBlock, Severity::Warning,
+           "DCG records calls to functions beyond the recovered index; "
+           "those calls are spliced out",
+           "dcg");
+    for (const DcgNode &Node : Dcg.Nodes) {
+      if (Node.Function >= Count || DropFn[Node.Function])
+        continue;
+      uint32_t F = Node.Function;
+      const TwppFunctionTable &Table = Tables[F];
+      if (Node.TraceIndex >= Table.Traces.size()) {
+        dropFunction(Report, DropFn, F, checks::RecoverBlock,
+                     "DCG references unique trace " +
+                         std::to_string(Node.TraceIndex) +
+                         " the recovered block does not hold");
+        continue;
+      }
+      if (Node.Anchors.size() != Node.Children.size()) {
+        dropFunction(Report, DropFn, F, checks::RecoverBlock,
+                     "DCG node has mismatched child/anchor counts");
+        continue;
+      }
+      uint64_t TraceLength = expandedTraceLength(Table, Node.TraceIndex);
+      uint32_t Prev = 0;
+      for (uint32_t Anchor : Node.Anchors) {
+        if (Anchor < Prev || Anchor > TraceLength) {
+          dropFunction(Report, DropFn, F, checks::RecoverBlock,
+                       "DCG anchors inconsistent with the recovered "
+                       "trace");
+          break;
+        }
+        Prev = Anchor;
+      }
+    }
+    for (uint32_t F = 0; F < Count; ++F)
+      if (!DropFn[F] && NodeCounts[F] != Tables[F].CallCount)
+        dropFunction(Report, DropFn, F, checks::RecoverBlock,
+                     "DCG holds " + std::to_string(NodeCounts[F]) +
+                         " calls but the recovered block records " +
+                         std::to_string(Tables[F].CallCount));
+  }
+
+  for (uint32_t F = 0; F < Count; ++F) {
+    if (DropFn[F]) {
+      Report.CallsLost += std::max(IndexCalls[F], Tables[F].CallCount);
+      Tables[F] = TwppFunctionTable();
+    } else {
+      ++Report.FunctionsKept;
+    }
+  }
+
+  if (!Report.DcgRecovered) {
+    uint64_t KeptCalls = 0;
+    for (uint32_t F = 0; F < Count; ++F)
+      KeptCalls += Tables[F].CallCount;
+    if (KeptCalls > 0) {
+      note(Report, checks::RecoverDcg, Severity::Error,
+           "the call graph is unrecoverable and the surviving function "
+           "tables still record " +
+               std::to_string(KeptCalls) +
+               " calls; an archive cannot link them without it",
+           "dcg");
+      return false;
+    }
+    // Zero surviving calls: an empty call graph is vacuously consistent.
+    Dcg = DynamicCallGraph();
+  }
+
+  fault::maybeFailAlloc();
+  TwppWpp Salvaged;
+  Salvaged.Dcg = spliceDcg(Dcg, DropFn, Count);
+  Salvaged.Functions = std::move(Tables);
+  Out = encodeArchive(Salvaged);
+
+  // The contract gate: what twpp_recover writes must pass the full
+  // byte-level verifier, or salvage reports failure — never a
+  // plausible-looking but broken archive.
+  DiagnosticEngine Final;
+  runArchiveBytesChecks(Out, Final);
+  if (!Final.clean()) {
+    note(Report, checks::RecoverVerify, Severity::Error,
+         "rewritten archive still fails verification (" +
+             std::to_string(Final.errorCount()) + " errors; first: " +
+             Final.diagnostics().front().Message + ")");
+    Out.clear();
+    return false;
+  }
+  Report.OutputBytes = Out.size();
+  return true;
+}
+
+} // namespace
+
+bool SalvageReport::fatal() const {
+  for (const Diagnostic &D : Diagnostics)
+    if (D.Sev == Severity::Error)
+      return true;
+  return false;
+}
+
+bool recover::salvageArchive(const std::vector<uint8_t> &Bytes,
+                             std::vector<uint8_t> &Out,
+                             SalvageReport &Report) {
+  Out.clear();
+  try {
+    Report.Salvaged = salvageImpl(Bytes, Out, Report);
+  } catch (const std::bad_alloc &) {
+    note(Report, checks::RecoverAlloc, Severity::Error,
+         "allocation failed while rebuilding the archive");
+    Out.clear();
+    Report.Salvaged = false;
+  }
+  return Report.Salvaged;
+}
+
+bool recover::salvageArchiveFile(const std::string &InputPath,
+                                 const std::string &OutputPath,
+                                 SalvageReport &Report) {
+  std::vector<uint8_t> Bytes;
+  IoError Read = readFileBytes(InputPath, Bytes);
+  if (!Read) {
+    note(Report, checks::RecoverInput, Severity::Error,
+         "cannot read input: " + Read.message());
+    return false;
+  }
+  std::vector<uint8_t> Out;
+  if (!salvageArchive(Bytes, Out, Report))
+    return false;
+  IoError Write = writeFileBytesAtomic(OutputPath, Out);
+  if (!Write) {
+    note(Report, checks::RecoverOutput, Severity::Error,
+         "cannot write salvaged archive: " + Write.message());
+    Report.Salvaged = false;
+    return false;
+  }
+  return true;
+}
+
+std::string recover::renderSalvageReportText(const SalvageReport &Report) {
+  std::string Text;
+  for (const Diagnostic &D : Report.Diagnostics) {
+    Text += severityName(D.Sev);
+    Text += ": [" + D.CheckId + "]";
+    if (!D.Location.empty())
+      Text += " " + D.Location + ":";
+    Text += " " + D.Message + "\n";
+  }
+  Text += "input: " + std::to_string(Report.InputBytes) + " bytes, " +
+          std::to_string(Report.FunctionsTotal) + " functions\n";
+  if (Report.Salvaged) {
+    Text += "salvaged: " + std::to_string(Report.FunctionsKept) + "/" +
+            std::to_string(Report.FunctionsTotal) + " functions, DCG " +
+            (Report.DcgRecovered ? "recovered" : "empty") + ", " +
+            std::to_string(Report.OutputBytes) + " bytes written";
+    if (Report.CallsLost > 0)
+      Text += " (" + std::to_string(Report.CallsLost) + " calls lost)";
+    Text += "\n";
+  } else {
+    Text += "not salvaged\n";
+  }
+  return Text;
+}
+
+std::string recover::renderSalvageReportJson(const SalvageReport &Report) {
+  auto Bool = [](bool B) { return B ? "true" : "false"; };
+  std::string Json = "{\n  \"schema\": \"twpp-recover-v1\",\n";
+  Json += "  \"salvaged\": " + std::string(Bool(Report.Salvaged)) + ",\n";
+  Json += "  \"input_bytes\": " + std::to_string(Report.InputBytes) + ",\n";
+  Json += "  \"output_bytes\": " + std::to_string(Report.OutputBytes) + ",\n";
+  Json +=
+      "  \"functions_total\": " + std::to_string(Report.FunctionsTotal) +
+      ",\n";
+  Json += "  \"functions_kept\": " + std::to_string(Report.FunctionsKept) +
+          ",\n";
+  Json +=
+      "  \"functions_dropped\": " + std::to_string(Report.FunctionsDropped) +
+      ",\n";
+  Json += "  \"dropped_function_ids\": [";
+  for (size_t I = 0; I < Report.DroppedFunctions.size(); ++I)
+    Json += (I ? ", " : "") + std::to_string(Report.DroppedFunctions[I]);
+  Json += "],\n";
+  Json += "  \"calls_lost\": " + std::to_string(Report.CallsLost) + ",\n";
+  Json += "  \"dcg_recovered\": " + std::string(Bool(Report.DcgRecovered)) +
+          ",\n";
+  Json += "  \"diagnostics\": [";
+  for (size_t I = 0; I < Report.Diagnostics.size(); ++I) {
+    const Diagnostic &D = Report.Diagnostics[I];
+    Json += I ? ",\n    " : "\n    ";
+    Json += "{\"check\": " + obs::jsonStringLiteral(D.CheckId) +
+            ", \"severity\": " +
+            obs::jsonStringLiteral(severityName(D.Sev)) +
+            ", \"location\": " + obs::jsonStringLiteral(D.Location) +
+            ", \"message\": " + obs::jsonStringLiteral(D.Message) + "}";
+  }
+  Json += Report.Diagnostics.empty() ? "]\n" : "\n  ]\n";
+  Json += "}\n";
+  return Json;
+}

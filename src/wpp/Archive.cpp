@@ -232,8 +232,11 @@ std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp,
 }
 
 bool twpp::writeArchiveFile(const std::string &Path, const TwppWpp &Wpp,
-                            const ParallelConfig &Config) {
-  return writeFileBytes(Path, encodeArchive(Wpp, Config));
+                            const ParallelConfig &Config, IoError *Err) {
+  IoError Result = writeFileBytesAtomic(Path, encodeArchive(Wpp, Config));
+  if (Err)
+    *Err = Result;
+  return Result.ok();
 }
 
 bool ArchiveReader::fail(std::string CheckId, std::string Message,
@@ -275,8 +278,14 @@ bool ArchiveReader::open(const std::string &ArchivePath) {
     return fail("twpp-archive-header", "truncated fixed header", "header",
                 0);
   // Validate every extent against the actual file size so corrupt
-  // headers cannot trigger absurd allocations later.
-  uint64_t Size = fileSize(Path);
+  // headers cannot trigger absurd allocations later. A stat failure is
+  // its own error, not an empty file: the extent checks below would
+  // otherwise reject every archive with a misleading message.
+  std::optional<uint64_t> MaybeSize = fileSize(Path);
+  if (!MaybeSize)
+    return fail("twpp-archive-header",
+                "cannot determine the archive file size", "header", 0);
+  uint64_t Size = *MaybeSize;
   if (DcgOffset > Size || DcgLength > Size - DcgOffset)
     return fail("twpp-archive-header",
                 "DCG extent (offset " + std::to_string(DcgOffset) +

@@ -25,6 +25,7 @@
 #ifndef TWPP_WPP_ARCHIVE_H
 #define TWPP_WPP_ARCHIVE_H
 
+#include "support/FileIO.h"     // IoError
 #include "verify/Diagnostics.h" // header-only; no link dependency
 #include "wpp/Twpp.h"
 
@@ -48,9 +49,12 @@ bool decodeTwppFunctionTable(const std::vector<uint8_t> &Bytes,
 std::vector<uint8_t> encodeArchive(const TwppWpp &Wpp,
                                    const ParallelConfig &Config = {});
 
-/// Writes \p Wpp to \p Path in archive format. \returns true on success.
+/// Writes \p Wpp to \p Path in archive format (atomically: temp + fsync
+/// + rename). \returns true on success; on failure \p Err, when given,
+/// receives the typed IO error.
 bool writeArchiveFile(const std::string &Path, const TwppWpp &Wpp,
-                      const ParallelConfig &Config = {});
+                      const ParallelConfig &Config = {},
+                      IoError *Err = nullptr);
 
 /// Random-access reader over an archive file. open() reads only the fixed
 /// header and index; extractFunction() reads only that function's block.

@@ -1,0 +1,96 @@
+//===- wpp/Journal.h - Checkpoint journal for streaming compaction -*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk journal (*.twppj) behind crash-safe streaming compaction.
+/// A journal is an append-only sequence of checkpoint records, each
+/// framed as
+///
+///   fixed32 magic ("TWPJ")  fixed32 version
+///   fixed64 payload length  fixed32 crc32(payload)
+///   payload bytes
+///
+/// The writer appends a record per checkpoint and fsyncs before
+/// returning, so a crash at any instant leaves at most one torn record at
+/// the tail. The scanner walks the framing, validates each CRC,
+/// resynchronizes on the magic after damage, and surfaces the *last*
+/// valid payload — which is all recovery needs (each checkpoint is a
+/// complete snapshot, not a delta). docs/DURABILITY.md documents the
+/// format and its guarantees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_WPP_JOURNAL_H
+#define TWPP_WPP_JOURNAL_H
+
+#include "support/FileIO.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace twpp {
+
+/// "TWPJ", little-endian, as the archive magic is "TWPP".
+inline constexpr uint32_t JournalMagic = 0x4A505754;
+inline constexpr uint32_t JournalVersion = 1;
+/// magic + version + payload length + crc.
+inline constexpr size_t JournalHeaderSize = 4 + 4 + 8 + 4;
+
+/// Appends one framed record holding \p Payload to \p Out (in-memory
+/// form, shared by the writer and tests that build damaged journals).
+void appendJournalRecord(std::vector<uint8_t> &Out,
+                         const std::vector<uint8_t> &Payload);
+
+/// What scanJournal found.
+struct JournalScan {
+  /// Records whose framing and CRC checked out.
+  size_t ValidRecords = 0;
+  /// Headers that looked like records but failed the CRC (bit flips,
+  /// overwritten tails).
+  size_t CorruptRecords = 0;
+  /// Bytes after the end of the last valid record (torn tail, garbage).
+  uint64_t TornBytes = 0;
+  /// Payload of the last valid record — the checkpoint to resume from.
+  std::vector<uint8_t> LastPayload;
+};
+
+/// Scans \p Bytes for framed records. Tolerant by construction: damage
+/// never makes it fail, it only reduces ValidRecords (possibly to zero).
+JournalScan scanJournal(const std::vector<uint8_t> &Bytes);
+
+/// Append-mode journal file writer. Every append() is flushed and
+/// fsynced before it returns, so an acknowledged checkpoint survives a
+/// crash. All IO consults the fault seam under the "journal" operation.
+class JournalWriter {
+public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(JournalWriter &&Other) noexcept;
+  JournalWriter &operator=(JournalWriter &&Other) noexcept;
+  JournalWriter(const JournalWriter &) = delete;
+  JournalWriter &operator=(const JournalWriter &) = delete;
+
+  /// Opens \p Path for journaling. \p Append keeps existing records (the
+  /// resume path); otherwise the file is truncated.
+  IoError open(const std::string &Path, bool Append);
+
+  /// Appends one framed record and makes it durable.
+  IoError append(const std::vector<uint8_t> &Payload);
+
+  void close();
+  bool isOpen() const { return File != nullptr; }
+  const std::string &path() const { return JournalPath; }
+
+private:
+  std::FILE *File = nullptr;
+  std::string JournalPath;
+};
+
+} // namespace twpp
+
+#endif // TWPP_WPP_JOURNAL_H

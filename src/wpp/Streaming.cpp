@@ -10,10 +10,15 @@
 #include "obs/Names.h"
 #include "obs/PhaseSpan.h"
 #include "obs/Trace.h"
+#include "support/ByteStream.h"
+#include "support/FaultInjection.h"
+#include "wpp/Journal.h"
 #include "wpp/Sizes.h"
 #include "wpp/VerifyHooks.h"
 
+#include <algorithm>
 #include <cassert>
+#include <new>
 #include <unordered_map>
 
 using namespace twpp;
@@ -41,13 +46,29 @@ public:
     return Index;
   }
 
+  /// Reseeds the hash buckets from an already-populated table (the
+  /// resume path). Index assignment matches what repeated intern() calls
+  /// would have produced, so a restored compactor interns identically.
+  void rebuild(const FunctionTraceTable &Table) {
+    Buckets.clear();
+    for (uint32_t I = 0; I < Table.UniqueTraces.size(); ++I)
+      Buckets.emplace(hashBlockSequence(Table.UniqueTraces[I]), I);
+  }
+
 private:
   std::unordered_multimap<uint64_t, uint32_t> Buckets;
 };
 
+/// Accounting formulas for the degradable state. Chosen to be exactly
+/// recomputable from a restored snapshot (restoreState recomputes them
+/// from scratch and lands on the same number incremental updates did).
+uint64_t uniqueTraceBytes(size_t Blocks) { return 16 + 4 * Blocks; }
+uint64_t openFrameBytes(size_t Blocks) { return 48 + 4 * Blocks; }
+
 } // namespace
 
 struct StreamingCompactor::Impl {
+  StreamingConfig Config;
   PartitionedWpp Wpp;
   std::vector<TraceInterner> Interners;
 
@@ -57,14 +78,139 @@ struct StreamingCompactor::Impl {
   };
   std::vector<Frame> Stack;
 
+  JournalWriter Journal;
+  IoError LastJournalError;
+  uint64_t EventCount = 0;
+  uint64_t Checkpoints = 0;
+  uint64_t Degraded = 0;
+  /// Unique-trace + open-frame bytes per the formulas above.
+  uint64_t StateBytes = 0;
+
   explicit Impl(uint32_t FunctionCount) {
     Wpp.Functions.resize(FunctionCount);
     Interners.resize(FunctionCount);
   }
+
+  /// Back to an empty stream (after takePartitioned), keeping the
+  /// journal, config and cumulative checkpoint/degrade counters.
+  void resetStream(size_t FunctionCount) {
+    Wpp = PartitionedWpp{};
+    Wpp.Functions.resize(FunctionCount);
+    Interners.assign(FunctionCount, TraceInterner());
+    Stack.clear();
+    EventCount = 0;
+    StateBytes = 0;
+  }
+
+  /// Serializes the complete state. Everything onEnter/onBlock/onExit
+  /// mutate is captured, so replaying the residual event suffix on a
+  /// restored compactor reproduces the uninterrupted run byte for byte.
+  std::vector<uint8_t> snapshot() const {
+    ByteWriter W;
+    W.writeFixed32(static_cast<uint32_t>(Wpp.Functions.size()));
+    W.writeFixed64(EventCount);
+    W.writeFixed64(Degraded);
+    std::vector<uint8_t> Dcg = encodeDcg(Wpp.Dcg);
+    W.writeVarUint(Dcg.size());
+    W.writeBytes(Dcg.data(), Dcg.size());
+    for (const FunctionTraceTable &Table : Wpp.Functions) {
+      W.writeVarUint(Table.CallCount);
+      W.writeVarUint(Table.TotalBlockEvents);
+      W.writeVarUint(Table.UniqueTraces.size());
+      for (const PathTrace &Trace : Table.UniqueTraces) {
+        W.writeVarUint(Trace.size());
+        for (BlockId B : Trace)
+          W.writeVarUint(B);
+      }
+      for (uint64_t Uses : Table.UseCounts)
+        W.writeVarUint(Uses);
+    }
+    W.writeVarUint(Stack.size());
+    for (const Frame &F : Stack) {
+      W.writeVarUint(F.NodeIndex);
+      W.writeVarUint(F.Blocks.size());
+      for (BlockId B : F.Blocks)
+        W.writeVarUint(B);
+    }
+    return W.take();
+  }
+
+  /// Appends one checkpoint to the open journal. Failures (IO or
+  /// allocation, injected or real) are counted and remembered, never
+  /// propagated as aborts: losing checkpoint granularity is strictly
+  /// better than losing the traced process.
+  IoError writeCheckpoint() {
+    obs::PhaseSpan Span("journal_checkpoint");
+    IoError Result;
+    try {
+      fault::maybeFailAlloc();
+      Result = Journal.append(snapshot());
+    } catch (const std::bad_alloc &) {
+      Result.Status = IoStatus::WriteFailed;
+      Result.Detail = Journal.path() + " (checkpoint allocation failed)";
+    }
+    obs::MetricsRegistry &M = obs::metrics();
+    if (Result.ok()) {
+      ++Checkpoints;
+      M.counter(obs::names::JournalCheckpoints).add();
+      M.gauge(obs::names::StreamStateBytes)
+          .set(static_cast<int64_t>(StateBytes));
+    } else {
+      LastJournalError = Result;
+      M.counter(obs::names::JournalCheckpointFailures).add();
+    }
+    return Result;
+  }
+
+  void maybeCheckpoint() {
+    if (Config.CheckpointInterval == 0 || !Journal.isOpen())
+      return;
+    if (EventCount % Config.CheckpointInterval == 0)
+      writeCheckpoint();
+  }
+
+  /// Budget enforcement: drop the oldest open frame's block detail (and
+  /// zero that node's already-recorded anchors, keeping the DCG anchor
+  /// invariants intact against the now-shorter trace) until back under
+  /// budget or nothing is left to drop.
+  void enforceBudget() {
+    if (Config.MemoryBudgetBytes == 0 ||
+        StateBytes <= Config.MemoryBudgetBytes)
+      return;
+    for (Frame &F : Stack) {
+      if (F.Blocks.empty())
+        continue;
+      StateBytes -= 4 * F.Blocks.size();
+      PathTrace().swap(F.Blocks);
+      DcgNode &Node = Wpp.Dcg.Nodes[F.NodeIndex];
+      std::fill(Node.Anchors.begin(), Node.Anchors.end(), 0);
+      ++Degraded;
+      obs::metrics().counter(obs::names::StreamDegraded).add();
+      obs::traceInstant("stream_degraded", "frame",
+                        static_cast<int64_t>(F.NodeIndex));
+      if (StateBytes <= Config.MemoryBudgetBytes)
+        return;
+    }
+  }
 };
 
 StreamingCompactor::StreamingCompactor(uint32_t FunctionCount)
-    : P(std::make_unique<Impl>(FunctionCount)) {}
+    : StreamingCompactor(FunctionCount, StreamingConfig()) {}
+
+StreamingCompactor::StreamingCompactor(uint32_t FunctionCount,
+                                       const StreamingConfig &Config)
+    : P(std::make_unique<Impl>(FunctionCount)) {
+  P->Config = Config;
+  if (!Config.JournalPath.empty()) {
+    IoError E = P->Journal.open(Config.JournalPath, /*Append=*/false);
+    if (!E) {
+      // Journaling is an add-on; a compactor that cannot journal still
+      // compacts.
+      P->LastJournalError = E;
+      obs::metrics().counter(obs::names::JournalCheckpointFailures).add();
+    }
+  }
+}
 
 StreamingCompactor::~StreamingCompactor() = default;
 
@@ -81,11 +227,19 @@ void StreamingCompactor::onEnter(FunctionId F) {
         static_cast<uint32_t>(Parent.Blocks.size()));
   }
   P->Stack.push_back(Impl::Frame{NodeIndex, {}});
+  P->StateBytes += openFrameBytes(0);
+  ++P->EventCount;
+  P->enforceBudget();
+  P->maybeCheckpoint();
 }
 
 void StreamingCompactor::onBlock(BlockId B) {
   assert(!P->Stack.empty() && "block event outside any call");
   P->Stack.back().Blocks.push_back(B);
+  P->StateBytes += 4;
+  ++P->EventCount;
+  P->enforceBudget();
+  P->maybeCheckpoint();
 }
 
 void StreamingCompactor::onExit() {
@@ -108,17 +262,199 @@ void StreamingCompactor::onExit() {
   FunctionTraceTable &Table = P->Wpp.Functions[Node.Function];
   ++Table.CallCount;
   Table.TotalBlockEvents += Top.Blocks.size();
+  size_t TraceLen = Top.Blocks.size();
+  size_t UniqueBefore = Table.UniqueTraces.size();
   Node.TraceIndex =
       P->Interners[Node.Function].intern(Table, std::move(Top.Blocks));
   ++Table.UseCounts[Node.TraceIndex];
+  P->StateBytes -= openFrameBytes(TraceLen);
+  if (Table.UniqueTraces.size() > UniqueBefore)
+    P->StateBytes += uniqueTraceBytes(TraceLen);
+  ++P->EventCount;
+  P->enforceBudget();
+  P->maybeCheckpoint();
 }
 
 size_t StreamingCompactor::openFrames() const { return P->Stack.size(); }
 
+uint32_t StreamingCompactor::functionCount() const {
+  return static_cast<uint32_t>(P->Wpp.Functions.size());
+}
+
+uint64_t StreamingCompactor::eventsConsumed() const { return P->EventCount; }
+
+uint64_t StreamingCompactor::checkpointsWritten() const {
+  return P->Checkpoints;
+}
+
+uint64_t StreamingCompactor::degradedFrames() const { return P->Degraded; }
+
+const IoError &StreamingCompactor::lastJournalError() const {
+  return P->LastJournalError;
+}
+
+std::vector<uint8_t> StreamingCompactor::snapshotState() const {
+  return P->snapshot();
+}
+
+bool StreamingCompactor::restoreState(const std::vector<uint8_t> &Payload) {
+  ByteReader Reader(Payload);
+  if (Reader.readFixed32() != P->Wpp.Functions.size())
+    return false;
+  uint64_t EventCount = Reader.readFixed64();
+  uint64_t Degraded = Reader.readFixed64();
+
+  uint64_t DcgSize = Reader.readVarUint();
+  if (Reader.hasError() || DcgSize > Reader.remaining())
+    return false;
+  std::vector<uint8_t> DcgBytes(DcgSize);
+  Reader.readBytes(DcgBytes.data(), DcgBytes.size());
+  DynamicCallGraph Dcg;
+  if (!decodeDcg(DcgBytes, Dcg))
+    return false;
+
+  std::vector<FunctionTraceTable> Functions(P->Wpp.Functions.size());
+  for (FunctionTraceTable &Table : Functions) {
+    Table.CallCount = Reader.readVarUint();
+    Table.TotalBlockEvents = Reader.readVarUint();
+    uint64_t TraceCount = Reader.readVarUint();
+    // Every trace costs at least one byte, so a count beyond the bytes
+    // left is a lie — reject before it turns into a huge allocation.
+    if (Reader.hasError() || TraceCount > Reader.remaining())
+      return false;
+    Table.UniqueTraces.resize(TraceCount);
+    for (PathTrace &Trace : Table.UniqueTraces) {
+      uint64_t Length = Reader.readVarUint();
+      if (Reader.hasError() || Length > Reader.remaining())
+        return false;
+      Trace.resize(Length);
+      for (BlockId &B : Trace) {
+        uint64_t Value = Reader.readVarUint();
+        if (Value > UINT32_MAX)
+          return false;
+        B = static_cast<BlockId>(Value);
+      }
+    }
+    Table.UseCounts.resize(TraceCount);
+    for (uint64_t &Uses : Table.UseCounts)
+      Uses = Reader.readVarUint();
+  }
+
+  uint64_t StackSize = Reader.readVarUint();
+  if (Reader.hasError() || StackSize > Reader.remaining())
+    return false;
+  std::vector<Impl::Frame> Stack(StackSize);
+  uint32_t PrevNode = 0;
+  for (size_t F = 0; F < Stack.size(); ++F) {
+    uint64_t NodeIndex = Reader.readVarUint();
+    // Frames are the path from a root to the innermost open call;
+    // ancestors were created first, so indices strictly increase.
+    if (NodeIndex >= Dcg.Nodes.size() ||
+        (F > 0 && NodeIndex <= PrevNode))
+      return false;
+    Stack[F].NodeIndex = static_cast<uint32_t>(NodeIndex);
+    PrevNode = static_cast<uint32_t>(NodeIndex);
+    uint64_t Length = Reader.readVarUint();
+    if (Reader.hasError() || Length > Reader.remaining())
+      return false;
+    Stack[F].Blocks.resize(Length);
+    for (BlockId &B : Stack[F].Blocks) {
+      uint64_t Value = Reader.readVarUint();
+      if (Value > UINT32_MAX)
+        return false;
+      B = static_cast<BlockId>(Value);
+    }
+  }
+  if (Reader.hasError() || !Reader.atEnd())
+    return false;
+
+  // Cross-validate the DCG against the tables so a tampered checkpoint
+  // cannot plant out-of-bounds indices the pipeline would chase later.
+  std::vector<bool> Open(Dcg.Nodes.size(), false);
+  for (const Impl::Frame &F : Stack)
+    Open[F.NodeIndex] = true;
+  for (size_t N = 0; N < Dcg.Nodes.size(); ++N) {
+    const DcgNode &Node = Dcg.Nodes[N];
+    if (Node.Function >= Functions.size())
+      return false;
+    if (!Open[N] &&
+        Node.TraceIndex >= Functions[Node.Function].UniqueTraces.size())
+      return false;
+  }
+
+  P->Wpp.Dcg = std::move(Dcg);
+  P->Wpp.Functions = std::move(Functions);
+  P->Stack = std::move(Stack);
+  P->EventCount = EventCount;
+  P->Degraded = Degraded;
+  for (size_t F = 0; F < P->Wpp.Functions.size(); ++F)
+    P->Interners[F].rebuild(P->Wpp.Functions[F]);
+  P->StateBytes = 0;
+  for (const FunctionTraceTable &Table : P->Wpp.Functions)
+    for (const PathTrace &Trace : Table.UniqueTraces)
+      P->StateBytes += uniqueTraceBytes(Trace.size());
+  for (const Impl::Frame &F : P->Stack)
+    P->StateBytes += openFrameBytes(F.Blocks.size());
+  return true;
+}
+
+IoError StreamingCompactor::checkpointNow() {
+  if (!P->Journal.isOpen())
+    return IoError::success();
+  return P->writeCheckpoint();
+}
+
+std::unique_ptr<StreamingCompactor>
+StreamingCompactor::resumeFromJournal(const std::string &JournalPath,
+                                      const StreamingConfig &Config,
+                                      std::string *Error) {
+  auto Fail = [&](std::string Message) {
+    if (Error)
+      *Error = std::move(Message);
+    return nullptr;
+  };
+  std::vector<uint8_t> Bytes;
+  IoError Read = readFileBytes(JournalPath, Bytes);
+  if (!Read)
+    return Fail("cannot read journal: " + Read.message());
+  JournalScan Scan = scanJournal(Bytes);
+  if (Scan.CorruptRecords > 0 || Scan.TornBytes > 0)
+    obs::metrics()
+        .counter(obs::names::JournalRecordsDropped)
+        .add(Scan.CorruptRecords + (Scan.TornBytes > 0 ? 1 : 0));
+  if (Scan.ValidRecords == 0)
+    return Fail("journal holds no valid checkpoint: " + JournalPath);
+  ByteReader Peek(Scan.LastPayload);
+  uint32_t FunctionCount = Peek.readFixed32();
+  if (Peek.hasError())
+    return Fail("checkpoint payload is truncated: " + JournalPath);
+
+  auto Out = std::make_unique<StreamingCompactor>(FunctionCount);
+  if (!Out->restoreState(Scan.LastPayload))
+    return Fail("checkpoint payload is malformed: " + JournalPath);
+  Out->P->Config = Config;
+  std::string ReopenPath =
+      Config.JournalPath.empty() ? JournalPath : Config.JournalPath;
+  // Reopen in append mode: the records already there stay valid fallback
+  // checkpoints if this process also dies.
+  IoError Reopen = Out->P->Journal.open(ReopenPath, /*Append=*/true);
+  if (!Reopen) {
+    Out->P->LastJournalError = Reopen;
+    obs::metrics().counter(obs::names::JournalCheckpointFailures).add();
+  }
+  obs::metrics().counter(obs::names::JournalResumes).add();
+  obs::traceInstant("journal_resume", "events",
+                    static_cast<int64_t>(Out->P->EventCount));
+  return Out;
+}
+
 PartitionedWpp StreamingCompactor::takePartitioned() {
   assert(balanced() && "takePartitioned with open frames");
+  // Capture the count before the move empties Wpp.Functions: a reused
+  // compactor must keep serving the same function universe.
+  size_t FunctionCount = P->Wpp.Functions.size();
   PartitionedWpp Out = std::move(P->Wpp);
-  P = std::make_unique<Impl>(static_cast<uint32_t>(Out.Functions.size()));
+  P->resetStream(FunctionCount);
   if (obs::enabled()) {
     // Stage 2 size accounting (mirrors measureStages so live factors match
     // Table 2): bytes_in keeps every duplicate, bytes_out deduplicates.

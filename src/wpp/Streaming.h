@@ -16,11 +16,20 @@
 /// partitionWpp() is this sink fed from an in-memory trace, guaranteeing
 /// the two paths can never diverge.
 ///
+/// Durability: with a StreamingConfig naming a journal, the compactor
+/// periodically serializes its complete state (unique-trace pool, DCG,
+/// open-frame stack) into a CRC-framed checkpoint record (wpp/Journal.h),
+/// and resumeFromJournal() rebuilds a compactor from the last valid
+/// checkpoint after a crash. With a memory budget, exceeding it degrades
+/// gracefully — the oldest open frame's block detail is dropped (and
+/// counted in stream.degraded) instead of aborting the traced process.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TWPP_WPP_STREAMING_H
 #define TWPP_WPP_STREAMING_H
 
+#include "support/FileIO.h"
 #include "wpp/Partition.h"
 #include "wpp/Twpp.h"
 
@@ -28,11 +37,26 @@
 
 namespace twpp {
 
+/// Durability knobs of the streaming compactor. Default-constructed it
+/// journals nothing and never degrades — exactly the old behaviour.
+struct StreamingConfig {
+  /// Events (enter/block/exit) between journal checkpoints. 0 disables
+  /// periodic checkpoints (checkpointNow() still works).
+  uint64_t CheckpointInterval = 0;
+  /// Checkpoint journal path (*.twppj). Empty disables journaling.
+  std::string JournalPath;
+  /// Soft cap on the bytes of degradable state (unique path traces plus
+  /// open-frame detail). 0 means unbounded. Exceeding it drops the
+  /// oldest open frame's block detail instead of aborting.
+  uint64_t MemoryBudgetBytes = 0;
+};
+
 /// TraceSink that folds events straight into the partitioned,
 /// redundancy-eliminated representation.
 class StreamingCompactor final : public TraceSink {
 public:
   explicit StreamingCompactor(uint32_t FunctionCount);
+  StreamingCompactor(uint32_t FunctionCount, const StreamingConfig &Config);
   ~StreamingCompactor() override;
 
   void onEnter(FunctionId F) override;
@@ -42,8 +66,46 @@ public:
   /// Number of calls currently open (the live frame stack depth).
   size_t openFrames() const;
 
+  /// Number of functions this compactor partitions over.
+  uint32_t functionCount() const;
+
   /// True when every call has exited (the stream is balanced).
   bool balanced() const { return openFrames() == 0; }
+
+  /// Events consumed so far (enters + blocks + exits).
+  uint64_t eventsConsumed() const;
+
+  /// Checkpoints successfully appended to the journal.
+  uint64_t checkpointsWritten() const;
+
+  /// Open frames whose block detail was dropped under memory pressure.
+  uint64_t degradedFrames() const;
+
+  /// The last journal IO failure (IoStatus::Ok when none). Journal
+  /// failures degrade — they never abort the traced process.
+  const IoError &lastJournalError() const;
+
+  /// Serializes the complete compactor state (the journal checkpoint
+  /// payload). Deterministic: equal states produce equal bytes.
+  std::vector<uint8_t> snapshotState() const;
+
+  /// Restores state from a snapshotState() payload. \returns false and
+  /// leaves the compactor unchanged when the payload is malformed or its
+  /// function count differs from this compactor's.
+  bool restoreState(const std::vector<uint8_t> &Payload);
+
+  /// Appends a checkpoint to the journal now. No-op success without an
+  /// open journal.
+  IoError checkpointNow();
+
+  /// Rebuilds a compactor from the last valid checkpoint in
+  /// \p JournalPath and reopens that journal for further appends (keeping
+  /// existing records) per \p Config. \returns nullptr and sets \p Error
+  /// when the journal is unreadable, holds no valid checkpoint, or the
+  /// checkpoint payload is malformed.
+  static std::unique_ptr<StreamingCompactor>
+  resumeFromJournal(const std::string &JournalPath,
+                    const StreamingConfig &Config, std::string *Error);
 
   /// Moves the partitioned WPP out. The stream must be balanced.
   PartitionedWpp takePartitioned();

@@ -1,0 +1,455 @@
+//===- tests/JournalRecoveryTest.cpp - crash-safe streaming ----------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The crash-safety property of the journaled streaming compactor: kill
+/// the compactor at any event index (or tear the journal at any byte)
+/// and resumeFromJournal() must rebuild a compactor whose recovered
+/// prefix compacts byte-identically to an uninterrupted run over the
+/// same prefix. The tests stay meaningful under a CI-wide TWPP_FAULT
+/// sweep: must-succeed setup IO runs under ScopedFaultSuspend, and the
+/// operations under test are allowed to fail — but only gracefully,
+/// with a named error and an intact fallback.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+#include "support/FileIO.h"
+#include "verify/ArchiveChecks.h"
+#include "wpp/Archive.h"
+#include "wpp/Journal.h"
+#include "wpp/Streaming.h"
+
+#include "TestTraces.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace twpp;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + "/" + Name;
+}
+
+void feedPrefix(StreamingCompactor &Sink, const RawTrace &Trace,
+                size_t Events) {
+  for (size_t I = 0; I < Events; ++I) {
+    const TraceEvent &Event = Trace.Events[I];
+    switch (Event.EventKind) {
+    case TraceEvent::Kind::Enter:
+      Sink.onEnter(Event.Id);
+      break;
+    case TraceEvent::Kind::Block:
+      Sink.onBlock(Event.Id);
+      break;
+    case TraceEvent::Kind::Exit:
+      Sink.onExit();
+      break;
+    }
+  }
+}
+
+/// Archive bytes of an uninterrupted run over the first \p Events events,
+/// with still-open calls closed on whatever blocks they had (the same
+/// finalization recovery applies).
+std::vector<uint8_t> referenceArchive(const RawTrace &Trace, size_t Events) {
+  StreamingCompactor Sink(Trace.FunctionCount);
+  feedPrefix(Sink, Trace, Events);
+  while (!Sink.balanced())
+    Sink.onExit();
+  return encodeArchive(Sink.takeCompacted());
+}
+
+uint64_t journalLe64(const std::vector<uint8_t> &Bytes, size_t Pos) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(Bytes[Pos + I]) << (8 * I);
+  return V;
+}
+
+/// End offsets of the well-formed records of a journal we wrote ourselves.
+std::vector<size_t> recordEnds(const std::vector<uint8_t> &Journal) {
+  std::vector<size_t> Ends;
+  size_t Pos = 0;
+  while (Pos + JournalHeaderSize <= Journal.size()) {
+    uint64_t Length = journalLe64(Journal, Pos + 8);
+    Pos += JournalHeaderSize + static_cast<size_t>(Length);
+    EXPECT_LE(Pos, Journal.size()) << "journal self-test: truncated record";
+    Ends.push_back(Pos);
+  }
+  return Ends;
+}
+
+TEST(JournalFraming, RoundTripAndScan) {
+  std::vector<uint8_t> Journal;
+  std::vector<uint8_t> A = {1, 2, 3};
+  std::vector<uint8_t> B = {9, 8, 7, 6, 5};
+  appendJournalRecord(Journal, A);
+  appendJournalRecord(Journal, B);
+  JournalScan Scan = scanJournal(Journal);
+  EXPECT_EQ(Scan.ValidRecords, 2u);
+  EXPECT_EQ(Scan.CorruptRecords, 0u);
+  EXPECT_EQ(Scan.TornBytes, 0u);
+  EXPECT_EQ(Scan.LastPayload, B);
+}
+
+TEST(JournalFraming, TornTailYieldsLastValidRecord) {
+  std::vector<uint8_t> Journal;
+  std::vector<uint8_t> A = {1, 2, 3};
+  std::vector<uint8_t> B = {4, 5, 6, 7};
+  appendJournalRecord(Journal, A);
+  size_t AEnd = Journal.size();
+  appendJournalRecord(Journal, B);
+  // Tear record B anywhere: header-only, mid-payload, one byte short.
+  for (size_t Cut : {AEnd + 1, AEnd + JournalHeaderSize,
+                     AEnd + JournalHeaderSize + 2, Journal.size() - 1}) {
+    std::vector<uint8_t> Torn(Journal.begin(),
+                              Journal.begin() + static_cast<long>(Cut));
+    JournalScan Scan = scanJournal(Torn);
+    EXPECT_EQ(Scan.ValidRecords, 1u) << "cut at " << Cut;
+    EXPECT_EQ(Scan.LastPayload, A) << "cut at " << Cut;
+    EXPECT_EQ(Scan.TornBytes, Cut - AEnd) << "cut at " << Cut;
+  }
+}
+
+TEST(JournalFraming, CorruptCrcSkipsRecord) {
+  std::vector<uint8_t> Journal;
+  std::vector<uint8_t> A = {1, 2, 3};
+  std::vector<uint8_t> B = {4, 5, 6};
+  appendJournalRecord(Journal, A);
+  size_t AEnd = Journal.size();
+  appendJournalRecord(Journal, B);
+  std::vector<uint8_t> Damaged = Journal;
+  Damaged[AEnd + JournalHeaderSize] ^= 0xFF; // flip a payload byte of B
+  JournalScan Scan = scanJournal(Damaged);
+  EXPECT_EQ(Scan.ValidRecords, 1u);
+  EXPECT_GE(Scan.CorruptRecords, 1u);
+  EXPECT_EQ(Scan.LastPayload, A);
+}
+
+TEST(JournalFraming, ResynchronizesPastGarbage) {
+  std::vector<uint8_t> Journal(37, 0xAB); // leading garbage
+  std::vector<uint8_t> A = {42, 43};
+  appendJournalRecord(Journal, A);
+  JournalScan Scan = scanJournal(Journal);
+  EXPECT_EQ(Scan.ValidRecords, 1u);
+  EXPECT_EQ(Scan.LastPayload, A);
+}
+
+TEST(JournalRecovery, SnapshotRestoreRoundTrip) {
+  for (uint64_t Seed : {11u, 22u, 33u}) {
+    RawTrace Trace = fixtures::randomTrace(Seed, 5, 400);
+    size_t Half = Trace.Events.size() / 2;
+    StreamingCompactor Source(Trace.FunctionCount);
+    feedPrefix(Source, Trace, Half);
+    std::vector<uint8_t> Snapshot = Source.snapshotState();
+
+    StreamingCompactor Restored(Trace.FunctionCount);
+    ASSERT_TRUE(Restored.restoreState(Snapshot)) << "seed " << Seed;
+    EXPECT_EQ(Restored.eventsConsumed(), Source.eventsConsumed());
+    EXPECT_EQ(Restored.openFrames(), Source.openFrames());
+    // Snapshots are deterministic: equal state, equal bytes.
+    EXPECT_EQ(Restored.snapshotState(), Snapshot) << "seed " << Seed;
+
+    // Both compactors must accept the rest of the trace and agree.
+    feedPrefix(Source, Trace, 0); // no-op, keeps symmetry explicit
+    for (size_t I = Half; I < Trace.Events.size(); ++I) {
+      const TraceEvent &Event = Trace.Events[I];
+      switch (Event.EventKind) {
+      case TraceEvent::Kind::Enter:
+        Source.onEnter(Event.Id);
+        Restored.onEnter(Event.Id);
+        break;
+      case TraceEvent::Kind::Block:
+        Source.onBlock(Event.Id);
+        Restored.onBlock(Event.Id);
+        break;
+      case TraceEvent::Kind::Exit:
+        Source.onExit();
+        Restored.onExit();
+        break;
+      }
+    }
+    EXPECT_EQ(encodeArchive(Source.takeCompacted()),
+              encodeArchive(Restored.takeCompacted()))
+        << "seed " << Seed;
+  }
+}
+
+TEST(JournalRecovery, RestoreRejectsMalformedPayloads) {
+  RawTrace Trace = fixtures::randomTrace(77, 4, 200);
+  StreamingCompactor Source(Trace.FunctionCount);
+  feedPrefix(Source, Trace, Trace.Events.size() / 2);
+  std::vector<uint8_t> Good = Source.snapshotState();
+
+  StreamingCompactor Victim(Trace.FunctionCount);
+  // Empty, truncated, and function-count-mismatched payloads must all be
+  // rejected without changing the compactor.
+  EXPECT_FALSE(Victim.restoreState({}));
+  for (size_t Cut = 1; Cut + 1 < Good.size(); Cut += 3) {
+    std::vector<uint8_t> Truncated(Good.begin(),
+                                   Good.begin() + static_cast<long>(Cut));
+    EXPECT_FALSE(Victim.restoreState(Truncated)) << "cut " << Cut;
+  }
+  StreamingCompactor WrongCount(Trace.FunctionCount + 1);
+  EXPECT_FALSE(WrongCount.restoreState(Good));
+  EXPECT_EQ(Victim.eventsConsumed(), 0u);
+  EXPECT_TRUE(Victim.balanced());
+  // A rejected restore leaves the compactor fully usable.
+  EXPECT_TRUE(Victim.restoreState(Good));
+  EXPECT_EQ(Victim.eventsConsumed(), Source.eventsConsumed());
+}
+
+TEST(JournalRecovery, CrashAtEveryEventIndex) {
+  RawTrace Trace = fixtures::randomTrace(5, 5, 240);
+  const size_t Events = Trace.Events.size();
+
+  // One uninterrupted journaled run, checkpointing after every event.
+  // The run is setup (the subject is the kill points below), so it is
+  // shielded from any environment fault sweep.
+  std::string JournalPath = tempPath("every_event.twppj");
+  {
+    fault::ScopedFaultSuspend SetupShield;
+    StreamingConfig Config;
+    Config.JournalPath = JournalPath;
+    Config.CheckpointInterval = 1;
+    StreamingCompactor Sink(Trace.FunctionCount, Config);
+    feedPrefix(Sink, Trace, Events);
+    EXPECT_EQ(Sink.checkpointsWritten(), Events);
+    while (!Sink.balanced())
+      Sink.onExit();
+    (void)Sink.takeCompacted();
+  }
+
+  std::vector<uint8_t> Journal;
+  {
+    fault::ScopedFaultSuspend Shield;
+    ASSERT_TRUE(readFileBytes(JournalPath, Journal).ok());
+  }
+  std::vector<size_t> Ends = recordEnds(Journal);
+
+  // Kill after every checkpointed event: the journal prefix ending at
+  // record k is exactly what a crash right after event k+1's checkpoint
+  // leaves behind. The recovered prefix must compact byte-identically to
+  // an uninterrupted run over that prefix.
+  for (size_t K = 0; K < Ends.size(); ++K) {
+    std::string KillPath = tempPath("kill_" + std::to_string(K) + ".twppj");
+    {
+      fault::ScopedFaultSuspend Shield;
+      std::vector<uint8_t> Prefix(Journal.begin(),
+                                  Journal.begin() +
+                                      static_cast<long>(Ends[K]));
+      ASSERT_TRUE(writeFileBytes(KillPath, Prefix).ok());
+    }
+    std::string Error;
+    std::unique_ptr<StreamingCompactor> Resumed =
+        StreamingCompactor::resumeFromJournal(KillPath, StreamingConfig(),
+                                              &Error);
+    if (!Resumed) {
+      // Only an injected fault may defeat resume — and then it must say
+      // why, not crash.
+      EXPECT_NE(fault::activeFaultSpec(), "") << Error;
+      EXPECT_FALSE(Error.empty());
+      std::remove(KillPath.c_str());
+      continue;
+    }
+    size_t Recovered = static_cast<size_t>(Resumed->eventsConsumed());
+    ASSERT_LE(Recovered, Events);
+    while (!Resumed->balanced())
+      Resumed->onExit();
+    EXPECT_EQ(encodeArchive(Resumed->takeCompacted()),
+              referenceArchive(Trace, Recovered))
+        << "kill point " << K;
+    std::remove(KillPath.c_str());
+  }
+  std::remove(JournalPath.c_str());
+}
+
+TEST(JournalRecovery, TornJournalAtAnyByteRecoversPriorCheckpoint) {
+  RawTrace Trace = fixtures::randomTrace(9, 4, 160);
+  std::string JournalPath = tempPath("torn_sweep.twppj");
+  {
+    fault::ScopedFaultSuspend SetupShield; // the cuts below are the subject
+    StreamingConfig Config;
+    Config.JournalPath = JournalPath;
+    Config.CheckpointInterval = 8;
+    StreamingCompactor Sink(Trace.FunctionCount, Config);
+    feedPrefix(Sink, Trace, Trace.Events.size());
+    while (!Sink.balanced())
+      Sink.onExit();
+    (void)Sink.takeCompacted();
+  }
+  std::vector<uint8_t> Journal;
+  {
+    fault::ScopedFaultSuspend Shield;
+    ASSERT_TRUE(readFileBytes(JournalPath, Journal).ok());
+  }
+  ASSERT_FALSE(Journal.empty());
+
+  // Cut the journal at every 7th byte: resume must recover the last
+  // checkpoint wholly contained in the prefix, or fail with a named
+  // error when no complete record survives.
+  for (size_t Cut = 0; Cut <= Journal.size(); Cut += 7) {
+    std::string TornPath = tempPath("torn_" + std::to_string(Cut) +
+                                    ".twppj");
+    {
+      fault::ScopedFaultSuspend Shield;
+      std::vector<uint8_t> Prefix(Journal.begin(),
+                                  Journal.begin() + static_cast<long>(Cut));
+      ASSERT_TRUE(writeFileBytes(TornPath, Prefix).ok());
+    }
+    std::string Error;
+    std::unique_ptr<StreamingCompactor> Resumed =
+        StreamingCompactor::resumeFromJournal(TornPath, StreamingConfig(),
+                                              &Error);
+    if (!Resumed) {
+      EXPECT_FALSE(Error.empty()) << "cut at " << Cut;
+    } else {
+      size_t Recovered = static_cast<size_t>(Resumed->eventsConsumed());
+      while (!Resumed->balanced())
+        Resumed->onExit();
+      EXPECT_EQ(encodeArchive(Resumed->takeCompacted()),
+                referenceArchive(Trace, Recovered))
+          << "cut at " << Cut;
+    }
+    std::remove(TornPath.c_str());
+  }
+  std::remove(JournalPath.c_str());
+}
+
+TEST(JournalRecovery, ResumedJournalKeepsAppending) {
+  RawTrace Trace = fixtures::randomTrace(31, 4, 200);
+  size_t Half = Trace.Events.size() / 2;
+  std::string JournalPath = tempPath("resume_append.twppj");
+  {
+    fault::ScopedFaultSuspend SetupShield; // the "crash" is the subject
+    StreamingConfig Config;
+    Config.JournalPath = JournalPath;
+    Config.CheckpointInterval = 4;
+    StreamingCompactor Sink(Trace.FunctionCount, Config);
+    feedPrefix(Sink, Trace, Half);
+  } // "crash": destructor closes the journal mid-run
+
+  StreamingConfig ResumeConfig;
+  ResumeConfig.CheckpointInterval = 4;
+  std::string Error;
+  std::unique_ptr<StreamingCompactor> Resumed =
+      StreamingCompactor::resumeFromJournal(JournalPath, ResumeConfig,
+                                            &Error);
+  if (!Resumed) {
+    EXPECT_NE(fault::activeFaultSpec(), "") << Error;
+    return;
+  }
+  uint64_t RecordsBefore = 0;
+  {
+    fault::ScopedFaultSuspend Shield;
+    std::vector<uint8_t> Journal;
+    ASSERT_TRUE(readFileBytes(JournalPath, Journal).ok());
+    RecordsBefore = scanJournal(Journal).ValidRecords;
+  }
+  size_t Recovered = static_cast<size_t>(Resumed->eventsConsumed());
+  for (size_t I = Recovered; I < Trace.Events.size(); ++I) {
+    const TraceEvent &Event = Trace.Events[I];
+    switch (Event.EventKind) {
+    case TraceEvent::Kind::Enter:
+      Resumed->onEnter(Event.Id);
+      break;
+    case TraceEvent::Kind::Block:
+      Resumed->onBlock(Event.Id);
+      break;
+    case TraceEvent::Kind::Exit:
+      Resumed->onExit();
+      break;
+    }
+  }
+  if (Resumed->lastJournalError().ok()) {
+    fault::ScopedFaultSuspend Shield;
+    std::vector<uint8_t> Journal;
+    ASSERT_TRUE(readFileBytes(JournalPath, Journal).ok());
+    // Resume keeps the old records and appends new checkpoints.
+    EXPECT_GT(scanJournal(Journal).ValidRecords, RecordsBefore);
+  }
+  while (!Resumed->balanced())
+    Resumed->onExit();
+  EXPECT_EQ(encodeArchive(Resumed->takeCompacted()),
+            referenceArchive(Trace, Trace.Events.size()));
+  std::remove(JournalPath.c_str());
+}
+
+TEST(JournalRecovery, MemoryBudgetDegradesGracefully) {
+  // A recursion-heavy trace under a tiny budget: open-frame detail must
+  // be dropped (counted), never aborted on — and the result must still
+  // pass the full archive verifier, anchors included. Built by hand so
+  // deep frames are guaranteed to hold block detail when the budget
+  // trips (a random trace can close frames before the budget matters).
+  RawTrace Trace;
+  Trace.FunctionCount = 3;
+  for (uint32_t Depth = 0; Depth < 12; ++Depth) {
+    Trace.Events.push_back(
+        TraceEvent::enter(static_cast<FunctionId>(Depth % 3)));
+    for (uint32_t B = 0; B < 8; ++B)
+      Trace.Events.push_back(
+          TraceEvent::block(static_cast<BlockId>(1 + (Depth + B) % 12)));
+  }
+  for (uint32_t Depth = 0; Depth < 12; ++Depth)
+    Trace.Events.push_back(TraceEvent::exit());
+  StreamingConfig Config;
+  Config.MemoryBudgetBytes = 256;
+  StreamingCompactor Sink(Trace.FunctionCount, Config);
+  feedPrefix(Sink, Trace, Trace.Events.size());
+  EXPECT_GT(Sink.degradedFrames(), 0u);
+  while (!Sink.balanced())
+    Sink.onExit();
+  std::vector<uint8_t> Bytes = encodeArchive(Sink.takeCompacted());
+  verify::DiagnosticEngine Engine;
+  verify::runArchiveBytesChecks(Bytes, Engine);
+  EXPECT_TRUE(Engine.clean())
+      << verify::renderDiagnosticsText(Engine);
+}
+
+TEST(JournalRecovery, UnwritableJournalDegradesNotAborts) {
+  RawTrace Trace = fixtures::randomTrace(55, 4, 120);
+  StreamingConfig Config;
+  Config.JournalPath =
+      tempPath("no_such_dir") + "/nested/impossible.twppj";
+  Config.CheckpointInterval = 1;
+  StreamingCompactor Sink(Trace.FunctionCount, Config);
+  EXPECT_FALSE(Sink.lastJournalError().ok());
+  // Journaling is disabled, compaction is not.
+  feedPrefix(Sink, Trace, Trace.Events.size());
+  EXPECT_EQ(Sink.checkpointsWritten(), 0u);
+  while (!Sink.balanced())
+    Sink.onExit();
+  EXPECT_EQ(encodeArchive(Sink.takeCompacted()),
+            referenceArchive(Trace, Trace.Events.size()));
+}
+
+TEST(JournalRecovery, ResumeFromMissingOrEmptyJournalFails) {
+  std::string Error;
+  EXPECT_EQ(StreamingCompactor::resumeFromJournal(
+                tempPath("does_not_exist.twppj"), StreamingConfig(), &Error),
+            nullptr);
+  EXPECT_FALSE(Error.empty());
+
+  std::string EmptyPath = tempPath("empty.twppj");
+  {
+    fault::ScopedFaultSuspend Shield;
+    ASSERT_TRUE(writeFileBytes(EmptyPath, {}).ok());
+  }
+  Error.clear();
+  EXPECT_EQ(StreamingCompactor::resumeFromJournal(
+                EmptyPath, StreamingConfig(), &Error),
+            nullptr);
+  EXPECT_FALSE(Error.empty());
+  std::remove(EmptyPath.c_str());
+}
+
+} // namespace

@@ -256,7 +256,9 @@ TEST(FileIoTest, WholeFileAndSliceRoundTrip) {
   for (int I = 0; I < 1000; ++I)
     Data.push_back(static_cast<uint8_t>(I * 7));
   ASSERT_TRUE(writeFileBytes(Path, Data));
-  EXPECT_EQ(fileSize(Path), Data.size());
+  ASSERT_TRUE(fileSize(Path).has_value());
+  EXPECT_EQ(*fileSize(Path), Data.size());
+  EXPECT_FALSE(fileSize(Path + ".does-not-exist").has_value());
 
   std::vector<uint8_t> Back;
   ASSERT_TRUE(readFileBytes(Path, Back));
