@@ -15,6 +15,7 @@
 #define TWPP_BENCH_BENCHCOMMON_H
 
 #include "obs/Export.h"
+#include "obs/Memory.h"
 #include "obs/Metrics.h"
 #include "obs/Names.h"
 #include "obs/Trace.h"
@@ -65,6 +66,14 @@ public:
       obs::setTracingEnabled(true);
       obs::setCurrentThreadName("main");
     }
+    if (active()) {
+      // Memory telemetry rides along with either sink: the tracker feeds
+      // the per-stage mem.tracked_* figures and the poller samples RSS
+      // between checkpoints (and emits counter tracks into the trace).
+      obs::setMemTrackingEnabled(true);
+      obs::memTracker().reset();
+      obs::startMemPoller();
+    }
     if (OutPath.empty())
       return;
     obs::setMetricsEnabled(true);
@@ -73,6 +82,8 @@ public:
   }
 
   ~BenchTelemetry() {
+    if (active())
+      obs::stopMemPoller();
     if (!TracePath.empty()) {
       if (obs::writeTraceJsonFile(TracePath, obs::traceRecorder()))
         std::fprintf(stderr, "[bench] wrote trace to %s\n",
@@ -83,8 +94,10 @@ public:
     }
     if (OutPath.empty())
       return;
-    if (Lines.empty())
+    if (Lines.empty()) {
+      obs::publishMemMetrics(obs::metrics());
       Lines = obs::exportMetricsJsonLines(obs::metrics(), Bench);
+    }
     if (std::FILE *F = std::fopen(OutPath.c_str(), "w")) {
       std::fwrite(Lines.data(), 1, Lines.size(), F);
       std::fclose(F);
@@ -101,11 +114,17 @@ public:
   bool active() const { return !OutPath.empty() || !TracePath.empty(); }
 
   /// Flushes everything collected since the previous checkpoint under
-  /// the label "<bench>/<label>" and zeroes the registry.
+  /// the label "<bench>/<label>" and zeroes the registry. The memory
+  /// gauges (mem.peak_bytes, mem.tracked_peak_bytes, ...) are published
+  /// just before the flush and both the poller's RSS window and the
+  /// allocation tracker are reset, so each labelled block carries that
+  /// stage's own peaks rather than a run-wide high-water mark.
   void checkpoint(const std::string &Label) {
     obs::traceInstant(Label);
     if (OutPath.empty())
       return;
+    obs::publishMemMetrics(obs::metrics());
+    obs::memTracker().reset();
     Lines += obs::exportMetricsJsonLines(obs::metrics(), Bench + "/" + Label);
     obs::metrics().reset();
   }

@@ -33,6 +33,7 @@
 #include "dataflow/Dump.h"
 #include "lang/Lower.h"
 #include "obs/Export.h"
+#include "obs/Memory.h"
 #include "obs/Metrics.h"
 #include "obs/Names.h"
 #include "obs/Trace.h"
@@ -381,6 +382,14 @@ int main(int Argc, char **Argv) {
     obs::setTracingEnabled(true);
     obs::setCurrentThreadName("main");
   }
+  bool Telemetry = !MetricsOut.empty() || MetricsTable || !TraceOut.empty();
+  if (Telemetry) {
+    // Memory telemetry rides along with either sink: the tracker feeds
+    // the mem.tracked_* gauges and the poller samples RSS (emitting
+    // counter tracks when tracing).
+    obs::setMemTrackingEnabled(true);
+    obs::startMemPoller();
+  }
 
   int Exit;
   char **Cmd = Args.data();
@@ -399,6 +408,10 @@ int main(int Argc, char **Argv) {
   else
     return usage();
 
+  if (Telemetry) {
+    obs::stopMemPoller();
+    obs::publishMemMetrics(obs::metrics());
+  }
   if (!MetricsOut.empty() &&
       !obs::writeMetricsJsonFile(MetricsOut, obs::metrics()))
     std::fprintf(stderr, "cannot write metrics to %s\n", MetricsOut.c_str());

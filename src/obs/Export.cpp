@@ -67,7 +67,9 @@ void names::registerCanonicalMetrics(MetricsRegistry &Registry) {
   for (const char *Name : {PoolWorkers, PoolQueueDepth, PartitionBytesIn,
                            PartitionBytesOut, DbbBytesIn, DbbBytesOut,
                            TwppBytesIn, TwppBytesOut, ArchiveBytes,
-                           StreamStateBytes})
+                           StreamStateBytes, MemRssBytes, MemPeakBytes,
+                           MemTrackedLiveBytes, MemTrackedPeakBytes,
+                           MemAllocs})
     Registry.gauge(Name);
   Registry.histogram(PartitionTraceLength, powerOfTwoBounds(1u << 20));
   Registry.histogram(ArchiveBlockBytes, powerOfTwoBounds(1u << 24));

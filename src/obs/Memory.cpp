@@ -1,0 +1,213 @@
+//===- obs/Memory.cpp - RSS poller and mem.* publication ------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Memory.h"
+
+#include "obs/Names.h"
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+using namespace twpp;
+using namespace twpp::obs;
+
+namespace {
+
+/// Parses the first integer following \p Key in /proc/self/status, in kB.
+/// Returns 0 on any failure (non-Linux, file missing, key absent).
+uint64_t readProcStatusKb(const char *Key) {
+#if defined(__linux__)
+  std::FILE *File = std::fopen("/proc/self/status", "r");
+  if (!File)
+    return 0;
+  char Line[256];
+  uint64_t Kb = 0;
+  size_t KeyLen = std::strlen(Key);
+  while (std::fgets(Line, sizeof(Line), File)) {
+    if (std::strncmp(Line, Key, KeyLen) != 0)
+      continue;
+    char *Cursor = Line + KeyLen;
+    while (*Cursor && (*Cursor < '0' || *Cursor > '9'))
+      ++Cursor;
+    Kb = std::strtoull(Cursor, nullptr, 10);
+    break;
+  }
+  std::fclose(File);
+  return Kb;
+#else
+  (void)Key;
+  return 0;
+#endif
+}
+
+/// The background sampler. One per process, started lazily; keeps a window
+/// high-water mark that takeMemWindowPeakBytes() drains.
+class MemPoller {
+public:
+  static MemPoller &instance() {
+    static MemPoller Poller;
+    return Poller;
+  }
+
+  void start(uint64_t IntervalMs) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Interval = std::max<uint64_t>(1, IntervalMs);
+    if (Running)
+      return;
+    Running = true;
+    Worker = std::thread([this] { loop(); });
+  }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (!Running)
+        return;
+      Running = false;
+      Wake.notify_all();
+    }
+    if (Worker.joinable())
+      Worker.join();
+  }
+
+  void observe(uint64_t Rss) {
+    uint64_t Prev = WindowPeak.load(std::memory_order_relaxed);
+    while (Rss > Prev && !WindowPeak.compare_exchange_weak(
+                             Prev, Rss, std::memory_order_relaxed))
+      ;
+  }
+
+  uint64_t takeWindowPeak() {
+    return WindowPeak.exchange(0, std::memory_order_relaxed);
+  }
+
+private:
+  ~MemPoller() { stop(); }
+
+  void loop() {
+    setCurrentThreadName("mem-poller");
+    std::unique_lock<std::mutex> Lock(Mutex);
+    while (Running) {
+      Lock.unlock();
+      observe(currentRssBytes());
+      sampleMemoryCounters();
+      Lock.lock();
+      Wake.wait_for(Lock, std::chrono::milliseconds(Interval),
+                    [this] { return !Running; });
+    }
+  }
+
+  std::mutex Mutex;
+  std::condition_variable Wake;
+  std::thread Worker;
+  bool Running = false;
+  uint64_t Interval = 10;
+  std::atomic<uint64_t> WindowPeak{0};
+};
+
+} // namespace
+
+namespace twpp {
+namespace obs {
+
+uint64_t currentRssBytes() {
+#if defined(__linux__)
+  // /proc/self/statm: size resident shared text lib data dt — in pages.
+  std::FILE *File = std::fopen("/proc/self/statm", "r");
+  if (!File)
+    return 0;
+  unsigned long long Size = 0, Resident = 0;
+  int Fields = std::fscanf(File, "%llu %llu", &Size, &Resident);
+  std::fclose(File);
+  if (Fields != 2)
+    return 0;
+  return static_cast<uint64_t>(Resident) *
+         static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+uint64_t peakRssBytes() {
+  if (uint64_t Kb = readProcStatusKb("VmHWM:"))
+    return Kb * 1024;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) == 0 && Usage.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<uint64_t>(Usage.ru_maxrss); // bytes on macOS
+#else
+    return static_cast<uint64_t>(Usage.ru_maxrss) * 1024; // kB elsewhere
+#endif
+  }
+#endif
+  return 0;
+}
+
+void startMemPoller(uint64_t IntervalMs) {
+  MemPoller::instance().start(IntervalMs);
+}
+
+void stopMemPoller() { MemPoller::instance().stop(); }
+
+uint64_t takeMemWindowPeakBytes() {
+  MemPoller &Poller = MemPoller::instance();
+  Poller.observe(currentRssBytes());
+  return Poller.takeWindowPeak();
+}
+
+void publishMemMetrics(MetricsRegistry &Registry) {
+  uint64_t Rss = currentRssBytes();
+  MemPoller &Poller = MemPoller::instance();
+  Poller.observe(Rss);
+  uint64_t WindowPeak = Poller.takeWindowPeak();
+  Registry.gauge(names::MemRssBytes).set(static_cast<int64_t>(Rss));
+  Registry.gauge(names::MemPeakBytes)
+      .set(static_cast<int64_t>(std::max(WindowPeak, Rss)));
+  MemTracker &Tracker = memTracker();
+  Registry.gauge(names::MemTrackedLiveBytes).set(Tracker.totalLiveBytes());
+  Registry.gauge(names::MemTrackedPeakBytes).set(Tracker.totalPeakBytes());
+  Registry.gauge(names::MemAllocs)
+      .set(static_cast<int64_t>(Tracker.totalAllocs()));
+}
+
+void sampleMemoryCounters() {
+  if (!tracingEnabled())
+    return;
+  uint64_t Rss = currentRssBytes();
+  traceCounter(names::MemRssBytes, static_cast<int64_t>(Rss));
+  // New process high-water marks become instants so timelines pinpoint the
+  // moment the footprint grew, not just the level.
+  static std::atomic<uint64_t> SeenPeak{0};
+  uint64_t Prev = SeenPeak.load(std::memory_order_relaxed);
+  if (Rss > Prev &&
+      SeenPeak.compare_exchange_strong(Prev, Rss, std::memory_order_relaxed))
+    traceInstant("mem.peak_rss", "bytes", static_cast<int64_t>(Rss));
+  if (!memTrackingEnabled())
+    return;
+  char Track[48];
+  for (const MemTracker::Snapshot &S : memTracker().snapshot()) {
+    std::snprintf(Track, sizeof(Track), "mem.live_bytes/%s", S.Tag.c_str());
+    traceCounter(Track, S.LiveBytes);
+  }
+}
+
+} // namespace obs
+} // namespace twpp

@@ -105,6 +105,15 @@ inline constexpr const char *VerifyDiagnostics = "verify.diagnostics";
 inline constexpr const char *VerifyErrors = "verify.errors";
 inline constexpr const char *VerifyWarnings = "verify.warnings";
 
+// obs/Memory — allocation tracking and process RSS sampling. All gauges:
+// RSS figures are set from the poller window at export time, tracked_*
+// figures from the MemTracker tallies.
+inline constexpr const char *MemRssBytes = "mem.rss_bytes";
+inline constexpr const char *MemPeakBytes = "mem.peak_bytes";
+inline constexpr const char *MemTrackedLiveBytes = "mem.tracked_live_bytes";
+inline constexpr const char *MemTrackedPeakBytes = "mem.tracked_peak_bytes";
+inline constexpr const char *MemAllocs = "mem.allocs";
+
 // dataflow/ — demand-driven queries over the compacted form.
 inline constexpr const char *DataflowQueries = "dataflow.queries";
 inline constexpr const char *DataflowSubqueries = "dataflow.subqueries";

@@ -12,6 +12,7 @@
 
 #include "sequitur/Sequitur.h"
 
+#include "obs/Memory.h"
 #include "obs/Metrics.h"
 #include "obs/Names.h"
 #include "obs/PhaseSpan.h"
@@ -22,16 +23,32 @@
 
 using namespace twpp;
 
+
+namespace {
+/// Grammar node ledger: one Sym/Rule record per node so sequitur.grammar
+/// live bytes track the in-flight grammar and its peak the high-water mark.
+twpp::obs::MemAccount &grammarAccount() {
+  static twpp::obs::MemAccount &Account =
+      twpp::obs::memTracker().account(twpp::obs::memtags::SequiturGrammar);
+  return Account;
+}
+} // namespace
+
 SequiturBuilder::SequiturBuilder() { Start = newRule(); }
 
 SequiturBuilder::~SequiturBuilder() {
-  auto FreeBody = [](Rule *R) {
+  bool Tracked = obs::memTrackingEnabled();
+  auto FreeBody = [Tracked](Rule *R) {
     Sym *S = R->Guard->Next;
     while (S != R->Guard) {
       Sym *Next = S->Next;
+      if (Tracked)
+        grammarAccount().recordFree(sizeof(Sym));
       delete S;
       S = Next;
     }
+    if (Tracked)
+      grammarAccount().recordFree(sizeof(Sym) + sizeof(Rule));
     delete R->Guard;
     delete R;
   };
@@ -44,6 +61,8 @@ SequiturBuilder::Rule *SequiturBuilder::newRule() {
   static obs::Counter &RulesCreated =
       obs::metrics().counter(obs::names::SequiturRulesCreated);
   RulesCreated.add();
+  if (obs::memTrackingEnabled())
+    grammarAccount().recordAlloc(sizeof(Rule) + sizeof(Sym));
   Rule *R = new Rule();
   R->Id = NextRuleId++;
   R->Guard = new Sym();
@@ -62,17 +81,23 @@ void SequiturBuilder::freeRule(Rule *R) {
   RulesDeleted.add();
   assert(R != Start && "cannot free the start rule");
   LiveRules.erase(R->Id);
+  if (obs::memTrackingEnabled())
+    grammarAccount().recordFree(sizeof(Sym) + sizeof(Rule));
   delete R->Guard;
   delete R;
 }
 
 SequiturBuilder::Sym *SequiturBuilder::newSymbol(uint64_t Terminal) {
+  if (obs::memTrackingEnabled())
+    grammarAccount().recordAlloc(sizeof(Sym));
   Sym *S = new Sym();
   S->Value = Terminal;
   return S;
 }
 
 SequiturBuilder::Sym *SequiturBuilder::newNonterminal(Rule *R) {
+  if (obs::memTrackingEnabled())
+    grammarAccount().recordAlloc(sizeof(Sym));
   Sym *S = new Sym();
   S->RuleRef = R;
   ++R->RefCount;
@@ -106,6 +131,8 @@ void SequiturBuilder::removeSymbol(Sym *S) {
   join(S->Prev, S->Next);
   if (S->RuleRef)
     --S->RuleRef->RefCount;
+  if (obs::memTrackingEnabled())
+    grammarAccount().recordFree(sizeof(Sym));
   delete S;
 }
 

@@ -6,6 +6,7 @@
 
 #include "support/ThreadPool.h"
 
+#include "obs/Memory.h"
 #include "obs/Metrics.h"
 #include "obs/Names.h"
 #include "obs/PhaseSpan.h"
@@ -77,6 +78,9 @@ void ThreadPool::run(std::function<void()> Task) {
   int64_t Depth = Queued.fetch_add(1, std::memory_order_relaxed) + 1;
   if (obs::enabled())
     obs::metrics().gauge(obs::names::PoolQueueDepth).set(Depth);
+  // Queued-task footprint: one TaskItem header per pending task (the
+  // closure's own captures are opaque to us). Freed in finishTask.
+  obs::memAlloc(obs::memtags::PoolQueue, sizeof(TaskItem));
   obs::traceCounter("pool.queue_depth", Depth);
   unsigned Slot = NextQueue.fetch_add(1, std::memory_order_relaxed) %
                   Queues.size();
@@ -148,6 +152,7 @@ void ThreadPool::runTask(TaskItem &Item) {
 
 void ThreadPool::finishTask(const TaskItem &Item) {
   TasksRun.fetch_add(1, std::memory_order_relaxed);
+  obs::memFree(obs::memtags::PoolQueue, sizeof(TaskItem));
   if (obs::enabled()) {
     obs::MetricsRegistry &M = obs::metrics();
     static obs::Counter &Tasks = M.counter(obs::names::PoolTasks);

@@ -98,6 +98,19 @@ const std::vector<CheckInfo> &verify::checkCatalog() {
        "no variable is read on a path before any definition (params count "
        "as defined)"},
 
+      // Mem family.
+      {checks::MemReconcile, "mem", Severity::Error,
+       "decoding the archive under the allocation tracker attributes the "
+       "same bytes the obs::deepSize audit finds in the decoded structures "
+       "(within the documented 1% + 1 KiB tolerance)"},
+      {checks::MemNegativeLive, "mem", Severity::Error,
+       "no tracker account holds negative live bytes (alloc/free "
+       "instrumentation is balanced)"},
+      {checks::MemFootprintModel, "mem", Severity::Warning,
+       "the decoded in-memory footprint is at least the paper-model "
+       "serialized estimate (wpp/Sizes) — smaller would mean the model or "
+       "the audit drifted"},
+
       // Dataflow family.
       {checks::DataflowFactBlocks, "dataflow", Severity::Error,
        "GEN/KILL sets reference real IR blocks of the owning function, "

@@ -67,6 +67,13 @@ inline constexpr const char *IrCallTarget = "twpp-ir-call-target";
 inline constexpr const char *IrUnreachableBlock = "twpp-ir-unreachable-block";
 inline constexpr const char *IrDefBeforeUse = "twpp-ir-def-before-use";
 
+// Mem family: memory observability audits (verify/MemoryChecks.h) — the
+// obs/Memory.h tracker reconciled against obs::deepSize walks of decoded
+// archives and the wpp/Sizes paper model.
+inline constexpr const char *MemReconcile = "twpp-mem-reconcile";
+inline constexpr const char *MemNegativeLive = "twpp-mem-negative-live";
+inline constexpr const char *MemFootprintModel = "twpp-mem-footprint-model";
+
 // Dataflow family: GEN/KILL fact specs and annotated dynamic CFGs.
 inline constexpr const char *DataflowFactBlocks = "twpp-dataflow-fact-blocks";
 inline constexpr const char *DataflowAnnotationPartition =
@@ -79,12 +86,12 @@ inline constexpr const char *DataflowAnnotationSubset =
 /// One catalog row.
 struct CheckInfo {
   const char *Id;
-  const char *Family; ///< "archive", "recover", "ir" or "dataflow".
+  const char *Family; ///< "archive", "recover", "ir", "mem" or "dataflow".
   Severity DefaultSev;
   const char *Summary;
 };
 
-/// Every implemented check, in catalog order (archive, recover, ir,
+/// Every implemented check, in catalog order (archive, recover, ir, mem,
 /// dataflow).
 const std::vector<CheckInfo> &checkCatalog();
 

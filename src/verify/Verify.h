@@ -20,6 +20,7 @@
 #include "verify/DataflowChecks.h"
 #include "verify/Diagnostics.h"
 #include "verify/IrChecks.h"
+#include "verify/MemoryChecks.h"
 
 #include <string>
 

@@ -6,6 +6,7 @@
 
 #include "wpp/Archive.h"
 
+#include "obs/Memory.h"
 #include "obs/Metrics.h"
 #include "obs/Names.h"
 #include "obs/PhaseSpan.h"
@@ -161,7 +162,27 @@ bool twpp::decodeTwppFunctionTable(const std::vector<uint8_t> &Bytes,
     Table.Traces[I] = {static_cast<uint32_t>(StringIdx),
                        static_cast<uint32_t>(DictIdx)};
   }
-  return Reader.valid();
+  if (!Reader.valid())
+    return false;
+  if (obs::memTrackingEnabled()) {
+    // Container overheads of the decoded table; the series payloads were
+    // already recorded by TimestampSet::decodeSigned. Kept as an
+    // independent tally of obs::deepSize so the twpp-mem-reconcile check
+    // catches the two drifting apart.
+    uint64_t Bytes = Table.TraceStrings.size() * sizeof(TwppTrace);
+    for (const TwppTrace &Trace : Table.TraceStrings)
+      Bytes += Trace.Blocks.size() * sizeof(std::pair<BlockId, TimestampSet>);
+    Bytes += Table.Dictionaries.size() * sizeof(DbbDictionary);
+    for (const DbbDictionary &Dict : Table.Dictionaries) {
+      Bytes += Dict.Chains.size() * sizeof(std::vector<BlockId>);
+      for (const std::vector<BlockId> &Chain : Dict.Chains)
+        Bytes += Chain.size() * sizeof(BlockId);
+    }
+    Bytes += Table.Traces.size() * sizeof(std::pair<uint32_t, uint32_t>);
+    Bytes += Table.UseCounts.size() * sizeof(uint64_t);
+    obs::memAllocCurrent(Bytes);
+  }
+  return true;
 }
 
 std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp,
@@ -177,6 +198,7 @@ std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp,
     obs::PhaseSpan FnSpan("encode_function", "function",
                           static_cast<int64_t>(F));
     Blocks[F] = encodeTwppFunctionTable(Wpp.Functions[F]);
+    obs::memAlloc(obs::memtags::ArchiveEncode, Blocks[F].size());
   });
 
   // Most frequently called functions are stored first (paper Section 3).
@@ -205,6 +227,7 @@ std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp,
   for (uint32_t F : Order) {
     Extents[F] = {Writer.size(), Blocks[F].size()};
     Writer.writeBytes(Blocks[F].data(), Blocks[F].size());
+    obs::memFree(obs::memtags::ArchiveEncode, Blocks[F].size());
   }
 
   std::vector<uint8_t> Dcg = lzwCompress(encodeDcg(Wpp.Dcg));
@@ -219,6 +242,10 @@ std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp,
     Writer.patchFixed64(Row + 16, Wpp.Functions[F].CallCount);
   }
   std::vector<uint8_t> Out = Writer.take();
+  // The stitched buffer is the encode path's high-water mark; alloc+free
+  // so archive.encode records the peak without holding live bytes.
+  obs::memAlloc(obs::memtags::ArchiveEncode, Out.size());
+  obs::memFree(obs::memtags::ArchiveEncode, Out.size());
   maybeVerifyArchiveBytes(Out, "archive_encode");
   if (obs::enabled()) {
     obs::MetricsRegistry &M = obs::metrics();
@@ -341,6 +368,8 @@ bool ArchiveReader::extractFunction(FunctionId Function,
                 "index", verify::NoByteOffset);
   obs::PhaseSpan Span("archive_extract", "function",
                       static_cast<int64_t>(Function));
+  obs::MemScope MemSpan(obs::memtags::ArchiveDecode,
+                        obs::MemScope::Nest::IfUnscoped);
   std::vector<uint8_t> Block;
   if (!readFileSlice(Path, Index[Function].Offset, Index[Function].Length,
                      Block))
@@ -379,6 +408,8 @@ bool ArchiveReader::extractFunctionPathTraces(FunctionId Function,
 
 bool ArchiveReader::readDcg(DynamicCallGraph &Dcg) const {
   obs::PhaseSpan Span("archive_read_dcg");
+  obs::MemScope MemSpan(obs::memtags::ArchiveDecode,
+                        obs::MemScope::Nest::IfUnscoped);
   static obs::Counter &DcgReads =
       obs::metrics().counter(obs::names::ArchiveDcgReads);
   DcgReads.add();
@@ -398,10 +429,13 @@ bool ArchiveReader::readDcg(DynamicCallGraph &Dcg) const {
 }
 
 bool ArchiveReader::readAll(TwppWpp &Wpp) const {
+  obs::MemScope MemSpan(obs::memtags::ArchiveDecode,
+                        obs::MemScope::Nest::IfUnscoped);
   Wpp = TwppWpp();
   if (!readDcg(Wpp.Dcg))
     return false;
   Wpp.Functions.resize(Index.size());
+  obs::memAllocCurrent(Index.size() * sizeof(TwppFunctionTable));
   for (FunctionId F = 0; F != Index.size(); ++F)
     if (!extractFunction(F, Wpp.Functions[F]))
       return false;

@@ -74,6 +74,15 @@ public:
     return Function < Index.size() ? Index[Function].CallCount : 0;
   }
 
+  /// On-disk byte length of \p Function's block; 0 when the archive holds
+  /// no such function. (twpp_memstat's compressed-size column.)
+  uint64_t blockLength(FunctionId Function) const {
+    return Function < Index.size() ? Index[Function].Length : 0;
+  }
+
+  /// On-disk byte length of the LZW-compressed DCG extent.
+  uint64_t dcgLength() const { return DcgLength; }
+
   /// Reads and decodes the block of \p Function (one file slice).
   /// \returns false on IO or format errors.
   bool extractFunction(FunctionId Function, TwppFunctionTable &Table) const;

@@ -1,0 +1,109 @@
+//===- wpp/DeepSize.cpp - Deep-size audit of the WPP structures -----------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/DeepSize.h"
+
+using namespace twpp;
+
+namespace twpp {
+namespace obs {
+
+uint64_t deepSize(const PathTrace &Trace) {
+  return Trace.size() * sizeof(BlockId);
+}
+
+uint64_t deepSize(const TimestampSet &Set) {
+  return Set.runs().size() * sizeof(SeriesRun);
+}
+
+uint64_t deepSize(const TwppTrace &Trace) {
+  uint64_t Bytes =
+      Trace.Blocks.size() * sizeof(std::pair<BlockId, TimestampSet>);
+  for (const auto &[Block, Set] : Trace.Blocks)
+    Bytes += deepSize(Set);
+  return Bytes;
+}
+
+uint64_t deepSize(const DbbDictionary &Dictionary) {
+  uint64_t Bytes = Dictionary.Chains.size() * sizeof(std::vector<BlockId>);
+  for (const std::vector<BlockId> &Chain : Dictionary.Chains)
+    Bytes += Chain.size() * sizeof(BlockId);
+  return Bytes;
+}
+
+uint64_t deepSize(const DynamicCallGraph &Dcg) {
+  uint64_t Bytes = Dcg.Nodes.size() * sizeof(DcgNode);
+  for (const DcgNode &Node : Dcg.Nodes)
+    Bytes += (Node.Children.size() + Node.Anchors.size()) * sizeof(uint32_t);
+  Bytes += Dcg.Roots.size() * sizeof(uint32_t);
+  return Bytes;
+}
+
+uint64_t deepSize(const FunctionTraceTable &Table) {
+  uint64_t Bytes = Table.UniqueTraces.size() * sizeof(PathTrace);
+  for (const PathTrace &Trace : Table.UniqueTraces)
+    Bytes += deepSize(Trace);
+  Bytes += Table.UseCounts.size() * sizeof(uint64_t);
+  return Bytes;
+}
+
+uint64_t deepSize(const DbbFunctionTable &Table) {
+  uint64_t Bytes = Table.TraceStrings.size() * sizeof(std::vector<BlockId>);
+  for (const std::vector<BlockId> &Trace : Table.TraceStrings)
+    Bytes += Trace.size() * sizeof(BlockId);
+  Bytes += Table.Dictionaries.size() * sizeof(DbbDictionary);
+  for (const DbbDictionary &Dictionary : Table.Dictionaries)
+    Bytes += deepSize(Dictionary);
+  Bytes += Table.Traces.size() * sizeof(std::pair<uint32_t, uint32_t>);
+  Bytes += Table.UseCounts.size() * sizeof(uint64_t);
+  return Bytes;
+}
+
+uint64_t deepSize(const TwppFunctionTable &Table) {
+  uint64_t Bytes = Table.TraceStrings.size() * sizeof(TwppTrace);
+  for (const TwppTrace &Trace : Table.TraceStrings)
+    Bytes += deepSize(Trace);
+  Bytes += Table.Dictionaries.size() * sizeof(DbbDictionary);
+  for (const DbbDictionary &Dictionary : Table.Dictionaries)
+    Bytes += deepSize(Dictionary);
+  Bytes += Table.Traces.size() * sizeof(std::pair<uint32_t, uint32_t>);
+  Bytes += Table.UseCounts.size() * sizeof(uint64_t);
+  return Bytes;
+}
+
+uint64_t deepSize(const PartitionedWpp &Wpp) {
+  uint64_t Bytes = deepSize(Wpp.Dcg);
+  Bytes += Wpp.Functions.size() * sizeof(FunctionTraceTable);
+  for (const FunctionTraceTable &Table : Wpp.Functions)
+    Bytes += deepSize(Table);
+  return Bytes;
+}
+
+uint64_t deepSize(const DbbWpp &Wpp) {
+  uint64_t Bytes = deepSize(Wpp.Dcg);
+  Bytes += Wpp.Functions.size() * sizeof(DbbFunctionTable);
+  for (const DbbFunctionTable &Table : Wpp.Functions)
+    Bytes += deepSize(Table);
+  return Bytes;
+}
+
+uint64_t deepSize(const TwppWpp &Wpp) {
+  uint64_t Bytes = deepSize(Wpp.Dcg);
+  Bytes += Wpp.Functions.size() * sizeof(TwppFunctionTable);
+  for (const TwppFunctionTable &Table : Wpp.Functions)
+    Bytes += deepSize(Table);
+  return Bytes;
+}
+
+uint64_t deepSize(const FlatGrammar &Grammar) {
+  uint64_t Bytes = Grammar.Rules.size() * sizeof(std::vector<FlatSymbol>);
+  for (const std::vector<FlatSymbol> &Rule : Grammar.Rules)
+    Bytes += Rule.size() * sizeof(FlatSymbol);
+  return Bytes;
+}
+
+} // namespace obs
+} // namespace twpp

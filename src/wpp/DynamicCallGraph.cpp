@@ -6,6 +6,7 @@
 
 #include "wpp/DynamicCallGraph.h"
 
+#include "obs/Memory.h"
 #include "support/ByteStream.h"
 
 using namespace twpp;
@@ -72,5 +73,16 @@ bool twpp::decodeDcg(const std::vector<uint8_t> &Bytes,
       Node.Anchors.push_back(PrevAnchor);
     }
   }
-  return Reader.valid() && Reader.atEnd();
+  if (!(Reader.valid() && Reader.atEnd()))
+    return false;
+  if (obs::memTrackingEnabled()) {
+    // Independent tally of obs::deepSize(DynamicCallGraph) for the
+    // twpp-mem-reconcile audit.
+    uint64_t Bytes = Dcg.Nodes.size() * sizeof(DcgNode);
+    for (const DcgNode &Node : Dcg.Nodes)
+      Bytes += (Node.Children.size() + Node.Anchors.size()) * sizeof(uint32_t);
+    Bytes += Dcg.Roots.size() * sizeof(uint32_t);
+    obs::memAllocCurrent(Bytes);
+  }
+  return true;
 }

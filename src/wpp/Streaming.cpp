@@ -4,8 +4,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "wpp/DeepSize.h"
 #include "wpp/Streaming.h"
 
+#include "obs/Memory.h"
 #include "obs/Metrics.h"
 #include "obs/Names.h"
 #include "obs/PhaseSpan.h"
@@ -59,11 +61,15 @@ private:
   std::unordered_multimap<uint64_t, uint32_t> Buckets;
 };
 
-/// Accounting formulas for the degradable state. Chosen to be exactly
-/// recomputable from a restored snapshot (restoreState recomputes them
-/// from scratch and lands on the same number incremental updates did).
-uint64_t uniqueTraceBytes(size_t Blocks) { return 16 + 4 * Blocks; }
-uint64_t openFrameBytes(size_t Blocks) { return 48 + 4 * Blocks; }
+/// Accounting model for the degradable state: the obs::deepSize figures of
+/// what the compactor actually holds (interned trace buffers and open
+/// frames), so MemoryBudgetBytes bounds the same quantity the memory
+/// audits report. Exactly recomputable from a restored snapshot
+/// (restoreState recomputes from scratch and lands on the same number the
+/// incremental updates did) and independent of observability being on.
+uint64_t uniqueTraceBytes(size_t Blocks) {
+  return obs::pathTraceDeepSize(Blocks);
+}
 
 } // namespace
 
@@ -83,13 +89,44 @@ struct StreamingCompactor::Impl {
   uint64_t EventCount = 0;
   uint64_t Checkpoints = 0;
   uint64_t Degraded = 0;
-  /// Unique-trace + open-frame bytes per the formulas above.
-  uint64_t StateBytes = 0;
+  /// Unique-trace + open-frame bytes per the deep-size model. An
+  /// unconditional instance ledger — the budget must behave identically
+  /// whether or not tracking is enabled — mirrored into the global
+  /// stream.state tag when it is.
+  obs::MemAccount StateAccount;
+
+  static uint64_t openFrameBytes(size_t Blocks) {
+    return sizeof(Frame) + Blocks * sizeof(BlockId);
+  }
+
+  /// The tracker's live-bytes figure for this compactor.
+  uint64_t stateBytes() const {
+    int64_t Live = StateAccount.liveBytes();
+    return Live > 0 ? static_cast<uint64_t>(Live) : 0;
+  }
+
+  void stateAlloc(uint64_t Bytes) {
+    StateAccount.recordAlloc(Bytes);
+    obs::memAlloc(obs::memtags::StreamState, Bytes);
+  }
+
+  void stateFree(uint64_t Bytes) {
+    StateAccount.recordFree(Bytes);
+    obs::memFree(obs::memtags::StreamState, Bytes);
+  }
+
+  void stateReset() {
+    if (uint64_t Live = stateBytes())
+      obs::memFree(obs::memtags::StreamState, Live);
+    StateAccount.reset();
+  }
 
   explicit Impl(uint32_t FunctionCount) {
     Wpp.Functions.resize(FunctionCount);
     Interners.resize(FunctionCount);
   }
+
+  ~Impl() { stateReset(); } // release the mirrored stream.state live bytes
 
   /// Back to an empty stream (after takePartitioned), keeping the
   /// journal, config and cumulative checkpoint/degrade counters.
@@ -99,7 +136,7 @@ struct StreamingCompactor::Impl {
     Interners.assign(FunctionCount, TraceInterner());
     Stack.clear();
     EventCount = 0;
-    StateBytes = 0;
+    stateReset();
   }
 
   /// Serializes the complete state. Everything onEnter/onBlock/onExit
@@ -154,7 +191,7 @@ struct StreamingCompactor::Impl {
       ++Checkpoints;
       M.counter(obs::names::JournalCheckpoints).add();
       M.gauge(obs::names::StreamStateBytes)
-          .set(static_cast<int64_t>(StateBytes));
+          .set(static_cast<int64_t>(stateBytes()));
     } else {
       LastJournalError = Result;
       M.counter(obs::names::JournalCheckpointFailures).add();
@@ -175,12 +212,12 @@ struct StreamingCompactor::Impl {
   /// budget or nothing is left to drop.
   void enforceBudget() {
     if (Config.MemoryBudgetBytes == 0 ||
-        StateBytes <= Config.MemoryBudgetBytes)
+        stateBytes() <= Config.MemoryBudgetBytes)
       return;
     for (Frame &F : Stack) {
       if (F.Blocks.empty())
         continue;
-      StateBytes -= 4 * F.Blocks.size();
+      stateFree(F.Blocks.size() * sizeof(BlockId));
       PathTrace().swap(F.Blocks);
       DcgNode &Node = Wpp.Dcg.Nodes[F.NodeIndex];
       std::fill(Node.Anchors.begin(), Node.Anchors.end(), 0);
@@ -188,7 +225,7 @@ struct StreamingCompactor::Impl {
       obs::metrics().counter(obs::names::StreamDegraded).add();
       obs::traceInstant("stream_degraded", "frame",
                         static_cast<int64_t>(F.NodeIndex));
-      if (StateBytes <= Config.MemoryBudgetBytes)
+      if (stateBytes() <= Config.MemoryBudgetBytes)
         return;
     }
   }
@@ -227,7 +264,7 @@ void StreamingCompactor::onEnter(FunctionId F) {
         static_cast<uint32_t>(Parent.Blocks.size()));
   }
   P->Stack.push_back(Impl::Frame{NodeIndex, {}});
-  P->StateBytes += openFrameBytes(0);
+  P->stateAlloc(Impl::openFrameBytes(0));
   ++P->EventCount;
   P->enforceBudget();
   P->maybeCheckpoint();
@@ -236,7 +273,7 @@ void StreamingCompactor::onEnter(FunctionId F) {
 void StreamingCompactor::onBlock(BlockId B) {
   assert(!P->Stack.empty() && "block event outside any call");
   P->Stack.back().Blocks.push_back(B);
-  P->StateBytes += 4;
+  P->stateAlloc(sizeof(BlockId));
   ++P->EventCount;
   P->enforceBudget();
   P->maybeCheckpoint();
@@ -267,9 +304,9 @@ void StreamingCompactor::onExit() {
   Node.TraceIndex =
       P->Interners[Node.Function].intern(Table, std::move(Top.Blocks));
   ++Table.UseCounts[Node.TraceIndex];
-  P->StateBytes -= openFrameBytes(TraceLen);
+  P->stateFree(Impl::openFrameBytes(TraceLen));
   if (Table.UniqueTraces.size() > UniqueBefore)
-    P->StateBytes += uniqueTraceBytes(TraceLen);
+    P->stateAlloc(uniqueTraceBytes(TraceLen));
   ++P->EventCount;
   P->enforceBudget();
   P->maybeCheckpoint();
@@ -288,6 +325,10 @@ uint64_t StreamingCompactor::checkpointsWritten() const {
 }
 
 uint64_t StreamingCompactor::degradedFrames() const { return P->Degraded; }
+
+uint64_t StreamingCompactor::trackedStateBytes() const {
+  return P->stateBytes();
+}
 
 const IoError &StreamingCompactor::lastJournalError() const {
   return P->LastJournalError;
@@ -389,12 +430,14 @@ bool StreamingCompactor::restoreState(const std::vector<uint8_t> &Payload) {
   P->Degraded = Degraded;
   for (size_t F = 0; F < P->Wpp.Functions.size(); ++F)
     P->Interners[F].rebuild(P->Wpp.Functions[F]);
-  P->StateBytes = 0;
+  P->stateReset();
+  uint64_t Recomputed = 0;
   for (const FunctionTraceTable &Table : P->Wpp.Functions)
     for (const PathTrace &Trace : Table.UniqueTraces)
-      P->StateBytes += uniqueTraceBytes(Trace.size());
+      Recomputed += uniqueTraceBytes(Trace.size());
   for (const Impl::Frame &F : P->Stack)
-    P->StateBytes += openFrameBytes(F.Blocks.size());
+    Recomputed += Impl::openFrameBytes(F.Blocks.size());
+  P->stateAlloc(Recomputed);
   return true;
 }
 

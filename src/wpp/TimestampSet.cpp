@@ -6,6 +6,7 @@
 
 #include "wpp/TimestampSet.h"
 
+#include "obs/Memory.h"
 #include "obs/Metrics.h"
 #include "obs/Names.h"
 
@@ -50,6 +51,10 @@ TimestampSet TimestampSet::fromSorted(const std::vector<Timestamp> &Sorted) {
     Values.add(Sorted.size());
     Runs.add(Set.Runs.size());
   }
+  // Scoped memory attribution: the run payload lands in whichever stage
+  // opened a MemScope (dropped otherwise, so stage-level deepSize records
+  // do not double count the series they already include).
+  obs::memAllocCurrent(Set.Runs.size() * sizeof(SeriesRun));
   return Set;
 }
 
@@ -211,6 +216,7 @@ bool TimestampSet::decodeSigned(const std::vector<int64_t> &Encoded,
                         static_cast<Timestamp>(Second),
                         static_cast<uint32_t>(Step)});
   }
+  obs::memAllocCurrent(Out.Runs.size() * sizeof(SeriesRun));
   return true;
 }
 

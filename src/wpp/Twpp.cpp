@@ -6,10 +6,12 @@
 
 #include "wpp/Twpp.h"
 
+#include "obs/Memory.h"
 #include "obs/Metrics.h"
 #include "obs/Names.h"
 #include "obs/PhaseSpan.h"
 #include "obs/Trace.h"
+#include "wpp/DeepSize.h"
 #include "wpp/Sizes.h"
 #include "wpp/VerifyHooks.h"
 
@@ -123,6 +125,10 @@ DbbWpp twpp::applyDbbCompaction(const PartitionedWpp &Wpp,
                                              std::move(Compacted.Dictionary));
       Table.Traces.emplace_back(StringIdx, DictIdx);
     }
+    // Per-tag memory accounting: the finished table's heap footprint
+    // (dbb.tables live bytes track what this stage keeps alive).
+    if (obs::memTrackingEnabled())
+      obs::memAlloc(obs::memtags::DbbTables, obs::deepSize(Table));
   });
   if (obs::enabled()) {
     // Stage 3 size accounting, same formulas as measureStages: bytes_in is
@@ -161,6 +167,8 @@ TwppWpp twpp::convertToTwpp(const DbbWpp &Wpp, const ParallelConfig &Config) {
     Table.TraceStrings.reserve(In.TraceStrings.size());
     for (const std::vector<BlockId> &Sequence : In.TraceStrings)
       Table.TraceStrings.push_back(twppFromBlockSequence(Sequence));
+    if (obs::memTrackingEnabled())
+      obs::memAlloc(obs::memtags::TwppTables, obs::deepSize(Table));
   });
   if (obs::enabled()) {
     // Stage 4+5 size accounting: the same trace strings before and after

@@ -16,6 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Memory.h"
 #include "support/FaultInjection.h"
 #include "support/FileIO.h"
 #include "verify/ArchiveChecks.h"
@@ -404,8 +405,26 @@ TEST(JournalRecovery, MemoryBudgetDegradesGracefully) {
   StreamingConfig Config;
   Config.MemoryBudgetBytes = 256;
   StreamingCompactor Sink(Trace.FunctionCount, Config);
+  // An unbudgeted twin over the same events pins down what degradation
+  // bought: the budget is enforced against trackedStateBytes, so the
+  // budgeted compactor must hold strictly fewer tracked bytes and the
+  // difference must be exactly the dropped block detail (degradation
+  // removes block detail only, never frames or unique traces).
+  StreamingCompactor Twin(Trace.FunctionCount);
   feedPrefix(Sink, Trace, Trace.Events.size());
+  feedPrefix(Twin, Trace, Trace.Events.size());
   EXPECT_GT(Sink.degradedFrames(), 0u);
+  EXPECT_EQ(Twin.degradedFrames(), 0u);
+  EXPECT_LT(Sink.trackedStateBytes(), Twin.trackedStateBytes());
+  EXPECT_EQ((Twin.trackedStateBytes() - Sink.trackedStateBytes()) %
+                sizeof(BlockId),
+            0u);
+  // The incrementally maintained figure must be exactly what a
+  // from-scratch recompute lands on: restoreState rebuilds the ledger
+  // from the snapshot, so a restored twin's tracked bytes must match.
+  StreamingCompactor Restored(Trace.FunctionCount, Config);
+  ASSERT_TRUE(Restored.restoreState(Sink.snapshotState()));
+  EXPECT_EQ(Restored.trackedStateBytes(), Sink.trackedStateBytes());
   while (!Sink.balanced())
     Sink.onExit();
   std::vector<uint8_t> Bytes = encodeArchive(Sink.takeCompacted());
@@ -413,6 +432,32 @@ TEST(JournalRecovery, MemoryBudgetDegradesGracefully) {
   verify::runArchiveBytesChecks(Bytes, Engine);
   EXPECT_TRUE(Engine.clean())
       << verify::renderDiagnosticsText(Engine);
+}
+
+TEST(JournalRecovery, TrackedStateBytesMirrorsGlobalTag) {
+  // With tracking enabled, the compactor mirrors its instance ledger into
+  // the global stream.state tag, so stream.degraded accounting and the
+  // mem.live_bytes/stream.state counter track describe the same bytes
+  // trackedStateBytes() reports. The flag is process-global: save and
+  // restore it around the test.
+  bool WasEnabled = obs::memTrackingEnabled();
+  obs::setMemTrackingEnabled(true);
+  obs::MemAccount &Tag =
+      obs::memTracker().account(obs::memtags::StreamState);
+  int64_t Before = Tag.liveBytes();
+  {
+    RawTrace Trace = fixtures::randomTrace(77, 4, 150);
+    StreamingCompactor Sink(Trace.FunctionCount);
+    feedPrefix(Sink, Trace, Trace.Events.size());
+    EXPECT_EQ(Tag.liveBytes() - Before,
+              static_cast<int64_t>(Sink.trackedStateBytes()));
+    while (!Sink.balanced())
+      Sink.onExit();
+    (void)Sink.takeCompacted();
+  }
+  // Destruction releases every mirrored byte.
+  EXPECT_EQ(Tag.liveBytes(), Before);
+  obs::setMemTrackingEnabled(WasEnabled);
 }
 
 TEST(JournalRecovery, UnwritableJournalDegradesNotAborts) {

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "obs/Export.h"
+#include "obs/Json.h"
 #include "obs/Metrics.h"
 #include "obs/Names.h"
 #include "obs/PhaseSpan.h"
@@ -20,7 +21,9 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 using namespace twpp;
 
@@ -300,6 +303,66 @@ TEST_F(ObsTest, SpanCountsRepeatedCalls) {
   ASSERT_EQ(Spans.size(), 1u);
   EXPECT_EQ(Spans[0].Stats.Count, 3u);
   EXPECT_EQ(Spans[0].Stats.DurationsUs.count(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON emission helpers (obs/Json.h) — both exporters lean on these, so
+// a hole in the escaper desynchronizes every downstream parser at once.
+//===----------------------------------------------------------------------===//
+
+TEST(ObsJson, StringLiteralEscapesQuotesAndBackslashes) {
+  EXPECT_EQ(obs::jsonStringLiteral("plain"), "\"plain\"");
+  EXPECT_EQ(obs::jsonStringLiteral("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(obs::jsonStringLiteral("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(obs::jsonStringLiteral(""), "\"\"");
+}
+
+TEST(ObsJson, StringLiteralEscapesEveryControlCharacter) {
+  // All 32 control bytes become \u00xx — including the common ones, which
+  // this escaper deliberately does not shorten to \n/\t.
+  EXPECT_EQ(obs::jsonStringLiteral("a\nb"), "\"a\\u000ab\"");
+  EXPECT_EQ(obs::jsonStringLiteral("\t"), "\"\\u0009\"");
+  EXPECT_EQ(obs::jsonStringLiteral(std::string_view("\0", 1)),
+            "\"\\u0000\"");
+  for (int C = 0; C < 0x20; ++C) {
+    char Raw = static_cast<char>(C);
+    std::string Escaped = obs::jsonStringLiteral(std::string_view(&Raw, 1));
+    char Expected[10];
+    std::snprintf(Expected, sizeof(Expected), "\"\\u%04x\"", C);
+    EXPECT_EQ(Escaped, Expected) << "control byte " << C;
+  }
+  // 0x7F (DEL) is not a JSON-mandated escape; it passes through.
+  EXPECT_EQ(obs::jsonStringLiteral("\x7f"), "\"\x7f\"");
+}
+
+TEST(ObsJson, StringLiteralPassesMultiByteUtf8Through) {
+  // High bytes must not be treated as negative chars and escaped: UTF-8
+  // sequences (2-, 3- and 4-byte) pass through verbatim.
+  EXPECT_EQ(obs::jsonStringLiteral("café"), "\"café\"");
+  EXPECT_EQ(obs::jsonStringLiteral("λ→∞"), "\"λ→∞\"");
+  EXPECT_EQ(obs::jsonStringLiteral("𝛑"), "\"𝛑\"");
+  EXPECT_EQ(obs::jsonStringLiteral("mixed \"π\"\n"),
+            "\"mixed \\\"π\\\"\\u000a\"");
+}
+
+TEST(ObsJson, NumberRejectsNonFiniteAndHugeValues) {
+  // JSON has no NaN/Inf; the exporters emit a defensive zero rather than
+  // corrupt the document. The cutoff is |x| > 1e300.
+  EXPECT_EQ(obs::jsonNumber(std::nan("")), "0");
+  EXPECT_EQ(obs::jsonNumber(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(obs::jsonNumber(-std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(obs::jsonNumber(1e301), "0");
+  EXPECT_EQ(obs::jsonNumber(-1e301), "0");
+  EXPECT_EQ(obs::jsonNumber(1e300), "1e+300");
+}
+
+TEST(ObsJson, NumberFormatsFiniteValuesCompactly) {
+  EXPECT_EQ(obs::jsonNumber(0), "0");
+  EXPECT_EQ(obs::jsonNumber(-7), "-7");
+  EXPECT_EQ(obs::jsonNumber(12345), "12345");
+  EXPECT_EQ(obs::jsonNumber(0.5), "0.5");
+  // %.6g: six significant digits.
+  EXPECT_EQ(obs::jsonNumber(1234567), "1.23457e+06");
 }
 
 //===----------------------------------------------------------------------===//

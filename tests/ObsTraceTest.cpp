@@ -6,6 +6,7 @@
 
 #include "obs/Export.h"
 #include "obs/Json.h"
+#include "obs/Memory.h"
 #include "obs/Metrics.h"
 #include "obs/PhaseSpan.h"
 #include "obs/Trace.h"
@@ -18,6 +19,7 @@
 #include <cstdlib>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 using namespace twpp;
@@ -516,6 +518,47 @@ TEST_F(ObsTraceTest, MetricsExportEscapesHostileNames) {
     EXPECT_TRUE(LineChecker.valid()) << Line;
     Start = End + 1;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Memory counter tracks (obs/Memory.h sampling into the flight recorder)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTraceTest, MemorySampleEmitsCounterTracks) {
+  bool WasTracking = obs::memTrackingEnabled();
+  obs::setMemTrackingEnabled(true);
+  obs::memAlloc("test.sample", 4096);
+
+  obs::sampleMemoryCounters();
+
+  bool SawRss = false, SawTag = false;
+  for (const auto &T : obs::traceRecorder().snapshot())
+    for (const auto &R : T.Records) {
+      if (R.K != obs::TraceRecord::Kind::Counter)
+        continue;
+      if (std::string_view(R.Name) == "mem.rss_bytes") {
+        SawRss = true;
+        EXPECT_GT(R.Value, 0); // /proc/self/statm exists on Linux CI
+      }
+      if (std::string_view(R.Name) == "mem.live_bytes/test.sample") {
+        SawTag = true;
+        EXPECT_EQ(R.Value, 4096);
+      }
+    }
+  EXPECT_TRUE(SawRss);
+  EXPECT_TRUE(SawTag);
+
+  obs::memFree("test.sample", 4096);
+  obs::setMemTrackingEnabled(WasTracking);
+}
+
+TEST_F(ObsTraceTest, MemorySampleIsInertWithTracingOff) {
+  obs::setTracingEnabled(false);
+  bool WasTracking = obs::memTrackingEnabled();
+  obs::setMemTrackingEnabled(true);
+  obs::sampleMemoryCounters();
+  EXPECT_EQ(totalRecords(), 0u);
+  obs::setMemTrackingEnabled(WasTracking);
 }
 
 } // namespace

@@ -20,6 +20,10 @@
 //   --all                enforce every counter/gauge present in both files
 //   --threshold-pct P    allowed relative increase, percent (default 5)
 //   --list               print every matched entry with its delta
+//   --list-metrics       enumerate every baseline key with its baseline and
+//                        current value (keys absent from the current file
+//                        are marked missing); usable on its own to inspect
+//                        what a committed baseline actually gates
 //
 // Exit codes: 0 no regression, 1 regression, 2 usage or parse error.
 //
@@ -340,6 +344,8 @@ int usage() {
       "  --all                enforce every counter/gauge in both files\n"
       "  --threshold-pct P    allowed increase in percent (default 5)\n"
       "  --list               print every matched entry with its delta\n"
+      "  --list-metrics       enumerate baseline keys with baseline and\n"
+      "                       current values (missing keys marked)\n"
       "exit: 0 ok, 1 regression, 2 usage/parse error\n");
   return 2;
 }
@@ -353,7 +359,7 @@ std::string keyLabel(const MetricKey &Key) {
 int main(int Argc, char **Argv) {
   std::string BaselinePath, CurrentPath;
   std::set<std::string> EnforceNames;
-  bool EnforceAll = false, List = false;
+  bool EnforceAll = false, List = false, ListMetrics = false;
   double ThresholdPct = 5.0;
 
   for (int I = 1; I < Argc; ++I) {
@@ -369,6 +375,8 @@ int main(int Argc, char **Argv) {
       EnforceAll = true;
     } else if (std::strcmp(Argv[I], "--list") == 0) {
       List = true;
+    } else if (std::strcmp(Argv[I], "--list-metrics") == 0) {
+      ListMetrics = true;
     } else if (BaselinePath.empty()) {
       BaselinePath = Argv[I];
     } else if (CurrentPath.empty()) {
@@ -379,9 +387,9 @@ int main(int Argc, char **Argv) {
   }
   if (BaselinePath.empty() || CurrentPath.empty())
     return usage();
-  if (EnforceNames.empty() && !EnforceAll && !List) {
+  if (EnforceNames.empty() && !EnforceAll && !List && !ListMetrics) {
     std::fprintf(stderr, "twpp_metrics_diff: nothing to do — pass --metric, "
-                         "--all or --list\n");
+                         "--all, --list or --list-metrics\n");
     return usage();
   }
 
@@ -389,6 +397,23 @@ int main(int Argc, char **Argv) {
   if (!loadMetricsFile(BaselinePath, Baseline) ||
       !loadMetricsFile(CurrentPath, Current))
     return 2;
+
+  // Enumerate what the baseline actually gates before the enforcement
+  // pass; keys the current file no longer produces are the interesting
+  // ones (a renamed metric silently stops being compared).
+  if (ListMetrics) {
+    std::printf("%zu baseline key(s) in %s:\n", Baseline.size(),
+                BaselinePath.c_str());
+    for (const auto &[Key, BaseValue] : Baseline) {
+      auto It = Current.find(Key);
+      if (It != Current.end())
+        std::printf("  %-50s %.0f -> %.0f\n", keyLabel(Key).c_str(),
+                    BaseValue, It->second);
+      else
+        std::printf("  %-50s %.0f -> (missing in current)\n",
+                    keyLabel(Key).c_str(), BaseValue);
+    }
+  }
 
   // Every enforced name must exist in both files under at least one
   // label, otherwise a typo would silently pass forever.

@@ -126,6 +126,14 @@ bool anyDataflowCheckEnabled(const DiagnosticEngine &Engine) {
   return false;
 }
 
+bool anyMemCheckEnabled(const DiagnosticEngine &Engine) {
+  for (const CheckInfo &Info : checkCatalog())
+    if (std::strncmp(Info.Id, "twpp-mem-", 9) == 0 &&
+        Engine.checkEnabled(Info.Id))
+      return true;
+  return false;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -166,6 +174,8 @@ int main(int Argc, char **Argv) {
     }
     if (anyDataflowCheckEnabled(Engine))
       runAnnotationChecks(Path, Engine);
+    if (anyMemCheckEnabled(Engine))
+      runMemoryChecks(Path, Engine);
   }
 
   if (!ProgramPath.empty()) {
