@@ -9,8 +9,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "sequitur/Sequitur.h"
+#include "support/ByteStream.h"
 #include "support/LZW.h"
 #include "support/Random.h"
+#include "support/Varint.h"
 #include "wpp/TimestampSet.h"
 #include "wpp/Twpp.h"
 
@@ -37,6 +39,62 @@ void BM_SeriesEncode(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * State.range(0));
 }
 BENCHMARK(BM_SeriesEncode)->Arg(100)->Arg(10000);
+
+/// A varint stream shaped like a real series block: mostly small deltas
+/// with occasional large anchors, the distribution decodeSeries sees.
+std::vector<uint8_t> varintStream(size_t Count) {
+  Rng R(407);
+  ByteWriter Writer;
+  for (size_t I = 0; I < Count; ++I) {
+    if (R.nextBool(0.05))
+      Writer.writeVarUint(R.nextBelow(uint64_t(1) << 40));
+    else
+      Writer.writeVarUint(R.nextBelow(1 << 10));
+  }
+  return Writer.take();
+}
+
+void BM_VarintDecodeScalar(benchmark::State &State) {
+  std::vector<uint8_t> Stream = varintStream(State.range(0));
+  for (auto _ : State) {
+    const uint8_t *P = Stream.data();
+    const uint8_t *End = P + Stream.size();
+    uint64_t Sum = 0;
+    while (P != End) {
+      uint64_t Value = 0;
+      size_t Len = varint::decodeVarUintScalar(P, End, Value);
+      if (!Len)
+        break;
+      Sum += Value;
+      P += Len;
+    }
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+  State.SetBytesProcessed(State.iterations() * Stream.size());
+}
+BENCHMARK(BM_VarintDecodeScalar)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_VarintDecodeSwar(benchmark::State &State) {
+  std::vector<uint8_t> Stream = varintStream(State.range(0));
+  for (auto _ : State) {
+    const uint8_t *P = Stream.data();
+    const uint8_t *End = P + Stream.size();
+    uint64_t Sum = 0;
+    while (P != End) {
+      uint64_t Value = 0;
+      size_t Len = varint::decodeVarUintSwar(P, End, Value);
+      if (!Len)
+        break;
+      Sum += Value;
+      P += Len;
+    }
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+  State.SetBytesProcessed(State.iterations() * Stream.size());
+}
+BENCHMARK(BM_VarintDecodeSwar)->Arg(1 << 10)->Arg(1 << 16);
 
 void BM_TimestampShift(benchmark::State &State) {
   // One backward propagation step over a compacted vector: the paper's

@@ -56,7 +56,8 @@ void names::registerCanonicalMetrics(MetricsRegistry &Registry) {
         LzwCompressBytesIn, LzwCompressBytesOut, LzwDictEntries,
         LzwDecompressCalls, LzwDecompressBytesIn, LzwDecompressBytesOut,
         ArchiveEncodes, ArchiveIndexReads, ArchiveBlockReads,
-        ArchiveBlockBytesRead, ArchiveDcgReads, VerifyRuns,
+        ArchiveBlockBytesRead, ArchiveDcgReads, ArchiveMmapOpens,
+        ArchiveMmapBytes, ArchiveMmapFallbacks, VerifyRuns,
         VerifyDiagnostics, VerifyErrors, VerifyWarnings, DataflowQueries,
         DataflowSubqueries, DataflowNodesVisited, DataflowCacheHits,
         DataflowCacheMisses, IoWrites, IoReads, IoAtomicWrites,
@@ -67,9 +68,9 @@ void names::registerCanonicalMetrics(MetricsRegistry &Registry) {
   for (const char *Name : {PoolWorkers, PoolQueueDepth, PartitionBytesIn,
                            PartitionBytesOut, DbbBytesIn, DbbBytesOut,
                            TwppBytesIn, TwppBytesOut, ArchiveBytes,
-                           StreamStateBytes, MemRssBytes, MemPeakBytes,
-                           MemTrackedLiveBytes, MemTrackedPeakBytes,
-                           MemAllocs})
+                           StreamStateBytes, ArenaDecodeReservedBytes,
+                           MemRssBytes, MemPeakBytes, MemTrackedLiveBytes,
+                           MemTrackedPeakBytes, MemAllocs})
     Registry.gauge(Name);
   Registry.histogram(PartitionTraceLength, powerOfTwoBounds(1u << 20));
   Registry.histogram(ArchiveBlockBytes, powerOfTwoBounds(1u << 24));

@@ -95,6 +95,10 @@ inline constexpr const char *TwppTables = "twpp.tables";
 inline constexpr const char *StreamState = "stream.state";
 inline constexpr const char *SequiturGrammar = "sequitur.grammar";
 inline constexpr const char *PoolQueue = "pool.queue";
+/// Bytes currently memory-mapped by archive readers (support/Mmap.h).
+inline constexpr const char *ArchiveMmap = "archive.mmap";
+/// Pooled decode-scratch bytes held by read-path arenas (support/Arena.h).
+inline constexpr const char *ArenaDecode = "arena.decode";
 } // namespace memtags
 
 /// One tag's running byte ledger. All members are plain atomics so accounts

@@ -97,6 +97,14 @@ inline constexpr const char *ArchiveBlockReads = "archive.block_reads";
 inline constexpr const char *ArchiveBlockBytesRead = "archive.block_bytes_read";
 inline constexpr const char *ArchiveDcgReads = "archive.dcg_reads";
 inline constexpr const char *ArchiveBlockBytes = "archive.block_bytes";
+// Zero-copy read path: successful mappings, bytes mapped, and times the
+// reader fell back from mmap to buffered IO.
+inline constexpr const char *ArchiveMmapOpens = "archive.mmap_opens";
+inline constexpr const char *ArchiveMmapBytes = "archive.mmap_bytes";
+inline constexpr const char *ArchiveMmapFallbacks = "archive.mmap_fallbacks";
+// Decode-scratch arena high-water (gauge, bytes reserved across blocks).
+inline constexpr const char *ArenaDecodeReservedBytes =
+    "arena.decode_reserved_bytes";
 
 // verify/ — static invariant verification (TWPP_VERIFY post-stage
 // assertions and the twpp_verify CLI).

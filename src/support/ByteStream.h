@@ -14,6 +14,8 @@
 #ifndef TWPP_SUPPORT_BYTESTREAM_H
 #define TWPP_SUPPORT_BYTESTREAM_H
 
+#include "support/Varint.h"
+
 #include <cassert>
 #include <cstdint>
 #include <cstring>
@@ -21,6 +23,38 @@
 #include <vector>
 
 namespace twpp {
+
+/// A non-owning view of immutable bytes — the currency of the zero-copy
+/// read path. An ArchiveReader in mmap mode hands decoders ByteSpans
+/// pointing straight into the mapping; the buffered path hands spans over
+/// its copied vectors. Either way the decoders never copy again.
+struct ByteSpan {
+  const uint8_t *Data = nullptr;
+  size_t Size = 0;
+
+  ByteSpan() = default;
+  ByteSpan(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+  explicit ByteSpan(const std::vector<uint8_t> &Bytes)
+      : Data(Bytes.data()), Size(Bytes.size()) {}
+
+  bool empty() const { return Size == 0; }
+  size_t size() const { return Size; }
+  const uint8_t *begin() const { return Data; }
+  const uint8_t *end() const { return Data + Size; }
+
+  /// True when [Offset, Offset+Length) lies inside the span (overflow-safe).
+  bool covers(uint64_t Offset, uint64_t Length) const {
+    return Offset <= Size && Length <= Size - Offset;
+  }
+
+  /// Bounds-checked slice; \returns an empty span when the extent runs out
+  /// of range, so a corrupt offset can never manufacture a wild pointer.
+  ByteSpan subspan(uint64_t Offset, uint64_t Length) const {
+    if (!covers(Offset, Length))
+      return ByteSpan();
+    return ByteSpan(Data + Offset, static_cast<size_t>(Length));
+  }
+};
 
 /// Maps signed integers onto unsigned ones so small magnitudes stay small
 /// when varint-encoded (-1 -> 1, 1 -> 2, -2 -> 3, ...).
@@ -103,6 +137,7 @@ public:
   ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
   explicit ByteReader(const std::vector<uint8_t> &Bytes)
       : Data(Bytes.data()), Size(Bytes.size()) {}
+  explicit ByteReader(ByteSpan Span) : Data(Span.Data), Size(Span.Size) {}
 
   /// Reads one raw byte; returns 0 and sets the error flag when exhausted.
   uint8_t readByte() {
@@ -124,21 +159,18 @@ public:
     Pos += OutSize;
   }
 
-  /// Reads an unsigned LEB128-encoded integer.
+  /// Reads an unsigned LEB128-encoded integer. Decodes through the SWAR
+  /// fast path (support/Varint.h); VarintFuzzTest pins its semantics to
+  /// the scalar reference this method used to inline.
   uint64_t readVarUint() {
-    uint64_t Result = 0;
-    unsigned Shift = 0;
-    while (true) {
-      if (Pos >= Size || Shift >= 64) {
-        Error = true;
-        return 0;
-      }
-      uint8_t Byte = Data[Pos++];
-      Result |= static_cast<uint64_t>(Byte & 0x7F) << Shift;
-      if (!(Byte & 0x80))
-        return Result;
-      Shift += 7;
+    uint64_t Value = 0;
+    size_t Len = varint::decodeVarUintSwar(Data + Pos, Data + Size, Value);
+    if (Len == 0) {
+      Error = true;
+      return 0;
     }
+    Pos += Len;
+    return Value;
   }
 
   /// Reads a zigzag + LEB128 encoded signed integer.

@@ -21,8 +21,8 @@ using namespace twpp::fault;
 
 namespace {
 
-const char *const IoOps[] = {"open",   "read", "write",   "flush", "sync",
-                             "rename", "stat", "journal", "*"};
+const char *const IoOps[] = {"open", "read",    "write", "flush", "sync",
+                             "rename", "stat", "journal", "mmap",  "*"};
 
 bool knownIoOp(const std::string &Op) {
   for (const char *Known : IoOps)

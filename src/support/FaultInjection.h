@@ -19,7 +19,7 @@
 ///   rule  := class (':' part)*        class := 'io' | 'alloc'
 ///   part  := op | key '=' value
 ///   op    := open | read | write | flush | sync | rename | stat
-///            | journal | '*'          (io only; default '*')
+///            | journal | mmap | '*'   (io only; default '*')
 ///   key   := p (fail probability per hit, deterministic PRNG)
 ///          | n (fail exactly the n-th hit, one-shot)
 ///          | every (fail every k-th hit)
@@ -48,7 +48,8 @@ struct FaultRule {
   enum class Kind : uint8_t { Io, Alloc };
   Kind RuleKind = Kind::Io;
   /// Io operation matched ("open", "read", "write", "flush", "sync",
-  /// "rename", "stat", "journal", or "*" for any). Ignored for Alloc.
+  /// "rename", "stat", "journal", "mmap", or "*" for any). Ignored for
+  /// Alloc.
   std::string Op = "*";
   /// Per-hit failure probability (p=). 0 disables the probabilistic arm.
   double P = 0;

@@ -89,8 +89,7 @@ void noteDecompress(size_t BytesInCount, size_t BytesOutCount) {
 
 } // namespace
 
-bool twpp::lzwDecompress(const std::vector<uint8_t> &Input,
-                         std::vector<uint8_t> &Output) {
+bool twpp::lzwDecompress(ByteSpan Input, std::vector<uint8_t> &Output) {
   obs::PhaseSpan Span("lzw_decompress");
   Output.clear();
   if (Input.empty()) {

@@ -19,6 +19,8 @@
 #ifndef TWPP_SUPPORT_LZW_H
 #define TWPP_SUPPORT_LZW_H
 
+#include "support/ByteStream.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -29,9 +31,15 @@ namespace twpp {
 std::vector<uint8_t> lzwCompress(const std::vector<uint8_t> &Input);
 
 /// Inverse of lzwCompress. Returns false (and clears \p Output) when the
-/// code stream is malformed.
-bool lzwDecompress(const std::vector<uint8_t> &Input,
-                   std::vector<uint8_t> &Output);
+/// code stream is malformed. The span form is the primary entry point so
+/// the mmap read path can decompress the DCG without first copying the
+/// compressed bytes out of the mapping.
+bool lzwDecompress(ByteSpan Input, std::vector<uint8_t> &Output);
+
+inline bool lzwDecompress(const std::vector<uint8_t> &Input,
+                          std::vector<uint8_t> &Output) {
+  return lzwDecompress(ByteSpan(Input), Output);
+}
 
 /// Dictionary growth cap shared by the encoder and the decoder.
 inline constexpr uint32_t LZWMaxDictSize = 1u << 20;

@@ -1,0 +1,141 @@
+//===- support/Varint.h - LEB128 varint decoders (scalar + SWAR) -*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Standalone LEB128 varint decoders for the archive read path. Two
+/// implementations with bit-identical semantics:
+///
+///  - decodeVarUintScalar: the reference byte-at-a-time loop, the exact
+///    semantics ByteReader::readVarUint has always had. Kept as the oracle
+///    the fuzz suite (VarintFuzzTest) checks the fast path against.
+///  - decodeVarUintSwar: a branchless SWAR fast path that loads eight
+///    bytes at once, finds the terminator with one bit-trick, and compacts
+///    the 7-bit groups with three shift/mask rounds — no per-byte loop for
+///    encodings up to 8 bytes (every timestamp-series value in practice).
+///    Longer (9-10 byte) encodings and reads near the end of the buffer
+///    fall back to the scalar loop, so behaviour on truncated and overlong
+///    streams is identical by construction where it is not identical by
+///    proof.
+///
+/// Both return the number of bytes consumed, or 0 on error without
+/// touching \p Value. Errors are exactly the scalar loop's: the buffer
+/// ends before a terminator byte, or the encoding runs past 10 bytes
+/// (shift >= 64). A 10-byte encoding whose final byte carries bits beyond
+/// the 64-bit range keeps the scalar loop's silent-truncation behaviour
+/// (only bit 0 of the tenth byte lands, in bit 63).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_SUPPORT_VARINT_H
+#define TWPP_SUPPORT_VARINT_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace twpp::varint {
+
+/// Maximum bytes a LEB128-encoded uint64 may occupy.
+inline constexpr size_t MaxEncodedBytes = 10;
+
+/// Reference decoder: byte-at-a-time LEB128. \returns bytes consumed, or 0
+/// when the buffer is exhausted or the encoding exceeds 10 bytes.
+inline size_t decodeVarUintScalar(const uint8_t *P, const uint8_t *End,
+                                  uint64_t &Value) {
+  uint64_t Result = 0;
+  unsigned Shift = 0;
+  const uint8_t *Cursor = P;
+  while (true) {
+    if (Cursor >= End || Shift >= 64)
+      return 0;
+    uint8_t Byte = *Cursor++;
+    Result |= static_cast<uint64_t>(Byte & 0x7F) << Shift;
+    if (!(Byte & 0x80)) {
+      Value = Result;
+      return static_cast<size_t>(Cursor - P);
+    }
+    Shift += 7;
+  }
+}
+
+namespace detail {
+
+/// Compacts the low 7 bits of each byte of \p Word (little-endian lane
+/// order) into one integer: byte k contributes bits [7k, 7k+7). Three
+/// rounds of pairwise merging — branchless.
+inline uint64_t compact7(uint64_t Word) {
+  uint64_t X = Word & 0x7F7F7F7F7F7F7F7FULL;
+  X = (X & 0x007F007F007F007FULL) | ((X & 0x7F007F007F007F00ULL) >> 1);
+  X = (X & 0x00003FFF00003FFFULL) | ((X & 0x3FFF00003FFF0000ULL) >> 2);
+  X = (X & 0x000000000FFFFFFFULL) | ((X & 0x0FFFFFFF00000000ULL) >> 4);
+  return X;
+}
+
+} // namespace detail
+
+/// SWAR decoder: same contract and results as decodeVarUintScalar on every
+/// input (the VarintFuzzTest property). Fast path requires 8 loadable
+/// bytes and an encoding of <= 8 bytes; everything else defers to the
+/// scalar reference.
+inline size_t decodeVarUintSwar(const uint8_t *P, const uint8_t *End,
+                                uint64_t &Value) {
+  if constexpr (std::endian::native != std::endian::little)
+    return decodeVarUintScalar(P, End, Value);
+  if (End - P < 8)
+    return decodeVarUintScalar(P, End, Value);
+  // 1- and 2-byte encodings dominate real series streams (small deltas);
+  // decide them with direct loads before paying the 8-byte gather.
+  if (!(P[0] & 0x80)) {
+    Value = P[0];
+    return 1;
+  }
+  if (!(P[1] & 0x80)) {
+    Value = static_cast<uint64_t>(P[0] & 0x7F) |
+            (static_cast<uint64_t>(P[1]) << 7);
+    return 2;
+  }
+  uint64_t Word;
+  std::memcpy(&Word, P, 8);
+  // A clear high bit marks the last byte of the encoding; find the first.
+  uint64_t Terminators = ~Word & 0x8080808080808080ULL;
+  if (Terminators == 0)
+    // 9-10 byte encoding (or overlong): rare, let the reference handle it.
+    return decodeVarUintScalar(P, End, Value);
+  unsigned Len = static_cast<unsigned>(std::countr_zero(Terminators) / 8) + 1;
+  // Zero the bytes past the terminator, then gather the 7-bit groups.
+  uint64_t Mask = Len == 8 ? ~0ULL : ((1ULL << (8 * Len)) - 1);
+  Value = detail::compact7(Word & Mask);
+  return Len;
+}
+
+/// Zigzag decode (the inverse of ByteWriter::writeVarInt's mapping).
+inline int64_t zigzagDecodeValue(uint64_t Value) {
+  return static_cast<int64_t>(Value >> 1) ^ -static_cast<int64_t>(Value & 1);
+}
+
+/// Signed variants: varint + zigzag.
+inline size_t decodeVarIntScalar(const uint8_t *P, const uint8_t *End,
+                                 int64_t &Value) {
+  uint64_t Raw;
+  size_t Len = decodeVarUintScalar(P, End, Raw);
+  if (Len)
+    Value = zigzagDecodeValue(Raw);
+  return Len;
+}
+
+inline size_t decodeVarIntSwar(const uint8_t *P, const uint8_t *End,
+                               int64_t &Value) {
+  uint64_t Raw;
+  size_t Len = decodeVarUintSwar(P, End, Raw);
+  if (Len)
+    Value = zigzagDecodeValue(Raw);
+  return Len;
+}
+
+} // namespace twpp::varint
+
+#endif // TWPP_SUPPORT_VARINT_H

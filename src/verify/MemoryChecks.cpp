@@ -37,13 +37,13 @@ std::string bytesStr(uint64_t Bytes) {
 } // namespace
 
 bool verify::auditArchiveMemory(const std::string &Path, MemoryAudit &Audit,
-                                TwppWpp *Wpp) {
+                                TwppWpp *Wpp, IoMode Mode) {
   Audit = MemoryAudit();
   TwppWpp Local;
   TwppWpp &Out = Wpp ? *Wpp : Local;
 
   ArchiveReader Reader;
-  if (!Reader.open(Path))
+  if (!Reader.open(Path, Mode))
     return false;
 
   // Decode with tracking force-enabled, capturing the instrumented

@@ -11,12 +11,14 @@
 #include "obs/Names.h"
 #include "obs/PhaseSpan.h"
 #include "obs/Trace.h"
+#include "support/Arena.h"
 #include "support/ByteStream.h"
 #include "support/FileIO.h"
 #include "support/LZW.h"
 #include "wpp/VerifyHooks.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 using namespace twpp;
@@ -36,17 +38,28 @@ void encodeSeries(ByteWriter &Writer, const TimestampSet &Set) {
     Writer.writeVarInt(Value);
 }
 
+/// Per-thread scratch for decodeSeries. One reset per series keeps the
+/// footprint at the largest single series while the pooled blocks make
+/// every decode after the first allocation-free.
+Arena &decodeArena() {
+  thread_local Arena Scratch(Arena::DefaultBlockBytes,
+                             obs::memtags::ArenaDecode);
+  return Scratch;
+}
+
 bool decodeSeries(ByteReader &Reader, TimestampSet &Set) {
   uint64_t Count = Reader.readVarUint();
   if (Reader.hasError() || Count > Reader.remaining() * 10)
     return false;
-  std::vector<int64_t> Values;
-  Values.reserve(Count);
+  Arena &Scratch = decodeArena();
+  Scratch.reset();
+  int64_t *Values =
+      Scratch.allocateArray<int64_t>(static_cast<size_t>(Count));
   for (uint64_t I = 0; I != Count; ++I)
-    Values.push_back(Reader.readVarInt());
+    Values[I] = Reader.readVarInt();
   if (Reader.hasError())
     return false;
-  return TimestampSet::decodeSigned(Values, Set);
+  return TimestampSet::decodeSigned(Values, static_cast<size_t>(Count), Set);
 }
 
 void encodeDictionary(ByteWriter &Writer, const DbbDictionary &Dict) {
@@ -74,7 +87,35 @@ bool decodeDictionary(ByteReader &Reader, DbbDictionary &Dict) {
   return Reader.valid();
 }
 
+std::atomic<IoMode> DefaultIoMode{IoMode::Mmap};
+
 } // namespace
+
+IoMode twpp::defaultArchiveIoMode() {
+  return DefaultIoMode.load(std::memory_order_relaxed);
+}
+
+void twpp::setDefaultArchiveIoMode(IoMode Mode) {
+  DefaultIoMode.store(Mode, std::memory_order_relaxed);
+}
+
+bool twpp::parseIoMode(const std::string &Text, IoMode &Mode) {
+  if (Text == "mmap") {
+    Mode = IoMode::Mmap;
+    return true;
+  }
+  if (Text == "buffered") {
+    Mode = IoMode::Buffered;
+    return true;
+  }
+  return false;
+}
+
+const char *twpp::ioModeName(IoMode Mode) {
+  return Mode == IoMode::Mmap ? "mmap" : "buffered";
+}
+
+void twpp::releaseArchiveDecodeScratch() { decodeArena().release(); }
 
 std::vector<uint8_t>
 twpp::encodeTwppFunctionTable(const TwppFunctionTable &Table) {
@@ -106,8 +147,7 @@ twpp::encodeTwppFunctionTable(const TwppFunctionTable &Table) {
   return Writer.take();
 }
 
-bool twpp::decodeTwppFunctionTable(const std::vector<uint8_t> &Bytes,
-                                   TwppFunctionTable &Table) {
+bool twpp::decodeTwppFunctionTable(ByteSpan Bytes, TwppFunctionTable &Table) {
   Table = TwppFunctionTable();
   ByteReader Reader(Bytes);
   Table.CallCount = Reader.readVarUint();
@@ -277,21 +317,52 @@ bool ArchiveReader::fail(std::string CheckId, std::string Message,
 }
 
 bool ArchiveReader::open(const std::string &ArchivePath) {
+  return open(ArchivePath, defaultArchiveIoMode());
+}
+
+bool ArchiveReader::readSlice(uint64_t Offset, uint64_t Length,
+                              std::vector<uint8_t> &Storage,
+                              ByteSpan &Out) const {
+  if (Mode == IoMode::Mmap) {
+    if (!Map.span().covers(Offset, Length))
+      return false;
+    Out = Map.span().subspan(Offset, Length);
+    return true;
+  }
+  if (!readFileSlice(Path, Offset, Length, Storage))
+    return false;
+  Out = ByteSpan(Storage);
+  return true;
+}
+
+bool ArchiveReader::open(const std::string &ArchivePath, IoMode WantMode) {
   obs::PhaseSpan Span("archive_open");
   static obs::Counter &IndexReads =
       obs::metrics().counter(obs::names::ArchiveIndexReads);
   IndexReads.add();
   Path = ArchivePath;
   Index.clear();
+  Map.unmap();
+  Mode = IoMode::Buffered;
+  if (WantMode == IoMode::Mmap) {
+    if (MappedFile::available() && Map.map(ArchivePath))
+      Mode = IoMode::Mmap;
+    else
+      // Graceful degradation: any mmap failure (platform, fault
+      // injection, IO) silently becomes the buffered path, identical in
+      // everything but speed.
+      obs::metrics().counter(obs::names::ArchiveMmapFallbacks).add();
+  }
 
   std::vector<uint8_t> Prefix;
-  if (!readFileSlice(Path, 0, PrefixSize + DcgFieldsSize, Prefix))
+  ByteSpan PrefixSpan;
+  if (!readSlice(0, PrefixSize + DcgFieldsSize, Prefix, PrefixSpan))
     return fail("twpp-archive-header",
                 "cannot read the fixed header (file missing or smaller "
                 "than " +
                     std::to_string(PrefixSize + DcgFieldsSize) + " bytes)",
                 "header", 0);
-  ByteReader Reader(Prefix);
+  ByteReader Reader(PrefixSpan);
   if (Reader.readFixed32() != ArchiveMagic)
     return fail("twpp-archive-header", "bad magic (not a TWPP archive)",
                 "header", 0);
@@ -307,8 +378,11 @@ bool ArchiveReader::open(const std::string &ArchivePath) {
   // Validate every extent against the actual file size so corrupt
   // headers cannot trigger absurd allocations later. A stat failure is
   // its own error, not an empty file: the extent checks below would
-  // otherwise reject every archive with a misleading message.
-  std::optional<uint64_t> MaybeSize = fileSize(Path);
+  // otherwise reject every archive with a misleading message. In mmap
+  // mode the mapping's length IS the file size.
+  std::optional<uint64_t> MaybeSize = Mode == IoMode::Mmap
+                                          ? std::optional<uint64_t>(Map.size())
+                                          : fileSize(Path);
   if (!MaybeSize)
     return fail("twpp-archive-header",
                 "cannot determine the archive file size", "header", 0);
@@ -328,12 +402,13 @@ bool ArchiveReader::open(const std::string &ArchivePath) {
                 "header", 8);
 
   std::vector<uint8_t> IndexBytes;
-  if (!readFileSlice(Path, PrefixSize + DcgFieldsSize,
-                     static_cast<uint64_t>(FunctionCount) * IndexRowSize,
-                     IndexBytes))
+  ByteSpan IndexSpan;
+  if (!readSlice(PrefixSize + DcgFieldsSize,
+                 static_cast<uint64_t>(FunctionCount) * IndexRowSize,
+                 IndexBytes, IndexSpan))
     return fail("twpp-archive-header", "cannot read the function index",
                 "index", PrefixSize + DcgFieldsSize);
-  ByteReader IndexReader(IndexBytes);
+  ByteReader IndexReader(IndexSpan);
   Index.resize(FunctionCount);
   for (size_t F = 0; F != Index.size(); ++F) {
     IndexEntry &Entry = Index[F];
@@ -370,9 +445,10 @@ bool ArchiveReader::extractFunction(FunctionId Function,
                       static_cast<int64_t>(Function));
   obs::MemScope MemSpan(obs::memtags::ArchiveDecode,
                         obs::MemScope::Nest::IfUnscoped);
-  std::vector<uint8_t> Block;
-  if (!readFileSlice(Path, Index[Function].Offset, Index[Function].Length,
-                     Block))
+  std::vector<uint8_t> Storage;
+  ByteSpan Block;
+  if (!readSlice(Index[Function].Offset, Index[Function].Length, Storage,
+                 Block))
     return fail("twpp-archive-block-decode",
                 "cannot read the function block slice",
                 "function " + std::to_string(Function) + " block",
@@ -389,6 +465,8 @@ bool ArchiveReader::extractFunction(FunctionId Function,
     BlockReads.add();
     BytesRead.add(Block.size());
     BlockBytes.record(Block.size());
+    M.gauge(obs::names::ArenaDecodeReservedBytes)
+        .set(static_cast<int64_t>(decodeArena().bytesReserved()));
   }
   if (!decodeTwppFunctionTable(Block, Table))
     return fail("twpp-archive-block-decode", "function block does not decode",
@@ -413,8 +491,9 @@ bool ArchiveReader::readDcg(DynamicCallGraph &Dcg) const {
   static obs::Counter &DcgReads =
       obs::metrics().counter(obs::names::ArchiveDcgReads);
   DcgReads.add();
-  std::vector<uint8_t> Compressed;
-  if (!readFileSlice(Path, DcgOffset, DcgLength, Compressed))
+  std::vector<uint8_t> Storage;
+  ByteSpan Compressed;
+  if (!readSlice(DcgOffset, DcgLength, Storage, Compressed))
     return fail("twpp-archive-dcg-decode", "cannot read the DCG slice",
                 "dcg", DcgOffset);
   std::vector<uint8_t> Raw;

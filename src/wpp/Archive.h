@@ -26,6 +26,7 @@
 #define TWPP_WPP_ARCHIVE_H
 
 #include "support/FileIO.h"     // IoError
+#include "support/Mmap.h"       // MappedFile + ByteSpan
 #include "verify/Diagnostics.h" // header-only; no link dependency
 #include "wpp/Twpp.h"
 
@@ -34,13 +35,48 @@
 
 namespace twpp {
 
+/// How ArchiveReader gets bytes off disk.
+///  - Buffered: read() each extent into an owned buffer (the historical
+///    path, and the fallback).
+///  - Mmap: map the file once and decode every extent in place through
+///    ByteSpan cursors — the zero-copy path. When the mapping cannot be
+///    established (platform without mmap, injected io:mmap fault, IO
+///    error) the reader falls back to Buffered and counts
+///    archive.mmap_fallbacks; decoded structures are identical either way.
+enum class IoMode : uint8_t { Buffered, Mmap };
+
+/// Process-wide default mode for ArchiveReader::open(Path). Ships as Mmap
+/// (zero-copy with graceful fallback); the CLIs' --io=mmap|buffered flag
+/// sets it explicitly.
+IoMode defaultArchiveIoMode();
+void setDefaultArchiveIoMode(IoMode Mode);
+
+/// Parses an --io= flag value ("mmap" or "buffered"). \returns false on
+/// anything else, leaving \p Mode untouched.
+bool parseIoMode(const std::string &Text, IoMode &Mode);
+
+/// "mmap" / "buffered".
+const char *ioModeName(IoMode Mode);
+
+/// Returns the calling thread's pooled decode-scratch arena (arena.decode
+/// ledger bytes) to the heap. Decode keeps the pool warm across queries by
+/// design; long-idle services and leak-asserting tests call this to settle
+/// the ledger explicitly.
+void releaseArchiveDecodeScratch();
+
 /// Serializes one function's TWPP tables (trace strings, dictionaries,
 /// (t, d) pairs, use counts).
 std::vector<uint8_t> encodeTwppFunctionTable(const TwppFunctionTable &Table);
 
 /// Inverse of encodeTwppFunctionTable. \returns false on malformed bytes.
-bool decodeTwppFunctionTable(const std::vector<uint8_t> &Bytes,
-                             TwppFunctionTable &Table);
+/// The span form is the primary entry point: the mmap read path hands it
+/// a cursor straight into the mapping.
+bool decodeTwppFunctionTable(ByteSpan Bytes, TwppFunctionTable &Table);
+
+inline bool decodeTwppFunctionTable(const std::vector<uint8_t> &Bytes,
+                                    TwppFunctionTable &Table) {
+  return decodeTwppFunctionTable(ByteSpan(Bytes), Table);
+}
 
 /// Serializes a whole compacted TWPP into the archive byte format.
 /// Function blocks are encoded concurrently under \p Config and stitched
@@ -61,8 +97,13 @@ bool writeArchiveFile(const std::string &Path, const TwppWpp &Wpp,
 class ArchiveReader {
 public:
   /// Opens \p Path and loads the header + index. \returns false on IO or
-  /// format errors.
+  /// format errors. The one-argument form uses defaultArchiveIoMode().
   bool open(const std::string &Path);
+  bool open(const std::string &Path, IoMode Mode);
+
+  /// The mode the reader is actually using after open(): Buffered either
+  /// when requested or when an mmap attempt fell back.
+  IoMode ioMode() const { return Mode; }
 
   uint32_t functionCount() const {
     return static_cast<uint32_t>(Index.size());
@@ -115,10 +156,19 @@ private:
   bool fail(std::string CheckId, std::string Message, std::string Section,
             uint64_t ByteOffset) const;
 
+  /// Produces the bytes of [Offset, Offset+Length): a view into the
+  /// mapping in mmap mode, a read into \p Storage otherwise. \returns
+  /// false when the extent cannot be produced (past-EOF, IO failure);
+  /// the caller owns the diagnostic.
+  bool readSlice(uint64_t Offset, uint64_t Length,
+                 std::vector<uint8_t> &Storage, ByteSpan &Out) const;
+
   std::string Path;
   uint64_t DcgOffset = 0;
   uint64_t DcgLength = 0;
   std::vector<IndexEntry> Index;
+  MappedFile Map;
+  IoMode Mode = IoMode::Buffered;
   mutable verify::Diagnostic LastError;
 };
 

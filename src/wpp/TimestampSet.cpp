@@ -179,10 +179,10 @@ std::vector<int64_t> TimestampSet::encodeSigned() const {
   return Out;
 }
 
-bool TimestampSet::decodeSigned(const std::vector<int64_t> &Encoded,
+bool TimestampSet::decodeSigned(const int64_t *Encoded, size_t Count,
                                 TimestampSet &Out) {
   Out = TimestampSet();
-  size_t I = 0, N = Encoded.size();
+  size_t I = 0, N = Count;
   while (I < N) {
     int64_t First = Encoded[I++];
     if (First < 0) {

@@ -22,6 +22,7 @@
 #ifndef TWPP_WPP_TIMESTAMPSET_H
 #define TWPP_WPP_TIMESTAMPSET_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -88,9 +89,16 @@ public:
   /// `l, -h` (step 1), or `l, h, -s`; decode keys off the signs.
   std::vector<int64_t> encodeSigned() const;
 
-  /// Inverse of encodeSigned. \returns false on a malformed stream.
-  static bool decodeSigned(const std::vector<int64_t> &Encoded,
+  /// Inverse of encodeSigned. \returns false on a malformed stream. The
+  /// pointer form is the primary entry point so the zero-copy read path
+  /// can decode from arena-backed scratch without building a vector.
+  static bool decodeSigned(const int64_t *Encoded, size_t Count,
                            TimestampSet &Out);
+
+  static bool decodeSigned(const std::vector<int64_t> &Encoded,
+                           TimestampSet &Out) {
+    return decodeSigned(Encoded.data(), Encoded.size(), Out);
+  }
 
   /// Number of integers encodeSigned would emit (the paper's measure of a
   /// timestamp vector's size, Table 6).

@@ -50,8 +50,10 @@ void writeLe64(std::vector<uint8_t> &Bytes, size_t At, uint64_t Value) {
     Bytes[At + I] = static_cast<uint8_t>(Value >> (8 * I));
 }
 
-/// A healthy archive (bytes + decoded form) shared by every test.
-class ArchiveCorruption : public ::testing::Test {
+/// A healthy archive (bytes + decoded form) shared by every test. The
+/// fixture is parameterized over IoMode: every corruption must be caught
+/// identically on the buffered and the zero-copy (mmap) read path.
+class ArchiveCorruption : public ::testing::TestWithParam<IoMode> {
 protected:
   static void SetUpTestSuite() {
     RawTrace Trace = fixtures::randomTrace(2024, 6, 3000);
@@ -88,7 +90,17 @@ protected:
 TwppWpp *ArchiveCorruption::Original = nullptr;
 std::vector<uint8_t> *ArchiveCorruption::Bytes = nullptr;
 
-TEST_F(ArchiveCorruption, LayoutAssumptions) {
+INSTANTIATE_TEST_SUITE_P(IoModes, ArchiveCorruption,
+                         ::testing::Values(IoMode::Buffered, IoMode::Mmap),
+                         [](const ::testing::TestParamInfo<IoMode> &Info) {
+                           return ioModeName(Info.param);
+                         });
+
+/// Mode-pair differential tests (open both readers themselves, so they
+/// are not parameterized); shares the healthy archive via inheritance.
+class ArchiveCorruptionDifferential : public ArchiveCorruption {};
+
+TEST_P(ArchiveCorruption, LayoutAssumptions) {
   // Sanity-pin the layout the other tests patch against: magic "TWPP"
   // little-endian at byte 0, DCG extent fields at 12, index at 28.
   ASSERT_GE(Bytes->size(), IndexStart);
@@ -102,16 +114,16 @@ TEST_F(ArchiveCorruption, LayoutAssumptions) {
   EXPECT_GT(DcgLength, 0u);
 }
 
-TEST_F(ArchiveCorruption, SanityHealthyArchiveRoundTrips) {
+TEST_P(ArchiveCorruption, SanityHealthyArchiveRoundTrips) {
   std::string Path = writeVariant(*Bytes, "healthy");
   ArchiveReader Reader;
-  ASSERT_TRUE(Reader.open(Path));
+  ASSERT_TRUE(Reader.open(Path, GetParam()));
   TwppWpp Back;
   ASSERT_TRUE(Reader.readAll(Back));
   EXPECT_EQ(Back, *Original);
 }
 
-TEST_F(ArchiveCorruption, TruncatedHeaderFailsOpen) {
+TEST_P(ArchiveCorruption, TruncatedHeaderFailsOpen) {
   // Every prefix shorter than header + DCG fields + full index must be
   // rejected at open(); a zero-byte file included.
   size_t IndexEnd = IndexStart + Original->Functions.size() * IndexRowSize;
@@ -124,21 +136,21 @@ TEST_F(ArchiveCorruption, TruncatedHeaderFailsOpen) {
     std::string Path =
         writeVariant(Truncated, "trunc_" + std::to_string(Length));
     ArchiveReader Reader;
-    EXPECT_FALSE(Reader.open(Path)) << "prefix length " << Length;
+    EXPECT_FALSE(Reader.open(Path, GetParam())) << "prefix length " << Length;
   }
 }
 
-TEST_F(ArchiveCorruption, BadMagicOrVersionFailsOpen) {
+TEST_P(ArchiveCorruption, BadMagicOrVersionFailsOpen) {
   for (size_t Byte : {size_t(0), size_t(4)}) {
     std::vector<uint8_t> Variant = *Bytes;
     Variant[Byte] ^= 0xFF;
     std::string Path = writeVariant(Variant, "hdr_" + std::to_string(Byte));
     ArchiveReader Reader;
-    EXPECT_FALSE(Reader.open(Path)) << "flipped header byte " << Byte;
+    EXPECT_FALSE(Reader.open(Path, GetParam())) << "flipped header byte " << Byte;
   }
 }
 
-TEST_F(ArchiveCorruption, HugeFunctionCountFailsOpen) {
+TEST_P(ArchiveCorruption, HugeFunctionCountFailsOpen) {
   // A function count whose index alone would exceed the file must be
   // rejected before any allocation proportional to it.
   std::vector<uint8_t> Variant = *Bytes;
@@ -148,10 +160,10 @@ TEST_F(ArchiveCorruption, HugeFunctionCountFailsOpen) {
   Variant[11] = 0x7F;
   std::string Path = writeVariant(Variant, "hugecount");
   ArchiveReader Reader;
-  EXPECT_FALSE(Reader.open(Path));
+  EXPECT_FALSE(Reader.open(Path, GetParam()));
 }
 
-TEST_F(ArchiveCorruption, IndexRowPastEofFailsOpen) {
+TEST_P(ArchiveCorruption, IndexRowPastEofFailsOpen) {
   const size_t FunctionCount = Original->Functions.size();
   ASSERT_GT(FunctionCount, 0u);
   for (size_t F : {size_t(0), FunctionCount / 2, FunctionCount - 1}) {
@@ -163,7 +175,7 @@ TEST_F(ArchiveCorruption, IndexRowPastEofFailsOpen) {
       std::string Path =
           writeVariant(Variant, "idx_off_" + std::to_string(F));
       ArchiveReader Reader;
-      EXPECT_FALSE(Reader.open(Path)) << "row " << F << " offset past EOF";
+      EXPECT_FALSE(Reader.open(Path, GetParam())) << "row " << F << " offset past EOF";
     }
     {
       // Length running past the end of the file.
@@ -172,7 +184,7 @@ TEST_F(ArchiveCorruption, IndexRowPastEofFailsOpen) {
       std::string Path =
           writeVariant(Variant, "idx_len_" + std::to_string(F));
       ArchiveReader Reader;
-      EXPECT_FALSE(Reader.open(Path)) << "row " << F << " length past EOF";
+      EXPECT_FALSE(Reader.open(Path, GetParam())) << "row " << F << " length past EOF";
     }
     {
       // Offset + length overflowing uint64 must not wrap past the check.
@@ -182,29 +194,29 @@ TEST_F(ArchiveCorruption, IndexRowPastEofFailsOpen) {
       std::string Path =
           writeVariant(Variant, "idx_wrap_" + std::to_string(F));
       ArchiveReader Reader;
-      EXPECT_FALSE(Reader.open(Path)) << "row " << F << " extent overflow";
+      EXPECT_FALSE(Reader.open(Path, GetParam())) << "row " << F << " extent overflow";
     }
   }
 }
 
-TEST_F(ArchiveCorruption, DcgExtentPastEofFailsOpen) {
+TEST_P(ArchiveCorruption, DcgExtentPastEofFailsOpen) {
   {
     std::vector<uint8_t> Variant = *Bytes;
     writeLe64(Variant, PrefixSize, Bytes->size() + 1);
     std::string Path = writeVariant(Variant, "dcg_off");
     ArchiveReader Reader;
-    EXPECT_FALSE(Reader.open(Path));
+    EXPECT_FALSE(Reader.open(Path, GetParam()));
   }
   {
     std::vector<uint8_t> Variant = *Bytes;
     writeLe64(Variant, PrefixSize + 8, Bytes->size());
     std::string Path = writeVariant(Variant, "dcg_len");
     ArchiveReader Reader;
-    EXPECT_FALSE(Reader.open(Path));
+    EXPECT_FALSE(Reader.open(Path, GetParam()));
   }
 }
 
-TEST_F(ArchiveCorruption, BitFlippedDcgFailsOrDiffers) {
+TEST_P(ArchiveCorruption, BitFlippedDcgFailsOrDiffers) {
   // Bit flips inside the LZW-compressed DCG: readDcg must either reject
   // the stream or decode to something well-formed; it must never crash.
   // Most flips corrupt the LZW code stream or the DCG framing and are
@@ -220,7 +232,7 @@ TEST_F(ArchiveCorruption, BitFlippedDcgFailsOrDiffers) {
     Variant[At] ^= static_cast<uint8_t>(1u << R.nextBelow(8));
     std::string Path = writeVariant(Variant, "dcg_" + std::to_string(Case));
     ArchiveReader Reader;
-    ASSERT_TRUE(Reader.open(Path)); // Index is intact; only the DCG is hit.
+    ASSERT_TRUE(Reader.open(Path, GetParam())); // Index is intact; only the DCG is hit.
     DynamicCallGraph Dcg;
     if (!Reader.readDcg(Dcg)) {
       ++Rejected;
@@ -233,7 +245,7 @@ TEST_F(ArchiveCorruption, BitFlippedDcgFailsOrDiffers) {
   EXPECT_GE(Rejected, 12);
 }
 
-TEST_F(ArchiveCorruption, BitFlippedFunctionBlockFailsOrDiffers) {
+TEST_P(ArchiveCorruption, BitFlippedFunctionBlockFailsOrDiffers) {
   // Flips inside function blocks: extractFunction must reject or decode
   // to a (well-formed) different table, never crash or over-allocate.
   const size_t FunctionCount = Original->Functions.size();
@@ -250,7 +262,7 @@ TEST_F(ArchiveCorruption, BitFlippedFunctionBlockFailsOrDiffers) {
     Variant[At] ^= static_cast<uint8_t>(1u << R.nextBelow(8));
     std::string Path = writeVariant(Variant, "blk_" + std::to_string(Case));
     ArchiveReader Reader;
-    ASSERT_TRUE(Reader.open(Path));
+    ASSERT_TRUE(Reader.open(Path, GetParam()));
     TwppFunctionTable Table;
     if (Reader.extractFunction(static_cast<FunctionId>(F), Table)) {
       EXPECT_NE(Table, Original->Functions[F])
@@ -259,7 +271,7 @@ TEST_F(ArchiveCorruption, BitFlippedFunctionBlockFailsOrDiffers) {
   }
 }
 
-TEST_F(ArchiveCorruption, TruncatedFunctionBlockFailsExtract) {
+TEST_P(ArchiveCorruption, TruncatedFunctionBlockFailsExtract) {
   // Shorten a block via its index length: the decoder must hit the hard
   // end of the slice and reject, not read past it.
   const size_t FunctionCount = Original->Functions.size();
@@ -278,7 +290,7 @@ TEST_F(ArchiveCorruption, TruncatedFunctionBlockFailsExtract) {
     std::string Path =
         writeVariant(Variant, "cutblk_" + std::to_string(Cut));
     ArchiveReader Reader;
-    ASSERT_TRUE(Reader.open(Path));
+    ASSERT_TRUE(Reader.open(Path, GetParam()));
     TwppFunctionTable Table;
     EXPECT_FALSE(
         Reader.extractFunction(static_cast<FunctionId>(Victim), Table))
@@ -286,19 +298,100 @@ TEST_F(ArchiveCorruption, TruncatedFunctionBlockFailsExtract) {
   }
 }
 
-TEST_F(ArchiveCorruption, ExtractBeyondFunctionCountFails) {
+TEST_P(ArchiveCorruption, ExtractBeyondFunctionCountFails) {
   std::string Path = writeVariant(*Bytes, "range");
   ArchiveReader Reader;
-  ASSERT_TRUE(Reader.open(Path));
+  ASSERT_TRUE(Reader.open(Path, GetParam()));
   TwppFunctionTable Table;
   EXPECT_FALSE(Reader.extractFunction(
       static_cast<FunctionId>(Original->Functions.size()), Table));
   EXPECT_FALSE(Reader.extractFunction(~FunctionId(0), Table));
 }
 
-TEST_F(ArchiveCorruption, MissingFileFailsOpen) {
+TEST_F(ArchiveCorruptionDifferential, DiagnosticsIdenticalAcrossIoModes) {
+  // Representative corruptions: the failure DIAGNOSTIC — check id,
+  // location, message and byte offset — must be byte-identical whether
+  // the archive was read buffered or memory-mapped. A divergence here
+  // means the two paths take different validation routes.
+  struct Case {
+    const char *Name;
+    std::vector<uint8_t> Variant;
+  };
+  std::vector<Case> Cases;
+  Cases.push_back({"empty", {}});
+  {
+    std::vector<uint8_t> V(Bytes->begin(), Bytes->begin() + 20);
+    Cases.push_back({"short_header", std::move(V)});
+  }
+  {
+    std::vector<uint8_t> V = *Bytes;
+    V[0] ^= 0xFF;
+    Cases.push_back({"bad_magic", std::move(V)});
+  }
+  {
+    std::vector<uint8_t> V = *Bytes;
+    writeLe64(V, IndexStart, Bytes->size() + 1000);
+    Cases.push_back({"index_past_eof", std::move(V)});
+  }
+  {
+    std::vector<uint8_t> V = *Bytes;
+    writeLe64(V, PrefixSize, Bytes->size() + 1);
+    Cases.push_back({"dcg_past_eof", std::move(V)});
+  }
+
+  for (Case &C : Cases) {
+    std::string Path = writeVariant(C.Variant, std::string("diff_") + C.Name);
+    ArchiveReader Buffered, Mapped;
+    EXPECT_FALSE(Buffered.open(Path, IoMode::Buffered)) << C.Name;
+    EXPECT_FALSE(Mapped.open(Path, IoMode::Mmap)) << C.Name;
+    const verify::Diagnostic &A = Buffered.lastError();
+    const verify::Diagnostic &B = Mapped.lastError();
+    EXPECT_EQ(A.CheckId, B.CheckId) << C.Name;
+    EXPECT_EQ(A.Location, B.Location) << C.Name;
+    EXPECT_EQ(A.Message, B.Message) << C.Name;
+    EXPECT_EQ(A.ByteOffset, B.ByteOffset) << C.Name;
+  }
+}
+
+TEST_F(ArchiveCorruptionDifferential, TruncatedBlockDecodeAgreesAcrossModes) {
+  // Cut a function block's index length at every stride and compare
+  // extractFunction outcomes AND diagnostics across modes.
+  const size_t FunctionCount = Original->Functions.size();
+  size_t Victim = FunctionCount;
+  for (size_t F = 0; F < FunctionCount; ++F)
+    if (readLe64(*Bytes, IndexStart + F * IndexRowSize + 8) > 8) {
+      Victim = F;
+      break;
+    }
+  ASSERT_LT(Victim, FunctionCount);
+  size_t Row = IndexStart + Victim * IndexRowSize;
+  uint64_t Length = readLe64(*Bytes, Row + 8);
+  for (uint64_t Cut = 0; Cut < Length; Cut += 1 + Length / 16) {
+    std::vector<uint8_t> Variant = *Bytes;
+    writeLe64(Variant, Row + 8, Cut);
+    std::string Path =
+        writeVariant(Variant, "diffcut_" + std::to_string(Cut));
+    ArchiveReader Buffered, Mapped;
+    ASSERT_TRUE(Buffered.open(Path, IoMode::Buffered));
+    ASSERT_TRUE(Mapped.open(Path, IoMode::Mmap));
+    TwppFunctionTable TableA, TableB;
+    bool OkA = Buffered.extractFunction(static_cast<FunctionId>(Victim),
+                                        TableA);
+    bool OkB = Mapped.extractFunction(static_cast<FunctionId>(Victim),
+                                      TableB);
+    EXPECT_EQ(OkA, OkB) << "cut " << Cut << " of " << Length;
+    if (OkA && OkB) {
+      EXPECT_EQ(TableA, TableB);
+    } else {
+      EXPECT_EQ(Buffered.lastError().CheckId, Mapped.lastError().CheckId);
+      EXPECT_EQ(Buffered.lastError().Message, Mapped.lastError().Message);
+    }
+  }
+}
+
+TEST_P(ArchiveCorruption, MissingFileFailsOpen) {
   ArchiveReader Reader;
-  EXPECT_FALSE(Reader.open(::testing::TempDir() + "/does_not_exist.twpp"));
+  EXPECT_FALSE(Reader.open(::testing::TempDir() + "/does_not_exist.twpp", GetParam()));
 }
 
 } // namespace

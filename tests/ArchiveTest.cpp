@@ -3,11 +3,21 @@
 // Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
 //
 //===----------------------------------------------------------------------===//
+//
+// The reader tests are parameterized over IoMode so every behaviour is
+// pinned on both the buffered and the zero-copy (mmap) read paths, and
+// the round-trip sweeps decode through BOTH paths and assert the results
+// are structurally identical — the differential harness of the zero-copy
+// refactor.
+//
+//===----------------------------------------------------------------------===//
 
 #include "wpp/Archive.h"
 
 #include "TestTraces.h"
+#include "support/FaultInjection.h"
 #include "support/FileIO.h"
+#include "workloads/Workload.h"
 
 #include <gtest/gtest.h>
 
@@ -43,14 +53,26 @@ TEST(FunctionTableCodecTest, RejectsTruncated) {
   EXPECT_FALSE(decodeTwppFunctionTable(Bytes, Back));
 }
 
-TEST(ArchiveTest, WriteOpenReadAll) {
+/// Every reader test below runs once per IoMode.
+class ArchiveModeTest : public ::testing::TestWithParam<IoMode> {};
+
+INSTANTIATE_TEST_SUITE_P(IoModes, ArchiveModeTest,
+                         ::testing::Values(IoMode::Buffered, IoMode::Mmap),
+                         [](const ::testing::TestParamInfo<IoMode> &Info) {
+                           return ioModeName(Info.param);
+                         });
+
+TEST_P(ArchiveModeTest, WriteOpenReadAll) {
   std::string Path = tempPath("twpp_archive_test.twpp");
   RawTrace Trace = fixtures::figure1Trace();
   TwppWpp Compacted = compactWpp(Trace);
   ASSERT_TRUE(writeArchiveFile(Path, Compacted));
 
   ArchiveReader Reader;
-  ASSERT_TRUE(Reader.open(Path));
+  ASSERT_TRUE(Reader.open(Path, GetParam()));
+  // On this platform a requested mode must actually engage (no silent
+  // fallback on healthy files).
+  EXPECT_EQ(Reader.ioMode(), GetParam());
   EXPECT_EQ(Reader.functionCount(), 2u);
   EXPECT_EQ(Reader.callCount(0), 1u);
   EXPECT_EQ(Reader.callCount(1), 5u);
@@ -62,14 +84,14 @@ TEST(ArchiveTest, WriteOpenReadAll) {
   std::remove(Path.c_str());
 }
 
-TEST(ArchiveTest, OutOfRangeFunctionIdsAreRejected) {
+TEST_P(ArchiveModeTest, OutOfRangeFunctionIdsAreRejected) {
   std::string Path = tempPath("twpp_archive_bounds.twpp");
   RawTrace Trace = fixtures::figure1Trace();
   TwppWpp Compacted = compactWpp(Trace);
   ASSERT_TRUE(writeArchiveFile(Path, Compacted));
 
   ArchiveReader Reader;
-  ASSERT_TRUE(Reader.open(Path));
+  ASSERT_TRUE(Reader.open(Path, GetParam()));
   ASSERT_EQ(Reader.functionCount(), 2u);
   // callCount() used to index the table without a bounds check; an
   // unknown id must report zero calls, not undefined behaviour.
@@ -82,14 +104,14 @@ TEST(ArchiveTest, OutOfRangeFunctionIdsAreRejected) {
   std::remove(Path.c_str());
 }
 
-TEST(ArchiveTest, ExtractSingleFunction) {
+TEST_P(ArchiveModeTest, ExtractSingleFunction) {
   std::string Path = tempPath("twpp_archive_extract.twpp");
   RawTrace Trace = fixtures::figure1Trace();
   TwppWpp Compacted = compactWpp(Trace);
   ASSERT_TRUE(writeArchiveFile(Path, Compacted));
 
   ArchiveReader Reader;
-  ASSERT_TRUE(Reader.open(Path));
+  ASSERT_TRUE(Reader.open(Path, GetParam()));
   FunctionPathTraces F;
   ASSERT_TRUE(Reader.extractFunctionPathTraces(1, F));
   ASSERT_EQ(F.Traces.size(), 2u);
@@ -105,32 +127,83 @@ TEST(ArchiveTest, ExtractSingleFunction) {
   std::remove(Path.c_str());
 }
 
-TEST(ArchiveTest, DcgRoundTripsThroughLzw) {
+TEST_P(ArchiveModeTest, DcgRoundTripsThroughLzw) {
   std::string Path = tempPath("twpp_archive_dcg.twpp");
   RawTrace Trace = fixtures::randomTrace(99);
   TwppWpp Compacted = compactWpp(Trace);
   ASSERT_TRUE(writeArchiveFile(Path, Compacted));
 
   ArchiveReader Reader;
-  ASSERT_TRUE(Reader.open(Path));
+  ASSERT_TRUE(Reader.open(Path, GetParam()));
   DynamicCallGraph Dcg;
   ASSERT_TRUE(Reader.readDcg(Dcg));
   EXPECT_EQ(Dcg, Compacted.Dcg);
   std::remove(Path.c_str());
 }
 
-TEST(ArchiveTest, OpenRejectsGarbage) {
+TEST_P(ArchiveModeTest, OpenRejectsGarbage) {
   std::string Path = tempPath("twpp_archive_garbage.twpp");
   ASSERT_TRUE(writeFileBytes(Path, {1, 2, 3, 4, 5, 6, 7, 8}));
   ArchiveReader Reader;
-  EXPECT_FALSE(Reader.open(Path));
+  EXPECT_FALSE(Reader.open(Path, GetParam()));
   std::remove(Path.c_str());
 
   ArchiveReader Missing;
-  EXPECT_FALSE(Missing.open(tempPath("no_such_file.twpp")));
+  EXPECT_FALSE(Missing.open(tempPath("no_such_file.twpp"), GetParam()));
 }
 
-/// Property sweep: archive round trip on random traces.
+TEST_P(ArchiveModeTest, OpenRejectsEmptyFile) {
+  // Zero bytes maps to a valid null span (mmap(2) can't express it, the
+  // wrapper special-cases it); the header check must still reject it the
+  // same way in both modes.
+  std::string Path = tempPath("twpp_archive_empty.twpp");
+  ASSERT_TRUE(writeFileBytes(Path, {}));
+  ArchiveReader Reader;
+  EXPECT_FALSE(Reader.open(Path, GetParam()));
+  EXPECT_EQ(Reader.lastError().CheckId, "twpp-archive-header");
+  std::remove(Path.c_str());
+}
+
+TEST(ArchiveMmapFallback, InjectedMmapFaultFallsBackToBuffered) {
+  std::string Path = tempPath("twpp_archive_fallback.twpp");
+  RawTrace Trace = fixtures::figure1Trace();
+  TwppWpp Compacted = compactWpp(Trace);
+  ASSERT_TRUE(writeArchiveFile(Path, Compacted));
+
+  TwppWpp Back;
+  {
+    fault::ScopedFaultSpec Spec("io:mmap:n=1");
+    ArchiveReader Reader;
+    ASSERT_TRUE(Reader.open(Path, IoMode::Mmap));
+    // The mapping failed (injected); the reader degrades, not errors.
+    EXPECT_EQ(Reader.ioMode(), IoMode::Buffered);
+    ASSERT_TRUE(Reader.readAll(Back));
+  }
+  EXPECT_EQ(Back, Compacted);
+  std::remove(Path.c_str());
+}
+
+/// Decodes \p Path through both IoModes and asserts the results are
+/// structurally identical, returning the (shared) decoded form.
+TwppWpp decodeBothModes(const std::string &Path) {
+  TwppWpp Buffered, Mapped;
+  ArchiveReader BufferedReader, MappedReader;
+  EXPECT_TRUE(BufferedReader.open(Path, IoMode::Buffered));
+  EXPECT_TRUE(BufferedReader.readAll(Buffered));
+  EXPECT_TRUE(MappedReader.open(Path, IoMode::Mmap));
+  EXPECT_EQ(MappedReader.ioMode(), IoMode::Mmap);
+  EXPECT_TRUE(MappedReader.readAll(Mapped));
+  EXPECT_EQ(Buffered, Mapped);
+  EXPECT_EQ(BufferedReader.functionCount(), MappedReader.functionCount());
+  for (FunctionId F = 0; F != BufferedReader.functionCount(); ++F) {
+    EXPECT_EQ(BufferedReader.callCount(F), MappedReader.callCount(F));
+    EXPECT_EQ(BufferedReader.blockLength(F), MappedReader.blockLength(F));
+  }
+  return Buffered;
+}
+
+/// Property sweep: archive round trip on random traces, decoded through
+/// both read paths.
 class ArchiveRoundTrip : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ArchiveRoundTrip, RandomTraces) {
@@ -139,10 +212,7 @@ TEST_P(ArchiveRoundTrip, RandomTraces) {
   RawTrace Trace = fixtures::randomTrace(GetParam(), 8, 5000);
   TwppWpp Compacted = compactWpp(Trace);
   ASSERT_TRUE(writeArchiveFile(Path, Compacted));
-  ArchiveReader Reader;
-  ASSERT_TRUE(Reader.open(Path));
-  TwppWpp Back;
-  ASSERT_TRUE(Reader.readAll(Back));
+  TwppWpp Back = decodeBothModes(Path);
   EXPECT_EQ(Back, Compacted);
   EXPECT_EQ(reconstructRawTrace(Back), Trace);
   std::remove(Path.c_str());
@@ -150,5 +220,27 @@ TEST_P(ArchiveRoundTrip, RandomTraces) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ArchiveRoundTrip,
                          ::testing::Values(51, 52, 53, 54, 55, 56));
+
+/// Differential A/B decode over the five paper workload archives
+/// (Table 2/3 programs) — the committed fixtures the zero-copy
+/// acceptance criterion names.
+class PaperProfileDifferential : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PaperProfileDifferential, BufferedAndMmapDecodeIdentically) {
+  WorkloadProfile Profile = paperProfiles()[GetParam()];
+  RawTrace Trace = generateWorkloadTrace(Profile);
+  TwppWpp Compacted = compactWpp(Trace);
+  std::string Path = tempPath(("twpp_diff_" + Profile.Name + ".twpp").c_str());
+  ASSERT_TRUE(writeArchiveFile(Path, Compacted));
+  TwppWpp Back = decodeBothModes(Path);
+  EXPECT_EQ(Back, Compacted);
+  std::remove(Path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperProfiles, PaperProfileDifferential,
+                         ::testing::Range(size_t(0), size_t(5)),
+                         [](const ::testing::TestParamInfo<size_t> &Info) {
+                           return paperProfiles()[Info.param].Name.substr(4);
+                         });
 
 } // namespace

@@ -15,9 +15,15 @@
 #include "dataflow/Query.h"
 
 #include "support/Random.h"
+#include "wpp/Archive.h"
 #include "wpp/Dbb.h"
 
+#include "TestTraces.h"
+
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
 
 using namespace twpp;
 
@@ -133,5 +139,47 @@ TEST_P(DbbQueryEquivalence, RandomLoopTraces) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DbbQueryEquivalence,
                          ::testing::Values(81, 82, 83, 84, 85, 86));
+
+TEST(DbbQueryTest, ArchiveRoutedQueriesAgreeAcrossIoModes) {
+  // End-to-end differential: route path traces through an on-disk
+  // archive, extract them via both read paths, and run the demand-driven
+  // queries over CFGs built from each side. Every extracted structure
+  // and every query answer must be identical.
+  RawTrace Trace = fixtures::randomTrace(4242, 6, 2000);
+  TwppWpp Compacted = compactWpp(Trace);
+  std::string Path = ::testing::TempDir() + "/dbb_query_io_modes.twpp";
+  ASSERT_TRUE(writeArchiveFile(Path, Compacted));
+
+  ArchiveReader Buffered, Mapped;
+  ASSERT_TRUE(Buffered.open(Path, IoMode::Buffered));
+  ASSERT_TRUE(Mapped.open(Path, IoMode::Mmap));
+  ASSERT_EQ(Mapped.ioMode(), IoMode::Mmap);
+
+  for (FunctionId F = 0; F != Buffered.functionCount(); ++F) {
+    FunctionPathTraces FromBuffered, FromMapped;
+    ASSERT_TRUE(Buffered.extractFunctionPathTraces(F, FromBuffered));
+    ASSERT_TRUE(Mapped.extractFunctionPathTraces(F, FromMapped));
+    ASSERT_EQ(FromBuffered.Traces, FromMapped.Traces);
+    ASSERT_EQ(FromBuffered.UseCounts, FromMapped.UseCounts);
+    ASSERT_EQ(FromBuffered.CallCount, FromMapped.CallCount);
+
+    for (size_t T = 0; T != FromBuffered.Traces.size(); ++T) {
+      if (FromBuffered.Traces[T].empty())
+        continue;
+      AnnotatedDynamicCfg CfgA =
+          buildAnnotatedCfgFromSequence(FromBuffered.Traces[T]);
+      AnnotatedDynamicCfg CfgB =
+          buildAnnotatedCfgFromSequence(FromMapped.Traces[T]);
+      for (const AnnotatedNode &Node : CfgA.Nodes) {
+        FactFrequency A = queryOn(CfgA, Node.Head);
+        FactFrequency B = queryOn(CfgB, Node.Head);
+        EXPECT_EQ(A.Total, B.Total) << "fn " << F << " head " << Node.Head;
+        EXPECT_EQ(A.Holds, B.Holds) << "fn " << F << " head " << Node.Head;
+        EXPECT_EQ(A.QueriesGenerated, B.QueriesGenerated);
+      }
+    }
+  }
+  std::remove(Path.c_str());
+}
 
 } // namespace

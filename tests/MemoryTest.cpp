@@ -16,6 +16,9 @@
 #include "obs/Memory.h"
 #include "obs/Metrics.h"
 #include "obs/Names.h"
+#include "support/Arena.h"
+#include "support/FileIO.h"
+#include "support/Mmap.h"
 #include "verify/Checks.h"
 #include "verify/MemoryChecks.h"
 #include "wpp/Archive.h"
@@ -243,8 +246,86 @@ TEST_F(MemoryTest, AuditReconcilesTrackerAgainstDeepSize) {
       << Audit.DeepBytes;
   // The in-memory footprint dominates the paper's serialized estimate.
   EXPECT_GE(Audit.DeepBytes, Audit.ModelBytes);
-  // The audit captured into a private account — nothing leaked globally.
+  // The audit captured into a private account — the only global residue
+  // is the pooled decode-scratch arena (arena.decode), settled by an
+  // explicit release. Nothing else leaked.
+  releaseArchiveDecodeScratch();
   EXPECT_EQ(obs::memTracker().totalLiveBytes(), 0);
+  std::remove(Path.c_str());
+}
+
+TEST_F(MemoryTest, AuditReconcilesInBothIoModes) {
+  // The audit contract is mode-independent: buffered and mmap decodes of
+  // the same archive must both reconcile, with identical deep sizes, and
+  // neither the mapping nor the decode arena may leak into the scoped
+  // capture the audit reports.
+  TwppWpp Wpp = compactedWpp(42, 5, 400);
+  std::string Path = tempPath("mem_audit_modes.twpp");
+  ASSERT_TRUE(writeArchiveFile(Path, Wpp));
+  obs::memTracker().reset();
+
+  verify::MemoryAudit PerMode[2];
+  for (IoMode Mode : {IoMode::Buffered, IoMode::Mmap}) {
+    verify::MemoryAudit &Audit = PerMode[Mode == IoMode::Mmap ? 1 : 0];
+    TwppWpp Decoded;
+    ASSERT_TRUE(verify::auditArchiveMemory(Path, Audit, &Decoded, Mode));
+    EXPECT_TRUE(Audit.Decoded);
+    EXPECT_EQ(Audit.DeepBytes, obs::deepSize(Decoded));
+    uint64_t Delta = Audit.TrackedBytes > Audit.DeepBytes
+                         ? Audit.TrackedBytes - Audit.DeepBytes
+                         : Audit.DeepBytes - Audit.TrackedBytes;
+    EXPECT_LE(Delta, verify::memReconcileToleranceBytes(Audit.DeepBytes))
+        << ioModeName(Mode) << ": tracked " << Audit.TrackedBytes
+        << " vs deep " << Audit.DeepBytes;
+  }
+  EXPECT_EQ(PerMode[0].DeepBytes, PerMode[1].DeepBytes);
+  EXPECT_EQ(PerMode[0].TrackedBytes, PerMode[1].TrackedBytes);
+  releaseArchiveDecodeScratch();
+  EXPECT_EQ(obs::memTracker().totalLiveBytes(), 0);
+  std::remove(Path.c_str());
+}
+
+TEST_F(MemoryTest, ArenaLedgerRecordsAndSettles) {
+  Arena A(4096, obs::memtags::ArenaDecode);
+  EXPECT_EQ(liveOf(obs::memtags::ArenaDecode), 0);
+  A.allocate(100);
+  EXPECT_EQ(liveOf(obs::memtags::ArenaDecode), 4096);
+  A.allocate(8000); // spill block, also ledgered
+  EXPECT_EQ(liveOf(obs::memtags::ArenaDecode), 4096 + 8000);
+  // reset() keeps the pool (and thus the ledger) intact.
+  A.reset();
+  EXPECT_EQ(liveOf(obs::memtags::ArenaDecode), 4096 + 8000);
+  A.release();
+  EXPECT_EQ(liveOf(obs::memtags::ArenaDecode), 0);
+}
+
+TEST_F(MemoryTest, ArenaLedgerSurvivesTrackingToggle) {
+  // Blocks acquired while tracking is off are never ledgered, so the
+  // release after re-enabling must not drive the tag negative.
+  Arena A(1024, obs::memtags::ArenaDecode);
+  A.allocate(1000); // ledgered
+  obs::setMemTrackingEnabled(false);
+  A.allocate(1000); // second block, NOT ledgered
+  obs::setMemTrackingEnabled(true);
+  EXPECT_EQ(liveOf(obs::memtags::ArenaDecode), 1024);
+  A.release();
+  EXPECT_EQ(liveOf(obs::memtags::ArenaDecode), 0);
+}
+
+TEST_F(MemoryTest, MmapLedgerRecordsAndSettles) {
+  if (!MappedFile::available())
+    GTEST_SKIP() << "mmap not available on this platform";
+  std::string Path = tempPath("mem_mmap_ledger.bin");
+  std::vector<uint8_t> Payload(513, 0xAB);
+  ASSERT_TRUE(writeFileBytes(Path, Payload));
+  {
+    MappedFile Map;
+    ASSERT_TRUE(Map.map(Path));
+    EXPECT_EQ(liveOf(obs::memtags::ArchiveMmap),
+              static_cast<int64_t>(Payload.size()));
+  }
+  // RAII unmap settles the ledger.
+  EXPECT_EQ(liveOf(obs::memtags::ArchiveMmap), 0);
   std::remove(Path.c_str());
 }
 

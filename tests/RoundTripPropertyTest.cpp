@@ -149,16 +149,23 @@ void checkRoundTrip(const RawTrace &Trace, const std::string &PathTag) {
     EXPECT_EQ(Expanded.CallCount, Partitioned.Functions[F].CallCount);
   }
 
-  // Through the on-disk archive and back.
+  // Through the on-disk archive and back — decoded on both the buffered
+  // and the zero-copy read path, which must be structurally identical.
   std::string Path = tempPath("round_trip_" + PathTag + ".twpp");
   ASSERT_TRUE(writeArchiveFile(Path, Twpp));
-  ArchiveReader Reader;
-  ASSERT_TRUE(Reader.open(Path));
-  ASSERT_EQ(Reader.functionCount(), Twpp.Functions.size());
-  TwppWpp Back;
-  ASSERT_TRUE(Reader.readAll(Back));
-  EXPECT_EQ(Back, Twpp);
-  EXPECT_EQ(reconstructRawTrace(Back), Trace);
+  TwppWpp PerMode[2];
+  for (IoMode Mode : {IoMode::Buffered, IoMode::Mmap}) {
+    SCOPED_TRACE(ioModeName(Mode));
+    ArchiveReader Reader;
+    ASSERT_TRUE(Reader.open(Path, Mode));
+    ASSERT_EQ(Reader.ioMode(), Mode);
+    ASSERT_EQ(Reader.functionCount(), Twpp.Functions.size());
+    TwppWpp &Back = PerMode[Mode == IoMode::Mmap ? 1 : 0];
+    ASSERT_TRUE(Reader.readAll(Back));
+    EXPECT_EQ(Back, Twpp);
+    EXPECT_EQ(reconstructRawTrace(Back), Trace);
+  }
+  EXPECT_EQ(PerMode[0], PerMode[1]);
   std::remove(Path.c_str());
 }
 

@@ -4,8 +4,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Arena.h"
 #include "support/ByteStream.h"
+#include "support/FaultInjection.h"
 #include "support/FileIO.h"
+#include "support/Mmap.h"
 #include "support/LZW.h"
 #include "support/Random.h"
 #include "support/Stats.h"
@@ -13,8 +16,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 using namespace twpp;
@@ -280,6 +286,174 @@ TEST(TablePrinterTest, AlignsColumns) {
   EXPECT_NE(Text.find("== Demo =="), std::string::npos);
   EXPECT_NE(Text.find("longer-name"), std::string::npos);
   EXPECT_NE(Text.find("---"), std::string::npos);
+}
+
+
+//===----------------------------------------------------------------------===//
+// Arena — the decode scratch allocator of the zero-copy read path.
+//===----------------------------------------------------------------------===//
+
+TEST(ArenaTest, BumpsWithinOneBlock) {
+  Arena A(1024);
+  void *P1 = A.allocate(100);
+  void *P2 = A.allocate(100);
+  ASSERT_NE(P1, nullptr);
+  ASSERT_NE(P2, nullptr);
+  EXPECT_NE(P1, P2);
+  EXPECT_EQ(A.blockCount(), 1u);
+  EXPECT_GE(A.bytesUsed(), 200u);
+  EXPECT_EQ(A.bytesReserved(), 1024u);
+}
+
+TEST(ArenaTest, ResetReusesBlocksWithoutReacquiring) {
+  Arena A(256);
+  void *First = A.allocate(200);
+  A.allocate(200); // forces a second block
+  EXPECT_EQ(A.blockCount(), 2u);
+  size_t Reserved = A.bytesReserved();
+  A.reset();
+  EXPECT_EQ(A.bytesUsed(), 0u);
+  // After reset, allocation restarts at the first pooled block.
+  void *Again = A.allocate(200);
+  EXPECT_EQ(Again, First);
+  EXPECT_EQ(A.blockCount(), 2u);
+  EXPECT_EQ(A.bytesReserved(), Reserved);
+}
+
+TEST(ArenaTest, AlignmentIsHonoured) {
+  Arena A(1024);
+  A.allocate(1); // misalign the cursor
+  for (size_t Align : {size_t(2), size_t(4), size_t(8), size_t(16)}) {
+    void *P = A.allocate(3, Align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Align, 0u)
+        << "alignment " << Align;
+  }
+  int64_t *Typed = A.allocateArray<int64_t>(5);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Typed) % alignof(int64_t), 0u);
+  // Writes must land in distinct storage.
+  for (int I = 0; I < 5; ++I)
+    Typed[I] = I;
+  EXPECT_EQ(Typed[4], 4);
+}
+
+TEST(ArenaTest, OversizedRequestSpills) {
+  Arena A(128);
+  void *Big = A.allocate(10000);
+  ASSERT_NE(Big, nullptr);
+  EXPECT_EQ(A.blockCount(), 1u);
+  EXPECT_EQ(A.bytesReserved(), 10000u);
+  // The spill block is pooled: a reset makes it reusable.
+  A.reset();
+  void *Again = A.allocate(9000);
+  EXPECT_EQ(Again, Big);
+  EXPECT_EQ(A.blockCount(), 1u);
+}
+
+TEST(ArenaTest, ReleaseReturnsEverything) {
+  Arena A(256);
+  A.allocate(1000);
+  A.release();
+  EXPECT_EQ(A.blockCount(), 0u);
+  EXPECT_EQ(A.bytesReserved(), 0u);
+  EXPECT_EQ(A.bytesUsed(), 0u);
+  // The arena is still usable after release().
+  EXPECT_NE(A.allocate(64), nullptr);
+  EXPECT_EQ(A.blockCount(), 1u);
+}
+
+TEST(ArenaTest, ZeroByteAllocationsAreValid) {
+  Arena A(64);
+  void *P = A.allocate(0);
+  EXPECT_NE(P, nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// MappedFile — the mmap(2) RAII wrapper behind IoMode::Mmap.
+//===----------------------------------------------------------------------===//
+
+TEST(MmapTest, MapsFileContents) {
+  if (!MappedFile::available())
+    GTEST_SKIP() << "mmap not available on this platform";
+  std::string Path = ::testing::TempDir() + "/mmap_contents.bin";
+  std::vector<uint8_t> Payload = {1, 2, 3, 250, 251, 252};
+  ASSERT_TRUE(writeFileBytes(Path, Payload));
+  MappedFile Map;
+  ASSERT_TRUE(Map.map(Path));
+  EXPECT_TRUE(Map.mapped());
+  ASSERT_EQ(Map.size(), Payload.size());
+  ByteSpan Span = Map.span();
+  EXPECT_TRUE(std::equal(Span.begin(), Span.end(), Payload.begin()));
+  Map.unmap();
+  EXPECT_FALSE(Map.mapped());
+  EXPECT_EQ(Map.size(), 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(MmapTest, EmptyFileMapsToNullSpan) {
+  // mmap(2) rejects length zero; the wrapper must still report success
+  // with an empty span so callers need no special case.
+  if (!MappedFile::available())
+    GTEST_SKIP() << "mmap not available on this platform";
+  std::string Path = ::testing::TempDir() + "/mmap_empty.bin";
+  ASSERT_TRUE(writeFileBytes(Path, {}));
+  MappedFile Map;
+  ASSERT_TRUE(Map.map(Path));
+  EXPECT_TRUE(Map.mapped());
+  EXPECT_EQ(Map.size(), 0u);
+  EXPECT_TRUE(Map.span().empty());
+  std::remove(Path.c_str());
+}
+
+TEST(MmapTest, MissingFileFailsCleanly) {
+  MappedFile Map;
+  IoError Error = Map.map(::testing::TempDir() + "/mmap_no_such_file.bin");
+  EXPECT_FALSE(Error);
+  EXPECT_FALSE(Map.mapped());
+}
+
+TEST(MmapTest, RemapReplacesPreviousMapping) {
+  if (!MappedFile::available())
+    GTEST_SKIP() << "mmap not available on this platform";
+  std::string PathA = ::testing::TempDir() + "/mmap_a.bin";
+  std::string PathB = ::testing::TempDir() + "/mmap_b.bin";
+  ASSERT_TRUE(writeFileBytes(PathA, {1, 1, 1}));
+  ASSERT_TRUE(writeFileBytes(PathB, {2, 2}));
+  MappedFile Map;
+  ASSERT_TRUE(Map.map(PathA));
+  ASSERT_TRUE(Map.map(PathB));
+  ASSERT_EQ(Map.size(), 2u);
+  EXPECT_EQ(Map.span().Data[0], 2);
+  std::remove(PathA.c_str());
+  std::remove(PathB.c_str());
+}
+
+TEST(MmapTest, MoveTransfersOwnership) {
+  if (!MappedFile::available())
+    GTEST_SKIP() << "mmap not available on this platform";
+  std::string Path = ::testing::TempDir() + "/mmap_move.bin";
+  ASSERT_TRUE(writeFileBytes(Path, {9, 8, 7}));
+  MappedFile A;
+  ASSERT_TRUE(A.map(Path));
+  MappedFile B = std::move(A);
+  EXPECT_FALSE(A.mapped());
+  ASSERT_TRUE(B.mapped());
+  ASSERT_EQ(B.size(), 3u);
+  EXPECT_EQ(B.span().Data[0], 9);
+  std::remove(Path.c_str());
+}
+
+TEST(MmapTest, InjectedFaultFailsMap) {
+  if (!MappedFile::available())
+    GTEST_SKIP() << "mmap not available on this platform";
+  std::string Path = ::testing::TempDir() + "/mmap_fault.bin";
+  ASSERT_TRUE(writeFileBytes(Path, {1, 2, 3}));
+  fault::ScopedFaultSpec Spec("io:mmap:n=1");
+  MappedFile Map;
+  EXPECT_FALSE(Map.map(Path));
+  EXPECT_FALSE(Map.mapped());
+  // The injected budget is spent; a second attempt succeeds.
+  EXPECT_TRUE(Map.map(Path));
+  std::remove(Path.c_str());
 }
 
 } // namespace

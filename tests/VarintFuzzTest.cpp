@@ -1,0 +1,211 @@
+//===- tests/VarintFuzzTest.cpp - SWAR vs scalar varint oracle ------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+//
+// Seeded fuzz/property harness pinning the SWAR varint fast path
+// (support/Varint.h) to the scalar reference it replaced. The property on
+// every input: both decoders return the same byte count, and when that
+// count is non-zero, the same value. This covers well-formed encodings,
+// truncations at every prefix length, overlong (all-continuation)
+// streams, and reads flush against the end of a heap buffer (the ASan
+// jobs turn any OOB load into a hard failure).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ByteStream.h"
+#include "support/Varint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+using namespace twpp;
+
+namespace {
+
+std::vector<uint8_t> encodeVarUint(uint64_t Value) {
+  ByteWriter Writer;
+  Writer.writeVarUint(Value);
+  return Writer.take();
+}
+
+/// Decodes with both implementations at the very end of a heap buffer so
+/// an OOB read in either trips ASan, and asserts they agree. \returns the
+/// common length (0 = both errored).
+size_t checkAgreement(const std::vector<uint8_t> &Bytes) {
+  // Copy into an exactly-sized heap buffer: the SWAR 8-byte load must
+  // prove it never touches [size, size+8).
+  std::vector<uint8_t> Exact(Bytes);
+  const uint8_t *P = Exact.data();
+  const uint8_t *End = P + Exact.size();
+
+  uint64_t ScalarValue = 0xDEAD, SwarValue = 0xBEEF;
+  size_t ScalarLen = varint::decodeVarUintScalar(P, End, ScalarValue);
+  size_t SwarLen = varint::decodeVarUintSwar(P, End, SwarValue);
+  EXPECT_EQ(ScalarLen, SwarLen);
+  if (ScalarLen != 0 && ScalarLen == SwarLen) {
+    EXPECT_EQ(ScalarValue, SwarValue);
+  }
+  return SwarLen;
+}
+
+const uint64_t BoundaryValues[] = {
+    0,
+    1,
+    0x7F,
+    0x80,
+    0x3FFF,
+    0x4000,
+    0x1FFFFF,
+    0x200000,
+    0xFFFFFFF,
+    0x10000000,
+    static_cast<uint64_t>(std::numeric_limits<int32_t>::max()),
+    static_cast<uint64_t>(std::numeric_limits<int32_t>::max()) + 1,
+    static_cast<uint64_t>(std::numeric_limits<uint32_t>::max()),
+    1ULL << 35,
+    (1ULL << 56) - 1, // largest 8-byte encoding
+    1ULL << 56,       // smallest 9-byte encoding
+    (1ULL << 63) - 1,
+    1ULL << 63,
+    std::numeric_limits<uint64_t>::max(),
+};
+
+} // namespace
+
+TEST(VarintFuzz, BoundaryValuesRoundTrip) {
+  for (uint64_t Value : BoundaryValues) {
+    std::vector<uint8_t> Bytes = encodeVarUint(Value);
+    const uint8_t *P = Bytes.data();
+    uint64_t Out = 0;
+    size_t Len = varint::decodeVarUintSwar(P, P + Bytes.size(), Out);
+    EXPECT_EQ(Len, Bytes.size()) << "value " << Value;
+    EXPECT_EQ(Out, Value);
+    checkAgreement(Bytes);
+  }
+}
+
+TEST(VarintFuzz, TruncatedPrefixesErrorIdentically) {
+  for (uint64_t Value : BoundaryValues) {
+    std::vector<uint8_t> Bytes = encodeVarUint(Value);
+    for (size_t Keep = 0; Keep < Bytes.size(); ++Keep) {
+      std::vector<uint8_t> Cut(Bytes.begin(), Bytes.begin() + Keep);
+      // A strict prefix of an encoding never contains a terminator, so
+      // both decoders must error.
+      EXPECT_EQ(checkAgreement(Cut), 0u)
+          << "value " << Value << " truncated to " << Keep << " bytes";
+    }
+  }
+}
+
+TEST(VarintFuzz, OverlongAllContinuationStreamsError) {
+  // 1..16 bytes of pure continuation (0x80): no terminator, and past 10
+  // bytes the scalar loop's shift guard fires regardless of buffer size.
+  for (size_t N = 1; N <= 16; ++N) {
+    std::vector<uint8_t> Bytes(N, 0x80);
+    EXPECT_EQ(checkAgreement(Bytes), 0u) << N << " continuation bytes";
+  }
+}
+
+TEST(VarintFuzz, TenBytePaddedEncodingsMatchScalarTruncation) {
+  // Pad a canonical encoding with 0x80 continuations and a final
+  // terminator: the scalar loop accepts up to 10 bytes (the 10th only
+  // contributing bit 0 into bit 63). Whatever it says, SWAR must agree.
+  for (uint64_t Value : BoundaryValues) {
+    std::vector<uint8_t> Bytes = encodeVarUint(Value);
+    for (size_t Pad = 1; Bytes.size() + Pad <= 12; ++Pad) {
+      std::vector<uint8_t> Long(Bytes);
+      Long.back() |= 0x80;
+      for (size_t I = 1; I < Pad; ++I)
+        Long.push_back(0x80);
+      for (uint8_t Last : {uint8_t(0x00), uint8_t(0x01), uint8_t(0x7F)}) {
+        Long.push_back(Last);
+        checkAgreement(Long);
+        Long.pop_back();
+      }
+    }
+  }
+}
+
+TEST(VarintFuzz, SeededRandomStreamsAgreeAtEveryOffset) {
+  std::mt19937_64 Rng(0x7077u); // fixed seed: reproducible corpus
+  for (int Round = 0; Round != 200; ++Round) {
+    // A stream of random varints with occasional raw garbage bytes.
+    ByteWriter Writer;
+    std::uniform_int_distribution<int> Shift(0, 63);
+    for (int I = 0; I != 32; ++I) {
+      if (Rng() % 8 == 0)
+        Writer.writeByte(static_cast<uint8_t>(Rng()));
+      else
+        Writer.writeVarUint(Rng() >> Shift(Rng));
+    }
+    std::vector<uint8_t> Stream = Writer.take();
+    // Decode at every byte offset (not just encoding boundaries) so the
+    // corpus includes misaligned and mid-encoding starts.
+    for (size_t Off = 0; Off < Stream.size(); ++Off) {
+      std::vector<uint8_t> Tail(Stream.begin() + Off, Stream.end());
+      checkAgreement(Tail);
+    }
+  }
+}
+
+TEST(VarintFuzz, SignedZigzagAgreesOnSignBoundaries) {
+  const int64_t Signed[] = {
+      0,
+      1,
+      -1,
+      63,
+      64,
+      -64,
+      -65,
+      std::numeric_limits<int32_t>::max(),
+      std::numeric_limits<int32_t>::min(),
+      static_cast<int64_t>(std::numeric_limits<int32_t>::max()) + 1,
+      std::numeric_limits<int64_t>::max(),
+      std::numeric_limits<int64_t>::min(),
+  };
+  for (int64_t Value : Signed) {
+    ByteWriter Writer;
+    Writer.writeVarInt(Value);
+    std::vector<uint8_t> Bytes = Writer.take();
+    const uint8_t *P = Bytes.data();
+    int64_t ScalarOut = 0, SwarOut = 0;
+    size_t ScalarLen =
+        varint::decodeVarIntScalar(P, P + Bytes.size(), ScalarOut);
+    size_t SwarLen = varint::decodeVarIntSwar(P, P + Bytes.size(), SwarOut);
+    EXPECT_EQ(ScalarLen, Bytes.size());
+    EXPECT_EQ(SwarLen, Bytes.size());
+    EXPECT_EQ(ScalarOut, Value);
+    EXPECT_EQ(SwarOut, Value);
+  }
+}
+
+TEST(VarintFuzz, ByteReaderMatchesScalarSemanticsOnRandomBuffers) {
+  // ByteReader::readVarUint now routes through the SWAR decoder; replay
+  // random buffers through a reader and the scalar loop in lockstep.
+  std::mt19937_64 Rng(0xC0DEu);
+  for (int Round = 0; Round != 100; ++Round) {
+    std::vector<uint8_t> Bytes(1 + Rng() % 64);
+    for (uint8_t &B : Bytes)
+      B = static_cast<uint8_t>(Rng());
+    ByteReader Reader(Bytes.data(), Bytes.size());
+    const uint8_t *P = Bytes.data();
+    const uint8_t *End = P + Bytes.size();
+    while (!Reader.atEnd() && !Reader.hasError()) {
+      uint64_t Expected = 0;
+      size_t Len = varint::decodeVarUintScalar(
+          P + Reader.position(), End, Expected);
+      uint64_t Got = Reader.readVarUint();
+      if (Len == 0) {
+        EXPECT_TRUE(Reader.hasError());
+        break;
+      }
+      EXPECT_EQ(Got, Expected);
+    }
+  }
+}

@@ -376,23 +376,36 @@ TEST_F(VerifyCorruption, BitFlippedBlockIsNamedOrDecodesDifferently) {
 
 //===----------------------------------------------------------------------===//
 // ArchiveReader::lastError() — the decode-error hardening contract.
+// Parameterized over IoMode: the named diagnostic (check id, location,
+// byte offset) must be the same whether the archive was read buffered
+// or memory-mapped.
 //===----------------------------------------------------------------------===//
 
-TEST_F(VerifyCorruption, LastErrorNamesMissingFile) {
+class VerifyCorruptionMode : public VerifyCorruption,
+                             public ::testing::WithParamInterface<IoMode> {};
+
+INSTANTIATE_TEST_SUITE_P(IoModes, VerifyCorruptionMode,
+                         ::testing::Values(IoMode::Buffered, IoMode::Mmap),
+                         [](const ::testing::TestParamInfo<IoMode> &Info) {
+                           return ioModeName(Info.param);
+                         });
+
+TEST_P(VerifyCorruptionMode, LastErrorNamesMissingFile) {
   ArchiveReader Reader;
-  ASSERT_FALSE(Reader.open(::testing::TempDir() + "/verify_missing.twpp"));
+  ASSERT_FALSE(Reader.open(::testing::TempDir() + "/verify_missing.twpp",
+                           GetParam()));
   EXPECT_EQ(Reader.lastError().CheckId, checks::ArchiveHeader);
   EXPECT_EQ(Reader.lastError().Location, "header");
   EXPECT_EQ(Reader.lastError().ByteOffset, 0u);
 }
 
-TEST_F(VerifyCorruption, LastErrorNamesBadMagicAndVersion) {
+TEST_P(VerifyCorruptionMode, LastErrorNamesBadMagicAndVersion) {
   for (size_t Byte : {size_t(0), size_t(4)}) {
     std::vector<uint8_t> Variant = *Bytes;
     Variant[Byte] ^= 0xFF;
     std::string Path = writeVariant(Variant, "hdr_" + std::to_string(Byte));
     ArchiveReader Reader;
-    ASSERT_FALSE(Reader.open(Path));
+    ASSERT_FALSE(Reader.open(Path, GetParam()));
     EXPECT_EQ(Reader.lastError().CheckId, checks::ArchiveHeader);
     EXPECT_EQ(Reader.lastError().Location, "header");
     EXPECT_EQ(Reader.lastError().ByteOffset, Byte);
@@ -400,7 +413,7 @@ TEST_F(VerifyCorruption, LastErrorNamesBadMagicAndVersion) {
   }
 }
 
-TEST_F(VerifyCorruption, LastErrorNamesIndexRowAndOffset) {
+TEST_P(VerifyCorruptionMode, LastErrorNamesIndexRowAndOffset) {
   const size_t FunctionCount = Original->Functions.size();
   size_t F = FunctionCount / 2;
   size_t Row = IndexStart + F * IndexRowSize;
@@ -408,13 +421,13 @@ TEST_F(VerifyCorruption, LastErrorNamesIndexRowAndOffset) {
   writeLe64(Variant, Row, Bytes->size() + 1000);
   std::string Path = writeVariant(Variant, "idxerr");
   ArchiveReader Reader;
-  ASSERT_FALSE(Reader.open(Path));
+  ASSERT_FALSE(Reader.open(Path, GetParam()));
   EXPECT_EQ(Reader.lastError().CheckId, checks::ArchiveIndexBounds);
   EXPECT_EQ(Reader.lastError().Location, "index row " + std::to_string(F));
   EXPECT_EQ(Reader.lastError().ByteOffset, Row);
 }
 
-TEST_F(VerifyCorruption, LastErrorNamesTruncatedBlock) {
+TEST_P(VerifyCorruptionMode, LastErrorNamesTruncatedBlock) {
   const size_t FunctionCount = Original->Functions.size();
   size_t Victim = FunctionCount;
   for (size_t F = 0; F < FunctionCount; ++F)
@@ -429,7 +442,7 @@ TEST_F(VerifyCorruption, LastErrorNamesTruncatedBlock) {
   writeLe64(Variant, Row + 8, readLe64(*Bytes, Row + 8) / 2);
   std::string Path = writeVariant(Variant, "cuterr");
   ArchiveReader Reader;
-  ASSERT_TRUE(Reader.open(Path));
+  ASSERT_TRUE(Reader.open(Path, GetParam()));
   TwppFunctionTable Table;
   ASSERT_FALSE(Reader.extractFunction(static_cast<FunctionId>(Victim), Table));
   EXPECT_EQ(Reader.lastError().CheckId, checks::ArchiveBlockDecode);
@@ -438,10 +451,10 @@ TEST_F(VerifyCorruption, LastErrorNamesTruncatedBlock) {
   EXPECT_EQ(Reader.lastError().ByteOffset, Offset);
 }
 
-TEST_F(VerifyCorruption, LastErrorNamesOutOfRangeFunction) {
+TEST_P(VerifyCorruptionMode, LastErrorNamesOutOfRangeFunction) {
   std::string Path = writeVariant(*Bytes, "rangeerr");
   ArchiveReader Reader;
-  ASSERT_TRUE(Reader.open(Path));
+  ASSERT_TRUE(Reader.open(Path, GetParam()));
   TwppFunctionTable Table;
   ASSERT_FALSE(Reader.extractFunction(
       static_cast<FunctionId>(Original->Functions.size()), Table));
@@ -450,7 +463,7 @@ TEST_F(VerifyCorruption, LastErrorNamesOutOfRangeFunction) {
   EXPECT_EQ(Reader.lastError().ByteOffset, NoByteOffset);
 }
 
-TEST_F(VerifyCorruption, LastErrorNamesUndecodableDcg) {
+TEST_P(VerifyCorruptionMode, LastErrorNamesUndecodableDcg) {
   // Find a flip the reader's own decoder rejects and assert the
   // diagnostic fields; seed 7 mirrors the robustness suite, where at
   // least half the flips are rejected.
@@ -464,7 +477,7 @@ TEST_F(VerifyCorruption, LastErrorNamesUndecodableDcg) {
     Variant[At] ^= static_cast<uint8_t>(1u << R.nextBelow(8));
     std::string Path = writeVariant(Variant, "dcgerr_" + std::to_string(Case));
     ArchiveReader Reader;
-    ASSERT_TRUE(Reader.open(Path));
+    ASSERT_TRUE(Reader.open(Path, GetParam()));
     DynamicCallGraph Dcg;
     if (Reader.readDcg(Dcg))
       continue;

@@ -47,6 +47,7 @@ int usage() {
       "  --top=N       functions to list, largest decoded first "
       "(default 10)\n"
       "  --format=FMT  output format: text (default) or json\n"
+      "  --io=MODE     archive read path: mmap (default) or buffered\n"
       "  --out FILE    write the report to FILE instead of stdout\n"
       "exit codes: 0 reconciled, 1 tracker vs deep-size audit beyond\n"
       "tolerance, 2 usage/IO error\n");
@@ -235,6 +236,11 @@ int main(int Argc, char **Argv) {
       Format = Arg.substr(9);
       if (Format != "text" && Format != "json")
         return usage();
+    } else if (Arg.rfind("--io=", 0) == 0) {
+      IoMode Mode;
+      if (!parseIoMode(Arg.substr(5), Mode))
+        return usage();
+      setDefaultArchiveIoMode(Mode);
     } else if (Arg == "--out") {
       if (++I >= Argc)
         return usage();

@@ -27,6 +27,7 @@
 
 #include "support/FileIO.h"
 #include "verify/Recover.h"
+#include "wpp/Archive.h"
 
 #include <cstdio>
 #include <string>
@@ -42,6 +43,7 @@ int usage() {
       stderr,
       "usage: twpp_recover [options] damaged.twpp recovered.twpp\n"
       "  --format=FMT    stdout report format: text (default) or json\n"
+      "  --io=MODE       archive read path: mmap (default) or buffered\n"
       "  --report=FILE   also write the JSON report to FILE\n"
       "exit codes: 0 salvaged (verifier-clean output written), 1 cannot\n"
       "salvage (report names why), 2 usage/IO error\n");
@@ -61,6 +63,11 @@ int main(int Argc, char **Argv) {
       Format = Arg.substr(9);
       if (Format != "text" && Format != "json")
         return usage();
+    } else if (Arg.rfind("--io=", 0) == 0) {
+      IoMode Mode;
+      if (!parseIoMode(Arg.substr(5), Mode))
+        return usage();
+      setDefaultArchiveIoMode(Mode);
     } else if (Arg.rfind("--report=", 0) == 0) {
       ReportPath = Arg.substr(9);
     } else if (Arg.rfind("--", 0) == 0) {

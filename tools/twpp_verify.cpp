@@ -55,6 +55,7 @@ int usage() {
       "usage: twpp_verify [options] [archive.twpp...]\n"
       "  --checks=GLOB   only run checks matching GLOB (default '*')\n"
       "  --format=FMT    output format: text (default) or json\n"
+      "  --io=MODE       archive read path: mmap (default) or buffered\n"
       "  --list-checks   print every check id with severity and summary\n"
       "  --program FILE  lower FILE (mini language) and run the IR and\n"
       "                  dataflow check families\n"
@@ -152,6 +153,11 @@ int main(int Argc, char **Argv) {
       Format = Arg.substr(9);
       if (Format != "text" && Format != "json")
         return usage();
+    } else if (Arg.rfind("--io=", 0) == 0) {
+      IoMode Mode;
+      if (!parseIoMode(Arg.substr(5), Mode))
+        return usage();
+      setDefaultArchiveIoMode(Mode);
     } else if (Arg == "--program") {
       if (++I >= Argc)
         return usage();
