@@ -18,6 +18,7 @@
 #include "obs/Memory.h"
 #include "obs/Metrics.h"
 #include "obs/Names.h"
+#include "obs/SelfProfile.h"
 #include "obs/Trace.h"
 #include "support/Parallel.h"
 #include "support/Stats.h"
@@ -38,7 +39,9 @@ namespace twpp::bench {
 /// Opt-in telemetry for the table/figure binaries. Metric collection is
 /// activated by `--metrics-out <path>` on the command line or the
 /// TWPP_METRICS_OUT environment variable; event tracing by `--trace-out
-/// <path>` or TWPP_TRACE_OUT. Inert (and free) otherwise.
+/// <path>` or TWPP_TRACE_OUT; self-profiling (the bench's own execution
+/// compacted into a TWPP archive, obs/SelfProfile.h) by the
+/// TWPP_SELF_PROFILE environment variable. Inert (and free) otherwise.
 ///
 /// Each checkpoint() emits one JSON-lines block labelled
 /// "<bench>/<label>" and resets the registry, so per-profile metric
@@ -66,6 +69,8 @@ public:
       obs::setTracingEnabled(true);
       obs::setCurrentThreadName("main");
     }
+    if (obs::maybeEnableSelfProfileFromEnv())
+      obs::setCurrentThreadName("main");
     if (active()) {
       // Memory telemetry rides along with either sink: the tracker feeds
       // the per-stage mem.tracked_* figures and the poller samples RSS
@@ -82,6 +87,13 @@ public:
   }
 
   ~BenchTelemetry() {
+    // Finish any env-driven self-profile first (no-op if the bench
+    // already finished it) so its selfprof.* metrics can land in the
+    // final export below.
+    std::string SelfError;
+    if (obs::selfProfiler() && !obs::finishSelfProfile(nullptr, &SelfError))
+      std::fprintf(stderr, "[bench] cannot write self-profile: %s\n",
+                   SelfError.c_str());
     if (active())
       obs::stopMemPoller();
     if (!TracePath.empty()) {
@@ -121,6 +133,10 @@ public:
   /// stage's own peaks rather than a run-wide high-water mark.
   void checkpoint(const std::string &Label) {
     obs::traceInstant(Label);
+    // Keep the self-profiler's buffers ahead of ring wraparound; cheap
+    // (one cursor sweep) and inert when self-profiling is off.
+    if (obs::SelfProfiler *P = obs::selfProfiler())
+      P->drain();
     if (OutPath.empty())
       return;
     obs::publishMemMetrics(obs::metrics());

@@ -1,0 +1,141 @@
+//===- bench/selfprof_overhead.cpp - Self-profiling overhead ---------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+// Measures what continuous self-profiling (obs/SelfProfile.h) costs the
+// pipeline, and what it buys: wall time per full-compaction iteration in
+// three modes — recorder off, flight recorder on, recorder plus
+// self-profile archiving — and the storage ratio between the produced
+// .twppa archive and the equivalent Chrome-trace JSON export of the same
+// execution (the ISSUE's >=10x compaction claim).
+//
+//   selfprof_overhead [--iters N] [--archive PATH] [--jobs N]
+//                     [--metrics-out FILE]
+//
+// With --metrics-out, each mode is one labelled telemetry checkpoint, so
+// the committed BENCH_metrics.json carries the selfprof.* counters the
+// twpp_metrics_diff CI leg gates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "obs/PhaseSpan.h"
+#include "obs/SelfProfile.h"
+
+using namespace twpp;
+using namespace twpp::bench;
+
+namespace {
+
+/// One full-compaction iteration over a prebuilt trace; the stages'
+/// PhaseSpans are the workload the self-profiler records.
+void runPipeline(const RawTrace &Trace, const ParallelConfig &Jobs) {
+  obs::PhaseSpan Span("selfprof_overhead");
+  PartitionedWpp Partitioned = partitionWpp(Trace);
+  DbbWpp Dbb = applyDbbCompaction(Partitioned, Jobs);
+  TwppWpp Twpp = convertToTwpp(Dbb, Jobs);
+  (void)Twpp;
+}
+
+double timeIterations(const RawTrace &Trace, const ParallelConfig &Jobs,
+                      unsigned Iters, bool DrainEachIter) {
+  Stopwatch Watch;
+  for (unsigned I = 0; I != Iters; ++I) {
+    runPipeline(Trace, Jobs);
+    if (DrainEachIter)
+      if (obs::SelfProfiler *P = obs::selfProfiler())
+        P->drain();
+  }
+  return Watch.elapsedUs() / 1000.0 / Iters;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchTelemetry Telemetry(Argc, Argv, "selfprof_overhead");
+  ParallelConfig Jobs = parseParallelConfig(Argc, Argv);
+  unsigned Iters = 5;
+  std::string ArchivePath = "selfprof_overhead.twppa";
+  for (int I = 1; I + 1 < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--iters") == 0)
+      Iters = static_cast<unsigned>(std::atoi(Argv[I + 1]));
+    else if (std::strcmp(Argv[I], "--archive") == 0)
+      ArchivePath = Argv[I + 1];
+  }
+  if (Iters == 0)
+    Iters = 1;
+
+  // One mid-size paper workload, traced once; every mode compacts the
+  // same events.
+  WorkloadProfile Profile = paperProfiles()[1];
+  std::fprintf(stderr, "[bench] building %s...\n", Profile.Name.c_str());
+  SyntheticProgram Program = generateProgram(Profile);
+  CollectingSink Sink(Profile.FunctionCount);
+  runSyntheticProgram(Program, Sink);
+  RawTrace Trace = Sink.take();
+
+  // Mode 1: recorder off — the baseline the others are judged against.
+  bool TracingBefore = obs::tracingEnabled();
+  obs::setTracingEnabled(false);
+  runPipeline(Trace, Jobs); // warm-up
+  double BaselineMs = timeIterations(Trace, Jobs, Iters, false);
+  Telemetry.checkpoint("baseline");
+
+  // Mode 2: flight recorder on, nothing consumes it.
+  obs::setTracingEnabled(true);
+  double TracedMs = timeIterations(Trace, Jobs, Iters, false);
+  Telemetry.checkpoint("traced");
+  obs::setTracingEnabled(TracingBefore);
+
+  // Mode 3: recorder plus self-profiling — incremental drains during the
+  // run, archive + sidecar written (and the Chrome-JSON equivalent
+  // measured) at finish.
+  obs::SelfProfileConfig Config;
+  Config.ArchivePath = ArchivePath;
+  Config.CompareTraceJson = true;
+  obs::enableSelfProfile(Config);
+  double SelfProfMs = timeIterations(Trace, Jobs, Iters, true);
+  obs::SelfProfileStats Stats;
+  std::string Error;
+  if (!obs::finishSelfProfile(&Stats, &Error)) {
+    std::fprintf(stderr, "[bench] self-profile failed: %s\n", Error.c_str());
+    return 1;
+  }
+  Telemetry.checkpoint("selfprof");
+
+  auto Overhead = [&](double Ms) {
+    return formatDouble((Ms / BaselineMs - 1.0) * 100.0, 1) + "%";
+  };
+  TablePrinter Table("Self-profiling overhead (full pipeline, " +
+                     Profile.Name + ", " + std::to_string(Iters) +
+                     " iters)");
+  Table.addRow({"Mode", "ms/iter", "overhead"});
+  Table.addRow({"recorder off", formatDouble(BaselineMs, 2), "-"});
+  Table.addRow({"recorder on", formatDouble(TracedMs, 2),
+                Overhead(TracedMs)});
+  Table.addRow({"recorder + self-profile", formatDouble(SelfProfMs, 2),
+                Overhead(SelfProfMs)});
+  Table.print();
+
+  double Ratio = Stats.ArchiveBytes == 0
+                     ? 0.0
+                     : static_cast<double>(Stats.TraceJsonBytes) /
+                           static_cast<double>(Stats.ArchiveBytes);
+  TablePrinter Sizes("Self-profile storage: TWPP archive vs Chrome-trace "
+                     "JSON of the same execution");
+  Sizes.addRow({"Representation", "bytes", "ratio"});
+  Sizes.addRow({"chrome-trace json",
+                std::to_string(Stats.TraceJsonBytes), "1.0x"});
+  Sizes.addRow({"twpp archive", std::to_string(Stats.ArchiveBytes),
+                formatFactor(Ratio)});
+  Sizes.print();
+  std::fprintf(stderr,
+               "[bench] selfprof: %llu spans, %llu events, %llu functions, "
+               "%llu records dropped, archive %s\n",
+               (unsigned long long)Stats.Spans,
+               (unsigned long long)Stats.Events,
+               (unsigned long long)Stats.Functions,
+               (unsigned long long)Stats.RecordsDropped, ArchivePath.c_str());
+  return 0;
+}

@@ -23,10 +23,18 @@
 //   --jobs N               Fan the function-level compaction stages out
 //                          over N worker threads (0 = one per hardware
 //                          thread). Archives are byte-identical for any N.
-//   --metrics-out <path>   Collect pipeline telemetry and write it as JSON.
+//   --metrics-out <path>   Collect pipeline telemetry and write it out.
+//   --metrics-format FMT   Format for --metrics-out: json (default) or
+//                          prom (Prometheus text exposition).
 //   --metrics-table        Print the telemetry tables to stderr on exit.
 //   --trace-out <path>     Record an event timeline and write it as Chrome
 //                          trace-event JSON (chrome://tracing / Perfetto).
+//   --self-profile <path>  Compact this run's own execution into a TWPP
+//                          archive (TWPP-on-TWPP): the flight recorder's
+//                          span stream becomes enter/exit events and the
+//                          tool writes <path> (+ <path>.meta sidecar) for
+//                          twpp_selfprof / twpp_verify. Also enabled by
+//                          the TWPP_SELF_PROFILE environment variable.
 //
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +44,7 @@
 #include "obs/Memory.h"
 #include "obs/Metrics.h"
 #include "obs/Names.h"
+#include "obs/SelfProfile.h"
 #include "obs/Trace.h"
 #include "runtime/Interpreter.h"
 #include "support/FileIO.h"
@@ -70,10 +79,16 @@ int usage() {
       "                              or buffered\n"
       "       --jobs N               parallel compaction worker threads\n"
       "                              (0 = all hardware threads)\n"
-      "       --metrics-out <path>   write pipeline telemetry as JSON\n"
+      "       --metrics-out <path>   write pipeline telemetry\n"
+      "       --metrics-format FMT   json (default) or prom (Prometheus\n"
+      "                              text exposition) for --metrics-out\n"
       "       --metrics-table        print telemetry tables to stderr\n"
       "       --trace-out <path>     write Chrome trace-event JSON "
       "timeline\n"
+      "       --self-profile <path>  compact this run's own execution\n"
+      "                              into a TWPP archive (+ .meta sidecar\n"
+      "                              for twpp_selfprof); also enabled by\n"
+      "                              the TWPP_SELF_PROFILE env variable\n"
       "durability options (trace command):\n"
       "       --journal <path>       checkpoint compactor state to a\n"
       "                              crash-recovery journal (*.twppj)\n"
@@ -329,7 +344,9 @@ int main(int Argc, char **Argv) {
   // Strip the global telemetry options before command dispatch so they
   // work in any position.
   std::string MetricsOut;
+  std::string MetricsFormat = "json";
   std::string TraceOut;
+  std::string SelfProfilePath;
   bool MetricsTable = false;
   std::vector<char *> Args;
   Args.reserve(static_cast<size_t>(Argc) + 1);
@@ -338,6 +355,18 @@ int main(int Argc, char **Argv) {
       if (I + 1 >= Argc)
         return usage();
       MetricsOut = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--metrics-format") == 0) {
+      if (I + 1 >= Argc)
+        return usage();
+      MetricsFormat = Argv[++I];
+    } else if (std::strncmp(Argv[I], "--metrics-format=", 17) == 0) {
+      MetricsFormat = Argv[I] + 17;
+    } else if (std::strcmp(Argv[I], "--self-profile") == 0) {
+      if (I + 1 >= Argc)
+        return usage();
+      SelfProfilePath = Argv[++I];
+    } else if (std::strncmp(Argv[I], "--self-profile=", 15) == 0) {
+      SelfProfilePath = Argv[I] + 15;
     } else if (std::strcmp(Argv[I], "--trace-out") == 0) {
       if (I + 1 >= Argc)
         return usage();
@@ -381,6 +410,11 @@ int main(int Argc, char **Argv) {
   int Count = static_cast<int>(Args.size()) - 1;
   if (Count < 2)
     return usage();
+  if (MetricsFormat != "json" && MetricsFormat != "prom") {
+    std::fprintf(stderr, "unknown --metrics-format %s (json or prom)\n",
+                 MetricsFormat.c_str());
+    return usage();
+  }
 
   if (!MetricsOut.empty() || MetricsTable) {
     obs::setMetricsEnabled(true);
@@ -392,6 +426,19 @@ int main(int Argc, char **Argv) {
     obs::setTracingEnabled(true);
     obs::setCurrentThreadName("main");
   }
+  // Self-profiling: compact this very run into a TWPP archive. The flag
+  // wins over the TWPP_SELF_PROFILE environment variable; either turns
+  // the flight recorder on for the SelfProfiler to consume.
+  bool SelfProfiling = false;
+  if (!SelfProfilePath.empty()) {
+    obs::SelfProfileConfig SelfCfg;
+    SelfCfg.ArchivePath = SelfProfilePath;
+    SelfProfiling = obs::enableSelfProfile(std::move(SelfCfg));
+  } else {
+    SelfProfiling = obs::maybeEnableSelfProfileFromEnv();
+  }
+  if (SelfProfiling)
+    obs::setCurrentThreadName("main");
   bool Telemetry = !MetricsOut.empty() || MetricsTable || !TraceOut.empty();
   if (Telemetry) {
     // Memory telemetry rides along with either sink: the tracker feeds
@@ -418,12 +465,36 @@ int main(int Argc, char **Argv) {
   else
     return usage();
 
+  // Finish the self-profile before exporting metrics so the selfprof.*
+  // counters it publishes land in the export.
+  if (SelfProfiling) {
+    obs::SelfProfileStats Stats;
+    std::string SelfError;
+    if (obs::finishSelfProfile(&Stats, &SelfError)) {
+      std::fprintf(stderr,
+                   "self-profile: wrote %llu spans (%llu events, %llu "
+                   "functions, %llu records dropped)\n",
+                   (unsigned long long)Stats.Spans,
+                   (unsigned long long)Stats.Events,
+                   (unsigned long long)Stats.Functions,
+                   (unsigned long long)Stats.RecordsDropped);
+    } else {
+      std::fprintf(stderr, "cannot write self-profile: %s\n",
+                   SelfError.c_str());
+      if (Exit == 0)
+        Exit = 1;
+    }
+  }
   if (Telemetry) {
     obs::stopMemPoller();
     obs::publishMemMetrics(obs::metrics());
   }
-  if (!MetricsOut.empty() &&
-      !obs::writeMetricsJsonFile(MetricsOut, obs::metrics()))
+  bool MetricsOk =
+      MetricsOut.empty() ||
+      (MetricsFormat == "prom"
+           ? obs::writeMetricsPromFile(MetricsOut, obs::metrics())
+           : obs::writeMetricsJsonFile(MetricsOut, obs::metrics()));
+  if (!MetricsOk)
     std::fprintf(stderr, "cannot write metrics to %s\n", MetricsOut.c_str());
   if (MetricsTable)
     std::fputs(obs::renderMetricsTable(obs::metrics()).c_str(), stderr);

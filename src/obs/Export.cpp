@@ -63,14 +63,19 @@ void names::registerCanonicalMetrics(MetricsRegistry &Registry) {
         DataflowCacheMisses, IoWrites, IoReads, IoAtomicWrites,
         IoWriteRetries, IoWriteFailures, IoShortReads, IoFaultsInjected,
         JournalCheckpoints, JournalCheckpointFailures, JournalBytes,
-        JournalResumes, JournalRecordsDropped, StreamDegraded})
+        JournalResumes, JournalRecordsDropped, StreamDegraded,
+        TraceDroppedEvents, SelfprofSpans, SelfprofEvents,
+        SelfprofRecordsDropped, SelfprofTruncatedSpans,
+        SelfprofUnclosedSpans, SelfprofOrphanFlows,
+        SelfprofRegistryOverflows})
     Registry.counter(Name);
   for (const char *Name : {PoolWorkers, PoolQueueDepth, PartitionBytesIn,
                            PartitionBytesOut, DbbBytesIn, DbbBytesOut,
                            TwppBytesIn, TwppBytesOut, ArchiveBytes,
                            StreamStateBytes, ArenaDecodeReservedBytes,
                            MemRssBytes, MemPeakBytes, MemTrackedLiveBytes,
-                           MemTrackedPeakBytes, MemAllocs})
+                           MemTrackedPeakBytes, MemAllocs, SelfprofFunctions,
+                           SelfprofArchiveBytes, SelfprofTraceJsonBytes})
     Registry.gauge(Name);
   Registry.histogram(PartitionTraceLength, powerOfTwoBounds(1u << 20));
   Registry.histogram(ArchiveBlockBytes, powerOfTwoBounds(1u << 24));
@@ -189,5 +194,132 @@ bool obs::writeMetricsJsonFile(const std::string &Path,
                                const MetricsRegistry &Registry) {
   std::string Json = exportMetricsJson(Registry);
   return writeFileBytes(Path, std::vector<uint8_t>(Json.begin(), Json.end()))
+      .ok();
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus text exposition
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// "partition.block_events" -> "twpp_partition_block_events". Prometheus
+/// metric names admit [a-zA-Z0-9_:] only; everything else flattens to
+/// '_' and the twpp_ prefix namespaces the scrape.
+std::string promName(const std::string &Raw) {
+  std::string Out = "twpp_";
+  for (char C : Raw) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_' || C == ':';
+    Out += Ok ? C : '_';
+  }
+  return Out;
+}
+
+/// Label-value escaping per the exposition format: backslash, double
+/// quote and line feed must be escaped; everything else passes through.
+std::string promLabelValue(const std::string &Raw) {
+  std::string Out;
+  Out.reserve(Raw.size());
+  for (char C : Raw) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string promDouble(double Value) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", Value);
+  return Buf;
+}
+
+} // namespace
+
+std::string obs::exportMetricsProm(const MetricsRegistry &Registry) {
+  std::string Out;
+  for (const auto &[Name, Value] : Registry.counterSnapshot()) {
+    std::string P = promName(Name);
+    Out += "# HELP " + P + " TWPP counter " + Name + "\n";
+    Out += "# TYPE " + P + " counter\n";
+    Out += P + " " + u64(Value) + "\n";
+  }
+  for (const auto &[Name, Value] : Registry.gaugeSnapshot()) {
+    std::string P = promName(Name);
+    Out += "# HELP " + P + " TWPP gauge " + Name + "\n";
+    Out += "# TYPE " + P + " gauge\n";
+    Out += P + " " + std::to_string(Value) + "\n";
+  }
+  for (const auto &H : Registry.histogramSnapshot()) {
+    // The native histogram convention: cumulative le-labelled buckets
+    // plus _sum and _count series.
+    std::string P = promName(H.Name);
+    Out += "# HELP " + P + " TWPP histogram " + H.Name + "\n";
+    Out += "# TYPE " + P + " histogram\n";
+    uint64_t Cumulative = 0;
+    for (size_t I = 0; I < H.Bounds.size(); ++I) {
+      Cumulative += I < H.Counts.size() ? H.Counts[I] : 0;
+      Out += P + "_bucket{le=\"" + u64(H.Bounds[I]) + "\"} " +
+             u64(Cumulative) + "\n";
+    }
+    Out += P + "_bucket{le=\"+Inf\"} " + u64(H.Samples.count()) + "\n";
+    Out += P + "_sum " +
+           promDouble(H.Samples.mean() *
+                      static_cast<double>(H.Samples.count())) +
+           "\n";
+    Out += P + "_count " + u64(H.Samples.count()) + "\n";
+  }
+  // Phase spans keyed by hierarchical path — the label-carrying series
+  // (and the reason label escaping exists: paths are free-form text).
+  bool SpanHeader = false;
+  for (const auto &S : Registry.spanSnapshot()) {
+    if (!SpanHeader) {
+      Out += "# HELP twpp_span_count Completed phase spans per path\n";
+      Out += "# TYPE twpp_span_count counter\n";
+      SpanHeader = true;
+    }
+    Out += "twpp_span_count{path=\"" + promLabelValue(S.Path) + "\"} " +
+           u64(S.Stats.Count) + "\n";
+  }
+  SpanHeader = false;
+  for (const auto &S : Registry.spanSnapshot()) {
+    if (!SpanHeader) {
+      Out += "# HELP twpp_span_total_us Wall time per span path, "
+             "children included\n";
+      Out += "# TYPE twpp_span_total_us counter\n";
+      SpanHeader = true;
+    }
+    Out += "twpp_span_total_us{path=\"" + promLabelValue(S.Path) + "\"} " +
+           promDouble(S.Stats.TotalUs) + "\n";
+  }
+  SpanHeader = false;
+  for (const auto &S : Registry.spanSnapshot()) {
+    if (!SpanHeader) {
+      Out += "# HELP twpp_span_self_us Wall time per span path, "
+             "children excluded\n";
+      Out += "# TYPE twpp_span_self_us counter\n";
+      SpanHeader = true;
+    }
+    Out += "twpp_span_self_us{path=\"" + promLabelValue(S.Path) + "\"} " +
+           promDouble(S.Stats.SelfUs) + "\n";
+  }
+  return Out;
+}
+
+bool obs::writeMetricsPromFile(const std::string &Path,
+                               const MetricsRegistry &Registry) {
+  std::string Text = exportMetricsProm(Registry);
+  return writeFileBytes(Path, std::vector<uint8_t>(Text.begin(), Text.end()))
       .ok();
 }

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Two views of a MetricsRegistry snapshot:
+/// Three views of a MetricsRegistry snapshot:
 ///
 ///  * renderMetricsTable — human-readable tables (support/TablePrinter),
 ///    printed by `twpp_tool ... --metrics-table` and test diagnostics.
@@ -13,6 +13,8 @@
 ///    The single-object export backs `twpp_tool --metrics-out`; the
 ///    line-per-record form is what the BENCH_*.json perf trajectory files
 ///    accumulate (one labeled record per metric per bench checkpoint).
+///  * exportMetricsProm — Prometheus text exposition
+///    (`twpp_tool --metrics-format=prom`), for scrape endpoints.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +42,18 @@ std::string exportMetricsJsonLines(const MetricsRegistry &Registry,
 /// Writes exportMetricsJson(\p Registry) to \p Path. \returns true on
 /// success.
 bool writeMetricsJsonFile(const std::string &Path,
+                          const MetricsRegistry &Registry);
+
+/// Prometheus text-exposition form (`--metrics-format=prom`), groundwork
+/// for the archive-daemon's scrape endpoint: counters/gauges map to
+/// twpp_-prefixed series, histograms to the cumulative le-bucket
+/// convention, and phase spans to path-labelled series with label values
+/// escaped per the exposition spec.
+std::string exportMetricsProm(const MetricsRegistry &Registry);
+
+/// Writes exportMetricsProm(\p Registry) to \p Path. \returns true on
+/// success.
+bool writeMetricsPromFile(const std::string &Path,
                           const MetricsRegistry &Registry);
 
 } // namespace twpp::obs

@@ -106,6 +106,30 @@ inline constexpr const char *ArchiveMmapFallbacks = "archive.mmap_fallbacks";
 inline constexpr const char *ArenaDecodeReservedBytes =
     "arena.decode_reserved_bytes";
 
+// obs/Trace — the event-tracing flight recorder. Ring overwrites are
+// published live (satisfying "is the ring big enough?" without exporting
+// a trace); the same figure appears per-thread in the Chrome export's
+// otherData.dropped_events.
+inline constexpr const char *TraceDroppedEvents = "trace.dropped_events";
+
+// obs/SelfProfile — continuous self-profiling: the pipeline's own span
+// stream compacted into a TWPP archive ("TWPP-on-TWPP").
+inline constexpr const char *SelfprofSpans = "selfprof.spans";
+inline constexpr const char *SelfprofEvents = "selfprof.events";
+inline constexpr const char *SelfprofRecordsDropped =
+    "selfprof.records_dropped";
+inline constexpr const char *SelfprofTruncatedSpans =
+    "selfprof.truncated_spans";
+inline constexpr const char *SelfprofUnclosedSpans =
+    "selfprof.unclosed_spans";
+inline constexpr const char *SelfprofOrphanFlows = "selfprof.orphan_flows";
+inline constexpr const char *SelfprofRegistryOverflows =
+    "selfprof.registry_overflows";
+inline constexpr const char *SelfprofFunctions = "selfprof.functions";
+inline constexpr const char *SelfprofArchiveBytes = "selfprof.archive_bytes";
+inline constexpr const char *SelfprofTraceJsonBytes =
+    "selfprof.trace_json_bytes";
+
 // verify/ — static invariant verification (TWPP_VERIFY post-stage
 // assertions and the twpp_verify CLI).
 inline constexpr const char *VerifyRuns = "verify.runs";

@@ -1,0 +1,541 @@
+//===- obs/SelfProfile.cpp - Continuous self-profiling --------------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/SelfProfile.h"
+
+#include "obs/Metrics.h"
+#include "obs/Names.h"
+#include "support/FileIO.h"
+#include "wpp/Archive.h"
+#include "wpp/Streaming.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+using namespace twpp;
+using namespace twpp::obs;
+
+//===----------------------------------------------------------------------===//
+// Gap buckets
+//===----------------------------------------------------------------------===//
+
+uint32_t selfprof::gapBucketOf(uint64_t Ns) {
+  // Below 4ns the mantissa scheme has no room; those buckets are exact.
+  if (Ns < 4)
+    return static_cast<uint32_t>(Ns);
+  uint32_t Exp = 63 - static_cast<uint32_t>(std::countl_zero(Ns));
+  uint32_t Mant = static_cast<uint32_t>((Ns >> (Exp - 2)) & 3);
+  return Exp * 4 + Mant;
+}
+
+uint64_t selfprof::gapBucketRepresentativeNs(uint32_t Bucket) {
+  if (Bucket < 4)
+    return Bucket;
+  uint32_t Exp = Bucket / 4;
+  uint32_t Mant = Bucket % 4;
+  uint64_t Low = (uint64_t(4 + Mant)) << (Exp - 2);
+  uint64_t Width = uint64_t(1) << (Exp - 2);
+  return Low + Width / 2;
+}
+
+//===----------------------------------------------------------------------===//
+// Adaptation: flight-recorder records -> well-nested Enter/Block/Exit
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One span instance reconstructed from a B/E pair. Name aliases the
+/// source TraceRecord's inline buffer (the caller's vectors outlive the
+/// adaptation), so building the forest allocates only the nodes.
+struct SpanNode {
+  std::string_view Name;
+  uint64_t BeginNs = 0;
+  uint64_t EndNs = 0;
+  size_t Tid = 0;
+  std::vector<SpanNode *> Children;
+  std::vector<uint64_t> FlowFinishes;
+  bool Detached = false;
+};
+
+void sortChildrenByBegin(SpanNode *N) {
+  // Same-thread children are already in begin order; grafted worker
+  // roots were appended and need merging in.
+  std::stable_sort(N->Children.begin(), N->Children.end(),
+                   [](const SpanNode *A, const SpanNode *B) {
+                     return A->BeginNs < B->BeginNs;
+                   });
+  for (SpanNode *C : N->Children)
+    sortChildrenByBegin(C);
+}
+
+class Lowerer {
+public:
+  Lowerer(RawTrace &Trace, SpanRegistry &Registry, uint64_t MinGapNs,
+          SelfProfileStats &Stats)
+      : Trace(Trace), Registry(Registry), MinGapNs(MinGapNs), Stats(Stats) {}
+
+  void emitSpan(const SpanNode *N, const std::string &ParentPath) {
+    std::string Path;
+    if (N->Detached)
+      Path = "(detached)/" + std::string(N->Name);
+    else if (ParentPath.empty())
+      Path = std::string(N->Name);
+    else
+      Path = ParentPath + "/" + std::string(N->Name);
+    FunctionId F = Registry.intern(Path);
+    ++Stats.Spans;
+    Trace.Events.push_back(TraceEvent::enter(F));
+    Trace.Events.push_back(TraceEvent::block(selfprof::CallMarkerBlock));
+    uint64_t Cursor = N->BeginNs;
+    for (const SpanNode *C : N->Children) {
+      emitGap(C->BeginNs > Cursor ? C->BeginNs - Cursor : 0);
+      emitSpan(C, Path);
+      Cursor = std::max(Cursor, C->EndNs);
+    }
+    emitGap(N->EndNs > Cursor ? N->EndNs - Cursor : 0);
+    Trace.Events.push_back(TraceEvent::exit());
+  }
+
+  const std::map<BlockId, uint64_t> &usedGapBlocks() const {
+    return UsedGaps;
+  }
+
+private:
+  void emitGap(uint64_t Ns) {
+    if (Ns == 0 || Ns < MinGapNs)
+      return;
+    uint32_t Bucket = selfprof::gapBucketOf(Ns);
+    BlockId B = selfprof::FirstGapBlock + Bucket;
+    UsedGaps.emplace(B, selfprof::gapBucketRepresentativeNs(Bucket));
+    Trace.Events.push_back(TraceEvent::block(B));
+  }
+
+  RawTrace &Trace;
+  SpanRegistry &Registry;
+  uint64_t MinGapNs;
+  SelfProfileStats &Stats;
+  std::map<BlockId, uint64_t> UsedGaps;
+};
+
+} // namespace
+
+SpanEventStream
+twpp::obs::adaptSpanRecords(const std::vector<std::vector<TraceRecord>> &PerThread,
+                            SpanRegistry &Registry, uint64_t MinGapNs) {
+  SpanEventStream Out;
+  uint64_t OverflowsBefore = Registry.overflowCount();
+
+  // Pass 1: rebuild each thread's span forest from its B/E stream,
+  // collecting flow-arrow endpoints as we go. Ring truncation shows up
+  // as orphan E records (opening B overwritten — drop, count) and as
+  // still-open B records at the end (synthesize the close, count).
+  std::deque<SpanNode> Pool;
+  std::vector<std::vector<SpanNode *>> RootsPerTid(PerThread.size());
+  std::unordered_map<uint64_t, SpanNode *> FlowOrigin;
+  for (size_t Tid = 0; Tid != PerThread.size(); ++Tid) {
+    std::vector<SpanNode *> Stack;
+    uint64_t LastTs = 0;
+    for (const TraceRecord &R : PerThread[Tid]) {
+      LastTs = std::max(LastTs, R.TsNs);
+      switch (R.K) {
+      case TraceRecord::Kind::Begin: {
+        SpanNode &N = Pool.emplace_back();
+        N.Name = std::string_view(R.Name);
+        N.BeginNs = R.TsNs;
+        N.Tid = Tid;
+        if (Stack.empty())
+          RootsPerTid[Tid].push_back(&N);
+        else
+          Stack.back()->Children.push_back(&N);
+        Stack.push_back(&N);
+        break;
+      }
+      case TraceRecord::Kind::End:
+        if (Stack.empty()) {
+          ++Out.Stats.TruncatedSpans;
+          break;
+        }
+        Stack.back()->EndNs = std::max(R.TsNs, Stack.back()->BeginNs);
+        Stack.pop_back();
+        break;
+      case TraceRecord::Kind::FlowStart:
+        if (!Stack.empty() && R.FlowId != 0)
+          FlowOrigin.emplace(R.FlowId, Stack.back());
+        break;
+      case TraceRecord::Kind::FlowFinish:
+        if (!Stack.empty() && R.FlowId != 0)
+          Stack.back()->FlowFinishes.push_back(R.FlowId);
+        break;
+      case TraceRecord::Kind::Instant:
+      case TraceRecord::Kind::Counter:
+        break;
+      }
+    }
+    for (SpanNode *N : Stack) {
+      N->EndNs = std::max(LastTs, N->BeginNs);
+      ++Out.Stats.UnclosedSpans;
+    }
+  }
+
+  // Pass 2: graft worker-side roots under the span that enqueued them
+  // (the flow arrow's origin), reproducing PhaseSpan::ScopedRoot's
+  // "compact/dbb/pool" attribution from the trace alone. A root is a
+  // pool-task slice iff it recorded a flow finish — thread indices are
+  // ring-creation order, not "main first" (a metrics poller thread can
+  // claim tid 0), so the stream itself is the only reliable signal.
+  // Slices with no matching origin keep their stream under a
+  // "(detached)" pseudo-stage instead of being lost; the cross-thread
+  // requirement on the origin keeps a same-thread flow record from
+  // grafting a root into its own subtree.
+  std::vector<SpanNode *> FinalRoots;
+  for (size_t Tid = 0; Tid != RootsPerTid.size(); ++Tid) {
+    for (SpanNode *R : RootsPerTid[Tid]) {
+      SpanNode *Parent = nullptr;
+      for (uint64_t Flow : R->FlowFinishes) {
+        auto It = FlowOrigin.find(Flow);
+        if (It != FlowOrigin.end() && It->second != R &&
+            It->second->Tid != R->Tid) {
+          Parent = It->second;
+          break;
+        }
+      }
+      if (Parent) {
+        Parent->Children.push_back(R);
+      } else if (!R->FlowFinishes.empty()) {
+        R->Detached = true;
+        ++Out.Stats.OrphanFlows;
+        FinalRoots.push_back(R);
+      } else {
+        FinalRoots.push_back(R);
+      }
+    }
+  }
+  std::stable_sort(FinalRoots.begin(), FinalRoots.end(),
+                   [](const SpanNode *A, const SpanNode *B) {
+                     return A->BeginNs < B->BeginNs;
+                   });
+  for (SpanNode *R : FinalRoots)
+    sortChildrenByBegin(R);
+
+  // Pass 3: DFS-linearize. The result is well-nested by construction —
+  // timestamps only drive the gap blocks, so clock skew between threads
+  // can never unbalance the stream.
+  Lowerer L(Out.Trace, Registry, MinGapNs, Out.Stats);
+  for (const SpanNode *R : FinalRoots)
+    L.emitSpan(R, std::string());
+
+  // A flow cycle (only possible from corrupted records) would leave
+  // nodes unreachable from every root; account them as truncation
+  // rather than silently shrinking the profile.
+  if (Out.Stats.Spans < Pool.size())
+    Out.Stats.TruncatedSpans += Pool.size() - Out.Stats.Spans;
+
+  Out.Trace.FunctionCount = Registry.size();
+  Out.FunctionPaths = Registry.paths();
+  Out.GapBlocks.assign(L.usedGapBlocks().begin(), L.usedGapBlocks().end());
+  Out.Stats.Events = Out.Trace.Events.size();
+  Out.Stats.Functions = Registry.size();
+  Out.Stats.RegistryOverflows = Registry.overflowCount() - OverflowsBefore;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// SelfProfiler
+//===----------------------------------------------------------------------===//
+
+SelfProfiler::SelfProfiler(SelfProfileConfig C) : Config(std::move(C)) {
+  if (Config.MetaPath.empty())
+    Config.MetaPath = Config.ArchivePath + ".meta";
+  TracingWasOn = tracingEnabled();
+  setTracingEnabled(true);
+}
+
+SelfProfiler::~SelfProfiler() {
+  if (!Finished)
+    setTracingEnabled(TracingWasOn);
+}
+
+void SelfProfiler::drain() {
+  for (const TraceRecorder::RingRef &R : traceRecorder().rings()) {
+    if (R.Tid >= Cursors.size()) {
+      Cursors.resize(R.Tid + 1);
+      Buffered.resize(R.Tid + 1);
+    }
+    RingCursor &C = Cursors[R.Tid];
+    C.Ring = R.Ring;
+    uint64_t Lost = 0;
+    std::vector<TraceRecord> Records = R.Ring->drainFrom(C.Cursor, Lost);
+    LostRecords += Lost;
+    for (TraceRecord &Rec : Records) {
+      if (BufferedCount >= Config.MaxBufferedRecords) {
+        ++LostRecords;
+        continue;
+      }
+      Buffered[R.Tid].push_back(Rec);
+      ++BufferedCount;
+    }
+  }
+}
+
+size_t SelfProfiler::bufferedRecords() const { return BufferedCount; }
+
+bool SelfProfiler::finish(SelfProfileStats &Stats, std::string *Error) {
+  if (Finished) {
+    if (Error)
+      *Error = "self-profiler already finished";
+    return false;
+  }
+  Finished = true;
+  // Stop recording before the final drain so the rings go quiescent;
+  // restore the caller's tracing preference on the way out.
+  setTracingEnabled(false);
+
+  uint64_t JsonBytes = 0;
+  if (Config.CompareTraceJson)
+    JsonBytes = exportTraceJson(traceRecorder()).size();
+  drain();
+
+  SpanRegistry Registry(Config.RegistryCapacity);
+  SpanEventStream Stream =
+      adaptSpanRecords(Buffered, Registry, Config.MinGapNs);
+  Stream.Stats.RecordsDropped = LostRecords;
+  Stream.Stats.TraceJsonBytes = JsonBytes;
+
+  // Feed the lowered stream through a dedicated streaming compactor —
+  // the same ingest path (journal, memory budget included) any traced
+  // program uses, which is the point of the dogfood.
+  StreamingConfig SC;
+  SC.CheckpointInterval = Config.CheckpointInterval;
+  SC.JournalPath = Config.JournalPath;
+  SC.MemoryBudgetBytes = Config.MemoryBudgetBytes;
+  StreamingCompactor Compactor(Stream.Trace.FunctionCount, SC);
+  for (const TraceEvent &E : Stream.Trace.Events) {
+    switch (E.EventKind) {
+    case TraceEvent::Kind::Enter:
+      Compactor.onEnter(E.Id);
+      break;
+    case TraceEvent::Kind::Block:
+      Compactor.onBlock(E.Id);
+      break;
+    case TraceEvent::Kind::Exit:
+      Compactor.onExit();
+      break;
+    }
+  }
+  TwppWpp Wpp = Compactor.takeCompacted();
+
+  bool Ok = true;
+  IoError IoErr;
+  if (!writeArchiveFile(Config.ArchivePath, Wpp, {}, &IoErr)) {
+    Ok = false;
+    if (Error)
+      *Error = IoErr.message();
+  }
+  Stream.Stats.ArchiveBytes = fileSize(Config.ArchivePath).value_or(0);
+
+  if (Ok) {
+    SelfProfileMeta Meta;
+    Meta.MinGapNs = Config.MinGapNs;
+    Meta.FunctionPaths = Stream.FunctionPaths;
+    Meta.GapBlocks = Stream.GapBlocks;
+    Meta.Stats = Stream.Stats;
+    std::string Text = encodeSelfProfileMeta(Meta);
+    std::vector<uint8_t> Bytes(Text.begin(), Text.end());
+    IoError MetaErr = writeFileBytesAtomic(Config.MetaPath, Bytes);
+    if (!MetaErr.ok()) {
+      Ok = false;
+      if (Error)
+        *Error = MetaErr.message();
+    }
+  }
+
+  // Publish the run's accounting as live metrics (no-ops while metric
+  // collection is off, like every other instrumentation site).
+  MetricsRegistry &M = metrics();
+  M.counter(names::SelfprofSpans).add(Stream.Stats.Spans);
+  M.counter(names::SelfprofEvents).add(Stream.Stats.Events);
+  M.counter(names::SelfprofRecordsDropped).add(Stream.Stats.RecordsDropped);
+  M.counter(names::SelfprofTruncatedSpans).add(Stream.Stats.TruncatedSpans);
+  M.counter(names::SelfprofUnclosedSpans).add(Stream.Stats.UnclosedSpans);
+  M.counter(names::SelfprofOrphanFlows).add(Stream.Stats.OrphanFlows);
+  M.counter(names::SelfprofRegistryOverflows)
+      .add(Stream.Stats.RegistryOverflows);
+  M.gauge(names::SelfprofFunctions)
+      .set(static_cast<int64_t>(Stream.Stats.Functions));
+  M.gauge(names::SelfprofArchiveBytes)
+      .set(static_cast<int64_t>(Stream.Stats.ArchiveBytes));
+  M.gauge(names::SelfprofTraceJsonBytes)
+      .set(static_cast<int64_t>(Stream.Stats.TraceJsonBytes));
+
+  Stats = Stream.Stats;
+  setTracingEnabled(TracingWasOn);
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Process-global profiler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::mutex &globalProfilerMutex() {
+  static std::mutex M;
+  return M;
+}
+
+std::unique_ptr<SelfProfiler> &globalProfiler() {
+  static std::unique_ptr<SelfProfiler> P;
+  return P;
+}
+
+} // namespace
+
+SelfProfiler *twpp::obs::selfProfiler() {
+  std::lock_guard<std::mutex> Lock(globalProfilerMutex());
+  return globalProfiler().get();
+}
+
+bool twpp::obs::enableSelfProfile(SelfProfileConfig Config) {
+  std::lock_guard<std::mutex> Lock(globalProfilerMutex());
+  if (globalProfiler())
+    return false;
+  globalProfiler() = std::make_unique<SelfProfiler>(std::move(Config));
+  return true;
+}
+
+bool twpp::obs::maybeEnableSelfProfileFromEnv() {
+  const char *Env = std::getenv("TWPP_SELF_PROFILE");
+  if (Env && Env[0] != '\0') {
+    SelfProfileConfig Config;
+    Config.ArchivePath = Env;
+    enableSelfProfile(std::move(Config));
+  }
+  return selfProfiler() != nullptr;
+}
+
+bool twpp::obs::finishSelfProfile(SelfProfileStats *Stats,
+                                  std::string *Error) {
+  std::unique_ptr<SelfProfiler> P;
+  {
+    std::lock_guard<std::mutex> Lock(globalProfilerMutex());
+    P = std::move(globalProfiler());
+  }
+  if (!P)
+    return true;
+  SelfProfileStats Local;
+  bool Ok = P->finish(Local, Error);
+  if (Stats)
+    *Stats = Local;
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Sidecar
+//===----------------------------------------------------------------------===//
+
+std::string twpp::obs::encodeSelfProfileMeta(const SelfProfileMeta &Meta) {
+  std::ostringstream Out;
+  Out << "twpp-selfprof-meta-v1\n";
+  Out << "mingap " << Meta.MinGapNs << "\n";
+  for (size_t I = 0; I != Meta.FunctionPaths.size(); ++I)
+    Out << "fn " << I << " " << Meta.FunctionPaths[I] << "\n";
+  for (const auto &[Block, Ns] : Meta.GapBlocks)
+    Out << "blk " << Block << " " << Ns << "\n";
+  const SelfProfileStats &S = Meta.Stats;
+  Out << "stat spans " << S.Spans << "\n";
+  Out << "stat events " << S.Events << "\n";
+  Out << "stat records_dropped " << S.RecordsDropped << "\n";
+  Out << "stat truncated_spans " << S.TruncatedSpans << "\n";
+  Out << "stat unclosed_spans " << S.UnclosedSpans << "\n";
+  Out << "stat orphan_flows " << S.OrphanFlows << "\n";
+  Out << "stat registry_overflows " << S.RegistryOverflows << "\n";
+  Out << "stat functions " << S.Functions << "\n";
+  Out << "stat archive_bytes " << S.ArchiveBytes << "\n";
+  Out << "stat trace_json_bytes " << S.TraceJsonBytes << "\n";
+  return Out.str();
+}
+
+bool twpp::obs::decodeSelfProfileMeta(const std::string &Text,
+                                      SelfProfileMeta &Meta) {
+  std::istringstream In(Text);
+  std::string Line;
+  if (!std::getline(In, Line) || Line != "twpp-selfprof-meta-v1")
+    return false;
+  SelfProfileMeta Out;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::istringstream L(Line);
+    std::string Tag;
+    L >> Tag;
+    if (Tag == "mingap") {
+      if (!(L >> Out.MinGapNs))
+        return false;
+    } else if (Tag == "fn") {
+      uint64_t Id = 0;
+      if (!(L >> Id))
+        return false;
+      std::string Path;
+      std::getline(L, Path);
+      if (!Path.empty() && Path.front() == ' ')
+        Path.erase(Path.begin());
+      if (Id >= Out.FunctionPaths.size())
+        Out.FunctionPaths.resize(Id + 1);
+      Out.FunctionPaths[Id] = Path;
+    } else if (Tag == "blk") {
+      BlockId Block = 0;
+      uint64_t Ns = 0;
+      if (!(L >> Block >> Ns))
+        return false;
+      Out.GapBlocks.emplace_back(Block, Ns);
+    } else if (Tag == "stat") {
+      std::string Name;
+      uint64_t Value = 0;
+      if (!(L >> Name >> Value))
+        return false;
+      SelfProfileStats &S = Out.Stats;
+      if (Name == "spans")
+        S.Spans = Value;
+      else if (Name == "events")
+        S.Events = Value;
+      else if (Name == "records_dropped")
+        S.RecordsDropped = Value;
+      else if (Name == "truncated_spans")
+        S.TruncatedSpans = Value;
+      else if (Name == "unclosed_spans")
+        S.UnclosedSpans = Value;
+      else if (Name == "orphan_flows")
+        S.OrphanFlows = Value;
+      else if (Name == "registry_overflows")
+        S.RegistryOverflows = Value;
+      else if (Name == "functions")
+        S.Functions = Value;
+      else if (Name == "archive_bytes")
+        S.ArchiveBytes = Value;
+      else if (Name == "trace_json_bytes")
+        S.TraceJsonBytes = Value;
+      // Unknown stats are ignored: forward compatibility.
+    } else {
+      return false; // Unknown tag: not ours.
+    }
+  }
+  Meta = std::move(Out);
+  return true;
+}
+
+bool twpp::obs::readSelfProfileMetaFile(const std::string &Path,
+                                        SelfProfileMeta &Meta) {
+  std::vector<uint8_t> Bytes;
+  if (!readFileBytes(Path, Bytes).ok())
+    return false;
+  return decodeSelfProfileMeta(std::string(Bytes.begin(), Bytes.end()), Meta);
+}

@@ -1,0 +1,228 @@
+//===- obs/SelfProfile.h - Continuous self-profiling ------------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TWPP-on-TWPP: compact the pipeline's own execution into a TWPP
+/// archive. The flight recorder (obs/Trace.h) already captures every
+/// PhaseSpan as B/E records in per-thread rings; this adapter consumes
+/// those rings directly — never through the Chrome-JSON export — and
+/// lowers the span stream into the ordinary trace::Events model:
+///
+///   * each distinct span path ("compact/dbb/pool") becomes one
+///     FunctionId, interned in a lock-free SpanRegistry;
+///   * each span instance becomes an Enter..Exit pair;
+///   * wall time becomes Block events: block 1 is a call marker emitted
+///     at every span begin, and the idle gaps between a span's children
+///     (its exclusive time) become one block per gap whose id names a
+///     log2 duration bucket (2 mantissa bits, <=~19% quantization).
+///
+/// The lowered stream feeds a dedicated StreamingCompactor (journal +
+/// memory budget apply, like any other ingest) and is written as a
+/// standard, verifier-clean .twppa archive, plus a small plain-text
+/// sidecar (<archive>.meta) mapping FunctionIds back to span paths and
+/// gap blocks back to representative nanoseconds — everything
+/// tools/twpp_selfprof needs to report hottest paths per pipeline stage
+/// and inclusive/exclusive time, purely from the archive.
+///
+/// Cross-thread sequencing reuses the pool's flow arrows: a worker-side
+/// root span containing traceFlowFinish(id) is grafted under the span
+/// that recorded traceFlowStart(id) on the enqueuing thread, so the
+/// per-worker streams merge into one well-nested order (mirroring
+/// PhaseSpan::ScopedRoot's aggregation paths). Ring wraparound, torn
+/// reads, unmatched flows and registry overflow all degrade into
+/// counters (selfprof.*), never into a malformed event stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_OBS_SELFPROFILE_H
+#define TWPP_OBS_SELFPROFILE_H
+
+#include "obs/SpanRegistry.h"
+#include "obs/Trace.h"
+#include "trace/Events.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace twpp::obs {
+
+/// Lowering constants shared by the adapter, the sidecar and the
+/// twpp_selfprof reporter.
+namespace selfprof {
+
+/// Block id emitted at every span begin. Guarantees every call's path
+/// trace is non-empty even when the span ran shorter than MinGapNs.
+inline constexpr BlockId CallMarkerBlock = 1;
+
+/// First block id available for gap-duration buckets.
+inline constexpr BlockId FirstGapBlock = 2;
+
+/// Log2 bucket with 2 mantissa bits for \p Ns (>= 4). Monotonic in Ns;
+/// at most ~19% relative quantization error at bucket edges.
+uint32_t gapBucketOf(uint64_t Ns);
+
+/// Representative nanoseconds of \p Bucket (the bucket range midpoint) —
+/// what the reporter multiplies use counts by.
+uint64_t gapBucketRepresentativeNs(uint32_t Bucket);
+
+} // namespace selfprof
+
+/// Accounting of one adaptation / one profiling run. Mirrors the
+/// selfprof.* metric names (obs/Names.h).
+struct SelfProfileStats {
+  uint64_t Spans = 0;          ///< Span instances lowered (Enter events).
+  uint64_t Events = 0;         ///< Total Enter+Block+Exit events emitted.
+  uint64_t RecordsDropped = 0; ///< Ring records lost to wraparound/tearing.
+  uint64_t TruncatedSpans = 0; ///< Orphan E records (B overwritten) dropped.
+  uint64_t UnclosedSpans = 0;  ///< B records synthesized closed at drain.
+  uint64_t OrphanFlows = 0;    ///< Worker roots with no matching FlowStart.
+  uint64_t RegistryOverflows = 0; ///< Paths collapsed onto "(overflow)".
+  uint64_t Functions = 0;      ///< Distinct span paths (FunctionCount).
+  uint64_t ArchiveBytes = 0;   ///< Bytes of the written .twppa.
+  uint64_t TraceJsonBytes = 0; ///< Equivalent Chrome-JSON bytes (optional).
+};
+
+/// The pure adaptation result: a well-nested RawTrace plus the maps the
+/// sidecar persists. Exposed (rather than buried in SelfProfiler) so the
+/// tests can drive scripted record streams through the exact production
+/// lowering.
+struct SpanEventStream {
+  RawTrace Trace;
+  /// Span path per FunctionId (index 0 is "(overflow)").
+  std::vector<std::string> FunctionPaths;
+  /// (gap block id, representative ns) for every gap bucket the stream
+  /// used, sorted by block id.
+  std::vector<std::pair<BlockId, uint64_t>> GapBlocks;
+  SelfProfileStats Stats;
+};
+
+/// Lowers per-thread flight-recorder records (index = tid; tid 0 is the
+/// main thread) into one well-nested Enter/Block/Exit stream. Only
+/// Begin/End/FlowStart/FlowFinish records participate; Instant/Counter
+/// records are skipped. Gaps shorter than \p MinGapNs are not encoded.
+/// The result's Trace always satisfies RawTrace::isWellFormed().
+SpanEventStream
+adaptSpanRecords(const std::vector<std::vector<TraceRecord>> &PerThread,
+                 SpanRegistry &Registry, uint64_t MinGapNs);
+
+/// Configuration of a profiling run.
+struct SelfProfileConfig {
+  /// Output archive path (.twppa). Required.
+  std::string ArchivePath;
+  /// Sidecar path; empty means ArchivePath + ".meta".
+  std::string MetaPath;
+  /// Streaming-compactor durability knobs (wpp/Streaming.h). Empty /
+  /// zero disables journaling and the memory budget.
+  std::string JournalPath;
+  uint64_t CheckpointInterval = 0;
+  uint64_t MemoryBudgetBytes = 0;
+  /// Inter-child gaps shorter than this are attributed to quantization
+  /// loss instead of emitting a block.
+  uint64_t MinGapNs = 1024;
+  /// Cap on raw records buffered between drains, across all threads;
+  /// overflow is dropped and counted in RecordsDropped.
+  size_t MaxBufferedRecords = size_t(1) << 22;
+  /// Span-path registry capacity (distinct paths).
+  size_t RegistryCapacity = 1 << 12;
+  /// Also measure the equivalent Chrome-trace JSON export's size into
+  /// Stats.TraceJsonBytes (the compaction-ratio comparison).
+  bool CompareTraceJson = false;
+};
+
+/// One continuous profiling run: enable tracing, drain the rings
+/// incrementally, and on finish() lower + compact + write the archive.
+/// drain() may be called from any one thread at a time (the profiler is
+/// externally synchronized); recording threads are never blocked.
+class SelfProfiler {
+public:
+  explicit SelfProfiler(SelfProfileConfig Config);
+  ~SelfProfiler();
+
+  SelfProfiler(const SelfProfiler &) = delete;
+  SelfProfiler &operator=(const SelfProfiler &) = delete;
+
+  const SelfProfileConfig &config() const { return Config; }
+
+  /// Pulls new records out of every ring since the previous drain. Cheap
+  /// (memcpy of the new window); call between pipeline stages or from
+  /// bench checkpoints so long runs outlive the rings' capacity.
+  void drain();
+
+  /// Final drain + lowering + streaming compaction + archive/sidecar
+  /// write + metric publication. Stops tracing first so the rings are
+  /// quiescent. \returns false (with \p Error filled) when the archive
+  /// or sidecar cannot be written; the stats are valid either way.
+  bool finish(SelfProfileStats &Stats, std::string *Error = nullptr);
+
+  /// Records buffered so far (across threads), for tests.
+  size_t bufferedRecords() const;
+
+private:
+  struct RingCursor {
+    TraceRing *Ring = nullptr;
+    uint64_t Cursor = 0;
+  };
+
+  SelfProfileConfig Config;
+  std::vector<RingCursor> Cursors;             ///< Indexed by tid.
+  std::vector<std::vector<TraceRecord>> Buffered; ///< Indexed by tid.
+  size_t BufferedCount = 0;
+  uint64_t LostRecords = 0;
+  bool TracingWasOn = false;
+  bool Finished = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Process-global profiler — what --self-profile / TWPP_SELF_PROFILE turn
+// on. One profiler per process; enable is idempotent per path.
+//===----------------------------------------------------------------------===//
+
+/// The active profiler, or nullptr when self-profiling is off.
+SelfProfiler *selfProfiler();
+
+/// Installs a process-global profiler and turns tracing on. \returns
+/// false when one is already active (the existing run wins).
+bool enableSelfProfile(SelfProfileConfig Config);
+
+/// Reads TWPP_SELF_PROFILE (an archive path) and enables profiling when
+/// it is set and non-empty. \returns true when a profiler is active
+/// after the call.
+bool maybeEnableSelfProfileFromEnv();
+
+/// Finishes and tears down the global profiler: writes the archive,
+/// publishes selfprof.* metrics, restores the tracing flag. No-op
+/// (returning true) when no profiler is active. \p Stats, when given,
+/// receives the run's accounting.
+bool finishSelfProfile(SelfProfileStats *Stats = nullptr,
+                       std::string *Error = nullptr);
+
+//===----------------------------------------------------------------------===//
+// Sidecar — the plain-text map from archive ids back to span paths and
+// nanoseconds ("twpp-selfprof-meta-v1"). Deliberately not JSON: the
+// reporting tool parses it with a dozen lines and no dependencies.
+//===----------------------------------------------------------------------===//
+
+struct SelfProfileMeta {
+  uint64_t MinGapNs = 0;
+  std::vector<std::string> FunctionPaths; ///< Indexed by FunctionId.
+  std::vector<std::pair<BlockId, uint64_t>> GapBlocks;
+  SelfProfileStats Stats;
+};
+
+/// Renders the sidecar document.
+std::string encodeSelfProfileMeta(const SelfProfileMeta &Meta);
+
+/// Parses a sidecar document. \returns false on malformed input.
+bool decodeSelfProfileMeta(const std::string &Text, SelfProfileMeta &Meta);
+
+/// Loads \p Path and parses it. \returns false on IO or parse failure.
+bool readSelfProfileMetaFile(const std::string &Path, SelfProfileMeta &Meta);
+
+} // namespace twpp::obs
+
+#endif // TWPP_OBS_SELFPROFILE_H

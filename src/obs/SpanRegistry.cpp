@@ -1,0 +1,89 @@
+//===- obs/SpanRegistry.cpp - Lock-free span-path interner ----------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/SpanRegistry.h"
+
+#include <cstring>
+#include <thread>
+
+using namespace twpp;
+using namespace twpp::obs;
+
+namespace {
+
+/// FNV-1a. The table is small and collisions only cost probes, so the
+/// simple byte hash is plenty.
+uint64_t hashPath(std::string_view Path) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : Path) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+} // namespace
+
+SpanRegistry::SpanRegistry(size_t Capacity) {
+  size_t Cap = 2;
+  while (Cap < Capacity)
+    Cap *= 2;
+  Slots = std::make_unique<Slot[]>(Cap);
+  Mask = Cap - 1;
+  // Reserve id 0 up front so no real path can ever claim it and lookups
+  // never observe an empty table.
+  FunctionId Reserved = intern("(overflow)");
+  (void)Reserved;
+}
+
+FunctionId SpanRegistry::intern(std::string_view Path) {
+  if (Path.size() >= KeyCapacity) {
+    Overflows.fetch_add(1, std::memory_order_relaxed);
+    return OverflowId;
+  }
+  size_t Probe = static_cast<size_t>(hashPath(Path)) & Mask;
+  for (size_t Step = 0; Step <= Mask; ++Step, Probe = (Probe + 1) & Mask) {
+    Slot &S = Slots[Probe];
+    uint8_t State = S.State.load(std::memory_order_acquire);
+    if (State == Empty) {
+      uint8_t Expected = Empty;
+      if (S.State.compare_exchange_strong(Expected, Busy,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        // We own the slot: write key + id, then publish. The id counter
+        // is bumped while the slot is Busy, so size() may briefly run
+        // ahead of visible slots but ids stay dense and unique.
+        std::memcpy(S.Key, Path.data(), Path.size());
+        S.Key[Path.size()] = '\0';
+        S.Id = Next.fetch_add(1, std::memory_order_acq_rel);
+        S.State.store(Ready, std::memory_order_release);
+        return S.Id;
+      }
+      State = Expected; // CAS lost: fall through to inspect the winner.
+    }
+    // Another thread is mid-publish; its key lands in nanoseconds.
+    while (State == Busy) {
+      std::this_thread::yield();
+      State = S.State.load(std::memory_order_acquire);
+    }
+    if (Path == std::string_view(S.Key))
+      return S.Id;
+  }
+  Overflows.fetch_add(1, std::memory_order_relaxed);
+  return OverflowId;
+}
+
+std::vector<std::string> SpanRegistry::paths() const {
+  std::vector<std::string> Out(size());
+  for (size_t I = 0; I <= Mask; ++I) {
+    const Slot &S = Slots[I];
+    if (S.State.load(std::memory_order_acquire) != Ready)
+      continue;
+    if (S.Id < Out.size())
+      Out[S.Id] = S.Key;
+  }
+  return Out;
+}

@@ -1,0 +1,94 @@
+//===- obs/SpanRegistry.h - Lock-free span-path interner --------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock-free table interning span paths ("compact/dbb/pool") as dense
+/// twpp::FunctionId values, so the self-profiler (obs/SelfProfile.h) can
+/// treat each distinct span path as one "function" of the pipeline's own
+/// execution and feed the ordinary TWPP compaction machinery with it.
+///
+/// The table is fixed-capacity open addressing over inline keys: intern()
+/// takes no locks, allocates nothing, and is safe to call from any number
+/// of threads concurrently — the slot protocol is claim-by-CAS then
+/// publish-by-store, with readers spinning through the narrow Busy window.
+/// Ids are dense (0..size()-1) in claim order. Id 0 is reserved at
+/// construction for the "(overflow)" path, which intern() returns when the
+/// table is full or a path exceeds the inline key capacity; overflowCount()
+/// says how often that happened, so a too-small registry degrades into one
+/// merged pseudo-function instead of losing spans.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_OBS_SPANREGISTRY_H
+#define TWPP_OBS_SPANREGISTRY_H
+
+#include "trace/Events.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace twpp::obs {
+
+class SpanRegistry {
+public:
+  /// The id every un-internable path collapses onto ("(overflow)").
+  static constexpr FunctionId OverflowId = 0;
+
+  /// Longest internable path, including the NUL. PhaseSpan paths are a
+  /// handful of components of <=47 chars each (TraceRecord::NameCapacity
+  /// truncates the leaf names), so 192 leaves generous headroom.
+  static constexpr size_t KeyCapacity = 192;
+
+  /// \p Capacity is rounded up to a power of two; the table holds at most
+  /// Capacity distinct paths (one slot is spent on "(overflow)").
+  explicit SpanRegistry(size_t Capacity = 1 << 12);
+
+  SpanRegistry(const SpanRegistry &) = delete;
+  SpanRegistry &operator=(const SpanRegistry &) = delete;
+
+  /// Interns \p Path, returning its dense id — the same id for the same
+  /// path no matter which thread asks first. Returns OverflowId (and
+  /// bumps overflowCount()) when the table is full or the path does not
+  /// fit a slot key.
+  FunctionId intern(std::string_view Path);
+
+  /// Distinct ids handed out so far, including the reserved overflow id —
+  /// i.e. the FunctionCount of the self-profile trace.
+  uint32_t size() const { return Next.load(std::memory_order_acquire); }
+
+  /// Paths that could not be interned (returned OverflowId).
+  uint64_t overflowCount() const {
+    return Overflows.load(std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return Mask + 1; }
+
+  /// Paths indexed by id (index 0 is "(overflow)"). Safe concurrently
+  /// with intern(): only slots already published are included.
+  std::vector<std::string> paths() const;
+
+private:
+  enum : uint8_t { Empty = 0, Busy = 1, Ready = 2 };
+
+  struct Slot {
+    std::atomic<uint8_t> State{Empty};
+    FunctionId Id = 0;
+    char Key[KeyCapacity] = {};
+  };
+
+  std::unique_ptr<Slot[]> Slots;
+  size_t Mask = 0;
+  std::atomic<uint32_t> Next{0};
+  std::atomic<uint64_t> Overflows{0};
+};
+
+} // namespace twpp::obs
+
+#endif // TWPP_OBS_SPANREGISTRY_H

@@ -36,6 +36,8 @@
 #ifndef TWPP_OBS_TRACE_H
 #define TWPP_OBS_TRACE_H
 
+#include "obs/Metrics.h"
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -80,6 +82,14 @@ template <size_t N> void copyName(char (&Dst)[N], std::string_view Text) {
 }
 
 } // namespace trace_detail
+
+/// The live ring-overflow counter's name. Defined here (not obs/Names.h)
+/// so the ring's push path needs no extra include; obs/Names.h declares
+/// names::TraceDroppedEvents with the same spelling and the obs tests
+/// pin the two together.
+constexpr const char *droppedEventsMetricName() {
+  return "trace.dropped_events";
+}
 
 /// True when event recording is on.
 inline bool tracingEnabled() {
@@ -127,6 +137,14 @@ public:
   void push(TraceRecord::Kind K, std::string_view Name, uint64_t FlowId,
             const char *ArgName, int64_t Value, bool HasArg) {
     uint64_t Seq = Head.load(std::memory_order_relaxed);
+    if (Seq >= Slots.size()) {
+      // This push overwrites the oldest surviving event. Publish the
+      // overflow live (trace.dropped_events) so ring sizing is observable
+      // without exporting a trace; Counter::add is a no-op relaxed load
+      // when metric collection is off.
+      static Counter &Dropped = metrics().counter(droppedEventsMetricName());
+      Dropped.add();
+    }
     TraceRecord &R = Slots[Seq % Slots.size()];
     R.TsNs = trace_detail::nowNs();
     R.FlowId = FlowId;
@@ -156,6 +174,41 @@ public:
     Out.reserve(Seq - First);
     for (uint64_t I = First; I != Seq; ++I)
       Out.push_back(Slots[I % Slots.size()]);
+    return Out;
+  }
+
+  /// Incremental consumption (obs/SelfProfile): copies the records with
+  /// sequence numbers in [\p Cursor, head) that still survive in the
+  /// ring and advances \p Cursor to head. Records already overwritten by
+  /// wraparound are skipped and added to \p Lost. After the copy the
+  /// window is re-validated against the head: entries the owning thread
+  /// may have overwritten mid-copy are discarded into \p Lost rather
+  /// than returned torn. Reading a ring while its owner records is
+  /// benign for these POD slots, but consumers that need an exact
+  /// window should drain at quiescent points (the contract snapshot()
+  /// documents).
+  std::vector<TraceRecord> drainFrom(uint64_t &Cursor, uint64_t &Lost) const {
+    uint64_t Seq = pushCount();
+    uint64_t First = Seq > Slots.size() ? Seq - Slots.size() : 0;
+    if (Cursor < First) {
+      Lost += First - Cursor;
+      Cursor = First;
+    }
+    std::vector<TraceRecord> Out;
+    Out.reserve(static_cast<size_t>(Seq - Cursor));
+    uint64_t Begin = Cursor;
+    for (uint64_t I = Begin; I != Seq; ++I)
+      Out.push_back(Slots[I % Slots.size()]);
+    // Re-validate: pushes racing the copy above may have recycled the
+    // slots we started from.
+    uint64_t NewSeq = pushCount();
+    uint64_t NewFirst = NewSeq > Slots.size() ? NewSeq - Slots.size() : 0;
+    if (NewFirst > Begin) {
+      uint64_t Torn = std::min<uint64_t>(NewFirst - Begin, Out.size());
+      Out.erase(Out.begin(), Out.begin() + static_cast<size_t>(Torn));
+      Lost += Torn;
+    }
+    Cursor = Seq;
     return Out;
   }
 
@@ -256,6 +309,27 @@ public:
       S.Dropped = Pushed - S.Records.size();
       Out.push_back(std::move(S));
     }
+    return Out;
+  }
+
+  /// Stable handle to one live ring, for incremental consumers
+  /// (obs/SelfProfile) that keep per-ring drain cursors across calls.
+  struct RingRef {
+    uint32_t Tid = 0;
+    std::string Name;
+    TraceRing *Ring = nullptr; ///< Valid for the process lifetime.
+  };
+
+  /// Every ring created so far, in tid order. Rings are never destroyed,
+  /// so the pointers outlive the call; new threads may add rings later,
+  /// which callers discover by calling again (tids are dense, so the
+  /// vector only ever grows at the tail).
+  std::vector<RingRef> rings() const {
+    std::lock_guard<std::mutex> Lock(M);
+    std::vector<RingRef> Out;
+    Out.reserve(Rings.size());
+    for (const auto &Ring : Rings)
+      Out.push_back(RingRef{Ring->tid(), Ring->threadName(), Ring.get()});
     return Out;
   }
 

@@ -69,9 +69,18 @@ protected:
   }
 
   /// Writes \p Variant to a temp file and returns its path.
+  /// Distinguishes the IoMode instances of one test, which run as
+  /// concurrent ctest processes and must not race on variant files.
+  /// The non-parameterized differential fixture overrides this —
+  /// GetParam() would abort there.
+  virtual std::string variantSuffix() {
+    return GetParam() == IoMode::Mmap ? "_mmap" : "_buffered";
+  }
+
   std::string writeVariant(const std::vector<uint8_t> &Variant,
                            const std::string &Name) {
-    std::string Path = ::testing::TempDir() + "/corrupt_" + Name + ".twpp";
+    std::string Path =
+        ::testing::TempDir() + "/corrupt_" + Name + variantSuffix() + ".twpp";
     EXPECT_TRUE(writeFileBytes(Path, Variant));
     Cleanup.push_back(Path);
     return Path;
@@ -98,7 +107,10 @@ INSTANTIATE_TEST_SUITE_P(IoModes, ArchiveCorruption,
 
 /// Mode-pair differential tests (open both readers themselves, so they
 /// are not parameterized); shares the healthy archive via inheritance.
-class ArchiveCorruptionDifferential : public ArchiveCorruption {};
+class ArchiveCorruptionDifferential : public ArchiveCorruption {
+protected:
+  std::string variantSuffix() override { return "_diff"; }
+};
 
 TEST_P(ArchiveCorruption, LayoutAssumptions) {
   // Sanity-pin the layout the other tests patch against: magic "TWPP"
@@ -232,7 +244,10 @@ TEST_P(ArchiveCorruption, BitFlippedDcgFailsOrDiffers) {
     Variant[At] ^= static_cast<uint8_t>(1u << R.nextBelow(8));
     std::string Path = writeVariant(Variant, "dcg_" + std::to_string(Case));
     ArchiveReader Reader;
-    ASSERT_TRUE(Reader.open(Path, GetParam())); // Index is intact; only the DCG is hit.
+    // Index is intact; only the DCG is hit.
+    ASSERT_TRUE(Reader.open(Path, GetParam()))
+        << Reader.lastError().CheckId << ": " << Reader.lastError().Message
+        << " (" << Reader.lastError().Location << ")";
     DynamicCallGraph Dcg;
     if (!Reader.readDcg(Dcg)) {
       ++Rejected;

@@ -23,6 +23,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 
 using namespace twpp;
@@ -415,6 +416,108 @@ TEST_F(ObsTest, TableExportListsEveryKind) {
   EXPECT_NE(Table.find("table.gauge"), std::string::npos);
   EXPECT_NE(Table.find("table.hist"), std::string::npos);
   EXPECT_NE(Table.find("table_span"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus text exposition (--metrics-format=prom)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, PromExportSanitizesNamesAndPrefixes) {
+  obs::metrics().counter("partition.block_events").add(7);
+  obs::metrics().gauge("weird name-with.dots").set(3);
+  std::string Prom = obs::exportMetricsProm(obs::metrics());
+  // Dots (and anything outside [a-zA-Z0-9_:]) flatten to '_' under the
+  // twpp_ namespace; the raw name survives in HELP for humans.
+  EXPECT_NE(Prom.find("# TYPE twpp_partition_block_events counter"),
+            std::string::npos)
+      << Prom;
+  EXPECT_NE(Prom.find("\ntwpp_partition_block_events 7\n"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("# TYPE twpp_weird_name_with_dots gauge"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("\ntwpp_weird_name_with_dots 3\n"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("# HELP twpp_partition_block_events TWPP counter "
+                      "partition.block_events"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, PromExportEscapesLabelValues) {
+  {
+    obs::PhaseSpan Hostile("path\"quote\\slash\nnewline");
+  }
+  std::string Prom = obs::exportMetricsProm(obs::metrics());
+  // Exposition-format label escaping: \" for quote, \\ for backslash,
+  // \n (two characters) for line feed — and no raw newline inside the
+  // braces.
+  EXPECT_NE(
+      Prom.find("twpp_span_count{path=\"path\\\"quote\\\\slash\\nnewline\"}"),
+      std::string::npos)
+      << Prom;
+  for (size_t At = Prom.find('{'); At != std::string::npos;
+       At = Prom.find('{', At + 1)) {
+    size_t Close = Prom.find('}', At);
+    ASSERT_NE(Close, std::string::npos);
+    EXPECT_EQ(Prom.find('\n', At), Prom.find('\n', Close))
+        << "raw newline inside a label set";
+  }
+}
+
+TEST_F(ObsTest, PromExportEmitsCumulativeHistogramBuckets) {
+  obs::Histogram &H = obs::metrics().histogram("prom.hist", {10, 100});
+  for (uint64_t Sample : {1u, 10u, 11u, 100u, 1000u})
+    H.record(Sample);
+  std::string Prom = obs::exportMetricsProm(obs::metrics());
+  // Per-bucket counts 2/2/1 become cumulative 2/4/5 under le labels,
+  // with le="+Inf" equal to _count.
+  EXPECT_NE(Prom.find("# TYPE twpp_prom_hist histogram"), std::string::npos);
+  EXPECT_NE(Prom.find("twpp_prom_hist_bucket{le=\"10\"} 2\n"),
+            std::string::npos)
+      << Prom;
+  EXPECT_NE(Prom.find("twpp_prom_hist_bucket{le=\"100\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("twpp_prom_hist_bucket{le=\"+Inf\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("twpp_prom_hist_count 5\n"), std::string::npos);
+  // _sum is the sample total (mean x count): 1+10+11+100+1000 = 1122.
+  // The mean is tracked incrementally, so compare numerically.
+  size_t SumPos = Prom.find("twpp_prom_hist_sum ");
+  ASSERT_NE(SumPos, std::string::npos);
+  EXPECT_NEAR(std::strtod(Prom.c_str() + SumPos + 19, nullptr), 1122.0,
+              1e-6);
+}
+
+TEST_F(ObsTest, PromExportCoversSpansWithPathLabels) {
+  {
+    obs::PhaseSpan Outer("outer");
+    obs::PhaseSpan Inner("inner");
+  }
+  std::string Prom = obs::exportMetricsProm(obs::metrics());
+  EXPECT_NE(Prom.find("twpp_span_count{path=\"outer\"} 1\n"),
+            std::string::npos)
+      << Prom;
+  EXPECT_NE(Prom.find("twpp_span_count{path=\"outer/inner\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("twpp_span_total_us{path=\"outer/inner\"}"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("twpp_span_self_us{path=\"outer\"}"),
+            std::string::npos);
+  // Every non-comment line is "name{labels} value" or "name value" with
+  // a numeric value.
+  size_t Start = 0;
+  while (Start < Prom.size()) {
+    size_t End = Prom.find('\n', Start);
+    ASSERT_NE(End, std::string::npos) << "missing trailing newline";
+    std::string Line = Prom.substr(Start, End - Start);
+    Start = End + 1;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    size_t Space = Line.rfind(' ');
+    ASSERT_NE(Space, std::string::npos) << Line;
+    char *Rest = nullptr;
+    std::strtod(Line.c_str() + Space + 1, &Rest);
+    EXPECT_EQ(*Rest, '\0') << "non-numeric sample value: " << Line;
+  }
 }
 
 TEST_F(ObsTest, CanonicalRegistrationMakesExportsEnumerateAllStages) {

@@ -8,6 +8,7 @@
 #include "obs/Json.h"
 #include "obs/Memory.h"
 #include "obs/Metrics.h"
+#include "obs/Names.h"
 #include "obs/PhaseSpan.h"
 #include "obs/Trace.h"
 #include "support/ThreadPool.h"
@@ -286,6 +287,79 @@ TEST_F(ObsTraceTest, SnapshotReportsDroppedCount) {
   obs::traceRecorder().setRingCapacity(
       obs::TraceRecorder::DefaultRingCapacity);
   obs::traceRecorder().reset();
+}
+
+TEST_F(ObsTraceTest, DrainFromReturnsOnlyNewRecords) {
+  obs::TraceRing Ring(9, "drain", 8);
+  uint64_t Cursor = 0, Lost = 0;
+  for (int I = 0; I < 3; ++I)
+    Ring.push(obs::TraceRecord::Kind::Instant, "a" + std::to_string(I), 0,
+              nullptr, I, true);
+  std::vector<obs::TraceRecord> First = Ring.drainFrom(Cursor, Lost);
+  ASSERT_EQ(First.size(), 3u);
+  EXPECT_EQ(Lost, 0u);
+  EXPECT_EQ(Cursor, 3u);
+
+  // Nothing new: empty drain, cursor stays put.
+  EXPECT_TRUE(Ring.drainFrom(Cursor, Lost).empty());
+  EXPECT_EQ(Cursor, 3u);
+
+  for (int I = 3; I < 5; ++I)
+    Ring.push(obs::TraceRecord::Kind::Instant, "a" + std::to_string(I), 0,
+              nullptr, I, true);
+  std::vector<obs::TraceRecord> Second = Ring.drainFrom(Cursor, Lost);
+  ASSERT_EQ(Second.size(), 2u);
+  EXPECT_EQ(Lost, 0u);
+  EXPECT_EQ(std::string(Second[0].Name), "a3");
+  EXPECT_EQ(std::string(Second[1].Name), "a4");
+}
+
+TEST_F(ObsTraceTest, DrainFromCountsRecordsLostToWraparound) {
+  obs::TraceRing Ring(9, "drainwrap", 4);
+  uint64_t Cursor = 0, Lost = 0;
+  // 10 pushes through a 4-slot ring: the first 6 are gone by drain time.
+  for (int I = 0; I < 10; ++I)
+    Ring.push(obs::TraceRecord::Kind::Instant, "e" + std::to_string(I), 0,
+              nullptr, I, true);
+  std::vector<obs::TraceRecord> Window = Ring.drainFrom(Cursor, Lost);
+  ASSERT_EQ(Window.size(), 4u);
+  EXPECT_EQ(Lost, 6u);
+  EXPECT_EQ(Cursor, 10u);
+  for (size_t I = 0; I < Window.size(); ++I)
+    EXPECT_EQ(std::string(Window[I].Name), "e" + std::to_string(6 + I));
+
+  // A second overflow between drains is charged to Lost as well.
+  for (int I = 10; I < 19; ++I)
+    Ring.push(obs::TraceRecord::Kind::Instant, "e" + std::to_string(I), 0,
+              nullptr, I, true);
+  Window = Ring.drainFrom(Cursor, Lost);
+  ASSERT_EQ(Window.size(), 4u);
+  EXPECT_EQ(Lost, 6u + 5u);
+  EXPECT_EQ(std::string(Window[0].Name), "e15");
+}
+
+TEST_F(ObsTraceTest, RingOverflowBumpsLiveDroppedEventsCounter) {
+  obs::setMetricsEnabled(true);
+  obs::metrics().reset();
+  obs::traceRecorder().setRingCapacity(8);
+  obs::traceRecorder().reset();
+  for (int I = 0; I < 20; ++I)
+    obs::traceInstant("spill");
+  // 20 pushes into 8 slots: 12 overwrites, published live without any
+  // export in the loop.
+  uint64_t Dropped =
+      obs::metrics().counter(obs::droppedEventsMetricName()).value();
+  EXPECT_EQ(Dropped, 12u);
+  obs::traceRecorder().setRingCapacity(
+      obs::TraceRecorder::DefaultRingCapacity);
+  obs::traceRecorder().reset();
+}
+
+TEST_F(ObsTraceTest, DroppedEventsMetricNameMatchesCanonicalName) {
+  // The live counter in TraceRing::push and the canonical registry must
+  // agree, or the pre-registered export shows a forever-zero series.
+  EXPECT_STREQ(obs::droppedEventsMetricName(),
+               obs::names::TraceDroppedEvents);
 }
 
 //===----------------------------------------------------------------------===//

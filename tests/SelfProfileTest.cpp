@@ -1,0 +1,612 @@
+//===- tests/SelfProfileTest.cpp - TWPP-on-TWPP self-profiling tests -------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+// Covers the span-path registry (obs/SpanRegistry.h), the B/E -> Enter/
+// Exit lowering (obs/SelfProfile.h adaptSpanRecords) including flow-id
+// grafting of pool-worker streams and ring-wraparound truncation, the
+// sidecar round trip, and the end-to-end SelfProfiler run whose archive
+// must satisfy the full verifier.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/PhaseSpan.h"
+#include "obs/SelfProfile.h"
+#include "obs/SpanRegistry.h"
+#include "support/ThreadPool.h"
+#include "verify/Verify.h"
+#include "wpp/Archive.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace twpp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// SpanRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(SpanRegistry, InternIsDenseAndStable) {
+  obs::SpanRegistry Registry(64);
+  EXPECT_EQ(Registry.size(), 1u); // "(overflow)" pre-interned as id 0
+  FunctionId A = Registry.intern("compact");
+  FunctionId B = Registry.intern("compact/dbb");
+  EXPECT_NE(A, obs::SpanRegistry::OverflowId);
+  EXPECT_NE(B, A);
+  EXPECT_EQ(Registry.intern("compact"), A); // dedup
+  EXPECT_EQ(Registry.intern("compact/dbb"), B);
+  EXPECT_EQ(Registry.size(), 3u);
+  EXPECT_EQ(Registry.overflowCount(), 0u);
+
+  std::vector<std::string> Paths = Registry.paths();
+  ASSERT_EQ(Paths.size(), 3u);
+  EXPECT_EQ(Paths[0], "(overflow)");
+  EXPECT_EQ(Paths[A], "compact");
+  EXPECT_EQ(Paths[B], "compact/dbb");
+}
+
+TEST(SpanRegistry, OverflowCollapsesOntoReservedId) {
+  obs::SpanRegistry Registry(4); // rounded to 4: 3 usable + overflow
+  std::set<FunctionId> Ids;
+  uint64_t Overflowed = 0;
+  for (int I = 0; I < 10; ++I) {
+    FunctionId Id = Registry.intern("path" + std::to_string(I));
+    if (Id == obs::SpanRegistry::OverflowId)
+      ++Overflowed;
+    Ids.insert(Id);
+  }
+  EXPECT_GT(Overflowed, 0u);
+  EXPECT_EQ(Registry.overflowCount(), Overflowed);
+  EXPECT_LE(Registry.size(), Registry.capacity());
+  // Interning an already-present path still works after the table fills.
+  std::vector<std::string> Paths = Registry.paths();
+  for (FunctionId Id : Ids) {
+    if (Id != obs::SpanRegistry::OverflowId) {
+      EXPECT_EQ(Registry.intern(Paths[Id]), Id);
+    }
+  }
+}
+
+TEST(SpanRegistry, OversizeKeyOverflows) {
+  obs::SpanRegistry Registry(64);
+  std::string Long(obs::SpanRegistry::KeyCapacity + 10, 'x');
+  EXPECT_EQ(Registry.intern(Long), obs::SpanRegistry::OverflowId);
+  EXPECT_EQ(Registry.overflowCount(), 1u);
+}
+
+TEST(SpanRegistry, ConcurrentInternAgreesAcrossThreads) {
+  obs::SpanRegistry Registry(256);
+  constexpr int ThreadCount = 8;
+  constexpr int PathCount = 100;
+  std::vector<std::vector<FunctionId>> Seen(ThreadCount,
+                                            std::vector<FunctionId>(PathCount));
+  std::atomic<int> Go{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < ThreadCount; ++T)
+    Threads.emplace_back([T, &Registry, &Seen, &Go] {
+      Go.fetch_add(1);
+      while (Go.load() < ThreadCount) {
+      } // start together to maximize collisions
+      for (int P = 0; P < PathCount; ++P)
+        Seen[T][P] = Registry.intern("stage/" + std::to_string(P));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  // Every thread got the same id for the same path, all ids distinct.
+  std::set<FunctionId> Distinct;
+  for (int P = 0; P < PathCount; ++P) {
+    for (int T = 1; T < ThreadCount; ++T)
+      EXPECT_EQ(Seen[T][P], Seen[0][P]) << "path " << P;
+    EXPECT_NE(Seen[0][P], obs::SpanRegistry::OverflowId);
+    Distinct.insert(Seen[0][P]);
+  }
+  EXPECT_EQ(Distinct.size(), static_cast<size_t>(PathCount));
+  EXPECT_EQ(Registry.size(), 1u + PathCount);
+  EXPECT_EQ(Registry.overflowCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Gap buckets
+//===----------------------------------------------------------------------===//
+
+TEST(GapBuckets, MonotonicWithBoundedError) {
+  uint32_t Last = 0;
+  for (uint64_t Ns = 1; Ns < (uint64_t(1) << 40); Ns = Ns * 7 / 4 + 1) {
+    uint32_t Bucket = obs::selfprof::gapBucketOf(Ns);
+    EXPECT_GE(Bucket, Last) << Ns; // monotone
+    Last = std::max(Last, Bucket);
+    uint64_t Rep = obs::selfprof::gapBucketRepresentativeNs(Bucket);
+    // 2 mantissa bits: the representative midpoint is within ~19% of any
+    // value in the bucket.
+    double Err = std::abs(static_cast<double>(Rep) - static_cast<double>(Ns)) /
+                 static_cast<double>(Ns);
+    EXPECT_LE(Err, 0.20) << "ns " << Ns << " rep " << Rep;
+  }
+  // Tiny gaps are exact.
+  for (uint64_t Ns = 1; Ns < 4; ++Ns)
+    EXPECT_EQ(obs::selfprof::gapBucketRepresentativeNs(
+                  obs::selfprof::gapBucketOf(Ns)),
+              Ns);
+}
+
+//===----------------------------------------------------------------------===//
+// adaptSpanRecords on scripted record streams
+//===----------------------------------------------------------------------===//
+
+obs::TraceRecord record(obs::TraceRecord::Kind K, const char *Name,
+                        uint64_t TsNs, uint64_t FlowId = 0) {
+  obs::TraceRecord R;
+  R.K = K;
+  R.TsNs = TsNs;
+  R.FlowId = FlowId;
+  std::snprintf(R.Name, sizeof(R.Name), "%s", Name);
+  R.ArgName[0] = '\0';
+  return R;
+}
+
+using Kind = obs::TraceRecord::Kind;
+
+/// Index of \p Path in the stream's function table, or -1.
+int functionOf(const obs::SpanEventStream &Stream, const std::string &Path) {
+  for (size_t I = 0; I < Stream.FunctionPaths.size(); ++I)
+    if (Stream.FunctionPaths[I] == Path)
+      return static_cast<int>(I);
+  return -1;
+}
+
+TEST(AdaptSpanRecords, SimpleNestLowersToWellFormedTrace) {
+  std::vector<std::vector<obs::TraceRecord>> PerThread(1);
+  PerThread[0] = {
+      record(Kind::Begin, "compact", 1'000'000),
+      record(Kind::Begin, "partition", 1'100'000),
+      record(Kind::End, "", 1'200'000),
+      record(Kind::Begin, "dbb", 1'300'000),
+      record(Kind::End, "", 1'500'000),
+      record(Kind::End, "", 1'600'000),
+  };
+  obs::SpanRegistry Registry(64);
+  obs::SpanEventStream Stream =
+      obs::adaptSpanRecords(PerThread, Registry, 1024);
+
+  EXPECT_TRUE(Stream.Trace.isWellFormed());
+  EXPECT_EQ(Stream.Stats.Spans, 3u);
+  EXPECT_EQ(Stream.Stats.TruncatedSpans, 0u);
+  EXPECT_EQ(Stream.Stats.UnclosedSpans, 0u);
+  EXPECT_EQ(Stream.Trace.callCount(), 3u);
+
+  // Nested paths became distinct functions.
+  EXPECT_GE(functionOf(Stream, "compact"), 0);
+  EXPECT_GE(functionOf(Stream, "compact/partition"), 0);
+  EXPECT_GE(functionOf(Stream, "compact/dbb"), 0);
+  EXPECT_EQ(functionOf(Stream, "partition"), -1) << "leaf not pathified";
+
+  // Every Enter is immediately followed by the call-marker block.
+  const auto &Events = Stream.Trace.Events;
+  for (size_t I = 0; I < Events.size(); ++I)
+    if (Events[I].EventKind == TraceEvent::Kind::Enter) {
+      ASSERT_LT(I + 1, Events.size());
+      EXPECT_EQ(Events[I + 1].EventKind, TraceEvent::Kind::Block);
+      EXPECT_EQ(Events[I + 1].Id, obs::selfprof::CallMarkerBlock);
+    }
+
+  // compact's exclusive time: gaps 100us (before partition), 100us
+  // (between children) and 100us (after dbb) — three gap blocks, each
+  // with a representative near 100us.
+  std::map<BlockId, uint64_t> GapNs(Stream.GapBlocks.begin(),
+                                    Stream.GapBlocks.end());
+  uint64_t CompactGaps = 0;
+  int Depth = 0;
+  for (const TraceEvent &E : Events) {
+    if (E.EventKind == TraceEvent::Kind::Enter)
+      ++Depth;
+    else if (E.EventKind == TraceEvent::Kind::Exit)
+      --Depth;
+    else if (Depth == 1 && E.Id != obs::selfprof::CallMarkerBlock) {
+      ASSERT_TRUE(GapNs.count(E.Id));
+      CompactGaps += GapNs[E.Id];
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(CompactGaps), 300'000.0, 60'000.0);
+}
+
+TEST(AdaptSpanRecords, ShortGapsAreNotEncoded) {
+  std::vector<std::vector<obs::TraceRecord>> PerThread(1);
+  PerThread[0] = {
+      record(Kind::Begin, "a", 1000),
+      record(Kind::End, "", 1400), // 400ns span, below MinGapNs=1024
+  };
+  obs::SpanRegistry Registry(64);
+  obs::SpanEventStream Stream =
+      obs::adaptSpanRecords(PerThread, Registry, 1024);
+  EXPECT_TRUE(Stream.Trace.isWellFormed());
+  EXPECT_TRUE(Stream.GapBlocks.empty());
+  // The call marker still makes the span's path trace non-empty.
+  EXPECT_EQ(Stream.Trace.blockEventCount(), 1u);
+}
+
+TEST(AdaptSpanRecords, TruncatedAndUnclosedSpansDegradeGracefully) {
+  std::vector<std::vector<obs::TraceRecord>> PerThread(1);
+  PerThread[0] = {
+      record(Kind::End, "", 500), // orphan E: its B was overwritten
+      record(Kind::Begin, "outer", 1000),
+      record(Kind::Begin, "inner", 2000),
+      record(Kind::End, "", 3000),
+      // outer never closes: synthesized shut at the last timestamp.
+  };
+  obs::SpanRegistry Registry(64);
+  obs::SpanEventStream Stream =
+      obs::adaptSpanRecords(PerThread, Registry, 1024);
+  EXPECT_TRUE(Stream.Trace.isWellFormed());
+  EXPECT_EQ(Stream.Stats.TruncatedSpans, 1u);
+  EXPECT_EQ(Stream.Stats.UnclosedSpans, 1u);
+  EXPECT_EQ(Stream.Stats.Spans, 2u);
+  EXPECT_GE(functionOf(Stream, "outer"), 0);
+  EXPECT_GE(functionOf(Stream, "outer/inner"), 0);
+}
+
+TEST(AdaptSpanRecords, FlowGraftsWorkerRootsUnderOrigin) {
+  // Thread 0 enqueues two tasks inside compact/dbb; thread 1 and 2 each
+  // run one task whose wrapper span opens with the FlowFinish.
+  std::vector<std::vector<obs::TraceRecord>> PerThread(3);
+  PerThread[0] = {
+      record(Kind::Begin, "compact", 1000),
+      record(Kind::Begin, "dbb", 2000),
+      record(Kind::FlowStart, "pool.task", 2100, 7),
+      record(Kind::FlowStart, "pool.task", 2200, 8),
+      record(Kind::End, "", 9000),
+      record(Kind::End, "", 9500),
+  };
+  PerThread[1] = {
+      record(Kind::Begin, "pool", 3000),
+      record(Kind::FlowFinish, "pool.task", 3001, 7),
+      record(Kind::Begin, "dbb_function", 3100),
+      record(Kind::End, "", 4000),
+      record(Kind::End, "", 4100),
+  };
+  PerThread[2] = {
+      record(Kind::Begin, "pool", 3500),
+      record(Kind::FlowFinish, "pool.task", 3501, 8),
+      record(Kind::End, "", 4600),
+  };
+  obs::SpanRegistry Registry(64);
+  obs::SpanEventStream Stream =
+      obs::adaptSpanRecords(PerThread, Registry, 1024);
+
+  EXPECT_TRUE(Stream.Trace.isWellFormed());
+  EXPECT_EQ(Stream.Stats.OrphanFlows, 0u);
+  // Worker spans inherited the enqueuing span's path — the ScopedRoot
+  // aggregation, reproduced from raw records.
+  EXPECT_GE(functionOf(Stream, "compact/dbb/pool"), 0);
+  EXPECT_GE(functionOf(Stream, "compact/dbb/pool/dbb_function"), 0);
+  EXPECT_EQ(functionOf(Stream, "pool"), -1) << "ungrafted worker root";
+  EXPECT_EQ(Stream.Stats.Spans, 5u); // compact, dbb, 2x pool, dbb_function
+}
+
+TEST(AdaptSpanRecords, MainStreamSurvivesLosingTidZeroToPollerThread) {
+  // Ring indices are creation order, not "main first": a background
+  // metrics poller can push a counter before main's first span and
+  // claim tid 0. The enqueuing stream must still root at top level and
+  // receive its worker grafts — only streams that recorded a flow
+  // finish are pool slices.
+  std::vector<std::vector<obs::TraceRecord>> PerThread(3);
+  PerThread[0] = {
+      record(Kind::Counter, "mem.rss_bytes", 500),
+      record(Kind::Counter, "mem.rss_bytes", 5000),
+  };
+  PerThread[1] = {
+      record(Kind::Begin, "compact", 1000),
+      record(Kind::FlowStart, "pool.task", 1100, 3),
+      record(Kind::End, "", 9000),
+      record(Kind::Begin, "archive_encode", 9100),
+      record(Kind::End, "", 9900),
+  };
+  PerThread[2] = {
+      record(Kind::Begin, "pool", 2000),
+      record(Kind::FlowFinish, "pool.task", 2001, 3),
+      record(Kind::End, "", 3000),
+  };
+  obs::SpanRegistry Registry(64);
+  obs::SpanEventStream Stream =
+      obs::adaptSpanRecords(PerThread, Registry, 1024);
+
+  EXPECT_TRUE(Stream.Trace.isWellFormed());
+  EXPECT_EQ(Stream.Stats.OrphanFlows, 0u);
+  EXPECT_GE(functionOf(Stream, "compact"), 0);
+  EXPECT_GE(functionOf(Stream, "archive_encode"), 0);
+  EXPECT_GE(functionOf(Stream, "compact/pool"), 0);
+  for (const std::string &Path : Stream.FunctionPaths)
+    EXPECT_EQ(Path.find("(detached)"), std::string::npos) << Path;
+}
+
+TEST(AdaptSpanRecords, SameThreadFlowDoesNotGraftRootIntoOwnSubtree) {
+  // A flow started and finished on one thread (inline task execution)
+  // must not reparent that thread's own roots — the origin has to be
+  // on another thread.
+  std::vector<std::vector<obs::TraceRecord>> PerThread(1);
+  PerThread[0] = {
+      record(Kind::Begin, "compact", 1000),
+      record(Kind::FlowStart, "pool.task", 1100, 5),
+      record(Kind::End, "", 2000),
+      record(Kind::Begin, "pool", 2100),
+      record(Kind::FlowFinish, "pool.task", 2101, 5),
+      record(Kind::End, "", 3000),
+  };
+  obs::SpanRegistry Registry(64);
+  obs::SpanEventStream Stream =
+      obs::adaptSpanRecords(PerThread, Registry, 1024);
+
+  EXPECT_TRUE(Stream.Trace.isWellFormed());
+  // No cross-thread origin: the slice surfaces as detached rather than
+  // cycling into compact's subtree.
+  EXPECT_EQ(Stream.Stats.OrphanFlows, 1u);
+  EXPECT_GE(functionOf(Stream, "compact"), 0);
+  EXPECT_GE(functionOf(Stream, "(detached)/pool"), 0);
+}
+
+TEST(AdaptSpanRecords, UnmatchedFlowBecomesDetachedRoot) {
+  std::vector<std::vector<obs::TraceRecord>> PerThread(2);
+  PerThread[0] = {
+      record(Kind::Begin, "compact", 1000),
+      record(Kind::End, "", 2000),
+  };
+  // The FlowStart for id 9 was lost to wraparound: the worker root has
+  // no origin and must surface as a detached root, not vanish.
+  PerThread[1] = {
+      record(Kind::Begin, "pool", 3000),
+      record(Kind::FlowFinish, "pool.task", 3001, 9),
+      record(Kind::End, "", 4000),
+  };
+  obs::SpanRegistry Registry(64);
+  obs::SpanEventStream Stream =
+      obs::adaptSpanRecords(PerThread, Registry, 1024);
+  EXPECT_TRUE(Stream.Trace.isWellFormed());
+  EXPECT_EQ(Stream.Stats.OrphanFlows, 1u);
+  EXPECT_GE(functionOf(Stream, "(detached)/pool"), 0);
+  EXPECT_EQ(Stream.Stats.Spans, 2u);
+}
+
+TEST(AdaptSpanRecords, RegistryOverflowCountsButStaysWellFormed) {
+  std::vector<std::vector<obs::TraceRecord>> PerThread(1);
+  uint64_t Ts = 1000;
+  for (int I = 0; I < 12; ++I) {
+    std::string Name = "s";
+    Name += std::to_string(I);
+    PerThread[0].push_back(record(Kind::Begin, Name.c_str(), Ts++));
+    PerThread[0].push_back(record(Kind::End, "", Ts++));
+  }
+  obs::SpanRegistry Registry(4);
+  obs::SpanEventStream Stream =
+      obs::adaptSpanRecords(PerThread, Registry, 1024);
+  EXPECT_TRUE(Stream.Trace.isWellFormed());
+  EXPECT_GT(Stream.Stats.RegistryOverflows, 0u);
+  EXPECT_EQ(Stream.Stats.Spans, 12u); // collapsed, not lost
+  EXPECT_EQ(Stream.Trace.callCount(), 12u);
+}
+
+//===----------------------------------------------------------------------===//
+// Wraparound property: any per-thread suffix of a valid record stream
+// (what survives a ring overwrite) still lowers to a well-formed trace.
+//===----------------------------------------------------------------------===//
+
+TEST(AdaptSpanRecords, AnySuffixOfStreamStaysWellFormedProperty) {
+  // A deterministic, deeply nested two-thread script with flows.
+  std::vector<obs::TraceRecord> Main, Worker;
+  uint64_t Ts = 1000;
+  uint64_t Flow = 1;
+  for (int Outer = 0; Outer < 4; ++Outer) {
+    Main.push_back(record(Kind::Begin, "compact", Ts += 100));
+    for (int Inner = 0; Inner < 3; ++Inner) {
+      Main.push_back(record(Kind::Begin, "dbb", Ts += 100));
+      Main.push_back(record(Kind::FlowStart, "pool.task", Ts += 10, Flow));
+      Worker.push_back(record(Kind::Begin, "pool", Ts += 50));
+      Worker.push_back(
+          record(Kind::FlowFinish, "pool.task", Ts += 1, Flow));
+      Worker.push_back(record(Kind::Begin, "work", Ts += 100));
+      Worker.push_back(record(Kind::End, "", Ts += 2000));
+      Worker.push_back(record(Kind::End, "", Ts += 100));
+      ++Flow;
+      Main.push_back(record(Kind::End, "", Ts += 100));
+    }
+    Main.push_back(record(Kind::End, "", Ts += 100));
+  }
+
+  for (size_t DropMain = 0; DropMain <= Main.size(); DropMain += 3)
+    for (size_t DropWorker = 0; DropWorker <= Worker.size();
+         DropWorker += 2) {
+      std::vector<std::vector<obs::TraceRecord>> PerThread(2);
+      PerThread[0].assign(Main.begin() + DropMain, Main.end());
+      PerThread[1].assign(Worker.begin() + DropWorker, Worker.end());
+      obs::SpanRegistry Registry(256);
+      obs::SpanEventStream Stream =
+          obs::adaptSpanRecords(PerThread, Registry, 1024);
+      ASSERT_TRUE(Stream.Trace.isWellFormed())
+          << "drop main " << DropMain << " worker " << DropWorker;
+      // Whatever survived still compacts and verifies: the full paranoid
+      // pipeline check on every truncation combination would be slow, so
+      // structural well-formedness is the property here and the full
+      // pipeline runs once below.
+    }
+}
+
+TEST(AdaptSpanRecords, TruncatedStreamSurvivesFullPipeline) {
+  std::vector<std::vector<obs::TraceRecord>> PerThread(1);
+  // Start mid-stream: two orphan Es, then a normal forest.
+  PerThread[0] = {
+      record(Kind::End, "", 100),
+      record(Kind::End, "", 200),
+      record(Kind::Begin, "compact", 1000),
+      record(Kind::Begin, "partition", 2000),
+      record(Kind::End, "", 52'000),
+      record(Kind::Begin, "dbb", 60'000),
+      record(Kind::End, "", 160'000),
+      record(Kind::End, "", 170'000),
+  };
+  obs::SpanRegistry Registry(64);
+  obs::SpanEventStream Stream =
+      obs::adaptSpanRecords(PerThread, Registry, 1024);
+  ASSERT_TRUE(Stream.Trace.isWellFormed());
+  EXPECT_EQ(Stream.Stats.TruncatedSpans, 2u);
+
+  TwppWpp Compacted = compactWpp(Stream.Trace);
+  EXPECT_EQ(reconstructRawTrace(Compacted), Stream.Trace);
+}
+
+//===----------------------------------------------------------------------===//
+// Sidecar round trip
+//===----------------------------------------------------------------------===//
+
+TEST(SelfProfileMeta, EncodeDecodeRoundTrips) {
+  obs::SelfProfileMeta Meta;
+  Meta.MinGapNs = 2048;
+  Meta.FunctionPaths = {"(overflow)", "compact", "compact/dbb"};
+  Meta.GapBlocks = {{2, 1536}, {7, 40'000}};
+  Meta.Stats.Spans = 42;
+  Meta.Stats.Events = 99;
+  Meta.Stats.RecordsDropped = 3;
+  Meta.Stats.TraceJsonBytes = 123'456;
+
+  std::string Text = obs::encodeSelfProfileMeta(Meta);
+  obs::SelfProfileMeta Back;
+  ASSERT_TRUE(obs::decodeSelfProfileMeta(Text, Back));
+  EXPECT_EQ(Back.MinGapNs, Meta.MinGapNs);
+  EXPECT_EQ(Back.FunctionPaths, Meta.FunctionPaths);
+  EXPECT_EQ(Back.GapBlocks, Meta.GapBlocks);
+  EXPECT_EQ(Back.Stats.Spans, 42u);
+  EXPECT_EQ(Back.Stats.Events, 99u);
+  EXPECT_EQ(Back.Stats.RecordsDropped, 3u);
+  EXPECT_EQ(Back.Stats.TraceJsonBytes, 123'456u);
+}
+
+TEST(SelfProfileMeta, DecodeRejectsGarbage) {
+  obs::SelfProfileMeta Meta;
+  EXPECT_FALSE(obs::decodeSelfProfileMeta("", Meta));
+  EXPECT_FALSE(obs::decodeSelfProfileMeta("not-a-sidecar\n", Meta));
+  EXPECT_FALSE(
+      obs::decodeSelfProfileMeta("twpp-selfprof-meta-v1\nbogus tag\n", Meta));
+}
+
+//===----------------------------------------------------------------------===//
+// End to end: profile real PhaseSpans (through the pool), write the
+// archive, verify it with the production verifier, read it back.
+//===----------------------------------------------------------------------===//
+
+class SelfProfilerEndToEnd : public ::testing::Test {
+protected:
+  void SetUp() override {
+    obs::setTracingEnabled(false);
+    obs::traceRecorder().reset();
+  }
+  void TearDown() override {
+    obs::finishSelfProfile(); // tear down any leftover global profiler
+    obs::setTracingEnabled(false);
+    obs::traceRecorder().reset();
+    std::remove(Archive.c_str());
+    std::remove((Archive + ".meta").c_str());
+  }
+  std::string Archive = testing::TempDir() + "selfprof_e2e.twppa";
+};
+
+TEST_F(SelfProfilerEndToEnd, ArchiveVerifiesCleanAndMatchesSidecar) {
+  obs::SelfProfileConfig Config;
+  Config.ArchivePath = Archive;
+  Config.CompareTraceJson = true;
+  ASSERT_TRUE(obs::enableSelfProfile(Config));
+  ASSERT_TRUE(obs::tracingEnabled()) << "enable must turn the recorder on";
+  ASSERT_FALSE(obs::enableSelfProfile(Config)) << "second enable must lose";
+
+  {
+    obs::PhaseSpan Outer("compact");
+    {
+      obs::PhaseSpan Stage("partition");
+    }
+    {
+      obs::PhaseSpan Stage("dbb");
+      ThreadPool Pool(2);
+      for (int I = 0; I < 6; ++I)
+        Pool.run([] { obs::PhaseSpan Work("dbb_function"); });
+      Pool.wait();
+    }
+  }
+  obs::selfProfiler()->drain();
+
+  obs::SelfProfileStats Stats;
+  std::string Error;
+  ASSERT_TRUE(obs::finishSelfProfile(&Stats, &Error)) << Error;
+  EXPECT_EQ(obs::selfProfiler(), nullptr);
+  EXPECT_FALSE(obs::tracingEnabled()) << "finish restores the prior flag";
+
+  EXPECT_GE(Stats.Spans, 9u); // compact, partition, dbb, 6x wrapped task
+  EXPECT_GT(Stats.Events, Stats.Spans);
+  EXPECT_GT(Stats.Functions, 0u);
+  EXPECT_GT(Stats.ArchiveBytes, 0u);
+  EXPECT_GT(Stats.TraceJsonBytes, 0u);
+
+  // The archive is a standard .twppa: the production verifier must pass
+  // it with zero diagnostics of any severity.
+  verify::DiagnosticEngine Engine;
+  EXPECT_TRUE(verify::verifyArchiveFile(Archive, Engine));
+  EXPECT_EQ(Engine.diagnostics().size(), 0u);
+
+  // Sidecar agrees with the archive's function table.
+  obs::SelfProfileMeta Meta;
+  ASSERT_TRUE(obs::readSelfProfileMetaFile(Archive + ".meta", Meta));
+  ArchiveReader Reader;
+  ASSERT_TRUE(Reader.open(Archive));
+  TwppWpp Wpp;
+  ASSERT_TRUE(Reader.readAll(Wpp));
+  EXPECT_EQ(Meta.FunctionPaths.size(), Wpp.Functions.size());
+  EXPECT_EQ(Meta.Stats.Spans, Stats.Spans);
+
+  // The pool-worker spans were grafted under the enqueuing stage.
+  bool SawGraft = false;
+  for (const std::string &Path : Meta.FunctionPaths)
+    SawGraft |= Path == "compact/dbb/pool/dbb_function";
+  EXPECT_TRUE(SawGraft) << "flow grafting missing in end-to-end run";
+}
+
+TEST_F(SelfProfilerEndToEnd, DrainSurvivesRingWraparound) {
+  obs::traceRecorder().setRingCapacity(64);
+  obs::traceRecorder().reset();
+  obs::SelfProfileConfig Config;
+  Config.ArchivePath = Archive;
+  ASSERT_TRUE(obs::enableSelfProfile(Config));
+
+  // Push far more spans than the ring holds, draining rarely enough
+  // that overwrites happen between drains.
+  for (int Round = 0; Round < 8; ++Round) {
+    for (int I = 0; I < 100; ++I) {
+      obs::PhaseSpan Span("spin");
+    }
+    obs::selfProfiler()->drain();
+  }
+
+  obs::SelfProfileStats Stats;
+  std::string Error;
+  ASSERT_TRUE(obs::finishSelfProfile(&Stats, &Error)) << Error;
+  EXPECT_GT(Stats.RecordsDropped, 0u) << "test must actually wrap";
+  EXPECT_GT(Stats.Spans, 0u);
+
+  verify::DiagnosticEngine Engine;
+  EXPECT_TRUE(verify::verifyArchiveFile(Archive, Engine));
+  EXPECT_EQ(Engine.errorCount(), 0u)
+      << "wraparound must degrade into counters, not a corrupt archive";
+
+  obs::traceRecorder().setRingCapacity(
+      obs::TraceRecorder::DefaultRingCapacity);
+  obs::traceRecorder().reset();
+}
+
+} // namespace

@@ -382,7 +382,16 @@ TEST_F(VerifyCorruption, BitFlippedBlockIsNamedOrDecodesDifferently) {
 //===----------------------------------------------------------------------===//
 
 class VerifyCorruptionMode : public VerifyCorruption,
-                             public ::testing::WithParamInterface<IoMode> {};
+                             public ::testing::WithParamInterface<IoMode> {
+protected:
+  /// The two IoMode instances run as concurrent ctest processes; the
+  /// parameter suffix keeps their variant files from racing each other.
+  std::string writeVariant(const std::vector<uint8_t> &Variant,
+                           const std::string &Name) {
+    return VerifyCorruption::writeVariant(
+        Variant, Name + "_" + std::string(ioModeName(GetParam())));
+  }
+};
 
 INSTANTIATE_TEST_SUITE_P(IoModes, VerifyCorruptionMode,
                          ::testing::Values(IoMode::Buffered, IoMode::Mmap),

@@ -1,0 +1,445 @@
+//===- tools/twpp_selfprof.cpp - Self-profile archive reporter ------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+// Reports on a self-profile archive (obs/SelfProfile.h): the pipeline's
+// own execution, compacted as TWPP. Functions are span paths, block 1 is
+// the call marker, higher blocks are log2-bucketed exclusive-time gaps —
+// the sidecar (<archive>.meta) carries both maps, so every figure here is
+// computed purely from the archive's path traces and timestamps.
+//
+//   twpp_selfprof run.twppa
+//   twpp_selfprof --top=3 --format=collapsed --out profile.folded run.twppa
+//
+//   --meta FILE   sidecar path (default: <archive>.meta)
+//   --top=N       hot paths / functions per listing (default 5)
+//   --format=FMT  text (default), collapsed (flamegraph folded
+//                 stacks: "a;b;c <exclusive_us>"), or json
+//   --io=MODE     archive read path: mmap (default) or buffered
+//   --out FILE    write the report to FILE instead of stdout
+//
+// Exit codes: 0 ok, 1 sidecar and archive disagree (function counts),
+// 2 usage or IO failure — the twpp_metrics_diff contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/SelfProfile.h"
+#include "wpp/Archive.h"
+#include "wpp/HotPaths.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+using namespace twpp;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: twpp_selfprof [options] archive.twppa\n"
+      "  --meta FILE   sidecar path (default: <archive>.meta)\n"
+      "  --top=N       hot paths / functions per listing (default 5)\n"
+      "  --format=FMT  text (default), collapsed, or json\n"
+      "  --io=MODE     archive read path: mmap (default) or buffered\n"
+      "  --out FILE    write the report to FILE instead of stdout\n"
+      "exit codes: 0 ok, 1 sidecar/archive mismatch, 2 usage/IO error\n");
+  return 2;
+}
+
+/// One span path's aggregate, from its function block alone.
+struct FunctionReport {
+  FunctionId Function = 0;
+  std::string Path;
+  uint64_t Calls = 0;
+  uint64_t ExclusiveNs = 0;
+  uint64_t InclusiveNs = 0; ///< Path-prefix sum over every function.
+  std::vector<HotPath> Hot; ///< Ranked by use count (wpp/HotPaths).
+};
+
+/// One ranked acyclic path with its reconstructed duration.
+struct RankedPath {
+  const FunctionReport *Fn = nullptr;
+  const HotPath *Path = nullptr;
+  uint64_t PathNs = 0;
+};
+
+struct StageReport {
+  std::string Name; ///< First path component ("compact", "(detached)").
+  uint64_t ExclusiveNs = 0;
+  uint64_t Calls = 0;
+  std::vector<RankedPath> Hot; ///< Use-count ranked across the stage.
+};
+
+std::string stageOf(const std::string &Path) {
+  size_t Slash = Path.find('/');
+  return Slash == std::string::npos ? Path : Path.substr(0, Slash);
+}
+
+std::string formatNs(uint64_t Ns) {
+  char Buf[32];
+  if (Ns >= 1000000000ull)
+    std::snprintf(Buf, sizeof(Buf), "%.2fs", double(Ns) / 1e9);
+  else if (Ns >= 1000000ull)
+    std::snprintf(Buf, sizeof(Buf), "%.2fms", double(Ns) / 1e6);
+  else if (Ns >= 1000ull)
+    std::snprintf(Buf, sizeof(Buf), "%.1fus", double(Ns) / 1e3);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%lluns", (unsigned long long)Ns);
+  return Buf;
+}
+
+/// "[@ 2us 512ns ...]" — the block pattern of one acyclic path, call
+/// markers as '@', gaps by their representative duration.
+std::string describeBlocks(const PathTrace &Blocks,
+                           const std::unordered_map<BlockId, uint64_t> &GapNs,
+                           size_t MaxBlocks = 8) {
+  std::string Out = "[";
+  for (size_t I = 0; I < Blocks.size(); ++I) {
+    if (I == MaxBlocks) {
+      Out += " ...";
+      break;
+    }
+    if (I)
+      Out += " ";
+    if (Blocks[I] == obs::selfprof::CallMarkerBlock) {
+      Out += "@";
+    } else if (auto It = GapNs.find(Blocks[I]); It != GapNs.end()) {
+      Out += formatNs(It->second);
+    } else {
+      Out += "b";
+      Out += std::to_string(Blocks[I]);
+    }
+  }
+  Out += "]";
+  return Out;
+}
+
+void renderText(const std::string &ArchivePath, const obs::SelfProfileMeta &M,
+                const std::vector<FunctionReport> &Functions,
+                const std::vector<StageReport> &Stages,
+                const std::unordered_map<BlockId, uint64_t> &GapNs,
+                size_t Top, std::string &Out) {
+  char Line[512];
+  std::snprintf(Line, sizeof(Line), "self-profile: %s\n",
+                ArchivePath.c_str());
+  Out += Line;
+  std::snprintf(Line, sizeof(Line),
+                "  functions %llu, spans %llu, events %llu, records "
+                "dropped %llu\n",
+                (unsigned long long)M.Stats.Functions,
+                (unsigned long long)M.Stats.Spans,
+                (unsigned long long)M.Stats.Events,
+                (unsigned long long)M.Stats.RecordsDropped);
+  Out += Line;
+  std::snprintf(Line, sizeof(Line),
+                "  truncated %llu, unclosed %llu, orphan flows %llu, "
+                "registry overflows %llu\n",
+                (unsigned long long)M.Stats.TruncatedSpans,
+                (unsigned long long)M.Stats.UnclosedSpans,
+                (unsigned long long)M.Stats.OrphanFlows,
+                (unsigned long long)M.Stats.RegistryOverflows);
+  Out += Line;
+  if (M.Stats.TraceJsonBytes != 0 && M.Stats.ArchiveBytes != 0) {
+    std::snprintf(Line, sizeof(Line),
+                  "  archive %llu bytes vs chrome-trace json %llu bytes "
+                  "(%.1fx smaller)\n",
+                  (unsigned long long)M.Stats.ArchiveBytes,
+                  (unsigned long long)M.Stats.TraceJsonBytes,
+                  double(M.Stats.TraceJsonBytes) /
+                      double(M.Stats.ArchiveBytes));
+    Out += Line;
+  }
+
+  Out += "stages (exclusive time):\n";
+  for (const StageReport &S : Stages) {
+    std::snprintf(Line, sizeof(Line), "  %-24s %10s  (calls %llu)\n",
+                  S.Name.c_str(), formatNs(S.ExclusiveNs).c_str(),
+                  (unsigned long long)S.Calls);
+    Out += Line;
+  }
+
+  Out += "hottest functions (by exclusive time):\n";
+  std::snprintf(Line, sizeof(Line), "  %-40s %8s %10s %10s\n", "span path",
+                "calls", "excl", "incl");
+  Out += Line;
+  std::vector<const FunctionReport *> ByExclusive;
+  for (const FunctionReport &Fn : Functions)
+    if (Fn.Calls != 0)
+      ByExclusive.push_back(&Fn);
+  std::stable_sort(ByExclusive.begin(), ByExclusive.end(),
+                   [](const FunctionReport *A, const FunctionReport *B) {
+                     return A->ExclusiveNs > B->ExclusiveNs;
+                   });
+  for (size_t I = 0; I < ByExclusive.size() && I < Top; ++I) {
+    const FunctionReport &Fn = *ByExclusive[I];
+    std::snprintf(Line, sizeof(Line), "  %-40s %8llu %10s %10s\n",
+                  Fn.Path.c_str(), (unsigned long long)Fn.Calls,
+                  formatNs(Fn.ExclusiveNs).c_str(),
+                  formatNs(Fn.InclusiveNs).c_str());
+    Out += Line;
+  }
+
+  Out += "hottest acyclic paths per stage:\n";
+  for (const StageReport &S : Stages) {
+    std::snprintf(Line, sizeof(Line), "  stage %s:\n", S.Name.c_str());
+    Out += Line;
+    for (size_t I = 0; I < S.Hot.size() && I < Top; ++I) {
+      const RankedPath &R = S.Hot[I];
+      std::snprintf(Line, sizeof(Line), "    %2zu. %-36s x%-8llu %10s  %s\n",
+                    I + 1, R.Fn->Path.c_str(),
+                    (unsigned long long)R.Path->UseCount,
+                    formatNs(R.PathNs).c_str(),
+                    describeBlocks(R.Path->Blocks, GapNs).c_str());
+      Out += Line;
+    }
+  }
+}
+
+void renderCollapsed(const std::vector<FunctionReport> &Functions,
+                     std::string &Out) {
+  // Folded-stack format: "frame;frame;frame <value>", one line per
+  // stack, value = exclusive microseconds. Function ids are full span
+  // paths, so '/' -> ';' is the entire conversion.
+  for (const FunctionReport &Fn : Functions) {
+    if (Fn.Calls == 0 || Fn.Path == "(overflow)")
+      continue;
+    std::string Frames = Fn.Path;
+    std::replace(Frames.begin(), Frames.end(), '/', ';');
+    Out += Frames + " " + std::to_string(Fn.ExclusiveNs / 1000) + "\n";
+  }
+}
+
+void renderJson(const std::string &ArchivePath, const obs::SelfProfileMeta &M,
+                const std::vector<FunctionReport> &Functions,
+                const std::vector<StageReport> &Stages, size_t Top,
+                std::string &Out) {
+  auto U64 = [](uint64_t Value) { return std::to_string(Value); };
+  Out += "{\"schema\": \"twpp-selfprof-v1\", \"archive\": " +
+         obs::jsonStringLiteral(ArchivePath);
+  Out += ", \"stats\": {\"functions\": " + U64(M.Stats.Functions) +
+         ", \"spans\": " + U64(M.Stats.Spans) +
+         ", \"events\": " + U64(M.Stats.Events) +
+         ", \"records_dropped\": " + U64(M.Stats.RecordsDropped) +
+         ", \"truncated_spans\": " + U64(M.Stats.TruncatedSpans) +
+         ", \"unclosed_spans\": " + U64(M.Stats.UnclosedSpans) +
+         ", \"orphan_flows\": " + U64(M.Stats.OrphanFlows) +
+         ", \"archive_bytes\": " + U64(M.Stats.ArchiveBytes) +
+         ", \"trace_json_bytes\": " + U64(M.Stats.TraceJsonBytes) + "}";
+  Out += ", \"stages\": [";
+  for (size_t I = 0; I < Stages.size(); ++I) {
+    const StageReport &S = Stages[I];
+    if (I)
+      Out += ", ";
+    Out += "{\"stage\": " + obs::jsonStringLiteral(S.Name) +
+           ", \"exclusive_ns\": " + U64(S.ExclusiveNs) +
+           ", \"calls\": " + U64(S.Calls) + ", \"hot_paths\": [";
+    for (size_t P = 0; P < S.Hot.size() && P < Top; ++P) {
+      const RankedPath &R = S.Hot[P];
+      if (P)
+        Out += ", ";
+      Out += "{\"path\": " + obs::jsonStringLiteral(R.Fn->Path) +
+             ", \"use_count\": " + U64(R.Path->UseCount) +
+             ", \"path_ns\": " + U64(R.PathNs) + ", \"blocks\": [";
+      for (size_t B = 0; B < R.Path->Blocks.size(); ++B) {
+        if (B)
+          Out += ", ";
+        Out += U64(R.Path->Blocks[B]);
+      }
+      Out += "]}";
+    }
+    Out += "]}";
+  }
+  Out += "], \"functions\": [";
+  bool First = true;
+  for (const FunctionReport &Fn : Functions) {
+    if (Fn.Calls == 0)
+      continue;
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "{\"function\": " + U64(Fn.Function) +
+           ", \"path\": " + obs::jsonStringLiteral(Fn.Path) +
+           ", \"calls\": " + U64(Fn.Calls) +
+           ", \"exclusive_ns\": " + U64(Fn.ExclusiveNs) +
+           ", \"inclusive_ns\": " + U64(Fn.InclusiveNs) + "}";
+  }
+  Out += "]}\n";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  size_t Top = 5;
+  std::string Format = "text";
+  std::string MetaPath;
+  std::string OutPath;
+  std::string ArchivePath;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--top=", 0) == 0) {
+      Top = static_cast<size_t>(std::strtoull(Arg.c_str() + 6, nullptr, 10));
+      if (Top == 0)
+        return usage();
+    } else if (Arg.rfind("--format=", 0) == 0) {
+      Format = Arg.substr(9);
+      if (Format != "text" && Format != "collapsed" && Format != "json")
+        return usage();
+    } else if (Arg.rfind("--io=", 0) == 0) {
+      IoMode Mode;
+      if (!parseIoMode(Arg.substr(5), Mode))
+        return usage();
+      setDefaultArchiveIoMode(Mode);
+    } else if (Arg == "--meta") {
+      if (++I >= Argc)
+        return usage();
+      MetaPath = Argv[I];
+    } else if (Arg == "--out") {
+      if (++I >= Argc)
+        return usage();
+      OutPath = Argv[I];
+    } else if (Arg.rfind("--", 0) == 0) {
+      return usage();
+    } else if (ArchivePath.empty()) {
+      ArchivePath = Arg;
+    } else {
+      return usage();
+    }
+  }
+  if (ArchivePath.empty())
+    return usage();
+  if (MetaPath.empty())
+    MetaPath = ArchivePath + ".meta";
+
+  obs::SelfProfileMeta Meta;
+  if (!obs::readSelfProfileMetaFile(MetaPath, Meta)) {
+    std::fprintf(stderr, "twpp_selfprof: cannot read sidecar %s\n",
+                 MetaPath.c_str());
+    return 2;
+  }
+
+  ArchiveReader Reader;
+  if (!Reader.open(ArchivePath)) {
+    std::fprintf(stderr, "twpp_selfprof: cannot open %s: %s\n",
+                 ArchivePath.c_str(), Reader.lastError().Message.c_str());
+    return 2;
+  }
+  if (Reader.functionCount() != Meta.FunctionPaths.size()) {
+    std::fprintf(stderr,
+                 "twpp_selfprof: sidecar lists %zu functions but the "
+                 "archive holds %u\n",
+                 Meta.FunctionPaths.size(), Reader.functionCount());
+    return 1;
+  }
+
+  std::unordered_map<BlockId, uint64_t> GapNs;
+  for (const auto &[Block, Ns] : Meta.GapBlocks)
+    GapNs.emplace(Block, Ns);
+
+  // Per function (span path): expand its unique path traces, turn gap
+  // blocks back into nanoseconds, rank its acyclic paths by use count.
+  std::vector<FunctionReport> Functions(Reader.functionCount());
+  for (FunctionId F = 0; F < Reader.functionCount(); ++F) {
+    FunctionReport &Fn = Functions[F];
+    Fn.Function = F;
+    Fn.Path = Meta.FunctionPaths[F];
+    if (Reader.callCount(F) == 0)
+      continue;
+    TwppFunctionTable Table;
+    if (!Reader.extractFunction(F, Table)) {
+      std::fprintf(stderr, "twpp_selfprof: cannot extract function %u: %s\n",
+                   F, Reader.lastError().Message.c_str());
+      return 2;
+    }
+    FunctionPathTraces Expanded = expandFunctionTraces(Table);
+    Fn.Calls = Expanded.CallCount;
+    for (size_t T = 0; T < Expanded.Traces.size(); ++T) {
+      uint64_t TraceNs = 0;
+      for (BlockId B : Expanded.Traces[T]) {
+        auto It = GapNs.find(B);
+        if (It != GapNs.end())
+          TraceNs += It->second;
+      }
+      uint64_t Uses =
+          T < Expanded.UseCounts.size() ? Expanded.UseCounts[T] : 0;
+      Fn.ExclusiveNs += TraceNs * Uses;
+    }
+    Fn.Hot = hotPathsOf(Table, Top);
+  }
+
+  // Inclusive time falls out of the path-as-function encoding: a span's
+  // subtree is exactly the functions whose path it prefixes.
+  for (FunctionReport &Fn : Functions) {
+    if (Fn.Path == "(overflow)") {
+      Fn.InclusiveNs = Fn.ExclusiveNs;
+      continue;
+    }
+    std::string Prefix = Fn.Path + "/";
+    for (const FunctionReport &Other : Functions)
+      if (Other.Path == Fn.Path ||
+          Other.Path.compare(0, Prefix.size(), Prefix) == 0)
+        Fn.InclusiveNs += Other.ExclusiveNs;
+  }
+
+  // Per pipeline stage (first path component): exclusive totals and the
+  // stage-wide use-count ranking of acyclic paths.
+  std::map<std::string, StageReport> StageMap;
+  for (const FunctionReport &Fn : Functions) {
+    if (Fn.Calls == 0)
+      continue;
+    StageReport &S = StageMap[stageOf(Fn.Path)];
+    S.Name = stageOf(Fn.Path);
+    S.ExclusiveNs += Fn.ExclusiveNs;
+    S.Calls += Fn.Calls;
+    for (const HotPath &H : Fn.Hot) {
+      uint64_t PathNs = 0;
+      for (BlockId B : H.Blocks) {
+        auto It = GapNs.find(B);
+        if (It != GapNs.end())
+          PathNs += It->second;
+      }
+      S.Hot.push_back(RankedPath{&Fn, &H, PathNs});
+    }
+  }
+  std::vector<StageReport> Stages;
+  for (auto &[Name, S] : StageMap) {
+    std::stable_sort(S.Hot.begin(), S.Hot.end(),
+                     [](const RankedPath &A, const RankedPath &B) {
+                       return A.Path->UseCount > B.Path->UseCount;
+                     });
+    Stages.push_back(std::move(S));
+  }
+  std::stable_sort(Stages.begin(), Stages.end(),
+                   [](const StageReport &A, const StageReport &B) {
+                     return A.ExclusiveNs > B.ExclusiveNs;
+                   });
+
+  std::string Out;
+  if (Format == "collapsed")
+    renderCollapsed(Functions, Out);
+  else if (Format == "json")
+    renderJson(ArchivePath, Meta, Functions, Stages, Top, Out);
+  else
+    renderText(ArchivePath, Meta, Functions, Stages, GapNs, Top, Out);
+
+  if (OutPath.empty()) {
+    std::fputs(Out.c_str(), stdout);
+  } else {
+    std::FILE *File = std::fopen(OutPath.c_str(), "w");
+    if (!File) {
+      std::fprintf(stderr, "twpp_selfprof: cannot write %s\n",
+                   OutPath.c_str());
+      return 2;
+    }
+    std::fputs(Out.c_str(), File);
+    std::fclose(File);
+  }
+  return 0;
+}
