@@ -67,7 +67,9 @@ void names::registerCanonicalMetrics(MetricsRegistry &Registry) {
         TraceDroppedEvents, SelfprofSpans, SelfprofEvents,
         SelfprofRecordsDropped, SelfprofTruncatedSpans,
         SelfprofUnclosedSpans, SelfprofOrphanFlows,
-        SelfprofRegistryOverflows})
+        SelfprofRegistryOverflows, RacesRuns, RacesThreadsCompacted,
+        RacesEdgesDerived, RacesSegments, RacesSegmentPairs,
+        RacesPairsCovered, RacesFound, RacesRacyPairs})
     Registry.counter(Name);
   for (const char *Name : {PoolWorkers, PoolQueueDepth, PartitionBytesIn,
                            PartitionBytesOut, DbbBytesIn, DbbBytesOut,

@@ -146,6 +146,18 @@ inline constexpr const char *MemTrackedLiveBytes = "mem.tracked_live_bytes";
 inline constexpr const char *MemTrackedPeakBytes = "mem.tracked_peak_bytes";
 inline constexpr const char *MemAllocs = "mem.allocs";
 
+// races/ — happens-before data-race detection over the compacted
+// concurrent representation (src/races/, twpp_races).
+inline constexpr const char *RacesRuns = "races.runs";
+inline constexpr const char *RacesThreadsCompacted =
+    "races.threads_compacted";
+inline constexpr const char *RacesEdgesDerived = "races.edges_derived";
+inline constexpr const char *RacesSegments = "races.segments";
+inline constexpr const char *RacesSegmentPairs = "races.segment_pairs";
+inline constexpr const char *RacesPairsCovered = "races.pairs_covered";
+inline constexpr const char *RacesFound = "races.found";
+inline constexpr const char *RacesRacyPairs = "races.racy_pairs";
+
 // dataflow/ — demand-driven queries over the compacted form.
 inline constexpr const char *DataflowQueries = "dataflow.queries";
 inline constexpr const char *DataflowSubqueries = "dataflow.subqueries";

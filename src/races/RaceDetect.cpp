@@ -1,0 +1,367 @@
+//===- races/RaceDetect.cpp - Race detection on the compacted form --------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "races/RaceDetect.h"
+
+#include "obs/Metrics.h"
+#include "obs/Names.h"
+#include "obs/PhaseSpan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <tuple>
+
+using namespace twpp;
+using namespace twpp::races;
+
+namespace {
+
+/// A thread's constant-clock segments: segment i covers per-thread times
+/// (Bounds[i], Bounds[i+1]] under clock *Clocks[i].
+struct SegmentList {
+  std::vector<uint32_t> Bounds;
+  std::vector<const VectorClock *> Clocks;
+
+  size_t size() const { return Clocks.size(); }
+};
+
+SegmentList buildSegments(const ThreadTimeline &Timeline, uint64_t N) {
+  SegmentList Out;
+  for (const ClockCheckpoint &Cp : Timeline.Checkpoints) {
+    if (Cp.Time >= N)
+      break; // a checkpoint at (or past) N governs no events
+    Out.Bounds.push_back(Cp.Time);
+    Out.Clocks.push_back(&Cp.Clock);
+  }
+  if (!Out.Clocks.empty())
+    Out.Bounds.push_back(static_cast<uint32_t>(N));
+  return Out;
+}
+
+/// Counts of Set elements <= each position, for ascending \p Positions.
+/// One two-pointer sweep over the runs: the compacted engine's whole
+/// ordered-pair census is prefix arithmetic, never expansion.
+std::vector<uint64_t> prefixCounts(const TimestampSet &Set,
+                                   const std::vector<uint32_t> &Positions) {
+  std::vector<uint64_t> Out(Positions.size(), 0);
+  const std::vector<SeriesRun> &Runs = Set.runs();
+  size_t R = 0;
+  uint64_t Before = 0;
+  for (size_t I = 0; I != Positions.size(); ++I) {
+    uint32_t P = Positions[I];
+    while (R != Runs.size() && Runs[R].Hi <= P) {
+      Before += Runs[R].count();
+      ++R;
+    }
+    uint64_t C = Before;
+    if (R != Runs.size() && Runs[R].Lo <= P)
+      C += (static_cast<uint64_t>(P) - Runs[R].Lo) / Runs[R].Step + 1;
+    Out[I] = C;
+  }
+  return Out;
+}
+
+using PairTuple = std::tuple<uint32_t, uint8_t, uint32_t, uint8_t>;
+
+constexpr PairTuple NoPair{std::numeric_limits<uint32_t>::max(), 2,
+                           std::numeric_limits<uint32_t>::max(), 2};
+
+/// First element of \p Set in [Lo, Hi], or 0 when none.
+uint32_t firstInRange(const TimestampSet &Set, uint32_t Lo, uint32_t Hi) {
+  if (Lo > Hi)
+    return 0;
+  Timestamp T = Set.firstAtLeast(Lo);
+  return (T != 0 && T <= Hi) ? T : 0;
+}
+
+/// The lexicographically first racy pair within one segment pair, or
+/// NoPair. Racy region of either side is the clip past what the other
+/// segment's clock already ordered.
+PairTuple segmentPairCandidate(const AddressAccess &A, const AddressAccess &B,
+                               uint32_t LoA, uint32_t HiA, uint32_t LoB,
+                               uint32_t HiB) {
+  PairTuple Best = NoPair;
+  uint32_t TbW = firstInRange(B.Writes, LoB, HiB);
+  uint32_t TbR = firstInRange(B.Reads, LoB, HiB);
+  uint32_t TbAny = 0;
+  uint8_t KbAny = 0;
+  if (TbW != 0 && (TbR == 0 || TbW <= TbR)) {
+    TbAny = TbW;
+    KbAny = 0;
+  } else if (TbR != 0) {
+    TbAny = TbR;
+    KbAny = 1;
+  }
+  uint32_t TaW = firstInRange(A.Writes, LoA, HiA);
+  if (TaW != 0 && TbAny != 0)
+    Best = std::min(Best, PairTuple{TaW, 0, TbAny, KbAny});
+  uint32_t TaR = firstInRange(A.Reads, LoA, HiA);
+  if (TaR != 0 && TbW != 0)
+    Best = std::min(Best, PairTuple{TaR, 1, TbW, 0});
+  return Best;
+}
+
+void sortReport(RaceReport &Report) {
+  std::sort(Report.Races.begin(), Report.Races.end(),
+            [](const RacePair &X, const RacePair &Y) {
+              return std::make_tuple(X.Addr, X.ThreadA, X.ThreadB) <
+                     std::make_tuple(Y.Addr, Y.ThreadA, Y.ThreadB);
+            });
+}
+
+} // namespace
+
+RaceReport races::detectRacesCompacted(const ConcurrencyInfo &Conc) {
+  obs::PhaseSpan Span("race_detect_compacted");
+  RaceReport Report;
+  size_t ThreadCount = Conc.Threads.size();
+  HappensBefore Hb = buildHappensBefore(Conc);
+
+  std::vector<SegmentList> Segs(ThreadCount);
+  for (size_t T = 0; T != ThreadCount; ++T) {
+    Segs[T] = buildSegments(Hb.Threads[T], Conc.Threads[T].BlockCount);
+    Report.Stats.Segments += Segs[T].size();
+  }
+
+  for (uint32_t TA = 0; TA != ThreadCount; ++TA) {
+    for (uint32_t TB = TA + 1; TB != ThreadCount; ++TB) {
+      const SegmentList &SA = Segs[TA];
+      const SegmentList &SB = Segs[TB];
+      if (SA.size() == 0 || SB.size() == 0)
+        continue;
+      // Per-segment clock views of the opposite thread. Clocks are
+      // monotone along program order, so these are ascending — which is
+      // what lets prefixCounts sweep them in one pass.
+      std::vector<uint32_t> CaOfB(SA.size()), CbOfA(SB.size());
+      for (size_t I = 0; I != SA.size(); ++I)
+        CaOfB[I] = (*SA.Clocks[I])[TB];
+      for (size_t J = 0; J != SB.size(); ++J)
+        CbOfA[J] = (*SB.Clocks[J])[TA];
+
+      // Sorted-merge the two threads' address tables.
+      const std::vector<AddressAccess> &AccA = Conc.Accesses[TA].Accesses;
+      const std::vector<AddressAccess> &AccB = Conc.Accesses[TB].Accesses;
+      size_t IA = 0, IB = 0;
+      while (IA != AccA.size() && IB != AccB.size()) {
+        if (AccA[IA].Addr < AccB[IB].Addr) {
+          ++IA;
+          continue;
+        }
+        if (AccB[IB].Addr < AccA[IA].Addr) {
+          ++IB;
+          continue;
+        }
+        const AddressAccess &A = AccA[IA];
+        const AddressAccess &B = AccB[IB];
+        ++IA;
+        ++IB;
+
+        uint64_t NWA = A.Writes.count(), NRA = A.Reads.count();
+        uint64_t NWB = B.Writes.count(), NRB = B.Reads.count();
+        Report.Stats.PairsCovered += (NWA + NRA) * (NWB + NRB);
+        if (NWA + NWB == 0)
+          continue; // read-read only
+
+        // Candidate pairs with at least one write, then subtract the
+        // ordered ones: a pair (ta, tb) with ta <= clock_b(tb)[TA] is
+        // ordered A-before-B (and symmetrically), and a consistent edge
+        // set never orders a pair both ways.
+        std::vector<uint64_t> PrefWAatB = prefixCounts(A.Writes, CbOfA);
+        std::vector<uint64_t> PrefRAatB = prefixCounts(A.Reads, CbOfA);
+        std::vector<uint64_t> PrefWBatA = prefixCounts(B.Writes, CaOfB);
+        std::vector<uint64_t> PrefRBatA = prefixCounts(B.Reads, CaOfB);
+        std::vector<uint64_t> PrefWAbounds = prefixCounts(A.Writes, SA.Bounds);
+        std::vector<uint64_t> PrefRAbounds = prefixCounts(A.Reads, SA.Bounds);
+        std::vector<uint64_t> PrefWBbounds = prefixCounts(B.Writes, SB.Bounds);
+        std::vector<uint64_t> PrefRBbounds = prefixCounts(B.Reads, SB.Bounds);
+
+        int64_t Racy = static_cast<int64_t>(NWA * (NWB + NRB) + NRA * NWB);
+        for (size_t J = 0; J != SB.size(); ++J) {
+          uint64_t SegWB = PrefWBbounds[J + 1] - PrefWBbounds[J];
+          uint64_t SegRB = PrefRBbounds[J + 1] - PrefRBbounds[J];
+          Racy -= static_cast<int64_t>(PrefWAatB[J] * (SegWB + SegRB) +
+                                       PrefRAatB[J] * SegWB);
+        }
+        for (size_t I = 0; I != SA.size(); ++I) {
+          uint64_t SegWA = PrefWAbounds[I + 1] - PrefWAbounds[I];
+          uint64_t SegRA = PrefRAbounds[I + 1] - PrefRAbounds[I];
+          Racy -= static_cast<int64_t>(SegWA * (PrefWBatA[I] + PrefRBatA[I]) +
+                                       SegRA * PrefWBatA[I]);
+        }
+        Report.Stats.SegmentPairs += SA.size() + SB.size();
+        if (Racy <= 0)
+          continue;
+
+        // Locate the first racy pair. Segments partition each thread's
+        // clock, so the earliest racy A-time lives in the first A
+        // segment yielding any candidate; only then are B's segments
+        // scanned, clipped to the mutually-unordered region.
+        PairTuple Best = NoPair;
+        for (size_t I = 0; I != SA.size() && Best == NoPair; ++I) {
+          if (PrefWAbounds[I + 1] - PrefWAbounds[I] +
+                  (PrefRAbounds[I + 1] - PrefRAbounds[I]) ==
+              0)
+            continue;
+          uint32_t Ca = CaOfB[I];
+          for (size_t J = 0; J != SB.size(); ++J) {
+            if (PrefWBbounds[J + 1] - PrefWBbounds[J] +
+                    (PrefRBbounds[J + 1] - PrefRBbounds[J]) ==
+                0)
+              continue;
+            Report.Stats.SegmentPairs += 1;
+            uint32_t LoA = std::max(SA.Bounds[I] + 1, CbOfA[J] + 1);
+            uint32_t LoB = std::max(SB.Bounds[J] + 1, Ca + 1);
+            Best = std::min(Best,
+                            segmentPairCandidate(A, B, LoA, SA.Bounds[I + 1],
+                                                 LoB, SB.Bounds[J + 1]));
+          }
+        }
+        if (Best == NoPair)
+          continue; // inconsistent edges; verifier owns the diagnosis
+        RacePair Race;
+        Race.Addr = A.Addr;
+        Race.ThreadA = TA;
+        Race.ThreadB = TB;
+        Race.TimeA = std::get<0>(Best);
+        Race.KindA = std::get<1>(Best);
+        Race.TimeB = std::get<2>(Best);
+        Race.KindB = std::get<3>(Best);
+        Race.PairCount = static_cast<uint64_t>(Racy);
+        Report.Stats.RacyPairs += Race.PairCount;
+        Report.Races.push_back(Race);
+      }
+    }
+  }
+  sortReport(Report);
+
+  if (obs::enabled()) {
+    obs::MetricsRegistry &M = obs::metrics();
+    M.counter(obs::names::RacesRuns).add();
+    M.counter(obs::names::RacesSegments).add(Report.Stats.Segments);
+    M.counter(obs::names::RacesSegmentPairs).add(Report.Stats.SegmentPairs);
+    M.counter(obs::names::RacesPairsCovered).add(Report.Stats.PairsCovered);
+    M.counter(obs::names::RacesFound).add(Report.Races.size());
+    M.counter(obs::names::RacesRacyPairs).add(Report.Stats.RacyPairs);
+  }
+  return Report;
+}
+
+RaceReport races::detectRacesOracle(const ConcurrencyInfo &Conc) {
+  obs::PhaseSpan Span("race_detect_oracle");
+  RaceReport Report;
+  size_t ThreadCount = Conc.Threads.size();
+  HappensBefore Hb = buildHappensBefore(Conc);
+
+  // Decompress: every access set becomes explicit (time, kind) events,
+  // every event gets the index of its governing checkpoint.
+  struct OracleEvent {
+    uint32_t Time;
+    uint8_t Kind;
+    uint32_t Checkpoint;
+  };
+  struct OracleAddr {
+    Address Addr;
+    std::vector<OracleEvent> Events; // sorted (Time, Kind)
+  };
+  std::vector<std::vector<OracleAddr>> Expanded(ThreadCount);
+  for (size_t T = 0; T != ThreadCount; ++T) {
+    const std::vector<ClockCheckpoint> &Cps = Hb.Threads[T].Checkpoints;
+    for (const AddressAccess &Acc : Conc.Accesses[T].Accesses) {
+      OracleAddr Out;
+      Out.Addr = Acc.Addr;
+      std::vector<Timestamp> Writes = Acc.Writes.toVector();
+      std::vector<Timestamp> Reads = Acc.Reads.toVector();
+      size_t IW = 0, IR = 0;
+      uint32_t Cp = 0; // events ascend, so the checkpoint cursor only moves
+      while (IW != Writes.size() || IR != Reads.size()) {
+        bool TakeWrite =
+            IR == Reads.size() ||
+            (IW != Writes.size() && Writes[IW] <= Reads[IR]);
+        uint32_t Time = TakeWrite ? Writes[IW++] : Reads[IR++];
+        while (Cp + 1 != Cps.size() && Cps[Cp + 1].Time < Time)
+          ++Cp;
+        Out.Events.push_back({Time, TakeWrite ? uint8_t(0) : uint8_t(1), Cp});
+      }
+      Expanded[T].push_back(std::move(Out));
+    }
+  }
+
+  for (uint32_t TA = 0; TA != ThreadCount; ++TA) {
+    for (uint32_t TB = TA + 1; TB != ThreadCount; ++TB) {
+      const std::vector<ClockCheckpoint> &CpsA = Hb.Threads[TA].Checkpoints;
+      const std::vector<ClockCheckpoint> &CpsB = Hb.Threads[TB].Checkpoints;
+      size_t IA = 0, IB = 0;
+      const std::vector<OracleAddr> &AddrsA = Expanded[TA];
+      const std::vector<OracleAddr> &AddrsB = Expanded[TB];
+      while (IA != AddrsA.size() && IB != AddrsB.size()) {
+        if (AddrsA[IA].Addr < AddrsB[IB].Addr) {
+          ++IA;
+          continue;
+        }
+        if (AddrsB[IB].Addr < AddrsA[IA].Addr) {
+          ++IB;
+          continue;
+        }
+        const OracleAddr &A = AddrsA[IA];
+        const OracleAddr &B = AddrsB[IB];
+        ++IA;
+        ++IB;
+        Report.Stats.PairsCovered +=
+            static_cast<uint64_t>(A.Events.size()) * B.Events.size();
+        uint64_t Count = 0;
+        PairTuple Best = NoPair;
+        for (const OracleEvent &Ea : A.Events) {
+          uint32_t CaB = CpsA[Ea.Checkpoint].Clock[TB];
+          for (const OracleEvent &Eb : B.Events) {
+            if (Ea.Kind == 1 && Eb.Kind == 1)
+              continue;
+            if (Ea.Time <= CpsB[Eb.Checkpoint].Clock[TA])
+              continue; // A-event ordered before B-event
+            if (Eb.Time <= CaB)
+              continue; // B-event ordered before A-event
+            ++Count;
+            Best = std::min(Best, PairTuple{Ea.Time, Ea.Kind, Eb.Time,
+                                            Eb.Kind});
+          }
+        }
+        if (Count == 0)
+          continue;
+        RacePair Race;
+        Race.Addr = A.Addr;
+        Race.ThreadA = TA;
+        Race.ThreadB = TB;
+        Race.TimeA = std::get<0>(Best);
+        Race.KindA = std::get<1>(Best);
+        Race.TimeB = std::get<2>(Best);
+        Race.KindB = std::get<3>(Best);
+        Race.PairCount = Count;
+        Report.Stats.RacyPairs += Count;
+        Report.Races.push_back(Race);
+      }
+    }
+  }
+  sortReport(Report);
+  return Report;
+}
+
+bool races::sameVerdict(const RaceReport &A, const RaceReport &B) {
+  return A.Races == B.Races;
+}
+
+std::string races::renderRaceLines(const RaceReport &Report) {
+  std::string Out;
+  char Line[160];
+  for (const RacePair &R : Report.Races) {
+    std::snprintf(Line, sizeof(Line),
+                  "race addr=0x%llx threads=%u,%u first=%c@%u/%c@%u pairs=%llu\n",
+                  static_cast<unsigned long long>(R.Addr), R.ThreadA, R.ThreadB,
+                  R.KindA == 0 ? 'W' : 'R', R.TimeA, R.KindB == 0 ? 'W' : 'R',
+                  R.TimeB, static_cast<unsigned long long>(R.PairCount));
+    Out += Line;
+  }
+  return Out;
+}

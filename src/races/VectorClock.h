@@ -1,0 +1,63 @@
+//===- races/VectorClock.h - Per-thread vector clocks -----------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vector clocks over the concurrent model's per-thread block clocks.
+/// Component j of a clock held "at" thread i is the largest thread-j time
+/// known (transitively, through happens-before edges) to precede the
+/// current point of thread i. Clocks join at edge targets and are
+/// otherwise constant — that constancy between edges is what the
+/// compacted race engine exploits to batch whole timestamp-set runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_RACES_VECTORCLOCK_H
+#define TWPP_RACES_VECTORCLOCK_H
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace twpp::races {
+
+class VectorClock {
+public:
+  VectorClock() = default;
+  explicit VectorClock(size_t ThreadCount) : Comp(ThreadCount, 0) {}
+
+  bool operator==(const VectorClock &Other) const = default;
+
+  size_t size() const { return Comp.size(); }
+  uint32_t operator[](size_t Thread) const { return Comp[Thread]; }
+
+  void raise(size_t Thread, uint32_t Time) {
+    Comp[Thread] = std::max(Comp[Thread], Time);
+  }
+
+  /// Componentwise max — the clock join at an edge target.
+  void joinWith(const VectorClock &Other) {
+    for (size_t I = 0; I != Comp.size(); ++I)
+      Comp[I] = std::max(Comp[I], Other.Comp[I]);
+  }
+
+  /// True when every component of this clock is <= the matching
+  /// component of \p Other (the monotonicity the verifier checks along
+  /// each thread's program order).
+  bool dominatedBy(const VectorClock &Other) const {
+    for (size_t I = 0; I != Comp.size(); ++I)
+      if (Comp[I] > Other.Comp[I])
+        return false;
+    return true;
+  }
+
+private:
+  std::vector<uint32_t> Comp;
+};
+
+} // namespace twpp::races
+
+#endif // TWPP_RACES_VECTORCLOCK_H

@@ -1,0 +1,158 @@
+//===- trace/ThreadEvents.h - Thread-aware WPP event model ------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrent extension of the WPP event model. The paper traces one
+/// thread; a production service traces many. A ConcurrentTrace is a set of
+/// per-thread RawTraces (each with its own 1-based block-event clock) plus
+/// two cross-cutting streams recorded in one global interleaving order:
+///
+///  - SyncEvents: lock acquire/release and thread fork/join. A sync event
+///    carries the acting thread's block count at the moment it fired, so
+///    "time" in the concurrent model is always a per-thread TWPP timestamp
+///    (the same 1..N clock the timestamp sets use).
+///  - AccessEvents: per-address reads/writes, each attached to the block
+///    event (1-based per-thread time) during which it executed.
+///
+/// From the sync stream we derive the cross-thread happens-before edges
+/// that the archive stores and the race detector consumes: one edge per
+/// inter-thread release->acquire handoff, fork and join. An edge
+/// (T1, t1) -> (T2, t2) means every T1 event with time <= t1 happens
+/// before every T2 event with time > t2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_TRACE_THREADEVENTS_H
+#define TWPP_TRACE_THREADEVENTS_H
+
+#include "trace/Events.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace twpp {
+
+/// Identifies a thread within a concurrent trace. Thread ids are dense:
+/// thread i is Threads[i] of its ConcurrentTrace (thread 0 is main).
+using ThreadId = uint32_t;
+
+/// Identifies a lock object in the sync stream.
+using LockId = uint32_t;
+
+/// A traced memory address (opaque; only equality matters to the race
+/// detector).
+using Address = uint64_t;
+
+/// One synchronization operation.
+struct SyncEvent {
+  enum class Kind : uint8_t {
+    Acquire, ///< Thread acquires lock Object.
+    Release, ///< Thread releases lock Object.
+    Fork,    ///< Thread starts thread Object (before its first event).
+    Join,    ///< Thread waits for thread Object (after its last event).
+  };
+
+  Kind EventKind;
+  ThreadId Thread; ///< The acting thread.
+  uint32_t Object; ///< LockId (Acquire/Release) or child ThreadId.
+  uint32_t Time;   ///< Block events completed on Thread when this fired
+                   ///< (0..N: syncs happen *between* block events).
+
+  static SyncEvent acquire(ThreadId T, LockId L, uint32_t Time) {
+    return {Kind::Acquire, T, L, Time};
+  }
+  static SyncEvent release(ThreadId T, LockId L, uint32_t Time) {
+    return {Kind::Release, T, L, Time};
+  }
+  static SyncEvent fork(ThreadId Parent, ThreadId Child, uint32_t Time) {
+    return {Kind::Fork, Parent, Child, Time};
+  }
+  static SyncEvent join(ThreadId Parent, ThreadId Child, uint32_t Time) {
+    return {Kind::Join, Parent, Child, Time};
+  }
+
+  bool operator==(const SyncEvent &Other) const = default;
+};
+
+/// One memory access. Write sorts before Read so that the race reports'
+/// lexicographic tie-break prefers the more severe access kind.
+struct AccessEvent {
+  enum class Kind : uint8_t { Write = 0, Read = 1 };
+
+  Kind EventKind;
+  ThreadId Thread;
+  Address Addr;
+  uint32_t Time; ///< 1-based per-thread time of the containing block event.
+
+  static AccessEvent write(ThreadId T, Address A, uint32_t Time) {
+    return {Kind::Write, T, A, Time};
+  }
+  static AccessEvent read(ThreadId T, Address A, uint32_t Time) {
+    return {Kind::Read, T, A, Time};
+  }
+
+  bool operator==(const AccessEvent &Other) const = default;
+};
+
+/// One thread's slice of the execution: a complete single-threaded WPP.
+struct ThreadTrace {
+  ThreadId Id = 0;
+  RawTrace Trace;
+
+  bool operator==(const ThreadTrace &Other) const = default;
+};
+
+/// A complete concurrent WPP.
+struct ConcurrentTrace {
+  std::vector<ThreadTrace> Threads; ///< Threads[i].Id == i; 0 is main.
+  std::vector<SyncEvent> Syncs;     ///< Global interleaving order.
+  std::vector<AccessEvent> Accesses; ///< Sorted (Thread, Time, Addr, Kind).
+  uint32_t FunctionCount = 0;        ///< Shared function-id space.
+
+  bool operator==(const ConcurrentTrace &Other) const = default;
+
+  /// Sum of per-thread block event counts.
+  uint64_t blockEventCount() const;
+
+  /// Structural sanity: dense thread ids, well-formed per-thread traces
+  /// over the shared FunctionCount, sync times monotone per thread and
+  /// within each thread's clock, mutex discipline (acquire of a held
+  /// lock / release by a non-holder rejected), fork at most once per
+  /// child and never of self, and access events in range and sorted.
+  bool isWellFormed() const;
+};
+
+/// One derived cross-thread ordering edge: every FromThread event with
+/// time <= FromTime happens before every ToThread event with
+/// time > ToTime.
+struct HbEdge {
+  enum class Kind : uint8_t { Lock = 0, Fork = 1, Join = 2 };
+
+  Kind EdgeKind;
+  uint32_t FromThread;
+  uint32_t FromTime;
+  uint32_t ToThread;
+  uint32_t ToTime;
+
+  bool operator==(const HbEdge &Other) const = default;
+};
+
+/// Derives the happens-before edge list from the sync stream, in sync
+/// order (which every consumer relies on: an edge's source clock is final
+/// by the time the edge appears):
+///  - Acquire of lock L by T2 after a release by T1 != T2 yields
+///    Lock (T1, releaseTime) -> (T2, acquireTime). Same-thread
+///    re-acquires yield no edge (program order already covers them), and
+///    the release->acquire chain makes the ordering transitive across
+///    successive critical sections.
+///  - Fork(P, C) at t yields Fork (P, t) -> (C, 0).
+///  - Join(P, C) at t yields Join (C, N_C) -> (P, t) where N_C is the
+///    child's total block count.
+std::vector<HbEdge> deriveHbEdges(const ConcurrentTrace &Trace);
+
+} // namespace twpp
+
+#endif // TWPP_TRACE_THREADEVENTS_H

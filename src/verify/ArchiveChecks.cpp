@@ -9,11 +9,13 @@
 #include "support/ByteStream.h"
 #include "support/LZW.h"
 #include "verify/Checks.h"
+#include "verify/ThreadChecks.h"
 #include "wpp/Archive.h"
 #include "wpp/Dbb.h"
 #include "wpp/DynamicCallGraph.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <string>
@@ -27,9 +29,11 @@ namespace {
 // format is pinned by docs/FORMATS.md and ArchiveCorruptionTest).
 constexpr uint32_t ArchiveMagic = 0x54575050; // "TWPP"
 constexpr uint32_t ArchiveVersion = 1;
+constexpr uint32_t ArchiveVersionThreads = 2;
 constexpr size_t PrefixSize = 12;
 constexpr size_t DcgFieldsSize = 16;
 constexpr size_t IndexRowSize = 24;
+constexpr size_t SectionHeadSize = 12; // tag (fixed32) + length (fixed64)
 
 // Cap on materializing a trace's full timestamp vector for the partition
 // check; anything larger is structurally absurd for this repo's scales
@@ -531,6 +535,101 @@ void checkDcg(const TwppWpp &Wpp, DiagnosticEngine &Engine) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Version-2 section trailer.
+//===----------------------------------------------------------------------===//
+
+/// Walks the section trailer of a version-2 archive ([DcgEnd, end of
+/// file) as tag/length/payload records), reporting twpp-archive-section
+/// errors, and decodes the three thread sections into \p Conc.
+/// \returns true when the trailer is structurally sound and every
+/// section decoded (only then are the thread/race checks meaningful).
+bool checkSectionTrailer(const std::vector<uint8_t> &Bytes, uint64_t DcgEnd,
+                         ConcurrencyInfo &Conc, DiagnosticEngine &Engine) {
+  const uint64_t Size = Bytes.size();
+  struct SectionRec {
+    uint32_t Tag = 0;
+    uint64_t Offset = 0;
+    uint64_t Length = 0;
+  };
+  std::vector<SectionRec> Sections;
+  auto Find = [&Sections](uint32_t Tag) -> const SectionRec * {
+    for (const SectionRec &S : Sections)
+      if (S.Tag == Tag)
+        return &S;
+    return nullptr;
+  };
+
+  uint64_t Pos = DcgEnd;
+  while (Pos < Size) {
+    if (Size - Pos < SectionHeadSize) {
+      Engine.report(checks::ArchiveSection, Severity::Error,
+                    "truncated section record at offset " +
+                        std::to_string(Pos),
+                    "section directory", Pos);
+      return false;
+    }
+    ByteReader Head(
+        ByteSpan(Bytes.data() + static_cast<size_t>(Pos), SectionHeadSize));
+    SectionRec Sec;
+    Sec.Tag = Head.readFixed32();
+    Sec.Length = Head.readFixed64();
+    Sec.Offset = Pos + SectionHeadSize;
+    if (Sec.Tag != ArchiveSectionThreads && Sec.Tag != ArchiveSectionHbEdges &&
+        Sec.Tag != ArchiveSectionAccesses) {
+      char Buf[9];
+      std::snprintf(Buf, sizeof(Buf), "%08x", Sec.Tag);
+      Engine.report(checks::ArchiveSection, Severity::Error,
+                    "unknown archive section tag 0x" + std::string(Buf),
+                    "section directory", Pos);
+      return false;
+    }
+    if (Sec.Length > Size - Sec.Offset) {
+      Engine.report(checks::ArchiveSection, Severity::Error,
+                    "section payload runs past end of file",
+                    "section directory", Pos);
+      return false;
+    }
+    if (Find(Sec.Tag)) {
+      Engine.report(checks::ArchiveSection, Severity::Error,
+                    "duplicate archive section tag", "section directory", Pos);
+      return false;
+    }
+    Sections.push_back(Sec);
+    Pos = Sec.Offset + Sec.Length;
+  }
+
+  bool Ok = true;
+  // THRD must decode before ACCS (the access decoder validates its
+  // thread count against the table), so decode in fixed tag order rather
+  // than file order.
+  const struct {
+    uint32_t Tag;
+    const char *Name;
+  } Expected[] = {{ArchiveSectionThreads, "THRD"},
+                  {ArchiveSectionHbEdges, "HBEG"},
+                  {ArchiveSectionAccesses, "ACCS"}};
+  for (const auto &[Tag, Name] : Expected) {
+    const SectionRec *Sec = Find(Tag);
+    if (!Sec) {
+      Engine.report(checks::ArchiveSection, Severity::Error,
+                    "version 2 archive is missing the " + std::string(Name) +
+                        " section",
+                    "section directory", DcgEnd);
+      Ok = false;
+      continue;
+    }
+    ByteSpan Payload = ByteSpan(Bytes).subspan(Sec->Offset, Sec->Length);
+    if (!decodeArchiveSection(Tag, Payload, Conc)) {
+      Engine.report(checks::ArchiveSection, Severity::Error,
+                    std::string(Name) + " section does not decode",
+                    std::string(Name) + " section", Sec->Offset);
+      Ok = false;
+    }
+  }
+  return Ok;
+}
+
 } // namespace
 
 void verify::runFunctionTableChecks(const TwppFunctionTable &Table,
@@ -574,7 +673,7 @@ void verify::runArchiveBytesChecks(const std::vector<uint8_t> &Bytes,
                   "bad magic (not a TWPP archive)", "header", 0);
     return;
   }
-  if (Version != ArchiveVersion) {
+  if (Version != ArchiveVersion && Version != ArchiveVersionThreads) {
     Engine.report(checks::ArchiveHeader, Severity::Error,
                   "unsupported version " + std::to_string(Version), "header",
                   4);
@@ -724,4 +823,11 @@ void verify::runArchiveBytesChecks(const std::vector<uint8_t> &Bytes,
   }
   if (AllDecoded)
     runWppChecks(Wpp, Engine);
+
+  // Version 2: the thread trailer, then the thread/race families over it.
+  if (Version == ArchiveVersionThreads && DcgExtentOk) {
+    ConcurrencyInfo Conc;
+    if (checkSectionTrailer(Bytes, DcgOffset + DcgLength, Conc, Engine))
+      runConcurrencyChecks(Conc, AllDecoded ? &Wpp : nullptr, Engine);
+  }
 }

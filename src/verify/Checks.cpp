@@ -121,6 +121,31 @@ const std::vector<CheckInfo> &verify::checkCatalog() {
       {checks::DataflowAnnotationSubset, "dataflow", Severity::Error,
        "annotated-CFG node timestamps equal the owning trace's set for "
        "that block"},
+
+      // Thread family (version-2 thread-aware archives).
+      {checks::ArchiveSection, "archive", Severity::Error,
+       "version-2 section trailer well-formed: known tags only, no "
+       "duplicates, extents inside the file, thread table present, every "
+       "section decodes"},
+      {checks::ThreadPartition, "thread", Severity::Error,
+       "thread table dense (thread i has id i), the merged body holds "
+       "threads x functionCount tables, and per thread the use-counted "
+       "trace lengths sum to the recorded block count (timestamps cover "
+       "1..N per thread)"},
+      {checks::ThreadSyncEdges, "thread", Severity::Error,
+       "happens-before edges reference valid (thread, timestamp) pairs: "
+       "threads in range, times within each thread's block count, fork "
+       "edges targeting time 0, known edge kinds"},
+      {checks::ThreadAccessBounds, "thread", Severity::Error,
+       "access tables sorted by strictly ascending address with non-empty "
+       "read/write sets whose timestamps lie within the owning thread's "
+       "1..N block clock"},
+
+      // Race family.
+      {checks::RaceClockMonotone, "race", Severity::Error,
+       "vector clocks derived from the edge list are monotone along each "
+       "thread's program order and never claim knowledge of the thread's "
+       "own future"},
   };
   return Catalog;
 }

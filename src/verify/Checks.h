@@ -46,6 +46,16 @@ inline constexpr const char *DbbChainStructure = "twpp-dbb-chain-structure";
 inline constexpr const char *DbbChainMaximality = "twpp-dbb-chain-maximality";
 inline constexpr const char *DcgConsistency = "twpp-dcg-consistency";
 inline constexpr const char *DcgCallCounts = "twpp-dcg-call-counts";
+inline constexpr const char *ArchiveSection = "twpp-archive-section";
+
+// Thread family: the version-2 thread-aware trailer (thread table,
+// happens-before edges, access sets) against the merged body.
+inline constexpr const char *ThreadPartition = "twpp-thread-partition";
+inline constexpr const char *ThreadSyncEdges = "twpp-thread-sync-edges";
+inline constexpr const char *ThreadAccessBounds = "twpp-thread-access-bounds";
+
+// Race family: the happens-before engine's structural preconditions.
+inline constexpr const char *RaceClockMonotone = "twpp-race-clock-monotone";
 
 // Recover family: diagnostics of the twpp_recover salvage tool
 // (verify/Recover.h). Warnings mark data the salvage dropped; errors
@@ -86,13 +96,14 @@ inline constexpr const char *DataflowAnnotationSubset =
 /// One catalog row.
 struct CheckInfo {
   const char *Id;
-  const char *Family; ///< "archive", "recover", "ir", "mem" or "dataflow".
+  const char *Family; ///< "archive", "recover", "ir", "mem", "dataflow",
+                      ///< "thread" or "race".
   Severity DefaultSev;
   const char *Summary;
 };
 
 /// Every implemented check, in catalog order (archive, recover, ir, mem,
-/// dataflow).
+/// dataflow, thread, race).
 const std::vector<CheckInfo> &checkCatalog();
 
 /// Catalog row for \p Id, or nullptr for an unknown id.

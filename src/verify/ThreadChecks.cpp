@@ -1,0 +1,192 @@
+//===- verify/ThreadChecks.cpp - Thread/race invariant checks -------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/ThreadChecks.h"
+
+#include "races/HappensBefore.h"
+#include "verify/Checks.h"
+
+#include <string>
+
+using namespace twpp;
+using namespace twpp::verify;
+
+namespace {
+
+/// Uncompacted length of unique trace \p T (timestamp count times chain
+/// length per block) — the thread partition check's unit of account.
+uint64_t expandedTraceLength(const TwppFunctionTable &Table, uint32_t T) {
+  auto [StringIdx, DictIdx] = Table.Traces[T];
+  if (StringIdx >= Table.TraceStrings.size() ||
+      DictIdx >= Table.Dictionaries.size())
+    return 0;
+  const TwppTrace &Trace = Table.TraceStrings[StringIdx];
+  const DbbDictionary &Dict = Table.Dictionaries[DictIdx];
+  uint64_t Length = 0;
+  for (const auto &[Block, Set] : Trace.Blocks) {
+    const std::vector<BlockId> *Chain = Dict.findChain(Block);
+    Length += Set.count() * (Chain ? Chain->size() : 1);
+  }
+  return Length;
+}
+
+void checkThreadPartition(const ConcurrencyInfo &Conc, const TwppWpp *Body,
+                          DiagnosticEngine &Engine) {
+  for (size_t T = 0; T != Conc.Threads.size(); ++T)
+    if (Conc.Threads[T].Id != T)
+      Engine.report(checks::ThreadPartition, Severity::Error,
+                    "thread table row " + std::to_string(T) +
+                        " carries id " + std::to_string(Conc.Threads[T].Id) +
+                        " (ids must be dense)",
+                    "thread table");
+  if (!Body)
+    return;
+  uint64_t Expected =
+      static_cast<uint64_t>(Conc.Threads.size()) * Conc.FunctionCount;
+  if (Body->Functions.size() != Expected) {
+    Engine.report(checks::ThreadPartition, Severity::Error,
+                  "merged body holds " +
+                      std::to_string(Body->Functions.size()) +
+                      " function tables but the thread table implies " +
+                      std::to_string(Expected),
+                  "thread table");
+    return;
+  }
+  // Per thread, the use-counted uncompacted trace lengths must sum to
+  // the recorded block count: the thread's per-function timestamp sets
+  // then cover its 1..N block clock exactly (each function's 1..Length
+  // partition is checked by the archive family already).
+  for (size_t T = 0; T != Conc.Threads.size(); ++T) {
+    uint64_t Total = 0;
+    for (uint32_t F = 0; F != Conc.FunctionCount; ++F) {
+      const TwppFunctionTable &Table =
+          Body->Functions[T * Conc.FunctionCount + F];
+      for (uint32_t I = 0; I != Table.Traces.size(); ++I)
+        Total += Table.UseCounts[I] * expandedTraceLength(Table, I);
+    }
+    if (Total != Conc.Threads[T].BlockCount)
+      Engine.report(checks::ThreadPartition, Severity::Error,
+                    "thread " + std::to_string(T) + " records " +
+                        std::to_string(Conc.Threads[T].BlockCount) +
+                        " block events but its traces account for " +
+                        std::to_string(Total),
+                    "thread " + std::to_string(T));
+  }
+}
+
+void checkSyncEdges(const ConcurrencyInfo &Conc, DiagnosticEngine &Engine) {
+  for (size_t I = 0; I != Conc.Edges.size(); ++I) {
+    const HbEdge &E = Conc.Edges[I];
+    std::string Loc = "edge " + std::to_string(I);
+    if (E.FromThread >= Conc.Threads.size() ||
+        E.ToThread >= Conc.Threads.size()) {
+      Engine.report(checks::ThreadSyncEdges, Severity::Error,
+                    "edge references thread " +
+                        std::to_string(std::max(E.FromThread, E.ToThread)) +
+                        " but the table holds " +
+                        std::to_string(Conc.Threads.size()) + " threads",
+                    Loc);
+      continue;
+    }
+    if (E.FromTime > Conc.Threads[E.FromThread].BlockCount)
+      Engine.report(checks::ThreadSyncEdges, Severity::Error,
+                    "source time " + std::to_string(E.FromTime) +
+                        " exceeds thread " + std::to_string(E.FromThread) +
+                        "'s block count " +
+                        std::to_string(Conc.Threads[E.FromThread].BlockCount),
+                    Loc);
+    if (E.ToTime > Conc.Threads[E.ToThread].BlockCount)
+      Engine.report(checks::ThreadSyncEdges, Severity::Error,
+                    "target time " + std::to_string(E.ToTime) +
+                        " exceeds thread " + std::to_string(E.ToThread) +
+                        "'s block count " +
+                        std::to_string(Conc.Threads[E.ToThread].BlockCount),
+                    Loc);
+    if (E.EdgeKind == HbEdge::Kind::Fork && E.ToTime != 0)
+      Engine.report(checks::ThreadSyncEdges, Severity::Error,
+                    "fork edge must target time 0 (before the child's "
+                    "first event), not " +
+                        std::to_string(E.ToTime),
+                    Loc);
+    if (E.FromThread == E.ToThread)
+      Engine.report(checks::ThreadSyncEdges, Severity::Error,
+                    "self edge (program order needs no edges)", Loc);
+  }
+}
+
+void checkAccessBounds(const ConcurrencyInfo &Conc,
+                       DiagnosticEngine &Engine) {
+  if (Conc.Accesses.size() != Conc.Threads.size()) {
+    Engine.report(checks::ThreadAccessBounds, Severity::Error,
+                  "access tables for " +
+                      std::to_string(Conc.Accesses.size()) +
+                      " threads but the table holds " +
+                      std::to_string(Conc.Threads.size()),
+                  "access tables");
+    return;
+  }
+  for (size_t T = 0; T != Conc.Accesses.size(); ++T) {
+    uint64_t N = Conc.Threads[T].BlockCount;
+    const std::vector<AddressAccess> &Accs = Conc.Accesses[T].Accesses;
+    for (size_t I = 0; I != Accs.size(); ++I) {
+      const AddressAccess &Acc = Accs[I];
+      std::string Loc =
+          "thread " + std::to_string(T) + " address " + std::to_string(I);
+      if (I > 0 && Acc.Addr <= Accs[I - 1].Addr)
+        Engine.report(checks::ThreadAccessBounds, Severity::Error,
+                      "addresses not strictly ascending", Loc);
+      if (Acc.Reads.empty() && Acc.Writes.empty())
+        Engine.report(checks::ThreadAccessBounds, Severity::Error,
+                      "entry with neither reads nor writes", Loc);
+      for (const TimestampSet *Set : {&Acc.Reads, &Acc.Writes})
+        if (!Set->empty() && Set->max() > N)
+          Engine.report(checks::ThreadAccessBounds, Severity::Error,
+                        "access timestamp " + std::to_string(Set->max()) +
+                            " exceeds the thread's block count " +
+                            std::to_string(N),
+                        Loc);
+    }
+  }
+}
+
+void checkClockMonotone(const ConcurrencyInfo &Conc,
+                        DiagnosticEngine &Engine) {
+  races::HappensBefore Hb = races::buildHappensBefore(Conc);
+  for (uint32_t I : Hb.OutOfOrderEdges)
+    Engine.report(checks::RaceClockMonotone, Severity::Error,
+                  "edge " + std::to_string(I) +
+                      " targets a time before an already-applied edge "
+                      "(clocks would run backwards)",
+                  "edge " + std::to_string(I));
+  for (size_t T = 0; T != Hb.Threads.size(); ++T) {
+    const std::vector<races::ClockCheckpoint> &Cps =
+        Hb.Threads[T].Checkpoints;
+    for (size_t I = 0; I != Cps.size(); ++I) {
+      std::string Loc = "thread " + std::to_string(T) + " checkpoint " +
+                        std::to_string(I);
+      if (I > 0 && !Cps[I - 1].Clock.dominatedBy(Cps[I].Clock))
+        Engine.report(checks::RaceClockMonotone, Severity::Error,
+                      "clock not monotone along program order", Loc);
+      if (Cps[I].Clock[T] > Cps[I].Time)
+        Engine.report(checks::RaceClockMonotone, Severity::Error,
+                      "checkpoint at time " + std::to_string(Cps[I].Time) +
+                          " claims knowledge of the thread's own future (" +
+                          std::to_string(Cps[I].Clock[T]) + ")",
+                      Loc);
+    }
+  }
+}
+
+} // namespace
+
+void verify::runConcurrencyChecks(const ConcurrencyInfo &Conc,
+                                  const TwppWpp *Body,
+                                  DiagnosticEngine &Engine) {
+  checkThreadPartition(Conc, Body, Engine);
+  checkSyncEdges(Conc, Engine);
+  checkAccessBounds(Conc, Engine);
+  checkClockMonotone(Conc, Engine);
+}

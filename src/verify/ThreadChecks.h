@@ -1,0 +1,32 @@
+//===- verify/ThreadChecks.h - Thread/race invariant checks -----*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thread and race check families over a decoded ConcurrencyInfo:
+/// the structural invariants the compacted race engine assumes. An
+/// archive that passes these gives the engine sound input; one that
+/// fails them can make any race verdict, which is why they are all
+/// errors by default.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_VERIFY_THREADCHECKS_H
+#define TWPP_VERIFY_THREADCHECKS_H
+
+#include "verify/Diagnostics.h"
+#include "wpp/Concurrent.h"
+
+namespace twpp::verify {
+
+/// Runs the twpp-thread-* and twpp-race-* checks. \p Body is the merged
+/// thread-major body when available (nullptr skips the partition check
+/// against trace lengths — e.g. when function blocks failed to decode).
+void runConcurrencyChecks(const ConcurrencyInfo &Conc, const TwppWpp *Body,
+                          DiagnosticEngine &Engine);
+
+} // namespace twpp::verify
+
+#endif // TWPP_VERIFY_THREADCHECKS_H

@@ -1,0 +1,280 @@
+//===- workloads/Concurrent.cpp - Multi-threaded workloads ----------------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Concurrent.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+using namespace twpp;
+
+namespace {
+
+// Per-thread program shape: function 0 is the thread main (block 1 entry,
+// block 2 the per-item call site, block 3 the exit block), function 1 the
+// worker whose body is blocks 1..BlocksPerItem. Every item costs exactly
+// 1 + BlocksPerItem block events, so item k's accesses land at times
+// base + k * (1 + BlocksPerItem) + ordinal — arithmetic series by
+// construction.
+constexpr FunctionId MainFn = 0;
+constexpr FunctionId WorkerFn = 1;
+constexpr uint32_t FunctionCount = 2;
+
+// Disjoint address regions per shape (opaque to the detector; disjoint
+// bases just keep the shapes' ranges from colliding).
+constexpr Address ContendedBase = 0x1000;
+constexpr Address PipelineBase = 0x2000;
+constexpr Address ParallelBase = 0x3000;
+constexpr Address ScratchBase = 0x4000;
+constexpr Address SharedStatsAddr = 0x5000;
+
+/// One access the worker body performs, pinned to a worker block.
+struct ItemAccess {
+  uint32_t BlockOrdinal = 1; ///< 1..BlocksPerItem.
+  AccessEvent::Kind Kind = AccessEvent::Kind::Write;
+  Address Addr = 0;
+};
+
+/// Accumulates one thread's event stream and per-thread block clock.
+struct ThreadBuilder {
+  ThreadId Id = 0;
+  RawTrace Trace;
+  uint32_t Blocks = 0; ///< Block events emitted so far (the thread clock).
+  Rng Rand{1};
+
+  void begin() {
+    Trace.FunctionCount = FunctionCount;
+    Trace.Events.push_back(TraceEvent::enter(MainFn));
+    block(1);
+  }
+
+  void finish() {
+    block(3);
+    Trace.Events.push_back(TraceEvent::exit());
+  }
+
+  void block(BlockId B) {
+    Trace.Events.push_back(TraceEvent::block(B));
+    ++Blocks;
+  }
+
+  /// Runs one work item: call-site block in main, then the worker call,
+  /// emitting \p Accs at their pinned worker blocks into \p Out.
+  void runItem(uint32_t BlocksPerItem, const std::vector<ItemAccess> &Accs,
+               std::vector<AccessEvent> &Out) {
+    block(2);
+    Trace.Events.push_back(TraceEvent::enter(WorkerFn));
+    for (uint32_t K = 1; K <= BlocksPerItem; ++K) {
+      block(K);
+      for (const ItemAccess &A : Accs)
+        if (A.BlockOrdinal == K)
+          Out.push_back({A.Kind, Id, A.Addr, Blocks});
+    }
+    Trace.Events.push_back(TraceEvent::exit());
+  }
+};
+
+/// The standard per-item access pattern against \p Target: write early,
+/// read back later, plus a thread-private scratch write and (sometimes)
+/// an extra re-read so the series are not artificially perfect.
+std::vector<ItemAccess> itemAccesses(ThreadBuilder &B, Address Target,
+                                     uint32_t BlocksPerItem) {
+  std::vector<ItemAccess> Accs = {
+      {1, AccessEvent::Kind::Write, Target},
+      {2, AccessEvent::Kind::Read, Target},
+      {BlocksPerItem, AccessEvent::Kind::Write, ScratchBase + B.Id},
+  };
+  if (B.Rand.nextBool(0.3))
+    Accs.push_back({3, AccessEvent::Kind::Read, Target});
+  return Accs;
+}
+
+void forkAll(std::vector<ThreadBuilder> &Builders,
+             std::vector<SyncEvent> &Syncs) {
+  for (size_t C = 1; C != Builders.size(); ++C)
+    Syncs.push_back(SyncEvent::fork(0, static_cast<ThreadId>(C), 0));
+}
+
+void joinAll(std::vector<ThreadBuilder> &Builders,
+             std::vector<SyncEvent> &Syncs) {
+  for (size_t C = 1; C != Builders.size(); ++C)
+    Syncs.push_back(
+        SyncEvent::join(0, static_cast<ThreadId>(C), Builders[0].Blocks));
+}
+
+/// Round-robin turns over a small lock set: in round r, thread t takes
+/// lock (t + r) % Locks and works inside the lock's address range. All
+/// shared accesses are guarded, so the base variant is race-free. The
+/// racy variant adds, once per thread mid-run, an unguarded write into a
+/// *different* lock's range.
+void generateContended(const ConcurrentProfile &P,
+                       std::vector<ThreadBuilder> &Builders,
+                       ConcurrentTrace &Trace) {
+  forkAll(Builders, Trace.Syncs);
+  for (uint32_t R = 0; R != P.Items; ++R) {
+    for (uint32_t T = 0; T != P.Threads; ++T) {
+      ThreadBuilder &B = Builders[T];
+      LockId L = (T + R) % P.Locks;
+      Address Target = ContendedBase + static_cast<Address>(L) * P.Addresses +
+                       R % P.Addresses;
+      std::vector<ItemAccess> Accs =
+          itemAccesses(B, Target, P.BlocksPerItem);
+      if (P.InjectRaces && T != 0 && R == P.Items / 2) {
+        LockId Foreign = (L + 1) % P.Locks;
+        Accs.push_back({2, AccessEvent::Kind::Write,
+                        ContendedBase +
+                            static_cast<Address>(Foreign) * P.Addresses});
+      }
+      Trace.Syncs.push_back(SyncEvent::acquire(T, L, B.Blocks));
+      B.runItem(P.BlocksPerItem, Accs, Trace.Accesses);
+      Trace.Syncs.push_back(SyncEvent::release(T, L, B.Blocks));
+    }
+  }
+  joinAll(Builders, Trace.Syncs);
+}
+
+/// One thread per stage; items flow down the pipeline through a ring of
+/// cells per boundary, the handoff ordered by a per-boundary lock that
+/// producer and consumer alternate on (release -> next acquire is the
+/// happens-before edge; the consumer's release doubles as backpressure).
+/// Scheduled as wavefront diagonals, so the interleaving is maximal. The
+/// racy variant makes every stage bump an unguarded shared counter once
+/// per item — stages more than one handoff apart have an unordered
+/// window, so those bumps race.
+void generatePipelined(const ConcurrentProfile &P,
+                       std::vector<ThreadBuilder> &Builders,
+                       ConcurrentTrace &Trace) {
+  const uint32_t Ring = std::max(P.Addresses, 2u);
+  const uint32_t Stages = P.Threads;
+  auto Cell = [&](uint32_t Boundary, uint32_t Item) {
+    return PipelineBase + static_cast<Address>(Boundary) * Ring + Item % Ring;
+  };
+  forkAll(Builders, Trace.Syncs);
+  for (uint32_t D = 0; D != P.Items + Stages - 1; ++D) {
+    for (uint32_t S = 0; S != Stages; ++S) {
+      if (D < S || D - S >= P.Items)
+        continue;
+      uint32_t Item = D - S;
+      ThreadBuilder &B = Builders[S];
+      std::vector<ItemAccess> Accs = {
+          {P.BlocksPerItem, AccessEvent::Kind::Write, ScratchBase + S}};
+      if (S > 0)
+        Accs.push_back({1, AccessEvent::Kind::Read, Cell(S - 1, Item)});
+      if (S + 1 < Stages)
+        Accs.push_back({2, AccessEvent::Kind::Write, Cell(S, Item)});
+      if (P.InjectRaces)
+        Accs.push_back({3, AccessEvent::Kind::Write, SharedStatsAddr});
+      if (S > 0)
+        Trace.Syncs.push_back(SyncEvent::acquire(S, S - 1, B.Blocks));
+      if (S + 1 < Stages)
+        Trace.Syncs.push_back(SyncEvent::acquire(S, S, B.Blocks));
+      B.runItem(P.BlocksPerItem, Accs, Trace.Accesses);
+      if (S + 1 < Stages)
+        Trace.Syncs.push_back(SyncEvent::release(S, S, B.Blocks));
+      if (S > 0)
+        Trace.Syncs.push_back(SyncEvent::release(S, S - 1, B.Blocks));
+    }
+  }
+  joinAll(Builders, Trace.Syncs);
+}
+
+/// Fork/join fan-out over disjoint per-thread address ranges — the
+/// no-synchronization baseline. The racy variant adds an unguarded
+/// shared-counter write per item on every thread: sibling threads are
+/// only ordered through fork (before everything) and join (after
+/// everything), so all cross-thread counter pairs race.
+void generateParallel(const ConcurrentProfile &P,
+                      std::vector<ThreadBuilder> &Builders,
+                      ConcurrentTrace &Trace) {
+  forkAll(Builders, Trace.Syncs);
+  for (uint32_t R = 0; R != P.Items; ++R) {
+    for (uint32_t T = 0; T != P.Threads; ++T) {
+      ThreadBuilder &B = Builders[T];
+      Address Target = ParallelBase +
+                       static_cast<Address>(T) * P.Addresses +
+                       R % P.Addresses;
+      std::vector<ItemAccess> Accs =
+          itemAccesses(B, Target, P.BlocksPerItem);
+      if (P.InjectRaces)
+        Accs.push_back({3, AccessEvent::Kind::Write, SharedStatsAddr});
+      B.runItem(P.BlocksPerItem, Accs, Trace.Accesses);
+    }
+  }
+  joinAll(Builders, Trace.Syncs);
+}
+
+} // namespace
+
+ConcurrentTrace twpp::generateConcurrentTrace(const ConcurrentProfile &P) {
+  assert(P.Threads >= 2 && "a concurrent workload needs two threads");
+  assert(P.BlocksPerItem >= 3 && "worker body too small for its accesses");
+  std::vector<ThreadBuilder> Builders(P.Threads);
+  for (uint32_t T = 0; T != P.Threads; ++T) {
+    Builders[T].Id = T;
+    Builders[T].Rand = Rng(P.Seed * 0x9e3779b97f4a7c15ull + T);
+    Builders[T].begin();
+  }
+
+  ConcurrentTrace Trace;
+  Trace.FunctionCount = FunctionCount;
+  switch (P.Kind) {
+  case ConcurrentProfile::Shape::Contended:
+    generateContended(P, Builders, Trace);
+    break;
+  case ConcurrentProfile::Shape::Pipelined:
+    generatePipelined(P, Builders, Trace);
+    break;
+  case ConcurrentProfile::Shape::ParallelIndependent:
+    generateParallel(P, Builders, Trace);
+    break;
+  }
+
+  // joinAll recorded the parent's pre-finish clock; finishing adds the
+  // exit block afterwards, so join times stay within the clock. The
+  // access stream is re-sorted into its canonical (Thread, Time, Addr,
+  // Kind) order — same-block accesses were emitted in pattern order.
+  for (ThreadBuilder &B : Builders) {
+    B.finish();
+    Trace.Threads.push_back({B.Id, std::move(B.Trace)});
+  }
+  std::sort(Trace.Accesses.begin(), Trace.Accesses.end(),
+            [](const AccessEvent &A, const AccessEvent &B) {
+              return std::make_tuple(A.Thread, A.Time, A.Addr,
+                                     static_cast<uint8_t>(A.EventKind)) <
+                     std::make_tuple(B.Thread, B.Time, B.Addr,
+                                     static_cast<uint8_t>(B.EventKind));
+            });
+  assert(Trace.isWellFormed() && "generator produced a malformed trace");
+  return Trace;
+}
+
+std::vector<ConcurrentProfile> twpp::concurrentProfiles() {
+  using Shape = ConcurrentProfile::Shape;
+  std::vector<ConcurrentProfile> Profiles;
+  ConcurrentProfile Contended{"contended", Shape::Contended, 11, 4,
+                              512,         4,                8,  6};
+  ConcurrentProfile Pipelined{"pipelined", Shape::Pipelined, 12, 4,
+                              4000,        0,                4,  6};
+  ConcurrentProfile Parallel{
+      "parallel", Shape::ParallelIndependent, 13, 8, 512, 0, 16, 5};
+  for (ConcurrentProfile P : {Contended, Pipelined, Parallel}) {
+    Profiles.push_back(P);
+    P.Name += "-racy";
+    P.InjectRaces = true;
+    Profiles.push_back(P);
+  }
+  return Profiles;
+}
+
+std::vector<ConcurrentProfile> twpp::testConcurrentProfiles() {
+  std::vector<ConcurrentProfile> Profiles = concurrentProfiles();
+  for (ConcurrentProfile &P : Profiles)
+    P.Items = std::max(P.Items / 8, 8u);
+  return Profiles;
+}

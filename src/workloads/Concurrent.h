@@ -1,0 +1,74 @@
+//===- workloads/Concurrent.h - Multi-threaded workloads --------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic multi-threaded workloads for the thread-aware pipeline and
+/// the race detector. Three shapes cover the sharing patterns that
+/// matter to a happens-before detector:
+///
+///  * Contended: worker threads take turns on a small set of locks, each
+///    guarding a disjoint address range — heavy lock traffic, race-free
+///    by construction.
+///  * Pipelined: one thread per stage, items handed down through
+///    per-boundary locks over a ring of cells; constant work per item
+///    makes every cell's access times an arithmetic series, which is the
+///    best case for the compacted engine's run batching.
+///  * ParallelIndependent: fork/join fan-out over disjoint per-thread
+///    ranges — no locks at all.
+///
+/// Each shape has an InjectRaces variant that adds a few unguarded
+/// accesses to shared locations, producing real data races with known
+/// structure; the differential tests and the CI race-smoke leg run both
+/// variants through both engines.
+///
+/// Generation is single-threaded and deterministic in the seed: the
+/// global interleaving is an explicit schedule (round-robin turns,
+/// wavefront diagonals), never actual thread timing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_WORKLOADS_CONCURRENT_H
+#define TWPP_WORKLOADS_CONCURRENT_H
+
+#include "trace/ThreadEvents.h"
+
+#include <string>
+#include <vector>
+
+namespace twpp {
+
+/// Tunable parameters of one synthetic concurrent workload.
+struct ConcurrentProfile {
+  enum class Shape : uint8_t { Contended, Pipelined, ParallelIndependent };
+
+  std::string Name;
+  Shape Kind = Shape::Contended;
+  uint64_t Seed = 1;
+  uint32_t Threads = 4;   ///< Worker threads (Pipelined: stages).
+  uint32_t Items = 256;   ///< Work items per thread (Pipelined: total).
+  uint32_t Locks = 4;     ///< Contended only: lock count.
+  uint32_t Addresses = 8; ///< Addresses per lock range / ring cells per
+                          ///< boundary / private range per thread.
+  uint32_t BlocksPerItem = 6; ///< Worker-body blocks per item (>= 3).
+  bool InjectRaces = false;   ///< Add unguarded accesses to shared state.
+};
+
+/// Generates the complete concurrent trace for \p Profile (deterministic
+/// in Profile.Seed; the result is well-formed by construction).
+ConcurrentTrace generateConcurrentTrace(const ConcurrentProfile &Profile);
+
+/// The six bench-scale profiles: contended, pipelined and
+/// parallel-independent, each in a race-free and an injected-races
+/// variant.
+std::vector<ConcurrentProfile> concurrentProfiles();
+
+/// Reduced-scale variants of concurrentProfiles() for unit tests (same
+/// shapes, ~8x fewer items).
+std::vector<ConcurrentProfile> testConcurrentProfiles();
+
+} // namespace twpp
+
+#endif // TWPP_WORKLOADS_CONCURRENT_H

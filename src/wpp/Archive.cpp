@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <numeric>
 
 using namespace twpp;
@@ -26,10 +27,12 @@ using namespace twpp;
 namespace {
 
 constexpr uint32_t ArchiveMagic = 0x54575050; // "TWPP"
-constexpr uint32_t ArchiveVersion = 1;
+constexpr uint32_t ArchiveVersion = 1;        // single-threaded layout
+constexpr uint32_t ArchiveVersionThreads = 2; // + section trailer
 constexpr size_t PrefixSize = 12;       // magic + version + functionCount
 constexpr size_t DcgFieldsSize = 16;    // dcgOffset + dcgLength
 constexpr size_t IndexRowSize = 24;     // offset + length + callCount
+constexpr size_t SectionHeadSize = 12;  // tag (fixed32) + length (fixed64)
 
 void encodeSeries(ByteWriter &Writer, const TimestampSet &Set) {
   std::vector<int64_t> Values = Set.encodeSigned();
@@ -89,6 +92,101 @@ bool decodeDictionary(ByteReader &Reader, DbbDictionary &Dict) {
 
 std::atomic<IoMode> DefaultIoMode{IoMode::Mmap};
 
+void encodeThreadSection(ByteWriter &Writer, const ConcurrencyInfo &Conc) {
+  Writer.writeVarUint(Conc.Threads.size());
+  Writer.writeVarUint(Conc.FunctionCount);
+  for (const ThreadInfo &T : Conc.Threads) {
+    Writer.writeVarUint(T.Id);
+    Writer.writeVarUint(T.BlockCount);
+  }
+}
+
+void encodeEdgeSection(ByteWriter &Writer, const ConcurrencyInfo &Conc) {
+  Writer.writeVarUint(Conc.Edges.size());
+  for (const HbEdge &E : Conc.Edges) {
+    Writer.writeVarUint(static_cast<uint64_t>(E.EdgeKind));
+    Writer.writeVarUint(E.FromThread);
+    Writer.writeVarUint(E.FromTime);
+    Writer.writeVarUint(E.ToThread);
+    Writer.writeVarUint(E.ToTime);
+  }
+}
+
+void encodeAccessSection(ByteWriter &Writer, const ConcurrencyInfo &Conc) {
+  Writer.writeVarUint(Conc.Accesses.size());
+  for (const ThreadAccessTable &Table : Conc.Accesses) {
+    Writer.writeVarUint(Table.Accesses.size());
+    Address Prev = 0;
+    for (const AddressAccess &Acc : Table.Accesses) {
+      Writer.writeVarUint(Acc.Addr - Prev); // addresses sorted ascending
+      Prev = Acc.Addr;
+      encodeSeries(Writer, Acc.Reads);
+      encodeSeries(Writer, Acc.Writes);
+    }
+  }
+}
+
+bool decodeThreadSection(ByteSpan Bytes, ConcurrencyInfo &Out) {
+  ByteReader Reader(Bytes);
+  uint64_t ThreadCount = Reader.readVarUint();
+  Out.FunctionCount = static_cast<uint32_t>(Reader.readVarUint());
+  if (Reader.hasError() || ThreadCount > Bytes.size())
+    return false;
+  Out.Threads.resize(ThreadCount);
+  for (ThreadInfo &T : Out.Threads) {
+    T.Id = static_cast<ThreadId>(Reader.readVarUint());
+    T.BlockCount = Reader.readVarUint();
+  }
+  return Reader.valid();
+}
+
+bool decodeEdgeSection(ByteSpan Bytes, ConcurrencyInfo &Out) {
+  ByteReader Reader(Bytes);
+  uint64_t EdgeCount = Reader.readVarUint();
+  if (Reader.hasError() || EdgeCount > Bytes.size())
+    return false;
+  Out.Edges.resize(EdgeCount);
+  for (HbEdge &E : Out.Edges) {
+    uint64_t Kind = Reader.readVarUint();
+    if (Kind > static_cast<uint64_t>(HbEdge::Kind::Join))
+      return false;
+    E.EdgeKind = static_cast<HbEdge::Kind>(Kind);
+    E.FromThread = static_cast<uint32_t>(Reader.readVarUint());
+    E.FromTime = static_cast<uint32_t>(Reader.readVarUint());
+    E.ToThread = static_cast<uint32_t>(Reader.readVarUint());
+    E.ToTime = static_cast<uint32_t>(Reader.readVarUint());
+  }
+  return Reader.valid();
+}
+
+bool decodeAccessSection(ByteSpan Bytes, ConcurrencyInfo &Out) {
+  ByteReader Reader(Bytes);
+  uint64_t ThreadCount = Reader.readVarUint();
+  if (Reader.hasError() || ThreadCount != Out.Threads.size())
+    return false;
+  Out.Accesses.resize(ThreadCount);
+  for (ThreadAccessTable &Table : Out.Accesses) {
+    uint64_t AddrCount = Reader.readVarUint();
+    if (Reader.hasError() || AddrCount > Reader.remaining() + 1)
+      return false;
+    Table.Accesses.resize(AddrCount);
+    Address Prev = 0;
+    bool First = true;
+    for (AddressAccess &Acc : Table.Accesses) {
+      uint64_t Delta = Reader.readVarUint();
+      if (!First && Delta == 0)
+        return false; // addresses must be strictly ascending
+      Acc.Addr = Prev + Delta;
+      Prev = Acc.Addr;
+      First = false;
+      if (!decodeSeries(Reader, Acc.Reads) ||
+          !decodeSeries(Reader, Acc.Writes))
+        return false;
+    }
+  }
+  return Reader.valid();
+}
+
 } // namespace
 
 IoMode twpp::defaultArchiveIoMode() {
@@ -116,6 +214,19 @@ const char *twpp::ioModeName(IoMode Mode) {
 }
 
 void twpp::releaseArchiveDecodeScratch() { decodeArena().release(); }
+
+bool twpp::decodeArchiveSection(uint32_t Tag, ByteSpan Payload,
+                                ConcurrencyInfo &Out) {
+  switch (Tag) {
+  case ArchiveSectionThreads:
+    return decodeThreadSection(Payload, Out);
+  case ArchiveSectionHbEdges:
+    return decodeEdgeSection(Payload, Out);
+  case ArchiveSectionAccesses:
+    return decodeAccessSection(Payload, Out);
+  }
+  return false;
+}
 
 std::vector<uint8_t>
 twpp::encodeTwppFunctionTable(const TwppFunctionTable &Table) {
@@ -225,8 +336,14 @@ bool twpp::decodeTwppFunctionTable(ByteSpan Bytes, TwppFunctionTable &Table) {
   return true;
 }
 
-std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp,
-                                         const ParallelConfig &Config) {
+namespace {
+
+/// Shared layout for both versions: \p Conc == nullptr emits the
+/// historical version-1 bytes; otherwise version 2 with the THRD/HBEG/
+/// ACCS trailer after the DCG.
+std::vector<uint8_t> encodeArchiveImpl(const TwppWpp &Wpp,
+                                       const ParallelConfig &Config,
+                                       const ConcurrencyInfo *Conc) {
   obs::PhaseSpan Span("archive_encode");
   uint32_t FunctionCount = static_cast<uint32_t>(Wpp.Functions.size());
 
@@ -250,7 +367,7 @@ std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp,
 
   ByteWriter Writer;
   Writer.writeFixed32(ArchiveMagic);
-  Writer.writeFixed32(ArchiveVersion);
+  Writer.writeFixed32(Conc ? ArchiveVersionThreads : ArchiveVersion);
   Writer.writeFixed32(FunctionCount);
   size_t DcgFieldsAt = Writer.size();
   Writer.writeFixed64(0); // dcgOffset, patched below
@@ -275,6 +392,23 @@ std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp,
   Writer.patchFixed64(DcgFieldsAt + 8, Dcg.size());
   Writer.writeBytes(Dcg.data(), Dcg.size());
 
+  if (Conc) {
+    auto WriteSection = [&Writer](uint32_t Tag, auto &&Encode) {
+      Writer.writeFixed32(Tag);
+      size_t LengthAt = Writer.size();
+      Writer.writeFixed64(0);
+      size_t PayloadAt = Writer.size();
+      Encode();
+      Writer.patchFixed64(LengthAt, Writer.size() - PayloadAt);
+    };
+    WriteSection(ArchiveSectionThreads,
+                 [&] { encodeThreadSection(Writer, *Conc); });
+    WriteSection(ArchiveSectionHbEdges,
+                 [&] { encodeEdgeSection(Writer, *Conc); });
+    WriteSection(ArchiveSectionAccesses,
+                 [&] { encodeAccessSection(Writer, *Conc); });
+  }
+
   for (uint32_t F = 0; F != FunctionCount; ++F) {
     size_t Row = IndexAt + static_cast<size_t>(F) * IndexRowSize;
     Writer.patchFixed64(Row, Extents[F].first);
@@ -298,9 +432,33 @@ std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp,
   return Out;
 }
 
+} // namespace
+
+std::vector<uint8_t> twpp::encodeArchive(const TwppWpp &Wpp,
+                                         const ParallelConfig &Config) {
+  return encodeArchiveImpl(Wpp, Config, nullptr);
+}
+
+std::vector<uint8_t>
+twpp::encodeConcurrentArchive(const ConcurrentWpp &Wpp,
+                              const ParallelConfig &Config) {
+  return encodeArchiveImpl(Wpp.Body, Config, &Wpp.Conc);
+}
+
 bool twpp::writeArchiveFile(const std::string &Path, const TwppWpp &Wpp,
                             const ParallelConfig &Config, IoError *Err) {
   IoError Result = writeFileBytesAtomic(Path, encodeArchive(Wpp, Config));
+  if (Err)
+    *Err = Result;
+  return Result.ok();
+}
+
+bool twpp::writeConcurrentArchiveFile(const std::string &Path,
+                                      const ConcurrentWpp &Wpp,
+                                      const ParallelConfig &Config,
+                                      IoError *Err) {
+  IoError Result =
+      writeFileBytesAtomic(Path, encodeConcurrentArchive(Wpp, Config));
   if (Err)
     *Err = Result;
   return Result.ok();
@@ -342,6 +500,8 @@ bool ArchiveReader::open(const std::string &ArchivePath, IoMode WantMode) {
   IndexReads.add();
   Path = ArchivePath;
   Index.clear();
+  Sections.clear();
+  Version = 1;
   Map.unmap();
   Mode = IoMode::Buffered;
   if (WantMode == IoMode::Mmap) {
@@ -366,7 +526,8 @@ bool ArchiveReader::open(const std::string &ArchivePath, IoMode WantMode) {
   if (Reader.readFixed32() != ArchiveMagic)
     return fail("twpp-archive-header", "bad magic (not a TWPP archive)",
                 "header", 0);
-  if (Reader.readFixed32() != ArchiveVersion)
+  Version = Reader.readFixed32();
+  if (Version != ArchiveVersion && Version != ArchiveVersionThreads)
     return fail("twpp-archive-header", "unsupported archive version",
                 "header", 4);
   uint32_t FunctionCount = Reader.readFixed32();
@@ -430,7 +591,113 @@ bool ArchiveReader::open(const std::string &ArchivePath, IoMode WantMode) {
     return fail("twpp-archive-header", "truncated function index", "index",
                 PrefixSize + DcgFieldsSize);
   }
+
+  // Version 2: walk the section trailer between the DCG and end of file.
+  // Unknown tags are a hard error — a reader that does not understand a
+  // section cannot claim to have read the archive (this is how the
+  // thread trailer degrades loudly instead of being silently dropped).
+  if (Version == ArchiveVersionThreads) {
+    uint64_t Pos = DcgOffset + DcgLength;
+    while (Pos < Size) {
+      std::vector<uint8_t> HeadBytes;
+      ByteSpan Head;
+      if (Size - Pos < SectionHeadSize ||
+          !readSlice(Pos, SectionHeadSize, HeadBytes, Head)) {
+        Sections.clear();
+        Index.clear();
+        return fail("twpp-archive-section",
+                    "truncated section record at offset " +
+                        std::to_string(Pos),
+                    "section directory", Pos);
+      }
+      ByteReader HeadReader(Head);
+      Section Sec;
+      Sec.Tag = HeadReader.readFixed32();
+      Sec.Length = HeadReader.readFixed64();
+      Sec.Offset = Pos + SectionHeadSize;
+      if (Sec.Tag != ArchiveSectionThreads &&
+          Sec.Tag != ArchiveSectionHbEdges &&
+          Sec.Tag != ArchiveSectionAccesses) {
+        Sections.clear();
+        Index.clear();
+        return fail("twpp-archive-section",
+                    "unknown archive section tag 0x" +
+                        [Tag = Sec.Tag] {
+                          char Buf[9];
+                          std::snprintf(Buf, sizeof(Buf), "%08x", Tag);
+                          return std::string(Buf);
+                        }(),
+                    "section directory", Pos);
+      }
+      if (Sec.Length > Size - Sec.Offset) {
+        Sections.clear();
+        Index.clear();
+        return fail("twpp-archive-section",
+                    "section payload runs past end of file",
+                    "section directory", Pos);
+      }
+      if (findSection(Sec.Tag)) {
+        Sections.clear();
+        Index.clear();
+        return fail("twpp-archive-section", "duplicate archive section tag",
+                    "section directory", Pos);
+      }
+      Sections.push_back(Sec);
+      Pos = Sec.Offset + Sec.Length;
+    }
+    if (!findSection(ArchiveSectionThreads)) {
+      Sections.clear();
+      Index.clear();
+      return fail("twpp-archive-section",
+                  "version 2 archive is missing the thread table section",
+                  "section directory", DcgOffset + DcgLength);
+    }
+  }
   return true;
+}
+
+const ArchiveReader::Section *ArchiveReader::findSection(uint32_t Tag) const {
+  for (const Section &Sec : Sections)
+    if (Sec.Tag == Tag)
+      return &Sec;
+  return nullptr;
+}
+
+bool ArchiveReader::readConcurrency(ConcurrencyInfo &Out) const {
+  Out = ConcurrencyInfo();
+  const Section *Thrd = findSection(ArchiveSectionThreads);
+  const Section *Hbeg = findSection(ArchiveSectionHbEdges);
+  const Section *Accs = findSection(ArchiveSectionAccesses);
+  if (!Thrd || !Hbeg || !Accs)
+    return fail("twpp-archive-section",
+                "archive has no thread-aware section trailer", "sections",
+                verify::NoByteOffset);
+  obs::PhaseSpan Span("archive_read_concurrency");
+  obs::MemScope MemSpan(obs::memtags::ArchiveDecode,
+                        obs::MemScope::Nest::IfUnscoped);
+  std::vector<uint8_t> Storage;
+  ByteSpan Bytes;
+  if (!readSlice(Thrd->Offset, Thrd->Length, Storage, Bytes) ||
+      !decodeThreadSection(Bytes, Out))
+    return fail("twpp-archive-section", "thread table section does not decode",
+                "THRD section", Thrd->Offset);
+  if (!readSlice(Hbeg->Offset, Hbeg->Length, Storage, Bytes) ||
+      !decodeEdgeSection(Bytes, Out))
+    return fail("twpp-archive-section",
+                "happens-before edge section does not decode", "HBEG section",
+                Hbeg->Offset);
+  if (!readSlice(Accs->Offset, Accs->Length, Storage, Bytes) ||
+      !decodeAccessSection(Bytes, Out))
+    return fail("twpp-archive-section", "access set section does not decode",
+                "ACCS section", Accs->Offset);
+  return true;
+}
+
+bool ArchiveReader::readAllConcurrent(ConcurrentWpp &Out) const {
+  Out = ConcurrentWpp();
+  if (!readConcurrency(Out.Conc))
+    return false;
+  return readAll(Out.Body);
 }
 
 bool ArchiveReader::extractFunction(FunctionId Function,

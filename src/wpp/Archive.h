@@ -20,6 +20,14 @@
 ///   [...] function blocks, sorted by call count descending
 ///   [...] LZW-compressed DCG
 ///
+/// Version 2 (thread-aware archives only; single-threaded archives keep
+/// emitting byte-identical version-1 files) appends a section trailer
+/// after the DCG: a sequence of `tag (fixed32) | length (fixed64) |
+/// payload` records walked to end of file. Known tags are "THRD" (thread
+/// table), "HBEG" (happens-before edges) and "ACCS" (per-thread
+/// per-address access timestamp sets); an unknown tag is a hard open()
+/// error (twpp-archive-section), never silently skipped.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TWPP_WPP_ARCHIVE_H
@@ -28,12 +36,19 @@
 #include "support/FileIO.h"     // IoError
 #include "support/Mmap.h"       // MappedFile + ByteSpan
 #include "verify/Diagnostics.h" // header-only; no link dependency
+#include "wpp/Concurrent.h"
 #include "wpp/Twpp.h"
 
 #include <string>
 #include <vector>
 
 namespace twpp {
+
+/// Version-2 section trailer tags ("THRD", "HBEG", "ACCS" as big-endian
+/// ASCII). Stable on-disk identifiers — never renumber.
+inline constexpr uint32_t ArchiveSectionThreads = 0x54485244;
+inline constexpr uint32_t ArchiveSectionHbEdges = 0x48424547;
+inline constexpr uint32_t ArchiveSectionAccesses = 0x41434353;
 
 /// How ArchiveReader gets bytes off disk.
 ///  - Buffered: read() each extent into an owned buffer (the historical
@@ -92,6 +107,25 @@ bool writeArchiveFile(const std::string &Path, const TwppWpp &Wpp,
                       const ParallelConfig &Config = {},
                       IoError *Err = nullptr);
 
+/// Decodes one version-2 section payload into the matching fields of
+/// \p Out. THRD must be decoded before ACCS (the access decoder checks
+/// the thread count against the table). \returns false on malformed
+/// bytes or an unknown tag. Exposed for the verifier's raw-byte walk.
+bool decodeArchiveSection(uint32_t Tag, ByteSpan Payload,
+                          ConcurrencyInfo &Out);
+
+/// Serializes a thread-aware concurrent WPP: the merged body in the
+/// version-2 layout plus the THRD/HBEG/ACCS section trailer.
+std::vector<uint8_t>
+encodeConcurrentArchive(const ConcurrentWpp &Wpp,
+                        const ParallelConfig &Config = {});
+
+/// writeArchiveFile for concurrent WPPs (version-2 bytes).
+bool writeConcurrentArchiveFile(const std::string &Path,
+                                const ConcurrentWpp &Wpp,
+                                const ParallelConfig &Config = {},
+                                IoError *Err = nullptr);
+
 /// Random-access reader over an archive file. open() reads only the fixed
 /// header and index; extractFunction() reads only that function's block.
 class ArchiveReader {
@@ -138,6 +172,22 @@ public:
   /// Loads the entire archive back into memory (DCG + every function).
   bool readAll(TwppWpp &Wpp) const;
 
+  /// Archive format version (1 or 2) after a successful open().
+  uint32_t version() const { return Version; }
+
+  /// True when the archive carries the thread-aware section trailer.
+  bool threadAware() const { return findSection(ArchiveSectionThreads); }
+
+  /// Decodes the concurrency metadata (thread table, happens-before
+  /// edges, access sets) — the race detector's whole input; the
+  /// control-flow blocks stay untouched on disk. Fails on archives
+  /// without the thread trailer.
+  bool readConcurrency(ConcurrencyInfo &Out) const;
+
+  /// Loads a thread-aware archive completely: merged body + concurrency
+  /// metadata.
+  bool readAllConcurrent(ConcurrentWpp &Out) const;
+
   /// Describes the most recent failure of any reader method as a
   /// verifier diagnostic: the violated check id, the archive section
   /// ("header", "index row 3", "function 2 block", "dcg") in Location,
@@ -151,6 +201,14 @@ private:
     uint64_t Length = 0;
     uint64_t CallCount = 0;
   };
+
+  struct Section {
+    uint32_t Tag = 0;
+    uint64_t Offset = 0; ///< Payload offset (past the 12-byte record head).
+    uint64_t Length = 0;
+  };
+
+  const Section *findSection(uint32_t Tag) const;
 
   /// Records \p D as lastError() and returns false (failure shorthand).
   bool fail(std::string CheckId, std::string Message, std::string Section,
@@ -166,7 +224,9 @@ private:
   std::string Path;
   uint64_t DcgOffset = 0;
   uint64_t DcgLength = 0;
+  uint32_t Version = 1;
   std::vector<IndexEntry> Index;
+  std::vector<Section> Sections;
   MappedFile Map;
   IoMode Mode = IoMode::Buffered;
   mutable verify::Diagnostic LastError;

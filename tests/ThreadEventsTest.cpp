@@ -1,0 +1,202 @@
+//===- tests/ThreadEventsTest.cpp - Concurrent event model tests ----------===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+
+#include "races/HappensBefore.h"
+#include "trace/ThreadEvents.h"
+#include "wpp/Concurrent.h"
+#include "wpp/TimestampSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace twpp;
+
+namespace {
+
+/// A thread trace of Enter(0), \p Blocks block events, Exit.
+ThreadTrace simpleThread(ThreadId Id, uint32_t Blocks,
+                         uint32_t FunctionCount = 1) {
+  ThreadTrace T;
+  T.Id = Id;
+  T.Trace.FunctionCount = FunctionCount;
+  T.Trace.Events.push_back(TraceEvent::enter(0));
+  for (uint32_t B = 1; B <= Blocks; ++B)
+    T.Trace.Events.push_back(TraceEvent::block(B));
+  T.Trace.Events.push_back(TraceEvent::exit());
+  return T;
+}
+
+ConcurrentTrace twoThreads(uint32_t BlocksEach = 4) {
+  ConcurrentTrace Trace;
+  Trace.FunctionCount = 1;
+  Trace.Threads.push_back(simpleThread(0, BlocksEach));
+  Trace.Threads.push_back(simpleThread(1, BlocksEach));
+  return Trace;
+}
+
+TEST(ThreadEventsTest, WellFormedBasic) {
+  ConcurrentTrace Trace = twoThreads();
+  EXPECT_TRUE(Trace.isWellFormed());
+  EXPECT_EQ(Trace.blockEventCount(), 8u);
+
+  Trace.Syncs.push_back(SyncEvent::acquire(0, 7, 1));
+  Trace.Syncs.push_back(SyncEvent::release(0, 7, 3));
+  Trace.Syncs.push_back(SyncEvent::acquire(1, 7, 0));
+  Trace.Syncs.push_back(SyncEvent::release(1, 7, 4));
+  Trace.Accesses.push_back(AccessEvent::write(0, 0x10, 2));
+  Trace.Accesses.push_back(AccessEvent::read(1, 0x10, 1));
+  EXPECT_TRUE(Trace.isWellFormed());
+}
+
+TEST(ThreadEventsTest, WellFormedRejectsBadShapes) {
+  {
+    ConcurrentTrace Trace = twoThreads();
+    Trace.Threads[1].Id = 2; // not dense
+    EXPECT_FALSE(Trace.isWellFormed());
+  }
+  {
+    ConcurrentTrace Trace = twoThreads();
+    Trace.Syncs.push_back(SyncEvent::acquire(0, 1, 5)); // beyond the clock
+    EXPECT_FALSE(Trace.isWellFormed());
+  }
+  {
+    ConcurrentTrace Trace = twoThreads();
+    Trace.Syncs.push_back(SyncEvent::acquire(0, 1, 3));
+    Trace.Syncs.push_back(SyncEvent::acquire(0, 1, 3)); // re-acquire held
+    EXPECT_FALSE(Trace.isWellFormed());
+  }
+  {
+    ConcurrentTrace Trace = twoThreads();
+    Trace.Syncs.push_back(SyncEvent::acquire(0, 1, 1));
+    Trace.Syncs.push_back(SyncEvent::release(1, 1, 1)); // non-holder
+    EXPECT_FALSE(Trace.isWellFormed());
+  }
+  {
+    ConcurrentTrace Trace = twoThreads();
+    Trace.Syncs.push_back(SyncEvent::fork(0, 1, 0));
+    Trace.Syncs.push_back(SyncEvent::fork(0, 1, 1)); // forked twice
+    EXPECT_FALSE(Trace.isWellFormed());
+  }
+  {
+    ConcurrentTrace Trace = twoThreads();
+    Trace.Accesses.push_back(AccessEvent::write(1, 0x10, 2));
+    Trace.Accesses.push_back(AccessEvent::write(0, 0x10, 2)); // unsorted
+    EXPECT_FALSE(Trace.isWellFormed());
+  }
+  {
+    ConcurrentTrace Trace = twoThreads();
+    Trace.Accesses.push_back(AccessEvent::write(0, 0x10, 0)); // time 0
+    EXPECT_FALSE(Trace.isWellFormed());
+  }
+}
+
+TEST(ThreadEventsTest, DeriveLockEdges) {
+  ConcurrentTrace Trace = twoThreads();
+  Trace.Syncs.push_back(SyncEvent::acquire(0, 9, 1));
+  Trace.Syncs.push_back(SyncEvent::release(0, 9, 2));
+  // Same-thread re-acquire: no edge (program order covers it).
+  Trace.Syncs.push_back(SyncEvent::acquire(0, 9, 3));
+  Trace.Syncs.push_back(SyncEvent::release(0, 9, 3));
+  // Cross-thread handoff: one Lock edge from the latest release.
+  Trace.Syncs.push_back(SyncEvent::acquire(1, 9, 2));
+  Trace.Syncs.push_back(SyncEvent::release(1, 9, 4));
+  ASSERT_TRUE(Trace.isWellFormed());
+
+  std::vector<HbEdge> Edges = deriveHbEdges(Trace);
+  ASSERT_EQ(Edges.size(), 1u);
+  EXPECT_EQ(Edges[0],
+            (HbEdge{HbEdge::Kind::Lock, 0, 3, 1, 2}));
+}
+
+TEST(ThreadEventsTest, DeriveForkJoinEdges) {
+  ConcurrentTrace Trace = twoThreads(4);
+  Trace.Syncs.push_back(SyncEvent::fork(0, 1, 2));
+  Trace.Syncs.push_back(SyncEvent::join(0, 1, 3));
+  ASSERT_TRUE(Trace.isWellFormed());
+
+  std::vector<HbEdge> Edges = deriveHbEdges(Trace);
+  ASSERT_EQ(Edges.size(), 2u);
+  EXPECT_EQ(Edges[0], (HbEdge{HbEdge::Kind::Fork, 0, 2, 1, 0}));
+  // Join source is the child's final clock (4 blocks).
+  EXPECT_EQ(Edges[1], (HbEdge{HbEdge::Kind::Join, 1, 4, 0, 3}));
+}
+
+TEST(ThreadEventsTest, VectorClockOps) {
+  races::VectorClock A(3), B(3);
+  A.raise(0, 5);
+  A.raise(2, 1);
+  B.raise(1, 7);
+  EXPECT_EQ(A[0], 5u);
+  EXPECT_EQ(A[1], 0u);
+  EXPECT_TRUE(A.dominatedBy(A));
+  EXPECT_FALSE(A.dominatedBy(B));
+  B.joinWith(A);
+  EXPECT_TRUE(A.dominatedBy(B));
+  EXPECT_EQ(B[0], 5u);
+  EXPECT_EQ(B[1], 7u);
+  EXPECT_EQ(B[2], 1u);
+}
+
+TEST(ThreadEventsTest, HappensBeforeTimelines) {
+  ConcurrencyInfo Conc;
+  Conc.FunctionCount = 1;
+  Conc.Threads = {{0, 10}, {1, 10}};
+  Conc.Accesses.resize(2);
+  // T0 releases at 4 -> T1 acquires at 2; T1 releases at 6 -> T0 at 8.
+  Conc.Edges.push_back({HbEdge::Kind::Lock, 0, 4, 1, 2});
+  Conc.Edges.push_back({HbEdge::Kind::Lock, 1, 6, 0, 8});
+
+  races::HappensBefore Hb = races::buildHappensBefore(Conc);
+  EXPECT_TRUE(Hb.OutOfOrderEdges.empty());
+  ASSERT_EQ(Hb.Threads.size(), 2u);
+
+  // T1: bottom at 0, then a checkpoint at 2 knowing T0 up to 4.
+  ASSERT_EQ(Hb.Threads[1].Checkpoints.size(), 2u);
+  EXPECT_EQ(Hb.Threads[1].Checkpoints[1].Time, 2u);
+  EXPECT_EQ(Hb.Threads[1].Checkpoints[1].Clock[0], 4u);
+
+  // The clock governs events strictly after the checkpoint time.
+  EXPECT_EQ(Hb.Threads[1].clockForEvent(2)[0], 0u);
+  EXPECT_EQ(Hb.Threads[1].clockForEvent(3)[0], 4u);
+
+  // T0's checkpoint at 8 knows T1 up to 6, and transitively its own
+  // past through the cycle-free chain (component 0 stays its own time).
+  ASSERT_EQ(Hb.Threads[0].Checkpoints.size(), 2u);
+  EXPECT_EQ(Hb.Threads[0].Checkpoints[1].Time, 8u);
+  EXPECT_EQ(Hb.Threads[0].Checkpoints[1].Clock[1], 6u);
+  EXPECT_EQ(Hb.Threads[0].clockAfter(8)[1], 6u);
+  EXPECT_EQ(Hb.Threads[0].clockAfter(7)[1], 0u);
+}
+
+TEST(ThreadEventsTest, OutOfOrderEdgesFlagged) {
+  ConcurrencyInfo Conc;
+  Conc.FunctionCount = 1;
+  Conc.Threads = {{0, 10}, {1, 10}};
+  Conc.Accesses.resize(2);
+  Conc.Edges.push_back({HbEdge::Kind::Lock, 0, 4, 1, 6});
+  Conc.Edges.push_back({HbEdge::Kind::Lock, 0, 8, 1, 3}); // target regressed
+
+  races::HappensBefore Hb = races::buildHappensBefore(Conc);
+  ASSERT_EQ(Hb.OutOfOrderEdges.size(), 1u);
+  EXPECT_EQ(Hb.OutOfOrderEdges[0], 1u);
+}
+
+TEST(ThreadEventsTest, TimestampSetRangeHelpers) {
+  // Packs to the run {3, 5, 7, 9} (step 2) plus the singleton {20}.
+  TimestampSet Set = TimestampSet::fromSorted({3, 5, 7, 9, 20});
+  EXPECT_EQ(Set.countInRange(1, 2), 0u);
+  EXPECT_EQ(Set.countInRange(3, 3), 1u);
+  EXPECT_EQ(Set.countInRange(4, 8), 2u); // 5, 7
+  EXPECT_EQ(Set.countInRange(3, 9), 4u);
+  EXPECT_EQ(Set.countInRange(1, 100), 5u);
+  EXPECT_EQ(Set.countInRange(10, 19), 0u);
+  EXPECT_EQ(Set.firstAtLeast(1), 3u);
+  EXPECT_EQ(Set.firstAtLeast(4), 5u);
+  EXPECT_EQ(Set.firstAtLeast(9), 9u);
+  EXPECT_EQ(Set.firstAtLeast(10), 20u);
+  EXPECT_EQ(Set.firstAtLeast(21), 0u);
+}
+
+} // namespace
