@@ -69,7 +69,14 @@ void names::registerCanonicalMetrics(MetricsRegistry &Registry) {
         SelfprofUnclosedSpans, SelfprofOrphanFlows,
         SelfprofRegistryOverflows, RacesRuns, RacesThreadsCompacted,
         RacesEdgesDerived, RacesSegments, RacesSegmentPairs,
-        RacesPairsCovered, RacesFound, RacesRacyPairs})
+        RacesPairsCovered, RacesFound, RacesRacyPairs, IngestProducers,
+        IngestFrames, IngestFrameBytes, IngestEvents, IngestFramesCorrupt,
+        IngestResyncBytes, IngestFramesInvalid, IngestFramesDuplicate,
+        IngestFramesReordered, IngestFramesReplayed, IngestSeqGaps,
+        IngestEventsDropped, IngestEventsLost, IngestShedFrames,
+        IngestShedBytes, IngestBackpressureWaits, IngestReadRetries,
+        IngestIdleTimeouts, IngestDisconnects, IngestSynthesizedExits,
+        IngestResumes, IngestCheckpoints, IngestCheckpointFailures})
     Registry.counter(Name);
   for (const char *Name : {PoolWorkers, PoolQueueDepth, PartitionBytesIn,
                            PartitionBytesOut, DbbBytesIn, DbbBytesOut,
@@ -77,7 +84,8 @@ void names::registerCanonicalMetrics(MetricsRegistry &Registry) {
                            StreamStateBytes, ArenaDecodeReservedBytes,
                            MemRssBytes, MemPeakBytes, MemTrackedLiveBytes,
                            MemTrackedPeakBytes, MemAllocs, SelfprofFunctions,
-                           SelfprofArchiveBytes, SelfprofTraceJsonBytes})
+                           SelfprofArchiveBytes, SelfprofTraceJsonBytes,
+                           IngestQueueDepthPeak, IngestEventsPerSec})
     Registry.gauge(Name);
   Registry.histogram(PartitionTraceLength, powerOfTwoBounds(1u << 20));
   Registry.histogram(ArchiveBlockBytes, powerOfTwoBounds(1u << 24));

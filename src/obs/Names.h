@@ -158,6 +158,47 @@ inline constexpr const char *RacesPairsCovered = "races.pairs_covered";
 inline constexpr const char *RacesFound = "races.found";
 inline constexpr const char *RacesRacyPairs = "races.racy_pairs";
 
+// ingest/ — the multi-producer ingestion frontend (twpp-wire-v1 framing,
+// sequencing, backpressure, degrade-never-abort; src/ingest/,
+// twpp_ingest). Wire-damage counters split by where the damage was
+// caught: frames_corrupt failed the CRC (decoder), frames_invalid passed
+// the CRC but would not decode (producer bug), seq_gaps are sequence
+// numbers that never arrived in order.
+inline constexpr const char *IngestProducers = "ingest.producers";
+inline constexpr const char *IngestFrames = "ingest.frames";
+inline constexpr const char *IngestFrameBytes = "ingest.frame_bytes";
+inline constexpr const char *IngestEvents = "ingest.events";
+inline constexpr const char *IngestFramesCorrupt = "ingest.frames_corrupt";
+inline constexpr const char *IngestResyncBytes = "ingest.resync_bytes";
+inline constexpr const char *IngestFramesInvalid = "ingest.frames_invalid";
+inline constexpr const char *IngestFramesDuplicate =
+    "ingest.frames_duplicate";
+inline constexpr const char *IngestFramesReordered =
+    "ingest.frames_reordered";
+inline constexpr const char *IngestFramesReplayed =
+    "ingest.frames_replayed";
+inline constexpr const char *IngestSeqGaps = "ingest.seq_gaps";
+inline constexpr const char *IngestEventsDropped = "ingest.events_dropped";
+inline constexpr const char *IngestEventsLost = "ingest.events_lost";
+inline constexpr const char *IngestShedFrames = "ingest.shed_frames";
+inline constexpr const char *IngestShedBytes = "ingest.shed_bytes";
+inline constexpr const char *IngestBackpressureWaits =
+    "ingest.backpressure_waits";
+inline constexpr const char *IngestReadRetries = "ingest.read_retries";
+inline constexpr const char *IngestIdleTimeouts = "ingest.idle_timeouts";
+inline constexpr const char *IngestDisconnects = "ingest.disconnects";
+inline constexpr const char *IngestSynthesizedExits =
+    "ingest.synthesized_exits";
+inline constexpr const char *IngestResumes = "ingest.resumes";
+inline constexpr const char *IngestCheckpoints = "ingest.checkpoints";
+inline constexpr const char *IngestCheckpointFailures =
+    "ingest.checkpoint_failures";
+// Gauges: high-water of the bounded frame queue, and the last run's
+// aggregate applied-events rate.
+inline constexpr const char *IngestQueueDepthPeak =
+    "ingest.queue_depth_peak";
+inline constexpr const char *IngestEventsPerSec = "ingest.events_per_sec";
+
 // dataflow/ — demand-driven queries over the compacted form.
 inline constexpr const char *DataflowQueries = "dataflow.queries";
 inline constexpr const char *DataflowSubqueries = "dataflow.subqueries";

@@ -1,0 +1,126 @@
+//===- support/CliCommon.h - Shared CLI conventions -------------*- C++ -*-===//
+//
+// Part of the TWPP reproduction of Zhang & Gupta, PLDI 2001.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The conventions every twpp_* tool shares, in one place so they cannot
+/// drift: the 0/1/2 exit contract, `--flag=value` matching, and the
+/// common `--format=` / `--io=` flags. Header-only by design — the io
+/// helper forward-declares the archive-layer entry points it installs
+/// into, so this header adds no link dependency of its own; a tool that
+/// calls parseIoFlag() must link twpp_wpp (every archive-reading tool
+/// already does), while a tool that never touches archives (e.g.
+/// twpp_metrics_diff) can use the rest of this header linking nothing.
+///
+/// Exit contract (shared by every tool, asserted by CI):
+///
+///   0  clean — the tool did its job and found nothing wrong
+///   1  findings — the tool worked, and is telling you something
+///      (diagnostics, regressions, accounted data loss)
+///   2  unusable — bad usage, unreadable input, fatal IO
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TWPP_SUPPORT_CLICOMMON_H
+#define TWPP_SUPPORT_CLICOMMON_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace twpp {
+
+// Archive-layer entry points behind --io= (defined in wpp/Archive.cpp;
+// redeclared here so this header stays link-free for tools that never
+// read archives).
+enum class IoMode : uint8_t;
+bool parseIoMode(const std::string &Text, IoMode &Mode);
+void setDefaultArchiveIoMode(IoMode Mode);
+
+namespace cli {
+
+/// The shared exit contract.
+inline constexpr int ExitSuccess = 0;  ///< Clean.
+inline constexpr int ExitFindings = 1; ///< Worked; has findings/loss.
+inline constexpr int ExitUsage = 2;    ///< Bad usage or fatal IO.
+
+/// Three-way result of offering an argument to a flag handler, so a
+/// tool's parse loop can chain handlers and fall through to its own
+/// flags:
+///
+///   switch (cli::parseFormatFlag(Arg, Format)) {
+///   case cli::FlagParse::Ok: continue;
+///   case cli::FlagParse::Bad: return usage();
+///   case cli::FlagParse::NoMatch: break;
+///   }
+enum class FlagParse : uint8_t {
+  NoMatch, ///< Not this flag; try the next handler.
+  Ok,      ///< Consumed and valid.
+  Bad,     ///< This flag, but the value is unusable: usage error.
+};
+
+/// Matches `--NAME=VALUE`; on match stores VALUE (possibly empty) in
+/// \p Value.
+inline bool flagValue(const std::string &Arg, const char *Name,
+                      std::string &Value) {
+  std::string Prefix = std::string("--") + Name + "=";
+  if (Arg.rfind(Prefix, 0) != 0)
+    return false;
+  Value = Arg.substr(Prefix.size());
+  return true;
+}
+
+/// Handles `--format=FMT`, accepting only the formats in \p Allowed
+/// (defaults to the text/json pair most tools share).
+inline FlagParse
+parseFormatFlag(const std::string &Arg, std::string &Format,
+                std::initializer_list<const char *> Allowed = {"text",
+                                                               "json"}) {
+  std::string Value;
+  if (!flagValue(Arg, "format", Value))
+    return FlagParse::NoMatch;
+  for (const char *Candidate : Allowed)
+    if (Value == Candidate) {
+      Format = Value;
+      return FlagParse::Ok;
+    }
+  return FlagParse::Bad;
+}
+
+/// Handles `--io=MODE` (mmap or buffered) by installing the
+/// process-default archive read path. Requires linking twpp_wpp.
+inline FlagParse parseIoFlag(const std::string &Arg) {
+  std::string Value;
+  if (!flagValue(Arg, "io", Value))
+    return FlagParse::NoMatch;
+  IoMode Mode;
+  if (!parseIoMode(Value, Mode))
+    return FlagParse::Bad;
+  setDefaultArchiveIoMode(Mode);
+  return FlagParse::Ok;
+}
+
+/// Offers \p Arg to both common handlers (`--format=`, `--io=`) in one
+/// call — the shape of most tools' parse loops:
+///
+///   switch (cli::parseCommonFlag(Arg, Format)) {
+///   case cli::FlagParse::Ok: continue;
+///   case cli::FlagParse::Bad: return usage();
+///   case cli::FlagParse::NoMatch: break;  // tool-specific flags
+///   }
+inline FlagParse
+parseCommonFlag(const std::string &Arg, std::string &Format,
+                std::initializer_list<const char *> Allowed = {"text",
+                                                               "json"}) {
+  FlagParse Result = parseFormatFlag(Arg, Format, Allowed);
+  if (Result != FlagParse::NoMatch)
+    return Result;
+  return parseIoFlag(Arg);
+}
+
+} // namespace cli
+} // namespace twpp
+
+#endif // TWPP_SUPPORT_CLICOMMON_H

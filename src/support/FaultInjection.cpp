@@ -24,11 +24,22 @@ namespace {
 const char *const IoOps[] = {"open", "read",    "write", "flush", "sync",
                              "rename", "stat", "journal", "mmap",  "*"};
 
-bool knownIoOp(const std::string &Op) {
-  for (const char *Known : IoOps)
-    if (Op == Known)
+const char *const WireOps[] = {"corrupt",  "truncate", "duplicate",
+                               "reorder", "stall",    "*"};
+
+bool knownOp(const char *const *Known, size_t Count, const std::string &Op) {
+  for (size_t I = 0; I < Count; ++I)
+    if (Op == Known[I])
       return true;
   return false;
+}
+
+bool knownIoOp(const std::string &Op) {
+  return knownOp(IoOps, sizeof(IoOps) / sizeof(IoOps[0]), Op);
+}
+
+bool knownWireOp(const std::string &Op) {
+  return knownOp(WireOps, sizeof(WireOps) / sizeof(WireOps[0]), Op);
 }
 
 bool parseUint(const std::string &Text, uint64_t &Out) {
@@ -109,7 +120,7 @@ bool hit(FaultRule::Kind Kind, const char *Op) {
     const FaultRule &R = Armed.Rule;
     if (R.RuleKind != Kind)
       continue;
-    if (Kind == FaultRule::Kind::Io && R.Op != "*" && R.Op != Op)
+    if (Kind != FaultRule::Kind::Alloc && R.Op != "*" && R.Op != Op)
       continue;
     ++Armed.Hits;
     if (R.Nth != 0 && Armed.Hits == R.Nth)
@@ -163,6 +174,8 @@ bool fault::parseFaultSpec(const std::string &Spec,
           Rule.RuleKind = FaultRule::Kind::Io;
         else if (Part == "alloc")
           Rule.RuleKind = FaultRule::Kind::Alloc;
+        else if (Part == "wire")
+          Rule.RuleKind = FaultRule::Kind::Wire;
         else {
           Error = "unknown fault class '" + Part + "'";
           return false;
@@ -172,8 +185,14 @@ bool fault::parseFaultSpec(const std::string &Spec,
       }
       size_t Eq = Part.find('=');
       if (Eq == std::string::npos) {
-        if (Rule.RuleKind != FaultRule::Kind::Io || !knownIoOp(Part)) {
-          Error = "unknown io operation '" + Part + "'";
+        bool Known = (Rule.RuleKind == FaultRule::Kind::Io && knownIoOp(Part)) ||
+                     (Rule.RuleKind == FaultRule::Kind::Wire &&
+                      knownWireOp(Part));
+        if (!Known) {
+          Error = (Rule.RuleKind == FaultRule::Kind::Wire
+                       ? "unknown wire operation '"
+                       : "unknown io operation '") +
+                  Part + "'";
           return false;
         }
         Rule.Op = Part;
@@ -247,6 +266,10 @@ bool fault::shouldFailIo(const char *Op) {
 void fault::maybeFailAlloc() {
   if (hit(FaultRule::Kind::Alloc, "*"))
     throw std::bad_alloc();
+}
+
+bool fault::shouldFaultWire(const char *Op) {
+  return hit(FaultRule::Kind::Wire, Op);
 }
 
 uint64_t fault::injectedFaultCount() {

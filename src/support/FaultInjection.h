@@ -16,10 +16,12 @@
 /// Spec grammar (docs/DURABILITY.md has the full reference):
 ///
 ///   spec  := rule (',' rule)*
-///   rule  := class (':' part)*        class := 'io' | 'alloc'
+///   rule  := class (':' part)*        class := 'io' | 'alloc' | 'wire'
 ///   part  := op | key '=' value
 ///   op    := open | read | write | flush | sync | rename | stat
 ///            | journal | mmap | '*'   (io only; default '*')
+///          | corrupt | truncate | duplicate | reorder | stall | '*'
+///            (wire only; default '*')
 ///   key   := p (fail probability per hit, deterministic PRNG)
 ///          | n (fail exactly the n-th hit, one-shot)
 ///          | every (fail every k-th hit)
@@ -29,8 +31,12 @@
 /// before performing the operation and fabricate the operation's natural
 /// failure when told to. Allocation faults throw std::bad_alloc from
 /// maybeFailAlloc(), which the journal writer and the salvage tool catch
-/// and convert into their degraded/diagnostic paths. With no spec
-/// installed every hook is a single relaxed atomic load.
+/// and convert into their degraded/diagnostic paths. Wire faults drive
+/// the replay producer's frame mutations (src/ingest/Producer.h): a hit
+/// on shouldFaultWire("corrupt") makes the producer damage that frame on
+/// the wire, deterministically, so the ingestion frontend's resync and
+/// sequencing recovery paths are CI-sweepable. With no spec installed
+/// every hook is a single relaxed atomic load.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,11 +51,12 @@ namespace twpp::fault {
 
 /// One parsed rule of a TWPP_FAULT spec.
 struct FaultRule {
-  enum class Kind : uint8_t { Io, Alloc };
+  enum class Kind : uint8_t { Io, Alloc, Wire };
   Kind RuleKind = Kind::Io;
-  /// Io operation matched ("open", "read", "write", "flush", "sync",
-  /// "rename", "stat", "journal", "mmap", or "*" for any). Ignored for
-  /// Alloc.
+  /// Operation matched. For Io: "open", "read", "write", "flush",
+  /// "sync", "rename", "stat", "journal", "mmap", or "*" for any. For
+  /// Wire: "corrupt", "truncate", "duplicate", "reorder", "stall", or
+  /// "*". Ignored for Alloc.
   std::string Op = "*";
   /// Per-hit failure probability (p=). 0 disables the probabilistic arm.
   double P = 0;
@@ -82,6 +89,13 @@ bool shouldFailIo(const char *Op);
 
 /// Throws std::bad_alloc when an alloc rule fires on this hit.
 void maybeFailAlloc();
+
+/// True when a wire-level fault should be injected for \p Op
+/// ("corrupt", "truncate", "duplicate", "reorder", "stall") on this hit.
+/// Consulted by the replay producer per frame; the mutation itself lives
+/// with the caller. Bumps the io.faults_injected counter when it fires
+/// and is suppressed by ScopedFaultSuspend like every other hook.
+bool shouldFaultWire(const char *Op);
 
 /// Number of faults injected since process start (all rules).
 uint64_t injectedFaultCount();

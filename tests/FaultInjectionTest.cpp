@@ -84,6 +84,76 @@ TEST(FaultSpec, RejectsMalformedSpecs) {
   EXPECT_EQ(fault::activeFaultSpec(), "io:write:n=1000000");
 }
 
+TEST(FaultSpec, ParsesWireRules) {
+  std::vector<fault::FaultRule> Rules;
+  std::string Error;
+  ASSERT_TRUE(fault::parseFaultSpec("wire:corrupt:every=7", Rules, Error))
+      << Error;
+  ASSERT_EQ(Rules.size(), 1u);
+  EXPECT_EQ(Rules[0].RuleKind, fault::FaultRule::Kind::Wire);
+  EXPECT_EQ(Rules[0].Op, "corrupt");
+  EXPECT_EQ(Rules[0].Every, 7u);
+
+  Rules.clear();
+  ASSERT_TRUE(fault::parseFaultSpec("wire:*:p=0.5:seed=3", Rules, Error))
+      << Error;
+  EXPECT_EQ(Rules[0].Op, "*");
+  EXPECT_DOUBLE_EQ(Rules[0].P, 0.5);
+  EXPECT_EQ(Rules[0].Seed, 3u);
+
+  // Wire and io rules mix in one spec (the CI chaos sweep does this).
+  Rules.clear();
+  ASSERT_TRUE(fault::parseFaultSpec(
+      "wire:truncate:n=4,io:journal:p=0.01,wire:stall:every=11", Rules,
+      Error))
+      << Error;
+  ASSERT_EQ(Rules.size(), 3u);
+  EXPECT_EQ(Rules[0].RuleKind, fault::FaultRule::Kind::Wire);
+  EXPECT_EQ(Rules[1].RuleKind, fault::FaultRule::Kind::Io);
+  EXPECT_EQ(Rules[2].Op, "stall");
+}
+
+TEST(FaultSpec, RejectsBadWireRules) {
+  std::vector<fault::FaultRule> Rules;
+  std::string Error;
+  for (const char *Bad : {
+           "wire:frobnicate:n=1", // unknown wire op
+           "wire:corrupt",        // no trigger
+           "io:corrupt:n=1",      // corrupt is a wire op, not io
+           "wire:write:n=1",      // write is an io op, not wire
+       }) {
+    Rules.clear();
+    Error.clear();
+    EXPECT_FALSE(fault::parseFaultSpec(Bad, Rules, Error)) << Bad;
+    EXPECT_FALSE(Error.empty()) << Bad;
+  }
+}
+
+TEST(FaultSeam, WireOpMatchingIsExactAndClassIsolated) {
+  fault::ScopedFaultSpec Spec("wire:corrupt:every=2");
+  int CorruptFires = 0, TruncateFires = 0;
+  for (int I = 0; I < 10; ++I) {
+    if (fault::shouldFaultWire("corrupt"))
+      ++CorruptFires;
+    if (fault::shouldFaultWire("truncate"))
+      ++TruncateFires;
+  }
+  EXPECT_EQ(CorruptFires, 5); // every 2nd of 10 matching hits
+  EXPECT_EQ(TruncateFires, 0);
+  // A wire rule never leaks into the io seam.
+  std::string Path = tempPath("wire_isolated.bin");
+  EXPECT_TRUE(writeFileBytes(Path, {1, 2, 3}).ok());
+  std::remove(Path.c_str());
+}
+
+TEST(FaultSeam, WireStarMatchesEveryOp) {
+  fault::ScopedFaultSpec Spec("wire:*:n=3");
+  EXPECT_FALSE(fault::shouldFaultWire("corrupt"));
+  EXPECT_FALSE(fault::shouldFaultWire("duplicate"));
+  EXPECT_TRUE(fault::shouldFaultWire("stall")); // 3rd hit, any op
+  EXPECT_FALSE(fault::shouldFaultWire("stall")); // n= is one-shot
+}
+
 TEST(FaultSeam, NthFaultFiresOnceAndNamesInjection) {
   fault::ScopedFaultSpec Spec("io:write:n=1");
   std::string Path = tempPath("nth_write.bin");

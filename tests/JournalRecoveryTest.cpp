@@ -145,6 +145,86 @@ TEST(JournalFraming, ResynchronizesPastGarbage) {
   EXPECT_EQ(Scan.LastPayload, A);
 }
 
+TEST(JournalFraming, ResyncAliasingMagicInsideCorruptedPayload) {
+  // A checkpoint payload that happens to contain a complete, CRC-valid
+  // journal record (a checkpoint-of-a-checkpoint is exactly this shape).
+  // While the outer record is intact the inner bytes are payload, full
+  // stop. When the outer record's header is smashed, resync walks into
+  // the payload and the aliased inner record *does* scan as valid — the
+  // recovery contract survives because resume keys on the LAST valid
+  // record, and the real successor record still scans.
+  std::vector<uint8_t> Inner;
+  std::vector<uint8_t> InnerPayload = {77, 78, 79};
+  appendJournalRecord(Inner, InnerPayload);
+
+  std::vector<uint8_t> Journal;
+  appendJournalRecord(Journal, Inner); // outer record wrapping Inner
+  size_t OuterEnd = Journal.size();
+  std::vector<uint8_t> B = {1, 2, 3, 4};
+  appendJournalRecord(Journal, B);
+
+  // Intact: the aliased magic inside the outer payload is invisible.
+  JournalScan Clean = scanJournal(Journal);
+  EXPECT_EQ(Clean.ValidRecords, 2u);
+  EXPECT_EQ(Clean.LastPayload, B);
+
+  // Smash the outer record's version field: its framing no longer
+  // matches, resync slides into the payload, finds the inner record
+  // (valid CRC — aliasing at its worst), then still reaches B.
+  std::vector<uint8_t> Damaged = Journal;
+  Damaged[4] ^= 0xFF;
+  JournalScan Scan = scanJournal(Damaged);
+  EXPECT_EQ(Scan.ValidRecords, 2u); // the aliased inner record + B
+  EXPECT_EQ(Scan.LastPayload, B);   // recovery still lands on the truth
+  EXPECT_EQ(Scan.TornBytes, 0u);
+
+  // Same damage with no successor record: recovery now sees the aliased
+  // inner payload — stale (it was checkpoint data, and it IS a valid
+  // record shape), but never garbage, and restoreState() vets it anyway.
+  std::vector<uint8_t> Headless(Damaged.begin(),
+                                Damaged.begin() +
+                                    static_cast<long>(OuterEnd));
+  JournalScan Stale = scanJournal(Headless);
+  EXPECT_EQ(Stale.ValidRecords, 1u);
+  EXPECT_EQ(Stale.LastPayload, InnerPayload);
+}
+
+TEST(JournalFraming, RecordStraddlingReadBufferEdgeScansWhole) {
+  // The scanner gets whatever prefix of the file a crashed writer left.
+  // Sweep every cut point of a three-record journal — every way a record
+  // can straddle the edge of what made it to disk — and require: records
+  // wholly before the cut scan valid, the straddling record is torn (not
+  // mis-decoded), and the scanner never crashes or spins.
+  std::vector<uint8_t> Journal;
+  std::vector<uint8_t> A = {10, 11, 12, 13, 14};
+  std::vector<uint8_t> B = {20, 21};
+  std::vector<uint8_t> C(300, 0x5A); // big enough to dwarf its header
+  appendJournalRecord(Journal, A);
+  size_t AEnd = Journal.size();
+  appendJournalRecord(Journal, B);
+  size_t BEnd = Journal.size();
+  appendJournalRecord(Journal, C);
+
+  for (size_t Cut = 0; Cut <= Journal.size(); ++Cut) {
+    std::vector<uint8_t> Prefix(Journal.begin(),
+                                Journal.begin() + static_cast<long>(Cut));
+    JournalScan Scan = scanJournal(Prefix);
+    size_t WholeRecords = Cut >= Journal.size() ? 3u
+                          : Cut >= BEnd         ? 2u
+                          : Cut >= AEnd         ? 1u
+                                                : 0u;
+    ASSERT_EQ(Scan.ValidRecords, WholeRecords) << "cut at " << Cut;
+    if (WholeRecords == 3)
+      EXPECT_EQ(Scan.LastPayload, C) << "cut at " << Cut;
+    else if (WholeRecords == 2)
+      EXPECT_EQ(Scan.LastPayload, B) << "cut at " << Cut;
+    else if (WholeRecords == 1)
+      EXPECT_EQ(Scan.LastPayload, A) << "cut at " << Cut;
+    else
+      EXPECT_TRUE(Scan.LastPayload.empty()) << "cut at " << Cut;
+  }
+}
+
 TEST(JournalRecovery, SnapshotRestoreRoundTrip) {
   for (uint64_t Seed : {11u, 22u, 33u}) {
     RawTrace Trace = fixtures::randomTrace(Seed, 5, 400);

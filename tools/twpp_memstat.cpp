@@ -23,6 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "obs/Json.h"
+#include "support/CliCommon.h"
 #include "obs/Memory.h"
 #include "verify/MemoryChecks.h"
 #include "wpp/Archive.h"
@@ -51,7 +52,7 @@ int usage() {
       "  --out FILE    write the report to FILE instead of stdout\n"
       "exit codes: 0 reconciled, 1 tracker vs deep-size audit beyond\n"
       "tolerance, 2 usage/IO error\n");
-  return 2;
+  return cli::ExitUsage;
 }
 
 struct FunctionStat {
@@ -228,19 +229,18 @@ int main(int Argc, char **Argv) {
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
+    switch (cli::parseCommonFlag(Arg, Format)) {
+    case cli::FlagParse::Ok:
+      continue;
+    case cli::FlagParse::Bad:
+      return usage();
+    case cli::FlagParse::NoMatch:
+      break;
+    }
     if (Arg.rfind("--top=", 0) == 0) {
       Top = static_cast<size_t>(std::strtoull(Arg.c_str() + 6, nullptr, 10));
       if (Top == 0)
         return usage();
-    } else if (Arg.rfind("--format=", 0) == 0) {
-      Format = Arg.substr(9);
-      if (Format != "text" && Format != "json")
-        return usage();
-    } else if (Arg.rfind("--io=", 0) == 0) {
-      IoMode Mode;
-      if (!parseIoMode(Arg.substr(5), Mode))
-        return usage();
-      setDefaultArchiveIoMode(Mode);
     } else if (Arg == "--out") {
       if (++I >= Argc)
         return usage();
@@ -259,7 +259,7 @@ int main(int Argc, char **Argv) {
     ArchiveStat Stat;
     if (!collect(Path, Stat)) {
       std::fprintf(stderr, "twpp_memstat: cannot read %s\n", Path.c_str());
-      return 2;
+      return cli::ExitUsage;
     }
     Stats.push_back(std::move(Stat));
   }
@@ -277,7 +277,7 @@ int main(int Argc, char **Argv) {
     if (!File) {
       std::fprintf(stderr, "twpp_memstat: cannot write %s\n",
                    OutPath.c_str());
-      return 2;
+      return cli::ExitUsage;
     }
     std::fputs(Out.c_str(), File);
     std::fclose(File);
@@ -289,7 +289,7 @@ int main(int Argc, char **Argv) {
                    "twpp_memstat: %s: tracker vs deep-size audit beyond "
                    "tolerance\n",
                    Stat.Path.c_str());
-      return 1;
+      return cli::ExitFindings;
     }
-  return 0;
+  return cli::ExitSuccess;
 }

@@ -29,6 +29,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/CliCommon.h"
+
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -347,7 +349,7 @@ int usage() {
       "  --list-metrics       enumerate baseline keys with baseline and\n"
       "                       current values (missing keys marked)\n"
       "exit: 0 ok, 1 regression, 2 usage/parse error\n");
-  return 2;
+  return twpp::cli::ExitUsage;
 }
 
 std::string keyLabel(const MetricKey &Key) {
@@ -396,7 +398,7 @@ int main(int Argc, char **Argv) {
   MetricTable Baseline, Current;
   if (!loadMetricsFile(BaselinePath, Baseline) ||
       !loadMetricsFile(CurrentPath, Current))
-    return 2;
+    return twpp::cli::ExitUsage;
 
   // Enumerate what the baseline actually gates before the enforcement
   // pass; keys the current file no longer produces are the interesting
@@ -448,21 +450,21 @@ int main(int Argc, char **Argv) {
   if (Matched == 0) {
     std::fprintf(stderr, "twpp_metrics_diff: no common (label, name) entries "
                          "between the two files\n");
-    return 2;
+    return twpp::cli::ExitUsage;
   }
   for (const std::string &Name : EnforceNames)
     if (!SeenEnforced.count(Name)) {
       std::fprintf(stderr, "twpp_metrics_diff: metric %s not present in both "
                            "files\n",
                    Name.c_str());
-      return 2;
+      return twpp::cli::ExitUsage;
     }
 
   if (Regressions) {
     std::fprintf(stderr, "twpp_metrics_diff: %d metric(s) regressed beyond "
                          "%.1f%%\n",
                  Regressions, ThresholdPct);
-    return 1;
+    return twpp::cli::ExitFindings;
   }
-  return 0;
+  return twpp::cli::ExitSuccess;
 }

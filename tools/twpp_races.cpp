@@ -22,6 +22,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "races/RaceDetect.h"
+#include "support/CliCommon.h"
 #include "wpp/Archive.h"
 
 #include <cinttypes>
@@ -42,7 +43,7 @@ int usage() {
       "  --format=FMT  output format: text (default) or json\n"
       "  --io=MODE     archive read path: mmap (default) or buffered\n"
       "exit codes: 0 race-free, 1 races found, 2 usage/IO/engine mismatch\n");
-  return 2;
+  return cli::ExitUsage;
 }
 
 std::string jsonEscape(const std::string &S) {
@@ -82,19 +83,18 @@ int main(int Argc, char **Argv) {
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
+    switch (cli::parseCommonFlag(Arg, Format)) {
+    case cli::FlagParse::Ok:
+      continue;
+    case cli::FlagParse::Bad:
+      return usage();
+    case cli::FlagParse::NoMatch:
+      break;
+    }
     if (Arg.rfind("--engine=", 0) == 0) {
       Engine = Arg.substr(9);
       if (Engine != "compacted" && Engine != "oracle" && Engine != "both")
         return usage();
-    } else if (Arg.rfind("--format=", 0) == 0) {
-      Format = Arg.substr(9);
-      if (Format != "text" && Format != "json")
-        return usage();
-    } else if (Arg.rfind("--io=", 0) == 0) {
-      IoMode Mode;
-      if (!parseIoMode(Arg.substr(5), Mode))
-        return usage();
-      setDefaultArchiveIoMode(Mode);
     } else if (Arg.rfind("--", 0) == 0) {
       return usage();
     } else {
@@ -116,7 +116,7 @@ int main(int Argc, char **Argv) {
       const verify::Diagnostic &D = Reader.lastError();
       std::fprintf(stderr, "twpp_races: %s: [%s] %s (%s)\n", Path.c_str(),
                    D.CheckId.c_str(), D.Message.c_str(), D.Location.c_str());
-      return 2;
+      return cli::ExitUsage;
     }
 
     RaceReport Report = Engine == "oracle" ? detectRacesOracle(Conc)
@@ -175,6 +175,6 @@ int main(int Argc, char **Argv) {
     std::fputs(Json.c_str(), stdout);
   }
   if (Mismatch)
-    return 2;
-  return AnyRaces ? 1 : 0;
+    return cli::ExitUsage;
+  return AnyRaces ? cli::ExitFindings : cli::ExitSuccess;
 }

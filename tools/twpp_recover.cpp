@@ -25,6 +25,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/CliCommon.h"
 #include "support/FileIO.h"
 #include "verify/Recover.h"
 #include "wpp/Archive.h"
@@ -47,7 +48,7 @@ int usage() {
       "  --report=FILE   also write the JSON report to FILE\n"
       "exit codes: 0 salvaged (verifier-clean output written), 1 cannot\n"
       "salvage (report names why), 2 usage/IO error\n");
-  return 2;
+  return cli::ExitUsage;
 }
 
 } // namespace
@@ -59,16 +60,15 @@ int main(int Argc, char **Argv) {
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg.rfind("--format=", 0) == 0) {
-      Format = Arg.substr(9);
-      if (Format != "text" && Format != "json")
-        return usage();
-    } else if (Arg.rfind("--io=", 0) == 0) {
-      IoMode Mode;
-      if (!parseIoMode(Arg.substr(5), Mode))
-        return usage();
-      setDefaultArchiveIoMode(Mode);
-    } else if (Arg.rfind("--report=", 0) == 0) {
+    switch (cli::parseCommonFlag(Arg, Format)) {
+    case cli::FlagParse::Ok:
+      continue;
+    case cli::FlagParse::Bad:
+      return usage();
+    case cli::FlagParse::NoMatch:
+      break;
+    }
+    if (Arg.rfind("--report=", 0) == 0) {
       ReportPath = Arg.substr(9);
     } else if (Arg.rfind("--", 0) == 0) {
       return usage();
@@ -83,7 +83,7 @@ int main(int Argc, char **Argv) {
   IoError Read = readFileBytes(Paths[0], Bytes);
   if (!Read) {
     std::fprintf(stderr, "twpp_recover: %s\n", Read.message().c_str());
-    return 2;
+    return cli::ExitUsage;
   }
 
   std::vector<uint8_t> Out;
@@ -100,16 +100,16 @@ int main(int Argc, char **Argv) {
     IoError Write = writeFileBytes(ReportPath, Json);
     if (!Write) {
       std::fprintf(stderr, "twpp_recover: %s\n", Write.message().c_str());
-      return 2;
+      return cli::ExitUsage;
     }
   }
   if (!Report.Salvaged)
-    return 1;
+    return cli::ExitFindings;
 
   IoError Write = writeFileBytesAtomic(Paths[1], Out);
   if (!Write) {
     std::fprintf(stderr, "twpp_recover: %s\n", Write.message().c_str());
-    return 2;
+    return cli::ExitUsage;
   }
-  return 0;
+  return cli::ExitSuccess;
 }

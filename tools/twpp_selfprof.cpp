@@ -25,6 +25,7 @@
 
 #include "obs/Json.h"
 #include "obs/SelfProfile.h"
+#include "support/CliCommon.h"
 #include "wpp/Archive.h"
 #include "wpp/HotPaths.h"
 
@@ -50,7 +51,7 @@ int usage() {
       "  --io=MODE     archive read path: mmap (default) or buffered\n"
       "  --out FILE    write the report to FILE instead of stdout\n"
       "exit codes: 0 ok, 1 sidecar/archive mismatch, 2 usage/IO error\n");
-  return 2;
+  return cli::ExitUsage;
 }
 
 /// One span path's aggregate, from its function block alone.
@@ -284,19 +285,18 @@ int main(int Argc, char **Argv) {
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
+    switch (cli::parseCommonFlag(Arg, Format, {"text", "collapsed", "json"})) {
+    case cli::FlagParse::Ok:
+      continue;
+    case cli::FlagParse::Bad:
+      return usage();
+    case cli::FlagParse::NoMatch:
+      break;
+    }
     if (Arg.rfind("--top=", 0) == 0) {
       Top = static_cast<size_t>(std::strtoull(Arg.c_str() + 6, nullptr, 10));
       if (Top == 0)
         return usage();
-    } else if (Arg.rfind("--format=", 0) == 0) {
-      Format = Arg.substr(9);
-      if (Format != "text" && Format != "collapsed" && Format != "json")
-        return usage();
-    } else if (Arg.rfind("--io=", 0) == 0) {
-      IoMode Mode;
-      if (!parseIoMode(Arg.substr(5), Mode))
-        return usage();
-      setDefaultArchiveIoMode(Mode);
     } else if (Arg == "--meta") {
       if (++I >= Argc)
         return usage();
@@ -322,21 +322,21 @@ int main(int Argc, char **Argv) {
   if (!obs::readSelfProfileMetaFile(MetaPath, Meta)) {
     std::fprintf(stderr, "twpp_selfprof: cannot read sidecar %s\n",
                  MetaPath.c_str());
-    return 2;
+    return cli::ExitUsage;
   }
 
   ArchiveReader Reader;
   if (!Reader.open(ArchivePath)) {
     std::fprintf(stderr, "twpp_selfprof: cannot open %s: %s\n",
                  ArchivePath.c_str(), Reader.lastError().Message.c_str());
-    return 2;
+    return cli::ExitUsage;
   }
   if (Reader.functionCount() != Meta.FunctionPaths.size()) {
     std::fprintf(stderr,
                  "twpp_selfprof: sidecar lists %zu functions but the "
                  "archive holds %u\n",
                  Meta.FunctionPaths.size(), Reader.functionCount());
-    return 1;
+    return cli::ExitFindings;
   }
 
   std::unordered_map<BlockId, uint64_t> GapNs;
@@ -356,7 +356,7 @@ int main(int Argc, char **Argv) {
     if (!Reader.extractFunction(F, Table)) {
       std::fprintf(stderr, "twpp_selfprof: cannot extract function %u: %s\n",
                    F, Reader.lastError().Message.c_str());
-      return 2;
+      return cli::ExitUsage;
     }
     FunctionPathTraces Expanded = expandFunctionTraces(Table);
     Fn.Calls = Expanded.CallCount;
@@ -436,10 +436,10 @@ int main(int Argc, char **Argv) {
     if (!File) {
       std::fprintf(stderr, "twpp_selfprof: cannot write %s\n",
                    OutPath.c_str());
-      return 2;
+      return cli::ExitUsage;
     }
     std::fputs(Out.c_str(), File);
     std::fclose(File);
   }
-  return 0;
+  return cli::ExitSuccess;
 }

@@ -34,6 +34,7 @@
 #include "dataflow/AnnotatedCfg.h"
 #include "dataflow/IrFacts.h"
 #include "lang/Lower.h"
+#include "support/CliCommon.h"
 #include "support/FileIO.h"
 #include "verify/Verify.h"
 #include "wpp/Archive.h"
@@ -60,7 +61,7 @@ int usage() {
       "  --program FILE  lower FILE (mini language) and run the IR and\n"
       "                  dataflow check families\n"
       "exit codes: 0 clean, 1 error diagnostics, 2 usage/IO error\n");
-  return 2;
+  return cli::ExitUsage;
 }
 
 int listChecks() {
@@ -147,17 +148,16 @@ int main(int Argc, char **Argv) {
     std::string Arg = Argv[I];
     if (Arg == "--list-checks")
       return listChecks();
+    switch (cli::parseCommonFlag(Arg, Format)) {
+    case cli::FlagParse::Ok:
+      continue;
+    case cli::FlagParse::Bad:
+      return usage();
+    case cli::FlagParse::NoMatch:
+      break;
+    }
     if (Arg.rfind("--checks=", 0) == 0) {
       Glob = Arg.substr(9);
-    } else if (Arg.rfind("--format=", 0) == 0) {
-      Format = Arg.substr(9);
-      if (Format != "text" && Format != "json")
-        return usage();
-    } else if (Arg.rfind("--io=", 0) == 0) {
-      IoMode Mode;
-      if (!parseIoMode(Arg.substr(5), Mode))
-        return usage();
-      setDefaultArchiveIoMode(Mode);
     } else if (Arg == "--program") {
       if (++I >= Argc)
         return usage();
@@ -176,7 +176,7 @@ int main(int Argc, char **Argv) {
   for (const std::string &Path : Archives) {
     if (!verifyArchiveFile(Path, Engine)) {
       std::fprintf(stderr, "twpp_verify: cannot read %s\n", Path.c_str());
-      return 2;
+      return cli::ExitUsage;
     }
     if (anyDataflowCheckEnabled(Engine))
       runAnnotationChecks(Path, Engine);
@@ -189,7 +189,7 @@ int main(int Argc, char **Argv) {
     if (!readFileBytes(ProgramPath, Bytes)) {
       std::fprintf(stderr, "twpp_verify: cannot read %s\n",
                    ProgramPath.c_str());
-      return 2;
+      return cli::ExitUsage;
     }
     std::string Source(Bytes.begin(), Bytes.end());
     Module M;
@@ -197,7 +197,7 @@ int main(int Argc, char **Argv) {
     if (!compileProgram(Source, M, Error)) {
       std::fprintf(stderr, "twpp_verify: %s: %s\n", ProgramPath.c_str(),
                    Error.c_str());
-      return 2;
+      return cli::ExitUsage;
     }
     runModuleChecks(M, Engine);
     runFactChecks(M, Engine);
@@ -206,5 +206,5 @@ int main(int Argc, char **Argv) {
   std::string Out = Format == "json" ? renderDiagnosticsJson(Engine)
                                      : renderDiagnosticsText(Engine);
   std::fputs(Out.c_str(), stdout);
-  return Engine.clean() ? 0 : 1;
+  return Engine.clean() ? cli::ExitSuccess : cli::ExitFindings;
 }
